@@ -1,0 +1,64 @@
+"""Fig. 4 — Sun RPC vs SOAP-bin, overall times.
+
+Paper: "SOAP-bin's performance is close to that of Sun RPC when array data
+are used, but Sun RPC outperforms the former in the case of nested structs
+(by about a factor of 5.4 in the worst case).  The delay is mainly due to
+SOAP-bin's use of HTTP for its transactions."
+
+Shape targets: near-parity on large arrays; a consistent Sun RPC win on
+nested structs that does not vanish with depth.
+"""
+
+from repro.bench import figures, print_table
+from repro.bench.datagen import ARRAY_SIZES, int_array_value
+from repro.netsim import lan_100mbps
+from repro.pbio import CodecCompiler, FormatRegistry
+from repro.sunrpc import CallHeader, XdrEncoder, decode_call, encode_call
+
+
+def _print_fig4(kind, rows):
+    link = lan_100mbps()
+    table = []
+    for row in rows:
+        rpc = row.overall("sunrpc", link)
+        soap_bin = row.overall("soapbin", link)
+        table.append([row.label, rpc * 1e3, soap_bin * 1e3,
+                      soap_bin / rpc])
+    print_table(
+        ["workload", "Sun RPC (ms)", "SOAP-bin (ms)", "bin/rpc"],
+        table, title=f"Fig. 4 ({kind}) — overall time over 100 Mbps")
+    return table
+
+
+def test_fig4a_integer_arrays(benchmark, repeat):
+    rows = figures.fig4_rows("arrays", repeat=repeat)
+    table = _print_fig4("a: integer arrays", rows)
+    # SOAP-bin is close to Sun RPC for large arrays (paper's claim)
+    assert table[-1][3] < 1.3
+
+    # benchmark the hot operation: XDR-marshalling the largest array
+    values = [int(v) for v in int_array_value(ARRAY_SIZES[-1])["data"]]
+
+    def marshal():
+        enc = XdrEncoder()
+        enc.pack_int_array(values)
+        return encode_call(CallHeader(1, 0x20000001, 1, 1), enc.getvalue())
+
+    blob = benchmark(marshal)
+    decode_call(blob)
+
+
+def test_fig4b_nested_structs(benchmark, repeat):
+    rows = figures.fig4_rows("structs", repeat=repeat)
+    table = _print_fig4("b: nested structs", rows)
+    # Sun RPC wins on every depth (HTTP overhead dominates small messages)
+    assert all(r[3] > 1.5 for r in table)
+
+    # benchmark the hot operation: PBIO-encoding the deepest struct
+    from repro.bench.datagen import (STRUCT_DEPTHS, nested_struct_value,
+                                     register_nested_formats)
+    registry = FormatRegistry()
+    fmt = register_nested_formats(registry, STRUCT_DEPTHS[-1])
+    value = nested_struct_value(STRUCT_DEPTHS[-1])
+    encoder = CodecCompiler(registry).encoder(fmt)
+    benchmark(encoder, value)

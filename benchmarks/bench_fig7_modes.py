@@ -1,0 +1,89 @@
+"""Fig. 7 — overall costs of the three SOAP-bin operating modes.
+
+Paper: "for high bandwidth links, the differences in performance increase
+as higher size data are involved, whereas the costs over low bandwidth
+links are similar.  This is because of the large delay introduced by slow
+links, which overshadows any smaller delays due to XML conversion at either
+end."
+"""
+
+import pytest
+
+from repro.bench import figures, print_table
+from repro.bench.datagen import int_array_value, register_array_format
+from repro.core import ConversionHandler, Mode
+from repro.pbio import FormatRegistry
+
+
+@pytest.fixture(scope="module")
+def array_costs():
+    return figures.array_workloads(repeat=3)
+
+
+@pytest.fixture(scope="module")
+def struct_costs():
+    return figures.struct_workloads(repeat=3)
+
+
+def _print_modes(costs, link_name, title):
+    link = figures.LINKS[link_name]()
+    series = figures.mode_series(costs, link)
+    print_table(
+        ["workload", "high-perf (ms)", "interop (ms)", "compat (ms)"],
+        [[s["label"], s["high_performance"] * 1e3,
+          s["interoperability"] * 1e3, s["compatibility"] * 1e3]
+         for s in series],
+        title=f"Fig. 7 — {title} over {link_name}")
+    return series
+
+
+def test_fig7a_arrays_lan(benchmark, array_costs):
+    series = _print_modes(array_costs, "100Mbps", "arrays")
+    # ordering follows the number of XML conversions
+    for s in series:
+        assert (s["high_performance"] <= s["interoperability"]
+                <= s["compatibility"])
+    # differences grow with data size on the fast link
+    small = series[0]
+    big = series[-1]
+    gap_small = small["compatibility"] - small["high_performance"]
+    gap_big = big["compatibility"] - big["high_performance"]
+    assert gap_big > gap_small * 10
+
+    registry = FormatRegistry()
+    handler = ConversionHandler(register_array_format(registry), registry)
+    value = int_array_value(1_000)
+    xml = handler.to_xml(value)
+    benchmark(handler.from_xml, xml)
+
+
+def test_fig7a_arrays_adsl(benchmark, array_costs):
+    series = _print_modes(array_costs, "ADSL", "arrays")
+    # the slow link compresses the relative differences between modes
+    big = series[-1]
+    relative_gap = ((big["compatibility"] - big["high_performance"])
+                    / big["high_performance"])
+    fast = figures.mode_series(array_costs, figures.LINKS["100Mbps"]())[-1]
+    relative_gap_fast = ((fast["compatibility"] - fast["high_performance"])
+                         / fast["high_performance"])
+    assert relative_gap < relative_gap_fast / 4
+
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize("link_name", ["100Mbps", "ADSL"])
+def test_fig7b_structs(benchmark, struct_costs, link_name):
+    series = _print_modes(struct_costs, link_name, "nested structs")
+    for s in series:
+        assert (s["high_performance"] <= s["interoperability"]
+                <= s["compatibility"])
+
+    benchmark(lambda: None)
+
+
+def test_fig7_mode_semantics(benchmark):
+    """The enum encodes who converts: 0, 1, 2 endpoints."""
+    assert Mode.HIGH_PERFORMANCE.xml_conversions == 0
+    assert Mode.INTEROPERABILITY.xml_conversions == 1
+    assert Mode.COMPATIBILITY.xml_conversions == 2
+    benchmark(lambda: Mode.COMPATIBILITY.xml_conversions)

@@ -1,0 +1,82 @@
+"""Fig. 8 — imaging-application response times under cross-traffic.
+
+Paper: "runtime quality management enables the application to send higher
+resolution images in good conditions, but once the response time increases
+further than that specified in the policy, it changes to sending lower
+resolution images.  When conditions improve, it reverts to the original
+image sizes.  As a result, the adaptive method's performance lies 'between'
+the performance attained for large vs. small image files."
+"""
+
+import pytest
+
+from repro.apps.imaging import run_imaging_experiment
+from repro.bench import jitter_stats, print_table
+from repro.media import edge_detect, starfield
+
+DURATION = 90.0
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {policy: run_imaging_experiment(policy, duration=DURATION)
+            for policy in ("full", "half", "adaptive")}
+
+
+def _mean_rt(points):
+    return sum(p.response_time for p in points) / len(points)
+
+
+def test_fig8_response_times(benchmark, series):
+    rows = []
+    for policy, points in series.items():
+        stats = jitter_stats([p.response_time for p in points])
+        rows.append([policy, len(points), stats["mean"] * 1e3,
+                     stats["p95"] * 1e3, stats["max"] * 1e3,
+                     stats["stdev"] * 1e3])
+    print_table(
+        ["policy", "requests", "mean (ms)", "p95 (ms)", "max (ms)",
+         "stdev (ms)"],
+        rows, title="Fig. 8 — imaging response times (stepped UDP load)")
+
+    # adaptive lies between the fixed policies
+    assert (_mean_rt(series["half"]) < _mean_rt(series["adaptive"])
+            < _mean_rt(series["full"]))
+
+    # benchmark the server-side hot path: edge detection on a full frame
+    frame = starfield(seed=0)
+    benchmark(edge_detect, frame)
+
+
+def test_fig8_adaptive_reduces_worst_case(benchmark, series):
+    """Adaptation bounds the congested-phase response times well below the
+    fixed-full policy's worst case."""
+    worst_full = max(p.response_time for p in series["full"])
+    worst_adaptive = max(p.response_time for p in series["adaptive"])
+    assert worst_adaptive < worst_full * 0.75
+    benchmark(lambda: None)
+
+
+def test_fig8_adaptive_switches_and_recovers(benchmark, series):
+    points = series["adaptive"]
+    sizes = [p.response_bytes for p in points]
+    full_size = max(sizes)
+    # full resolution at the quiet start AND after recovery at the end
+    # (compare with slack: the first response also carries the one-time
+    # PBIO format announcement)
+    assert sizes[0] > full_size * 0.99
+    assert sizes[-1] > full_size * 0.99
+    # reduced resolution during the congested middle
+    assert min(sizes) < full_size / 3
+    benchmark(lambda: None)
+
+
+def test_fig8_timeline_printed(benchmark, series):
+    rows = []
+    for policy, points in series.items():
+        for p in points[:: max(1, len(points) // 12)]:
+            rows.append([policy, p.time, p.response_time * 1e3,
+                         p.response_bytes])
+    print_table(["policy", "t (s)", "response (ms)", "bytes"], rows,
+                title="Fig. 8 — sampled timeline")
+    benchmark(lambda: None)

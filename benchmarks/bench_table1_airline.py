@@ -1,0 +1,66 @@
+"""Table I — event rates for the airline application.
+
+Paper (over ADSL)::
+
+    protocol                size        events/sec
+    SOAP                    3898 bytes  10.15
+    SOAP-bin                 860 bytes  13.76
+    Native PBIO              860 bytes  14.06
+    SOAP (compressed XML)   1264 bytes  13.17
+
+Shape targets: rate ordering PBIO >= SOAP-bin > compressed > SOAP, and
+sizes in the paper's ballpark (XML ~4.3x the binary form).
+"""
+
+import pytest
+
+from repro.apps.airline import AirlineDataset, event_encodings, event_stream
+from repro.bench import figures, print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figures.table1_rows(repeat=5)
+
+
+def test_table1_event_rates(benchmark, rows):
+    print_table(
+        ["protocol", "size (bytes)", "events/sec"],
+        [[r["protocol"], r["size_bytes"], r["events_per_sec"]]
+         for r in rows],
+        title="Table I — airline event rates over ADSL")
+    rates = {r["protocol"]: r["events_per_sec"] for r in rows}
+    assert rates["Native PBIO"] >= rates["SOAP-bin"]
+    assert rates["SOAP-bin"] > rates["SOAP (compressed XML)"]
+    assert rates["SOAP (compressed XML)"] > rates["SOAP"]
+
+    dataset = AirlineDataset()
+    value = dataset.catering_for("DL100")
+    encoding = event_encodings()["SOAP-bin"]
+    benchmark(encoding.encode, value)
+
+
+def test_table1_sizes(benchmark, rows):
+    sizes = {r["protocol"]: r["size_bytes"] for r in rows}
+    # ballpark of the paper's 3898 / 860 / 860 / 1264 bytes
+    assert 3000 < sizes["SOAP"] < 5000
+    assert 600 < sizes["SOAP-bin"] < 1200
+    assert 600 < sizes["Native PBIO"] < 1200
+    assert sizes["SOAP (compressed XML)"] < sizes["SOAP"]
+    # XML blowup factor comparable to the paper's 4.5x
+    assert 3.0 < sizes["SOAP"] / sizes["SOAP-bin"] < 6.0
+    benchmark(lambda: None)
+
+
+def test_table1_event_stream_sustained(benchmark):
+    """Event rate over a *changing* dataset (the OIS keeps updating)."""
+    dataset = AirlineDataset()
+    encodings = event_encodings()
+    events = list(event_stream(dataset, 20))
+    bin_enc = encodings["SOAP-bin"]
+
+    def burst():
+        return [bin_enc.encode(event) for event in events]
+
+    blobs = benchmark(burst)
+    assert len(blobs) == 20

@@ -1,0 +1,15 @@
+"""Shared fixtures/options for the figure-reproduction benchmarks.
+
+Every benchmark prints the paper-figure table it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s`` or in the captured output
+summary) *and* feeds a representative hot operation to pytest-benchmark so
+timing regressions are tracked.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repeat():
+    """Measurement repetitions for the measured (CPU) cost components."""
+    return 3

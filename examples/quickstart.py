@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: a SOAP-binQ service and client in ~60 lines.
+
+Starts a real HTTP server hosting one operation, calls it three ways —
+high-performance (binary), plain-XML SOAP, and compatibility mode — then
+attaches a quality policy and shows the server shrinking responses when the
+client reports bad network conditions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import pbio
+from repro.core import SoapBinClient, SoapBinService
+from repro.soap import SoapClient
+from repro.transport import HttpChannel, serve_endpoint
+
+
+def main() -> None:
+    # 1. Describe the messages (this is what a WSDL file compiles into).
+    registry = pbio.FormatRegistry()
+    request = pbio.Format.from_dict(
+        "MeanRequest", {"data": "float64[]", "label": "string"})
+    response = pbio.Format.from_dict(
+        "MeanResponse", {"mean": "float64", "n": "int32",
+                         "label": "string"})
+    small = pbio.Format.from_dict("MeanSmall", {"mean": "float64"})
+    for fmt in (request, response, small):
+        registry.register(fmt)
+
+    # 2. Build the service: one handler, plus a quality file binding RTT
+    #    intervals to response message types.
+    service = SoapBinService(registry, quality_text="""
+        attribute rtt
+        history 2
+        0.0  0.25 - MeanResponse
+        0.25 inf  - MeanSmall
+    """)
+
+    def mean_handler(params):
+        data = params["data"]
+        mean = sum(data) / len(data) if len(data) else 0.0
+        return {"mean": mean, "n": len(data), "label": params["label"]}
+
+    service.add_operation("Mean", request, response, mean_handler)
+
+    # 3. Serve it over real sockets and call it in three modes.
+    with serve_endpoint(service.endpoint) as server:
+        print(f"service listening on {server.url}")
+
+        with HttpChannel(server.address) as channel:
+            client = SoapBinClient(channel, registry)
+
+            # high-performance mode: native dicts, binary wire
+            out = client.call("Mean", {"data": [1.0, 2.0, 3.0, 4.0],
+                                       "label": "hp"},
+                              request, response)
+            print(f"binary call  -> mean={out['mean']}, n={out['n']}")
+            print(f"  measured RTT: {client.last_rtt * 1e6:.0f} us")
+
+            # compatibility mode: XML in, XML out, binary on the wire
+            xml = ("<MeanRequest><data><item>10</item><item>20</item>"
+                   "</data><label>compat</label></MeanRequest>")
+            reply_xml = client.call_xml("Mean", xml, request, response)
+            print(f"compat call  -> {reply_xml}")
+
+        # a completely standard SOAP client talks to the same endpoint
+        with HttpChannel(server.address) as channel:
+            xml_client = SoapClient(channel, registry)
+            out = xml_client.call("Mean", {"data": [5.0, 7.0],
+                                           "label": "legacy"},
+                                  request, response)
+            print(f"XML client   -> mean={out['mean']} (interoperability)")
+
+        # 4. Quality management: report a terrible RTT and watch the
+        #    server switch to the reduced message type (the client pads
+        #    the missing fields with zeroes).
+        with HttpChannel(server.address) as channel:
+            client = SoapBinClient(channel, registry)
+            client.estimator.update(10.0)  # pretend the link degraded
+            for i in range(3):
+                out = client.call("Mean", {"data": [1.0] * 50,
+                                           "label": "slow-link"},
+                                  request, response)
+            print(f"degraded     -> mean={out['mean']}, "
+                  f"label={out['label']!r} (padded), n={out['n']} (padded)")
+            print(f"server policy state: "
+                  f"{service.quality.stats()['current_message_type']}")
+
+
+if __name__ == "__main__":
+    main()

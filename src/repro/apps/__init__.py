@@ -1,0 +1,32 @@
+"""The paper's four evaluation applications, adapted to SOAP-binQ.
+
+* :mod:`~repro.apps.imaging` — the Skyserver-like image server (Fig. 8),
+* :mod:`~repro.apps.mdbond` — the molecular-dynamics bond server (Fig. 9),
+* :mod:`~repro.apps.airline` — the airline operational information system
+  (Table I),
+* :mod:`~repro.apps.remoteviz` — the ECho-backed remote-visualization
+  portal (§IV-C.4).
+"""
+
+from .airline import (AirlineDataset, AirlineServer, CateringClient,
+                      airline_formats, event_encodings, event_stream)
+from .imaging import (DEFAULT_QUALITY_FILE as IMAGING_QUALITY_FILE,
+                      ExperimentPoint, ImageServer, ImagingClient,
+                      image_formats, image_to_value, resize_half_handler,
+                      run_imaging_experiment, value_to_image)
+from .mdbond import (DEFAULT_QUALITY_FILE as MDBOND_QUALITY_FILE, BondClient,
+                     BondServer, MdPoint, bond_formats, run_mdbond_experiment,
+                     take_batch_handler)
+from .remoteviz import (BondEventSource, DisplayClient, ServicePortal,
+                        viz_formats)
+
+__all__ = [
+    "ImageServer", "ImagingClient", "image_formats", "image_to_value",
+    "value_to_image", "resize_half_handler", "run_imaging_experiment",
+    "ExperimentPoint", "IMAGING_QUALITY_FILE",
+    "BondServer", "BondClient", "bond_formats", "take_batch_handler",
+    "run_mdbond_experiment", "MdPoint", "MDBOND_QUALITY_FILE",
+    "AirlineDataset", "AirlineServer", "CateringClient", "airline_formats",
+    "event_encodings", "event_stream",
+    "ServicePortal", "DisplayClient", "BondEventSource", "viz_formats",
+]

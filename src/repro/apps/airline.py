@@ -1,0 +1,230 @@
+"""The commercial application (§IV-C.3): an airline operational
+information system.
+
+"information is continuously produced, entered in a large, memory-resident
+data set, business rules are applied to it, and resultant data is shared
+with end users.  In the specific scenario used here, flight and passenger
+information is collected and distributed, and excerpts of such information
+are shared with relevant parties, such as flight caterers."
+
+The in-memory dataset holds flights and passenger manifests; the business
+rule of interest derives catering manifests (meal orders per flight) which
+clients — the caterers — query.  Table I's four transports are exposed as
+encoders over the same catering record so event rates can be compared:
+plain SOAP XML, SOAP-bin (PBIO with SOAP-bin framing), native PBIO, and
+compressed XML.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..compress import get_codec
+from ..core import ConversionHandler, SoapBinClient, SoapBinService
+from ..pbio import Format, FormatRegistry, PbioSession
+from ..soap import SoapClient
+from ..transport import Channel
+
+MEAL_CODES = ["VGML", "AVML", "KSML", "DBML", "GFML", "CHML", "RGML"]
+AIRPORTS = ["ATL", "JFK", "LAX", "ORD", "DFW", "SEA", "BOS", "MIA"]
+
+
+def airline_formats() -> Dict[str, Format]:
+    return {
+        "MealOrder": Format.from_dict(
+            "MealOrder", {"seat": "string", "meal_code": "string",
+                          "special": "int32", "quantity": "int32"}),
+        "GetCateringRequest": Format.from_dict(
+            "GetCateringRequest", {"flight": "string"}),
+        "CateringResponse": Format.from_dict(
+            "CateringResponse", {"flight": "string", "date": "string",
+                                 "origin": "string", "dest": "string",
+                                 "orders": "struct MealOrder[]"}),
+    }
+
+
+@dataclass
+class Passenger:
+    """One manifest row of the memory-resident dataset."""
+
+    seat: str
+    name: str
+    meal_code: str
+    special: int
+
+
+class AirlineDataset:
+    """Deterministic flights + manifests (the OIS's memory-resident data)."""
+
+    def __init__(self, n_flights: int = 12, passengers_per_flight: int = 35,
+                 seed: int = 1972) -> None:
+        rng = random.Random(seed)
+        self.flights: Dict[str, List[Passenger]] = {}
+        self.routes: Dict[str, Dict[str, str]] = {}
+        for i in range(n_flights):
+            flight = f"DL{100 + i}"
+            origin, dest = rng.sample(AIRPORTS, 2)
+            self.routes[flight] = {"origin": origin, "dest": dest,
+                                   "date": "2004-03-26"}
+            manifest = []
+            for p in range(passengers_per_flight):
+                row = p // 6 + 1
+                seat = f"{row}{'ABCDEF'[p % 6]}"
+                manifest.append(Passenger(
+                    seat=seat,
+                    name=f"PAX{i:02d}{p:03d}",
+                    meal_code=rng.choice(MEAL_CODES),
+                    special=1 if rng.random() < 0.2 else 0))
+            self.flights[flight] = manifest
+        self._rng = rng
+
+    def flight_numbers(self) -> List[str]:
+        return sorted(self.flights)
+
+    def apply_update(self) -> str:
+        """Business-rule tick: a passenger changes their meal order.
+
+        Returns the affected flight (whose catering excerpt is now stale
+        and gets re-shared — this is the 'event' of the event-rate table).
+        """
+        flight = self._rng.choice(self.flight_numbers())
+        passenger = self._rng.choice(self.flights[flight])
+        passenger.meal_code = self._rng.choice(MEAL_CODES)
+        return flight
+
+    def catering_for(self, flight: str) -> Dict[str, object]:
+        """The catering excerpt shared with caterers (business rule)."""
+        if flight not in self.flights:
+            raise KeyError(f"unknown flight {flight!r}")
+        route = self.routes[flight]
+        orders = [{"seat": p.seat, "meal_code": p.meal_code,
+                   "special": p.special, "quantity": 1}
+                  for p in self.flights[flight]]
+        return {"flight": flight, "date": route["date"],
+                "origin": route["origin"], "dest": route["dest"],
+                "orders": orders}
+
+
+class AirlineServer:
+    """The OIS frontend: catering queries over SOAP-bin (or plain SOAP)."""
+
+    def __init__(self, registry: Optional[FormatRegistry] = None,
+                 **dataset_kwargs) -> None:
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.formats = airline_formats()
+        for fmt in self.formats.values():
+            self.registry.register(fmt)
+        self.dataset = AirlineDataset(**dataset_kwargs)
+        self.service = SoapBinService(self.registry)
+        self.service.add_operation("GetCatering",
+                                   self.formats["GetCateringRequest"],
+                                   self.formats["CateringResponse"],
+                                   self._get_catering)
+
+    @property
+    def endpoint(self):
+        return self.service.endpoint
+
+    def _get_catering(self, params: Dict[str, object]) -> Dict[str, object]:
+        return self.dataset.catering_for(str(params["flight"]))
+
+
+class CateringClient:
+    """A caterer pulling manifests; speaks binary or XML."""
+
+    def __init__(self, channel: Channel, registry: FormatRegistry,
+                 style: str = "bin") -> None:
+        self.formats = airline_formats()
+        if style == "bin":
+            self._client = SoapBinClient(channel, registry)
+            self._call = self._client.call
+        elif style == "xml":
+            self._client = SoapClient(channel, registry)
+            self._call = self._client.call
+        else:
+            raise ValueError("style must be 'bin' or 'xml'")
+
+    def catering(self, flight: str) -> Dict[str, object]:
+        return self._call("GetCatering", {"flight": flight},
+                          self.formats["GetCateringRequest"],
+                          self.formats["CateringResponse"])
+
+
+# ----------------------------------------------------------------------
+# Table I: per-protocol event encodings
+# ----------------------------------------------------------------------
+
+@dataclass
+class EventEncoding:
+    """One protocol row of Table I: the encoder and its wire size."""
+
+    name: str
+    encode: callable
+    decode: callable
+
+    def wire_size(self, value: Dict[str, object]) -> int:
+        return len(self.encode(value))
+
+
+def event_encodings(registry: Optional[FormatRegistry] = None,
+                    codec_name: str = "lzss") -> Dict[str, EventEncoding]:
+    """The four Table I transports over the catering record.
+
+    * ``SOAP`` — full XML envelope;
+    * ``SOAP-bin`` — PBIO payload with SOAP-bin wire framing;
+    * ``Native PBIO`` — bare PBIO payload (the core OIS transport);
+    * ``SOAP (compressed XML)`` — the XML envelope through Lempel-Ziv
+      (LZSS by default, matching the vintage of the paper's compressor;
+      pass ``codec_name="zlib"`` for DEFLATE).
+    """
+    registry = registry if registry is not None else FormatRegistry()
+    formats = airline_formats()
+    for fmt in formats.values():
+        registry.register(fmt)
+    response = formats["CateringResponse"]
+    handler = ConversionHandler(response, registry)
+    codec = get_codec(codec_name)
+
+    from ..soap import build_envelope, envelope_to_bytes, parse_envelope
+    from ..soap.encoding import decode_fields, encode_fields
+    from ..xmlcore import Element
+
+    def soap_encode(value):
+        wrapper = Element("GetCateringResponse")
+        encode_fields(wrapper, value, response, registry)
+        return envelope_to_bytes(build_envelope([wrapper]))
+
+    def soap_decode(blob):
+        envelope = parse_envelope(blob)
+        return decode_fields(envelope.first_body_element(), response,
+                             registry)
+
+    # SOAP-bin: a steady-state session (announcement already made)
+    tx = PbioSession(registry)
+    rx = PbioSession(registry)
+
+    def bin_encode(value):
+        return tx.pack_bytes(response, value)
+
+    def bin_decode(blob):
+        return rx.unpack_stream(blob)[1]
+
+    return {
+        "SOAP": EventEncoding("SOAP", soap_encode, soap_decode),
+        "SOAP-bin": EventEncoding("SOAP-bin", bin_encode, bin_decode),
+        "Native PBIO": EventEncoding(
+            "Native PBIO", handler.to_binary, handler.from_binary),
+        "SOAP (compressed XML)": EventEncoding(
+            "SOAP (compressed XML)",
+            lambda value: codec.compress(soap_encode(value)),
+            lambda blob: soap_decode(codec.decompress(blob))),
+    }
+
+
+def event_stream(dataset: AirlineDataset, n_events: int) -> Iterator[Dict[str, object]]:
+    """Successive catering excerpts as the dataset keeps updating."""
+    for _ in range(n_events):
+        flight = dataset.apply_update()
+        yield dataset.catering_for(flight)

@@ -1,0 +1,172 @@
+"""Remote visualization (§IV-C.4): service portal over an ECho bond source.
+
+Architecture of Fig. 10:
+
+1. the service portal advertises its services through WSDL;
+2. display clients obtain the WSDL,
+3. and construct requests carrying *filter code* and the desired output
+   format;
+4. data arriving from the (ECho) bondserver is modified by the filter code,
+5. and sent back in the requested format (SVG — "just an XML document" —
+   or raw binary).
+
+The client can dynamically change the filter code and the output format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import SoapBinClient, SoapBinService
+from ..echo import ChannelDirectory, EventChannel, compile_filter
+from ..media import MoleculeTrajectory, molecule_to_svg
+from ..pbio import Format, FormatRegistry, StructRef
+from ..transport import Channel
+from ..wsdl import (WsdlDocument, WsdlMessage, WsdlOperation, WsdlPortType,
+                    emit_wsdl)
+from .mdbond import bond_formats
+
+BOND_CHANNEL = "bondserver"
+
+
+def viz_formats() -> Dict[str, Format]:
+    formats = bond_formats()
+    return {
+        "Timestep": formats["Timestep"],
+        "Atom": formats["Atom"],
+        "Bond": formats["Bond"],
+        "GetVisualizationRequest": Format.from_dict(
+            "GetVisualizationRequest",
+            {"filter_code": "string", "output_format": "string"}),
+        "GetVisualizationResponse": Format.from_dict(
+            "GetVisualizationResponse",
+            {"output_format": "string", "svg": "string",
+             "raw": "struct Timestep"}),
+    }
+
+
+class BondEventSource:
+    """The ECho bondserver backend: publishes timesteps onto a channel."""
+
+    def __init__(self, channel: EventChannel,
+                 n_atoms: int = 100, seed: int = 7) -> None:
+        self.channel = channel
+        self._trajectory = MoleculeTrajectory(n_atoms=n_atoms, seed=seed)
+        self._format = bond_formats()["Timestep"]
+
+    def publish(self, n_steps: int = 1) -> None:
+        """Generate and publish ``n_steps`` timesteps."""
+        for _ in range(n_steps):
+            self.channel.submit(self._format, self._trajectory.timestep())
+            self._trajectory.advance()
+
+
+class ServicePortal:
+    """The portal: ECho sink on one side, SOAP-bin service on the other."""
+
+    def __init__(self, registry: Optional[FormatRegistry] = None,
+                 location: str = "http://127.0.0.1:0/viz") -> None:
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.formats = viz_formats()
+        for fmt in self.formats.values():
+            self.registry.register(fmt)
+        self.directory = ChannelDirectory()
+        self.bond_channel = self.directory.open(
+            BOND_CHANNEL, self.formats["Timestep"])
+        self.source = BondEventSource(self.bond_channel)
+        self._latest: Optional[Dict[str, object]] = None
+        self.bond_channel.subscribe(self._sink)
+        self.location = location
+        self.service = SoapBinService(self.registry)
+        self.service.add_operation("GetVisualization",
+                                   self.formats["GetVisualizationRequest"],
+                                   self.formats["GetVisualizationResponse"],
+                                   self._get_visualization)
+        self.source.publish()  # prime the channel
+
+    @property
+    def endpoint(self):
+        return self.service.endpoint
+
+    def _sink(self, fmt: Format, value: Dict[str, object]) -> None:
+        self._latest = value
+
+    # ------------------------------------------------------------------
+    def wsdl(self) -> str:
+        """The portal's service advertisement (step 1 of Fig. 10)."""
+        document = WsdlDocument(name="viz_portal",
+                                target_namespace="urn:repro:viz")
+        for name in ("Atom", "Bond", "Timestep",
+                     "GetVisualizationResponse"):
+            document.add_type(self.formats[name])
+        document.add_message(WsdlMessage(
+            "GetVisualizationRequest",
+            list((f.name, f.ftype)
+                 for f in self.formats["GetVisualizationRequest"].fields)))
+        document.add_message(WsdlMessage(
+            "GetVisualizationResponse",
+            [("result", StructRef("GetVisualizationResponse"))]))
+        document.port_types["VizPortType"] = WsdlPortType("VizPortType", [
+            WsdlOperation("GetVisualization", "GetVisualizationRequest",
+                          "GetVisualizationResponse")])
+        document.location = self.location
+        return emit_wsdl(document)
+
+    # ------------------------------------------------------------------
+    def _get_visualization(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Steps 3-5: apply the client's filter, render the output format."""
+        self.source.publish()  # fresh data arrives from the bondserver
+        timestep = dict(self._latest or {})
+        filter_code = str(params["filter_code"]).strip()
+        if filter_code:
+            event_filter = compile_filter(filter_code,
+                                          name="viz-request-filter")
+            filtered = event_filter(self.formats["Timestep"], timestep)
+            if filtered is None:
+                timestep = {"step": -1, "atoms": [], "bonds": []}
+            else:
+                _, timestep = filtered
+        output_format = str(params["output_format"])
+        if output_format == "svg":
+            svg = molecule_to_svg(
+                timestep.get("atoms", []),
+                [(b["a"], b["b"]) for b in timestep.get("bonds", [])])
+            return {"output_format": "svg", "svg": svg,
+                    "raw": {"step": -1, "atoms": [], "bonds": []}}
+        if output_format == "raw":
+            return {"output_format": "raw", "svg": "", "raw": timestep}
+        raise ValueError(f"unknown output format {output_format!r}")
+
+
+class DisplayClient:
+    """A display client: holds its current filter + format, both mutable.
+
+    "The client can dynamically change the filter code and the output
+    format desired."
+    """
+
+    def __init__(self, channel: Channel, registry: FormatRegistry,
+                 clock=None) -> None:
+        self.formats = viz_formats()
+        self._client = SoapBinClient(channel, registry, clock=clock)
+        self.filter_code = ""
+        self.output_format = "svg"
+
+    def set_filter(self, filter_code: str) -> None:
+        self.filter_code = filter_code
+
+    def set_output_format(self, output_format: str) -> None:
+        self.output_format = output_format
+
+    def refresh(self) -> Dict[str, object]:
+        """Request the next frame with the current filter/format."""
+        return self._client.call(
+            "GetVisualization",
+            {"filter_code": self.filter_code,
+             "output_format": self.output_format},
+            self.formats["GetVisualizationRequest"],
+            self.formats["GetVisualizationResponse"])
+
+    @property
+    def rtt_estimate(self):
+        return self._client.estimator.estimate

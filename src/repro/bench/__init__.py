@@ -1,0 +1,12 @@
+"""Benchmark harness: workload generators, timers, tables and the
+figure/table computations behind ``benchmarks/``."""
+
+from . import datagen, figures
+from .tables import human_bytes, human_time, print_table, render_table
+from .timers import jitter_stats, mean, measure, percentile, stdev
+
+__all__ = [
+    "datagen", "figures",
+    "measure", "mean", "stdev", "percentile", "jitter_stats",
+    "render_table", "print_table", "human_bytes", "human_time",
+]

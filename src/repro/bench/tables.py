@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark output.
+
+Every figure-reproduction benchmark prints its series through these
+helpers, so `pytest benchmarks/ --benchmark-only` output reads like the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.0001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                title: str = "") -> None:
+    print()
+    print(render_table(headers, rows, title))
+    print()
+
+
+def human_bytes(n: Union[int, float]) -> str:
+    """1234567 -> '1.18 MiB'."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.2f} GiB"
+
+
+def human_time(seconds: float) -> str:
+    """0.00123 -> '1.23 ms'."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"

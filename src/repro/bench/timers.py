@@ -1,0 +1,66 @@
+"""Timing and statistics helpers for the benchmark harness.
+
+The paper reports averages over 10-1000 runs after discarding the first set
+(cold-start elimination); :func:`measure` mirrors that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Sequence
+
+
+def measure(fn: Callable[[], object], repeat: int = 5,
+            warmup: int = 1) -> float:
+    """Average seconds per call over ``repeat`` runs after ``warmup``.
+
+    "Measurements are derived from sets of 10-1000 experiments, reporting
+    the averages over all readings, after discarding the first set (to
+    eliminate cold start effects)." (§IV-B)
+    """
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sum(samples) / len(samples)
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def jitter_stats(response_times: Sequence[float]) -> Dict[str, float]:
+    """Summary used for the Figs. 8/9 jitter discussion."""
+    return {
+        "mean": mean(response_times),
+        "stdev": stdev(response_times),
+        "p5": percentile(response_times, 5),
+        "p95": percentile(response_times, 95),
+        "max": max(response_times) if response_times else 0.0,
+        "min": min(response_times) if response_times else 0.0,
+    }

@@ -1,0 +1,17 @@
+"""Lempel-Ziv compression substrate (compressed-XML SOAP baseline).
+
+Three codecs behind one interface: a from-scratch LZSS (sliding window), a
+from-scratch LZW (dictionary), and a zlib/DEFLATE adapter::
+
+    from repro.compress import get_codec
+    codec = get_codec("lzss")
+    blob = codec.compress(b"data")
+    assert codec.decompress(blob) == b"data"
+"""
+
+from . import lzss, lzw, zlib_codec
+from .api import DEFAULT_CODEC_NAME, Codec, codec_names, get_codec
+from .errors import CompressError
+
+__all__ = ["Codec", "get_codec", "codec_names", "DEFAULT_CODEC_NAME",
+           "CompressError", "lzss", "lzw", "zlib_codec"]

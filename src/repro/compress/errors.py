@@ -1,0 +1,7 @@
+"""Exception types for the compression substrate."""
+
+from __future__ import annotations
+
+
+class CompressError(Exception):
+    """Raised on corrupt, truncated or type-invalid codec input."""

@@ -1,0 +1,156 @@
+"""A from-scratch LZW codec with variable-width codes.
+
+Included as a second Lempel-Ziv family member: dictionary-based rather than
+window-based, which behaves differently on the highly repetitive tag
+structure of XML (it keeps growing phrases, so deeply tagged documents
+compress very well).  Used by the compression ablation benchmark.
+
+Wire layout::
+
+    magic 'LZW1' | u32 original length | big-endian packed bitstream
+
+Codes start at 9 bits and grow to :data:`MAX_BITS`; when the dictionary is
+full it is reset (a RESET code is emitted) so the codec adapts to shifting
+content.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from .errors import CompressError
+
+MAGIC = b"LZW1"
+MIN_BITS = 9
+MAX_BITS = 14
+RESET_CODE = 256
+FIRST_CODE = 257
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self.buf = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, bits: int) -> None:
+        self._acc = (self._acc << bits) | value
+        self._nbits += bits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self.buf.append((self._acc >> self._nbits) & 0xFF)
+
+    def flush(self) -> None:
+        if self._nbits:
+            self.buf.append((self._acc << (8 - self._nbits)) & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+
+class _BitReader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read(self, bits: int) -> int:
+        while self._nbits < bits:
+            if self.pos >= len(self.data):
+                raise CompressError("truncated LZW bitstream")
+            self._acc = (self._acc << 8) | self.data[self.pos]
+            self.pos += 1
+            self._nbits += 8
+        self._nbits -= bits
+        value = (self._acc >> self._nbits) & ((1 << bits) - 1)
+        return value
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data`` with variable-width LZW."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise CompressError("LZW input must be bytes-like")
+    data = bytes(data)
+    out = bytearray(MAGIC)
+    out += struct.pack("<I", len(data))
+    if not data:
+        return bytes(out)
+
+    writer = _BitWriter()
+    table: Dict[bytes, int] = {bytes([i]): i for i in range(256)}
+    next_code = FIRST_CODE
+    bits = MIN_BITS
+    phrase = b""
+    for byte in data:
+        candidate = phrase + bytes([byte])
+        if candidate in table:
+            phrase = candidate
+            continue
+        writer.write(table[phrase], bits)
+        if next_code < (1 << MAX_BITS):
+            table[candidate] = next_code
+            next_code += 1
+            if next_code > (1 << bits) and bits < MAX_BITS:
+                bits += 1
+        else:
+            writer.write(RESET_CODE, bits)
+            table = {bytes([i]): i for i in range(256)}
+            next_code = FIRST_CODE
+            bits = MIN_BITS
+        phrase = bytes([byte])
+    writer.write(table[phrase], bits)
+    writer.flush()
+    out += writer.buf
+    return bytes(out)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    blob = bytes(blob)
+    if len(blob) < 8 or blob[:4] != MAGIC:
+        raise CompressError("bad LZW header")
+    (orig_len,) = struct.unpack_from("<I", blob, 4)
+    if orig_len == 0:
+        return b""
+    reader = _BitReader(blob[8:])
+
+    table: List[bytes] = [bytes([i]) for i in range(256)]
+    table.append(b"")  # RESET placeholder
+    bits = MIN_BITS
+    out = bytearray()
+
+    prev = reader.read(bits)
+    if prev >= len(table) or prev == RESET_CODE:
+        raise CompressError("bad initial LZW code")
+    out += table[prev]
+    prev_entry = table[prev]
+
+    while len(out) < orig_len:
+        # mirror the encoder's width bookkeeping: the encoder widens when
+        # next_code exceeds the current width's capacity
+        next_code = len(table) + 1  # entry about to be created
+        if next_code > (1 << bits) and bits < MAX_BITS:
+            bits += 1
+        code = reader.read(bits)
+        if code == RESET_CODE:
+            table = [bytes([i]) for i in range(256)]
+            table.append(b"")
+            bits = MIN_BITS
+            prev = reader.read(bits)
+            out += table[prev]
+            prev_entry = table[prev]
+            continue
+        if code < len(table):
+            entry = table[code]
+        elif code == len(table):
+            entry = prev_entry + prev_entry[:1]  # KwKwK case
+        else:
+            raise CompressError(f"corrupt LZW code {code}")
+        out += entry
+        if len(table) < (1 << MAX_BITS):
+            table.append(prev_entry + entry[:1])
+        prev_entry = entry
+    if len(out) != orig_len:
+        raise CompressError("LZW length mismatch")
+    return bytes(out)

@@ -1,0 +1,79 @@
+"""SOAP-bin and SOAP-binQ: the paper's primary contribution.
+
+Binary SOAP invocations over PBIO with XML only where endpoints need it
+(three modes), plus continuous quality management: quality files bind
+intervals of a monitored attribute (RTT by default) to message types,
+quality handlers transform payloads, and a history-based estimator keeps
+selection stable.
+
+Minimal SOAP-binQ setup::
+
+    from repro import pbio
+    from repro.core import SoapBinClient, SoapBinService
+    from repro.transport import DirectChannel
+
+    registry = pbio.FormatRegistry()
+    req = pbio.Format.from_dict("GetDataRequest", {"n": "int32"})
+    full = pbio.Format.from_dict("GetDataResponse", {"data": "float64[]"})
+    small = pbio.Format.from_dict("GetDataSmall", {"data": "float64[]"})
+    for fmt in (req, full, small):
+        registry.register(fmt)
+
+    service = SoapBinService(registry, quality_text='''
+        attribute rtt
+        0.0  0.05 - GetDataResponse
+        0.05 inf  - GetDataSmall
+    ''')
+    service.add_operation("GetData", req, full,
+                          lambda p: {"data": [0.0] * p["n"]})
+
+    client = SoapBinClient(DirectChannel(service.endpoint), registry)
+    out = client.call("GetData", {"n": 4}, req, full)
+"""
+
+from .attributes import (CPU_LOAD, MARSHALLING_COST, MEMORY, RESOLUTION, RTT,
+                         AttributeStore)
+from .binclient import SoapBinClient
+from .binservice import SoapBinService
+from .conversion import ConversionHandler
+from .dynamic import HandlerRepository, compile_quality_handler
+from .xmlq import (XmlQualityClient, build_attribute_headers,
+                   build_message_type_header, parse_attribute_headers,
+                   parse_message_type_header)
+from .monitor import (BandwidthMonitor, ExchangeObservation,
+                      MarshallingCostMonitor, MonitorHub,
+                      NetworkTimeMonitor, ServerTimeMonitor)
+from .errors import (BinProtocolError, BinqError, QualityFileError,
+                     QualityHandlerError)
+from .manager import QualityManager
+from .modes import (HEADER_CLIENT_ID, HEADER_OPERATION, HEADER_RTT,
+                    HEADER_SERVER_TIME, HEADER_TIMESTAMP,
+                    HEADER_TIMESTAMP_ECHO, Mode, PBIO_CONTENT_TYPE)
+from .quality_file import (QualityPolicy, QualityRule, format_quality_file,
+                           parse_quality_file)
+from .quality_handlers import (HandlerRegistry, QualityHandler,
+                               downsample_arrays_handler, trivial_handler)
+from .rtt import DEFAULT_ALPHA, HysteresisSelector, RttEstimator
+
+__all__ = [
+    "BinqError", "QualityFileError", "QualityHandlerError",
+    "BinProtocolError",
+    "Mode", "PBIO_CONTENT_TYPE", "HEADER_CLIENT_ID", "HEADER_TIMESTAMP",
+    "HEADER_TIMESTAMP_ECHO", "HEADER_RTT", "HEADER_SERVER_TIME",
+    "HEADER_OPERATION",
+    "AttributeStore", "RTT", "RESOLUTION", "CPU_LOAD", "MARSHALLING_COST",
+    "MEMORY",
+    "RttEstimator", "HysteresisSelector", "DEFAULT_ALPHA",
+    "QualityRule", "QualityPolicy", "parse_quality_file",
+    "format_quality_file",
+    "QualityHandler", "HandlerRegistry", "trivial_handler",
+    "downsample_arrays_handler",
+    "QualityManager", "ConversionHandler",
+    "SoapBinClient", "SoapBinService",
+    "compile_quality_handler", "HandlerRepository",
+    "ExchangeObservation", "MonitorHub", "NetworkTimeMonitor",
+    "ServerTimeMonitor", "BandwidthMonitor", "MarshallingCostMonitor",
+    "XmlQualityClient", "build_attribute_headers",
+    "parse_attribute_headers", "build_message_type_header",
+    "parse_message_type_header",
+]

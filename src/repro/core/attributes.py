@@ -1,0 +1,71 @@
+"""Quality attributes and the ``update_attribute()`` API.
+
+Quality files relate *quality attributes* to message types (§III-B.c).  RTT
+is the attribute the paper's experiments monitor, but "a monitored attribute
+can use any value that is suitable for triggering changes in data quality"
+— user-specified resolution, CPU load, marshalling cost, memory pressure.
+
+An :class:`AttributeStore` holds the current value of every attribute and
+lets applications change them at runtime via :meth:`update_attribute` — the
+paper's API call of the same name (§III-B.d).  Listeners make the store the
+integration point between monitoring (the RTT estimator writes here) and
+policy (the quality manager reads here).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+#: Attribute names used by the built-in policies.
+RTT = "rtt"
+RESOLUTION = "resolution"
+CPU_LOAD = "cpu_load"
+MARSHALLING_COST = "marshalling_cost"
+MEMORY = "memory"
+
+Listener = Callable[[str, float], None]
+
+
+class AttributeStore:
+    """Thread-safe map of quality-attribute name to current value."""
+
+    def __init__(self, initial: Optional[Dict[str, float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, float] = dict(initial or {})
+        self._listeners: List[Listener] = []
+
+    def update_attribute(self, name: str, value: float) -> None:
+        """Set an attribute's current value (the paper's API call).
+
+        "it does permit applications to dynamically update the values of
+        quality attributes.  This is done via the API call
+        update_attribute()." (§III-B.d)
+        """
+        value = float(value)
+        with self._lock:
+            self._values[name] = value
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(name, value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def has(self, name: str) -> bool:
+        with self._lock:
+            return name in self._values
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a callback invoked on every update."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        with self._lock:
+            self._listeners.remove(listener)

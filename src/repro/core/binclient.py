@@ -1,0 +1,185 @@
+"""The SOAP-bin client: binary invocations in all three modes, with
+client-side RTT monitoring and optional request-side quality management.
+
+One client object supports the paper's three operating modes:
+
+* :meth:`call` — **high performance**: native in, native out; parameters
+  cross the wire as PBIO and XML never exists.
+* :meth:`call_from_xml` — **interoperability**: the caller's data is an XML
+  fragment (say, out of a database); it is converted to native just-in-time,
+  sent as binary, and the *native* response is returned.
+* :meth:`call_xml` — **compatibility**: XML in, XML out; binary is used
+  only on the wire, with conversions at both ends.
+
+Every call measures RTT with the paper's timestamp scheme — the client
+sends its clock reading, the server echoes it and reports its preparation
+time, and the client folds ``elapsed - server_time`` into the exponential
+average — and reports the current estimate to the server on the *next*
+request (§IV-C.h).
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+import time
+
+from ..netsim.clock import Clock, WallClock
+from ..pbio import (CodecCompiler, Format, FormatRegistry, LITTLE,
+                    PbioSession)
+from ..transport import Channel
+from .conversion import ConversionHandler
+from .errors import BinProtocolError
+from .manager import QualityManager
+from .modes import (HEADER_CLIENT_ID, HEADER_OPERATION, HEADER_RTT,
+                    HEADER_SERVER_TIME, HEADER_TIMESTAMP, PBIO_CONTENT_TYPE)
+from .monitor import ExchangeObservation, MonitorHub
+from .quality_handlers import trivial_handler
+from .rtt import RttEstimator
+
+
+class SoapBinClient:
+    """Client for :class:`~repro.core.binservice.SoapBinService`."""
+
+    def __init__(self, channel: Channel, registry: FormatRegistry,
+                 clock: Optional[Clock] = None,
+                 quality: Optional[QualityManager] = None,
+                 endian: str = LITTLE,
+                 client_id: Optional[str] = None,
+                 monitor_hub: Optional[MonitorHub] = None) -> None:
+        self.channel = channel
+        self.registry = registry
+        self.clock = clock or WallClock()
+        self.quality = quality
+        self.compiler = CodecCompiler(registry)
+        self.session = PbioSession(registry, self.compiler, endian=endian)
+        self.client_id = client_id or uuid.uuid4().hex
+        #: used when no quality manager is installed, so RTT reporting to
+        #: the server works in plain SOAP-bin deployments too
+        self.estimator = RttEstimator()
+        self.last_rtt: Optional[float] = None
+        #: optional dproc-style monitoring: every exchange is reported here
+        self.monitor_hub = monitor_hub
+
+    # ------------------------------------------------------------------
+    # the three modes
+    # ------------------------------------------------------------------
+    def call(self, operation: str, params: Dict[str, Any],
+             input_format: Format,
+             output_format: Format) -> Dict[str, Any]:
+        """High-performance mode: native request, native response."""
+        wire_format, wire_value = self._apply_request_quality(params,
+                                                              input_format)
+        reply_format, reply_value = self._exchange(operation, wire_format,
+                                                   wire_value)
+        return self._restore_response(reply_value, reply_format,
+                                      output_format)
+
+    def call_from_xml(self, operation: str, request_xml: str,
+                      input_format: Format,
+                      output_format: Format) -> Dict[str, Any]:
+        """Interoperability mode: XML request data, converted one-sided,
+        just-in-time; native response."""
+        handler = ConversionHandler(input_format, self.registry,
+                                    self.compiler)
+        params = handler.from_xml(request_xml)
+        return self.call(operation, params, input_format, output_format)
+
+    def call_xml(self, operation: str, request_xml: str,
+                 input_format: Format, output_format: Format) -> str:
+        """Compatibility mode: XML at both ends, binary on the wire."""
+        native = self.call_from_xml(operation, request_xml, input_format,
+                                    output_format)
+        out_handler = ConversionHandler(output_format, self.registry,
+                                        self.compiler)
+        return out_handler.to_xml(native, f"{operation}Response")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _exchange(self, operation: str, wire_format: Format,
+                  wire_value: Dict[str, Any]) -> Tuple[Format, Dict[str, Any]]:
+        marshal_started = time.perf_counter()
+        body = self.session.pack_bytes(wire_format, wire_value)
+        marshal_s = time.perf_counter() - marshal_started
+        headers = {
+            HEADER_CLIENT_ID: self.client_id,
+            HEADER_OPERATION: operation,
+            HEADER_TIMESTAMP: f"{self.clock.now():.9f}",
+        }
+        estimate = self._current_estimate()
+        if estimate is not None:
+            headers[HEADER_RTT] = f"{estimate:.9f}"
+        start = self.clock.now()
+        reply = self.channel.call(body, PBIO_CONTENT_TYPE, headers)
+        elapsed = self.clock.now() - start
+        if not reply.ok:
+            raise BinProtocolError(
+                f"operation {operation!r} failed with status {reply.status}:"
+                f" {reply.body[:200].decode('utf-8', 'replace')}")
+        server_time = self._observe_rtt(elapsed, reply.headers)
+        unmarshal_started = time.perf_counter()
+        result = self.session.unpack_stream(reply.body)
+        unmarshal_s = time.perf_counter() - unmarshal_started
+        if self.monitor_hub is not None:
+            self.monitor_hub.observe(ExchangeObservation(
+                elapsed_s=elapsed, request_bytes=len(body),
+                response_bytes=len(reply.body), server_time_s=server_time,
+                marshal_s=marshal_s, unmarshal_s=unmarshal_s))
+        return result
+
+    def _apply_request_quality(self, params: Dict[str, Any],
+                               input_format: Format):
+        if self.quality is None:
+            return input_format, params
+        return self.quality.outgoing(params, input_format)
+
+    def _restore_response(self, reply_value: Dict[str, Any],
+                          reply_format: Format,
+                          output_format: Format) -> Dict[str, Any]:
+        if reply_format.fingerprint == output_format.fingerprint:
+            return reply_value
+        if self.quality is not None:
+            return self.quality.restore(reply_value, reply_format,
+                                        output_format)
+        from .attributes import AttributeStore
+        return trivial_handler(reply_value, reply_format, output_format,
+                               self.registry, AttributeStore())
+
+    def _observe_rtt(self, elapsed: float,
+                     headers: Dict[str, str]) -> float:
+        """Fold the measured RTT into the estimators; returns server time."""
+        server_time = 0.0
+        raw = _header(headers, HEADER_SERVER_TIME)
+        if raw is not None:
+            try:
+                server_time = float(raw)
+            except ValueError:
+                server_time = 0.0
+        self.last_rtt = max(0.0, elapsed - server_time)
+        if self.quality is not None:
+            self.quality.observe_rtt(elapsed, server_time)
+        else:
+            self.estimator.update(elapsed, server_time)
+        return server_time
+
+    def _current_estimate(self) -> Optional[float]:
+        if self.quality is not None:
+            return self.quality.estimator.estimate
+        return self.estimator.estimate
+
+    def update_attribute(self, name: str, value: float) -> None:
+        """Forward to the quality manager's attribute store (§III-B.d)."""
+        if self.quality is None:
+            raise BinProtocolError(
+                "update_attribute requires a quality manager")
+        self.quality.update_attribute(name, value)
+
+
+def _header(headers: Dict[str, str], name: str) -> Optional[str]:
+    lower = name.lower()
+    for key, value in headers.items():
+        if key.lower() == lower:
+            return value
+    return None

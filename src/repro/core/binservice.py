@@ -1,0 +1,230 @@
+"""The SOAP-bin service: binary-first dispatch with optional quality
+management and full XML interoperability.
+
+A :class:`SoapBinService` wraps the operation table of a standard
+:class:`~repro.soap.service.SoapService` and accepts *both* payload kinds on
+one endpoint:
+
+* ``application/x-pbio`` — the SOAP-bin fast path.  The request payload is
+  a PBIO message (announcement + data on first contact); the operation is
+  identified by the request's format name; the response goes back as PBIO.
+* ``text/xml`` — standard SOAP.  External clients interoperate with zero
+  changes; the server converts at the boundary ("servers receive requests
+  from and return data to external clients [as] standard XML data, but
+  servers use binary data", §I).
+
+When constructed with a quality policy (SOAP-binQ), the service consults it
+just before sending every response: the client's reported RTT picks the
+interval, the interval picks the message type, the message type's quality
+handler shrinks the payload.  Request-side reduced message types are
+transparently restored ("padded with zeroes") before handlers run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..pbio import (CodecCompiler, Format, FormatRegistry, PbioSession,
+                    UnknownFormatError)
+from ..soap.errors import SoapFault
+from ..soap.service import Operation, SoapService
+from ..transport import ChannelReply
+from .errors import BinProtocolError
+from .manager import QualityManager
+from .modes import (HEADER_CLIENT_ID, HEADER_OPERATION, HEADER_RTT,
+                    HEADER_SERVER_TIME, HEADER_TIMESTAMP,
+                    HEADER_TIMESTAMP_ECHO, PBIO_CONTENT_TYPE)
+from .quality_handlers import HandlerRegistry
+
+
+class SoapBinService:
+    """Binary SOAP dispatcher with continuous quality management."""
+
+    def __init__(self, registry: Optional[FormatRegistry] = None,
+                 quality_text: Optional[str] = None,
+                 handlers: Optional[HandlerRegistry] = None,
+                 prep_time_fn: Optional[Callable[[], float]] = None) -> None:
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.xml_service = SoapService(self.registry)
+        self.compiler = CodecCompiler(self.registry)
+        self.handlers = handlers or HandlerRegistry()
+        self.quality: Optional[QualityManager] = None
+        if quality_text is not None:
+            self.quality = QualityManager.from_text(
+                quality_text, self.registry, handlers=self.handlers)
+        #: per-client PBIO sessions (format announcements are per client)
+        self._sessions: Dict[str, PbioSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._ops_by_format: Dict[str, Operation] = {}
+        #: measures server response-preparation time for RTT rectification;
+        #: overridable so simulated deployments report virtual prep time.
+        self._prep_time_fn = prep_time_fn or time.perf_counter
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_operation(self, name: str, input_format: Format,
+                      output_format: Format, handler: Callable,
+                      wants_headers: bool = False,
+                      request_message_types: Tuple[str, ...] = ()) -> Operation:
+        """Register an operation for both the XML and binary paths.
+
+        ``request_message_types`` lists additional (reduced) request formats
+        that a quality-managed client may substitute for ``input_format``.
+        """
+        op = self.xml_service.add_operation(name, input_format, output_format,
+                                            handler,
+                                            wants_headers=wants_headers)
+        self._ops_by_format[input_format.name] = op
+        for type_name in request_message_types:
+            self._ops_by_format[type_name] = op
+        return op
+
+    def install_quality(self, quality_text: str) -> QualityManager:
+        """Attach (or replace) the response-side quality policy at runtime.
+
+        Together with :meth:`install_handler_source` this realizes the
+        paper's future-work goal of dynamically re-defining quality
+        management (§V).
+        """
+        self.quality = QualityManager.from_text(quality_text, self.registry,
+                                                handlers=self.handlers)
+        return self.quality
+
+    def install_handler_source(self, name: str, source: str) -> None:
+        """Compile handler *source* and install it under ``name`` at
+        runtime (dynamic code generation, §V future work)."""
+        from .dynamic import compile_quality_handler
+        self.handlers.register(name, compile_quality_handler(source, name))
+
+    # ------------------------------------------------------------------
+    # transport endpoint
+    # ------------------------------------------------------------------
+    def endpoint(self, body: bytes, content_type: str,
+                 headers: Dict[str, str]) -> ChannelReply:
+        """Dispatch one request, binary or XML.
+
+        XML requests get quality management too when a policy is installed
+        (attributes arrive as ``binq`` SOAP header entries, §III-B.b's
+        alternative to zero-padding); compressed XML requests skip the
+        quality path and go through plain dispatch.
+        """
+        if content_type.split(";")[0].strip() == PBIO_CONTENT_TYPE:
+            return self._binary_request(body, headers)
+        if self.quality is not None and "content-encoding" not in {
+                k.lower() for k in headers}:
+            return self._xml_quality_request(body, headers)
+        # Interoperability: plain SOAP clients hit the same endpoint.
+        return self.xml_service.endpoint(body, content_type, headers)
+
+    def _xml_quality_request(self, body: bytes,
+                             headers: Dict[str, str]) -> ChannelReply:
+        from ..soap.service import XML_CONTENT_TYPE
+        from .xmlq import encode_quality_response, parse_attribute_headers
+        try:
+            params, op, envelope = self.xml_service.decode_request(body)
+            for name, value in parse_attribute_headers(envelope).items():
+                self.quality.attributes.update_attribute(name, value)
+            result = self.xml_service.invoke(op, params, headers)
+            wire_format, wire_value = self.quality.outgoing(
+                result, op.output_format)
+            payload = encode_quality_response(op.response_name, wire_value,
+                                              wire_format, self.registry)
+            return ChannelReply(body=payload,
+                                content_type=XML_CONTENT_TYPE)
+        except SoapFault as fault:
+            return self.xml_service._fault_reply(fault, compressed=False)
+        except Exception as exc:  # noqa: BLE001 - dispatch boundary
+            return self.xml_service._fault_reply(
+                SoapFault("Server", str(exc)), compressed=False)
+
+    # ------------------------------------------------------------------
+    def _binary_request(self, body: bytes,
+                        headers: Dict[str, str]) -> ChannelReply:
+        prep_started = self._prep_time_fn()
+        session = self._session_for(headers.get(HEADER_CLIENT_ID, "anon"))
+        try:
+            reply_value, reply_format, session = self._run_binary(
+                body, headers, session)
+        except (BinProtocolError, UnknownFormatError, SoapFault) as exc:
+            return ChannelReply(body=str(exc).encode("utf-8"),
+                                content_type="text/plain", status=500)
+        except Exception as exc:  # noqa: BLE001 - dispatch boundary
+            return ChannelReply(body=f"internal error: {exc}".encode(),
+                                content_type="text/plain", status=500)
+        payload = session.pack_bytes(reply_format, reply_value)
+        reply_headers = self._reply_headers(headers, prep_started)
+        return ChannelReply(body=payload, content_type=PBIO_CONTENT_TYPE,
+                            headers=reply_headers)
+
+    def _run_binary(self, body: bytes, headers: Dict[str, str],
+                    session: PbioSession):
+        wire_format, wire_value = session.unpack_stream(body)
+        op = self._operation_for(wire_format, headers)
+        params = self._restore_request(wire_value, wire_format, op)
+        self._ingest_reported_rtt(headers)
+        result = self.xml_service.invoke(op, params, headers)
+        reply_format, reply_value = self._apply_quality(result,
+                                                        op.output_format)
+        return reply_value, reply_format, session
+
+    def _operation_for(self, wire_format: Format,
+                       headers: Dict[str, str]) -> Operation:
+        op = self._ops_by_format.get(wire_format.name)
+        if op is not None:
+            return op
+        name = headers.get(HEADER_OPERATION)
+        if name and name in self.xml_service.operations:
+            return self.xml_service.operations[name]
+        raise BinProtocolError(
+            f"no operation accepts message format {wire_format.name!r}")
+
+    def _restore_request(self, wire_value: Dict[str, Any],
+                         wire_format: Format, op: Operation) -> Dict[str, Any]:
+        if wire_format.fingerprint == op.input_format.fingerprint:
+            return wire_value
+        if self.quality is not None:
+            return self.quality.restore(wire_value, wire_format,
+                                        op.input_format)
+        from .quality_handlers import trivial_handler
+        from .attributes import AttributeStore
+        return trivial_handler(wire_value, wire_format, op.input_format,
+                               self.registry, AttributeStore())
+
+    def _ingest_reported_rtt(self, headers: Dict[str, str]) -> None:
+        if self.quality is None:
+            return
+        reported = headers.get(HEADER_RTT)
+        if reported is None:
+            return
+        try:
+            value = float(reported)
+        except ValueError:
+            return
+        self.quality.attributes.update_attribute("rtt", value)
+
+    def _apply_quality(self, result: Dict[str, Any],
+                       output_format: Format) -> Tuple[Format, Dict[str, Any]]:
+        if self.quality is None:
+            return output_format, result
+        return self.quality.outgoing(result, output_format)
+
+    def _reply_headers(self, request_headers: Dict[str, str],
+                       prep_started: float) -> Dict[str, str]:
+        reply: Dict[str, str] = {}
+        timestamp = request_headers.get(HEADER_TIMESTAMP)
+        if timestamp is not None:
+            reply[HEADER_TIMESTAMP_ECHO] = timestamp
+        prep = max(0.0, self._prep_time_fn() - prep_started)
+        reply[HEADER_SERVER_TIME] = f"{prep:.9f}"
+        return reply
+
+    def _session_for(self, client_id: str) -> PbioSession:
+        with self._sessions_lock:
+            session = self._sessions.get(client_id)
+            if session is None:
+                session = PbioSession(self.registry, self.compiler)
+                self._sessions[client_id] = session
+            return session

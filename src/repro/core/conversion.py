@@ -1,0 +1,76 @@
+"""Conversion handlers: XML <-> native <-> binary, per format.
+
+Fig. 1 shows conversion handlers sitting between the application layer and
+the transport.  A :class:`ConversionHandler` bundles the four conversions
+for one message format, built from the same format description the wire
+uses — this is what the WSDL compiler instantiates into generated stubs,
+and what the interoperability/compatibility modes call just-in-time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..pbio import CodecCompiler, Format, FormatRegistry, LITTLE
+from ..soap.encoding import decode_fields, decode_fields_pull, encode_fields
+from ..xmlcore import Element, XmlPullParser, parse, tostring
+
+
+class ConversionHandler:
+    """XML/native/binary conversions for one message format."""
+
+    def __init__(self, fmt: Format, registry: FormatRegistry,
+                 compiler: Optional[CodecCompiler] = None,
+                 endian: str = LITTLE) -> None:
+        self.format = fmt
+        self.registry = registry
+        self.compiler = compiler or CodecCompiler(registry)
+        self.endian = endian
+        registry.register(fmt)
+
+    # -- XML <-> native --------------------------------------------------
+    def to_xml(self, value: Dict[str, Any],
+               wrapper_tag: Optional[str] = None) -> str:
+        """Render a native value as an XML fragment.
+
+        The wrapper element defaults to the format name, which matches the
+        operation-element convention of the SOAP RPC layer.
+        """
+        wrapper = Element(wrapper_tag or self.format.name)
+        encode_fields(wrapper, value, self.format, self.registry)
+        return tostring(wrapper)
+
+    def from_xml(self, xml_text: str, streaming: bool = True) -> Dict[str, Any]:
+        """Parse an XML fragment into a native value.
+
+        ``streaming=True`` uses the pull parser (fast path for big arrays);
+        ``False`` builds a tree first (simpler failure messages).
+        """
+        if streaming:
+            pp = XmlPullParser(xml_text)
+            start = pp.require_start()
+            value = decode_fields_pull(pp, self.format, self.registry)
+            pp.require_end(start.name)
+            return value
+        root = parse(xml_text)
+        return decode_fields(root, self.format, self.registry)
+
+    # -- native <-> binary -----------------------------------------------
+    def to_binary(self, value: Dict[str, Any]) -> bytes:
+        """Encode a native value as a PBIO payload (no wire header)."""
+        return self.compiler.encoder(self.format, self.endian)(value)
+
+    def from_binary(self, payload: bytes) -> Dict[str, Any]:
+        """Decode a PBIO payload back to a native value."""
+        value, _ = self.compiler.decoder(self.format, self.endian)(payload, 0)
+        return value
+
+    # -- end-to-end shortcuts (compatibility mode) -----------------------
+    def xml_to_binary(self, xml_text: str) -> bytes:
+        """The sending half of compatibility mode."""
+        return self.to_binary(self.from_xml(xml_text))
+
+    def binary_to_xml(self, payload: bytes,
+                      wrapper_tag: Optional[str] = None) -> str:
+        """The receiving half of compatibility mode."""
+        return self.to_xml(self.from_binary(payload), wrapper_tag)

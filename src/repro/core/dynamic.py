@@ -1,0 +1,115 @@
+"""Runtime installation of quality handlers from source code.
+
+§V (future work): "our current implementation installs handlers
+statically, at compile-time.  In other work, we have already developed the
+technologies necessary to install binary handlers at runtime, using dynamic
+binary code generation techniques and/or using code repositories."
+
+This module implements that extension for the reproduction: quality
+handlers compiled from *source text* at runtime, plus a
+:class:`HandlerRepository` (the "code repository") from which services can
+pull handlers by name.  The compilation model matches the ECho filter
+sandbox: the source is the body of a function, restricted builtins, no
+imports or dunder access.
+
+Handler source contract: the body sees ``value`` (the application message
+dict), ``src_fields``/``dst_fields`` (field-name lists of the two
+formats), and ``attrs`` (a read-only snapshot of the quality attributes);
+it must return the dict for the destination message type.  The result is
+run through the trivial projection afterwards, so handlers may return a
+superset of the destination fields and let projection trim it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from ..echo.filters import _SAFE_BUILTINS, _reject_dangerous
+from ..pbio import Format, FormatRegistry
+from .attributes import AttributeStore
+from .errors import QualityHandlerError
+from .quality_handlers import HandlerRegistry, QualityHandler, trivial_handler
+
+
+def compile_quality_handler(source: str,
+                            name: str = "dynamic") -> QualityHandler:
+    """Compile quality-handler source into a :data:`QualityHandler`.
+
+    >>> handler = compile_quality_handler(
+    ...     "return {'data': value['data'][:2]}")
+    """
+    try:
+        _reject_dangerous(source)
+    except Exception as exc:
+        raise QualityHandlerError(str(exc))
+    indented = "\n".join("    " + line for line in source.splitlines())
+    wrapper = (f"def _handler_fn(value, src_fields, dst_fields, attrs):\n"
+               f"{indented or '    return value'}\n")
+    namespace: Dict[str, Any] = {"__builtins__": dict(_SAFE_BUILTINS)}
+    try:
+        exec(compile(wrapper, f"<quality-handler:{name}>", "exec"),
+             namespace)
+    except SyntaxError as exc:
+        raise QualityHandlerError(f"handler does not compile: {exc}")
+    fn = namespace["_handler_fn"]
+
+    def handler(value: Dict[str, Any], src: Format, dst: Format,
+                registry: FormatRegistry,
+                attrs: AttributeStore) -> Dict[str, Any]:
+        try:
+            result = fn(dict(value), src.field_names(), dst.field_names(),
+                        attrs.snapshot())
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise QualityHandlerError(
+                f"handler {name!r} raised {type(exc).__name__}: {exc}")
+        if not isinstance(result, dict):
+            raise QualityHandlerError(
+                f"handler {name!r} must return a dict, got "
+                f"{type(result).__name__}")
+        # projection guarantees the wire value matches the wire format
+        return trivial_handler(result, src, dst, registry, attrs)
+
+    handler.__handler_source__ = source
+    return handler
+
+
+class HandlerRepository:
+    """A named store of handler *sources* (the paper's code repository).
+
+    Services fetch and compile handlers on demand; sources can be updated
+    at runtime, and the next fetch picks up the new version.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: Dict[str, str] = {}
+
+    def publish(self, name: str, source: str) -> None:
+        """Validate (by compiling once) and store handler source."""
+        compile_quality_handler(source, name)  # raises on bad source
+        with self._lock:
+            self._sources[name] = source
+
+    def source(self, name: str) -> str:
+        with self._lock:
+            try:
+                return self._sources[name]
+            except KeyError:
+                raise QualityHandlerError(
+                    f"repository has no handler named {name!r}")
+
+    def fetch(self, name: str) -> QualityHandler:
+        """Compile and return the current version of a handler."""
+        return compile_quality_handler(self.source(name), name)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._sources)
+
+    def install_into(self, registry: HandlerRegistry,
+                     name: Optional[str] = None) -> None:
+        """Install one (or every) published handler into a live registry."""
+        targets = [name] if name else self.names()
+        for target in targets:
+            registry.register(target, self.fetch(target))

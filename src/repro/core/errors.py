@@ -1,0 +1,25 @@
+"""Exception types for the SOAP-bin / SOAP-binQ core."""
+
+from __future__ import annotations
+
+
+class BinqError(Exception):
+    """Base class for SOAP-bin/binQ errors."""
+
+
+class QualityFileError(BinqError):
+    """A quality file is syntactically or semantically invalid."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class QualityHandlerError(BinqError):
+    """A quality handler is missing or failed while transforming a message."""
+
+
+class BinProtocolError(BinqError):
+    """A binary SOAP exchange violated the protocol."""

@@ -1,0 +1,131 @@
+"""The quality manager: policy + monitoring + handlers, per endpoint.
+
+"The information given in the quality file is used by both the client and
+the server just before sending the message.  Based on the estimated RTT
+value, the corresponding interval in the policy is selected and the
+appropriate message type is chosen for transmission." (§IV-C.h)
+
+A :class:`QualityManager` owns:
+
+* the parsed :class:`~repro.core.quality_file.QualityPolicy`,
+* an :class:`~repro.core.attributes.AttributeStore` (with
+  ``update_attribute()``),
+* the :class:`~repro.core.rtt.RttEstimator` feeding the monitored
+  attribute when it is RTT,
+* a :class:`~repro.core.rtt.HysteresisSelector` implementing the paper's
+  history-based anti-oscillation,
+* the :class:`~repro.core.quality_handlers.HandlerRegistry` that maps
+  policy handler names to code.
+
+Both client and server stubs hold one and call :meth:`outgoing` just before
+sending; the receiving side calls :meth:`restore` to project the (possibly
+smaller) wire message back up to the message type the application expects,
+padding missing fields with zeroes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..pbio import Format, FormatRegistry
+from .attributes import RTT, AttributeStore
+from .errors import QualityFileError
+from .quality_file import QualityPolicy, parse_quality_file
+from .quality_handlers import HandlerRegistry, trivial_handler
+from .rtt import HysteresisSelector, RttEstimator
+
+
+class QualityManager:
+    """Runtime quality management for one endpoint."""
+
+    def __init__(self, policy: QualityPolicy, registry: FormatRegistry,
+                 handlers: Optional[HandlerRegistry] = None,
+                 attributes: Optional[AttributeStore] = None,
+                 alpha: float = 0.875) -> None:
+        self.policy = policy
+        self.registry = registry
+        self.handlers = handlers or HandlerRegistry()
+        self.attributes = attributes or AttributeStore()
+        self.estimator = RttEstimator(alpha=alpha)
+        self.selector: HysteresisSelector[str] = HysteresisSelector(
+            history=policy.history)
+        for message_type in policy.message_types():
+            if not registry.has_name(message_type):
+                raise QualityFileError(
+                    f"policy references unregistered format "
+                    f"{message_type!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, quality_text: str, registry: FormatRegistry,
+                  handlers: Optional[HandlerRegistry] = None,
+                  attributes: Optional[AttributeStore] = None) -> "QualityManager":
+        """Build a manager straight from quality-file text."""
+        return cls(parse_quality_file(quality_text), registry,
+                   handlers=handlers, attributes=attributes)
+
+    # ------------------------------------------------------------------
+    # monitoring inputs
+    # ------------------------------------------------------------------
+    def observe_rtt(self, measured: float, server_time: float = 0.0) -> float:
+        """Fold a measured RTT into the estimate and the attribute store."""
+        estimate = self.estimator.update(measured, server_time)
+        self.attributes.update_attribute(RTT, estimate)
+        return estimate
+
+    def update_attribute(self, name: str, value: float) -> None:
+        """Application-driven attribute change (paper §III-B.d)."""
+        self.attributes.update_attribute(name, value)
+
+    def current_attribute_value(self) -> float:
+        return self.attributes.get(self.policy.attribute, 0.0)
+
+    # ------------------------------------------------------------------
+    # message-type selection and transformation
+    # ------------------------------------------------------------------
+    def choose_message_type(self) -> str:
+        """Debounced message type for the current attribute value."""
+        rule = self.policy.select(self.current_attribute_value())
+        return self.selector.observe(rule.message_type)
+
+    def outgoing(self, value: Dict[str, Any],
+                 app_format: Format) -> Tuple[Format, Dict[str, Any]]:
+        """Transform an application message just before sending.
+
+        Looks up the policy, applies the chosen message type's quality
+        handler (trivial projection unless the quality file names one) and
+        returns ``(wire_format, wire_value)``.
+        """
+        chosen_name = self.choose_message_type()
+        if chosen_name == app_format.name:
+            return app_format, value
+        wire_format = self.registry.by_name(chosen_name)
+        handler = self.handlers.get(self.policy.handler_for(chosen_name))
+        wire_value = handler(value, app_format, wire_format, self.registry,
+                             self.attributes)
+        return wire_format, wire_value
+
+    def restore(self, wire_value: Dict[str, Any], wire_format: Format,
+                app_format: Format) -> Dict[str, Any]:
+        """Project a received wire message up to the application's type.
+
+        "the relevant fields are copied from the message received from the
+        transport, and the remaining entries are padded with zeroes.  This
+        feature permits legacy applications to be integrated seamlessly."
+        """
+        if wire_format.fingerprint == app_format.fingerprint:
+            return wire_value
+        return trivial_handler(wire_value, wire_format, app_format,
+                               self.registry, self.attributes)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Observability snapshot used by benchmarks and examples."""
+        return {
+            "attribute": self.policy.attribute,
+            "value": self.current_attribute_value(),
+            "rtt_estimate": self.estimator.estimate,
+            "rtt_samples": self.estimator.samples,
+            "current_message_type": self.selector.current,
+            "switches": self.selector.switches,
+        }

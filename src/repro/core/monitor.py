@@ -1,0 +1,176 @@
+"""dproc-style resource monitoring feeding quality attributes.
+
+§IV-C.1 notes a limitation of pure RTT adaptation: "higher response times
+need not be caused by network congestion alone.  They may also be due to
+the data-dependent nature of application behavior ... As shown in our work
+on dynamic system monitoring [dproc], dynamic feedback from network
+protocols and/or about other system resources can more precisely identify
+the causes of performance degradation."
+
+This module provides that feedback channel: small monitors that observe
+each exchange and publish derived attributes into the
+:class:`~repro.core.attributes.AttributeStore`, where quality policies can
+react to them (a policy may monitor ``bandwidth`` or ``server_time``
+instead of ``rtt``).
+
+* :class:`ExchangeObservation` — what one request/response looked like;
+* :class:`NetworkTimeMonitor` — RTT minus server prep: pure network delay;
+* :class:`ServerTimeMonitor` — server preparation time (data-dependent
+  application delay, the confound the paper warns about);
+* :class:`BandwidthMonitor` — achieved goodput from bytes/elapsed;
+* :class:`MarshallingCostMonitor` — client-side CPU cost per exchange
+  (the "CPU load, by measuring marshalling or unmarshalling costs"
+  attribute of §III-B.c);
+* :class:`MonitorHub` — fans one observation out to many monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from .attributes import AttributeStore
+from .rtt import RttEstimator
+
+
+@dataclass
+class ExchangeObservation:
+    """Facts about one completed request/response exchange."""
+
+    elapsed_s: float
+    request_bytes: int
+    response_bytes: int
+    server_time_s: float = 0.0
+    marshal_s: float = 0.0
+    unmarshal_s: float = 0.0
+
+    @property
+    def network_s(self) -> float:
+        """Time attributable to the network alone."""
+        return max(0.0, self.elapsed_s - self.server_time_s)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+
+class Monitor(Protocol):
+    """A monitor folds observations into one or more attributes."""
+
+    def observe(self, observation: ExchangeObservation,
+                attributes: AttributeStore) -> None:
+        ...
+
+
+class NetworkTimeMonitor:
+    """Publishes ``network_time``: smoothed RTT with server time removed.
+
+    This is the "rectified" RTT of §IV-C.h — adaptation driven by it does
+    not mistake a slow data-dependent computation for congestion.
+    """
+
+    attribute = "network_time"
+
+    def __init__(self, alpha: float = 0.875) -> None:
+        self._estimator = RttEstimator(alpha=alpha)
+
+    def observe(self, observation: ExchangeObservation,
+                attributes: AttributeStore) -> None:
+        estimate = self._estimator.update(observation.network_s)
+        attributes.update_attribute(self.attribute, estimate)
+
+
+class ServerTimeMonitor:
+    """Publishes ``server_time``: smoothed response-preparation time.
+
+    A policy (or operator) comparing ``server_time`` against
+    ``network_time`` can tell *why* responses got slow — the
+    disambiguation the paper says naive RTT policies lack.
+    """
+
+    attribute = "server_time"
+
+    def __init__(self, alpha: float = 0.875) -> None:
+        self._estimator = RttEstimator(alpha=alpha)
+
+    def observe(self, observation: ExchangeObservation,
+                attributes: AttributeStore) -> None:
+        estimate = self._estimator.update(observation.server_time_s)
+        attributes.update_attribute(self.attribute, estimate)
+
+
+class BandwidthMonitor:
+    """Publishes ``bandwidth``: smoothed achieved goodput in bits/second."""
+
+    attribute = "bandwidth"
+
+    def __init__(self, alpha: float = 0.875) -> None:
+        self._estimator = RttEstimator(alpha=alpha)
+
+    def observe(self, observation: ExchangeObservation,
+                attributes: AttributeStore) -> None:
+        if observation.network_s <= 0:
+            return
+        goodput = observation.total_bytes * 8.0 / observation.network_s
+        attributes.update_attribute(self.attribute,
+                                    self._estimator.update(goodput))
+
+
+class MarshallingCostMonitor:
+    """Publishes ``marshalling_cost``: smoothed client CPU seconds/exchange."""
+
+    attribute = "marshalling_cost"
+
+    def __init__(self, alpha: float = 0.875) -> None:
+        self._estimator = RttEstimator(alpha=alpha)
+
+    def observe(self, observation: ExchangeObservation,
+                attributes: AttributeStore) -> None:
+        cost = observation.marshal_s + observation.unmarshal_s
+        attributes.update_attribute(self.attribute,
+                                    self._estimator.update(cost))
+
+
+class MonitorHub:
+    """Fans each observation out to a set of monitors.
+
+    The hub owns (or shares) the attribute store; attach it to a
+    :class:`~repro.core.binclient.SoapBinClient` via ``monitor_hub=`` and
+    every call feeds it automatically.
+    """
+
+    def __init__(self, attributes: Optional[AttributeStore] = None,
+                 monitors: Optional[List[Monitor]] = None) -> None:
+        self.attributes = attributes if attributes is not None \
+            else AttributeStore()
+        self.monitors: List[Monitor] = list(monitors) if monitors else []
+        self.observations = 0
+        self.last: Optional[ExchangeObservation] = None
+
+    @classmethod
+    def standard(cls, attributes: Optional[AttributeStore] = None) -> "MonitorHub":
+        """A hub with all four built-in monitors attached."""
+        return cls(attributes, [NetworkTimeMonitor(), ServerTimeMonitor(),
+                                BandwidthMonitor(),
+                                MarshallingCostMonitor()])
+
+    def add(self, monitor: Monitor) -> None:
+        self.monitors.append(monitor)
+
+    def observe(self, observation: ExchangeObservation) -> None:
+        self.observations += 1
+        self.last = observation
+        for monitor in self.monitors:
+            monitor.observe(observation, self.attributes)
+
+    def diagnose(self) -> str:
+        """Attribute the current slowness: 'network', 'server' or 'ok'.
+
+        The comparison the paper motivates: if server prep dominates the
+        smoothed delay, shrinking messages will not help.
+        """
+        network = self.attributes.get("network_time", 0.0)
+        server = self.attributes.get("server_time", 0.0)
+        if network <= 0 and server <= 0:
+            return "ok"
+        return "server" if server > network else "network"

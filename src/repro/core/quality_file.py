@@ -1,0 +1,171 @@
+"""Quality files: the policy DSL mapping attribute intervals to messages.
+
+§III-B.b gives the template::
+
+    quality_attribute_1 quality_attribute_2 - message_type_0
+    quality_attribute_2 quality_attribute_3 - message_type_1
+    quality_attribute_3 quality_attribute_4 - message_type_2
+
+Each line binds a half-open interval ``[lo, hi)`` of the monitored quality
+attribute to the message type to use while the attribute is in that range.
+This implementation extends the template with three directive lines so a
+quality file is self-contained:
+
+* ``attribute <name>`` — which quality attribute the intervals refer to
+  (default ``rtt``);
+* ``handler <message_type> <handler_name>`` — use a named quality handler
+  instead of the trivial field-projection handler when down-converting to
+  ``message_type``;
+* ``history <n>`` — hysteresis depth for the anti-oscillation mechanism.
+
+``#`` starts a comment; blank lines are ignored; ``inf`` is a valid upper
+bound.  Example::
+
+    # imaging policy: full image on a fast link, half otherwise
+    attribute rtt
+    history 3
+    0.0   0.080 - image_full
+    0.080 inf   - image_half
+    handler image_half resize_half
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import QualityFileError
+
+
+@dataclass(frozen=True)
+class QualityRule:
+    """One interval -> message-type binding."""
+
+    lo: float
+    hi: float
+    message_type: str
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value < self.hi
+
+
+@dataclass
+class QualityPolicy:
+    """A parsed quality file."""
+
+    attribute: str = "rtt"
+    rules: List[QualityRule] = field(default_factory=list)
+    handlers: Dict[str, str] = field(default_factory=dict)
+    history: int = 3
+
+    def select(self, value: float) -> QualityRule:
+        """The rule whose interval contains ``value``.
+
+        Values below every interval take the first rule and values above
+        every interval take the last one, so selection is total — network
+        conditions outside the author's imagination degrade gracefully.
+        """
+        if not self.rules:
+            raise QualityFileError("policy has no rules")
+        for rule in self.rules:
+            if rule.contains(value):
+                return rule
+        if value < self.rules[0].lo:
+            return self.rules[0]
+        return self.rules[-1]
+
+    def handler_for(self, message_type: str) -> Optional[str]:
+        """Named quality handler for a message type, if the file names one."""
+        return self.handlers.get(message_type)
+
+    def message_types(self) -> List[str]:
+        return [rule.message_type for rule in self.rules]
+
+
+def parse_quality_file(text: str) -> QualityPolicy:
+    """Parse quality-file text into a :class:`QualityPolicy`.
+
+    Raises :class:`~repro.core.errors.QualityFileError` with the offending
+    line number for syntax errors, overlapping intervals, or gaps.
+    """
+    policy = QualityPolicy()
+    rules: List[QualityRule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "attribute":
+            if len(tokens) != 2:
+                raise QualityFileError("attribute takes one name", lineno)
+            policy.attribute = tokens[1]
+        elif tokens[0] == "history":
+            if len(tokens) != 2:
+                raise QualityFileError("history takes one integer", lineno)
+            try:
+                policy.history = int(tokens[1])
+            except ValueError:
+                raise QualityFileError(
+                    f"bad history value {tokens[1]!r}", lineno)
+            if policy.history < 1:
+                raise QualityFileError("history must be >= 1", lineno)
+        elif tokens[0] == "handler":
+            if len(tokens) != 3:
+                raise QualityFileError(
+                    "handler takes <message_type> <handler_name>", lineno)
+            policy.handlers[tokens[1]] = tokens[2]
+        else:
+            rules.append(_parse_rule(tokens, lineno))
+    if not rules:
+        raise QualityFileError("quality file defines no interval rules")
+    _validate_intervals(rules)
+    policy.rules = rules
+    for message_type in policy.handlers:
+        if message_type not in policy.message_types():
+            raise QualityFileError(
+                f"handler bound to unknown message type {message_type!r}")
+    return policy
+
+
+def _parse_rule(tokens: List[str], lineno: int) -> QualityRule:
+    if len(tokens) != 4 or tokens[2] != "-":
+        raise QualityFileError(
+            "expected '<lo> <hi> - <message_type>'", lineno)
+    try:
+        lo = float(tokens[0])
+        hi = float(tokens[1])
+    except ValueError:
+        raise QualityFileError(
+            f"bad interval bounds {tokens[0]!r} {tokens[1]!r}", lineno)
+    if math.isnan(lo) or math.isnan(hi):
+        raise QualityFileError("interval bounds cannot be NaN", lineno)
+    if not lo < hi:
+        raise QualityFileError(
+            f"empty interval [{lo}, {hi})", lineno)
+    return QualityRule(lo=lo, hi=hi, message_type=tokens[3])
+
+
+def _validate_intervals(rules: List[QualityRule]) -> None:
+    ordered = sorted(rules, key=lambda r: r.lo)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if later.lo < earlier.hi:
+            raise QualityFileError(
+                f"intervals [{earlier.lo}, {earlier.hi}) and "
+                f"[{later.lo}, {later.hi}) overlap")
+        if later.lo > earlier.hi:
+            raise QualityFileError(
+                f"gap between intervals [{earlier.lo}, {earlier.hi}) and "
+                f"[{later.lo}, {later.hi})")
+    rules[:] = ordered
+
+
+def format_quality_file(policy: QualityPolicy) -> str:
+    """Render a policy back to quality-file text (round-trips with
+    :func:`parse_quality_file`)."""
+    lines = [f"attribute {policy.attribute}", f"history {policy.history}"]
+    for rule in policy.rules:
+        lines.append(f"{rule.lo:g} {rule.hi:g} - {rule.message_type}")
+    for message_type, handler in policy.handlers.items():
+        lines.append(f"handler {message_type} {handler}")
+    return "\n".join(lines) + "\n"

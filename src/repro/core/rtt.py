@@ -1,0 +1,105 @@
+"""RTT estimation with exponential averaging and anti-oscillation history.
+
+The paper (§IV-C.h) measures RTT per request with the RFC 793 estimator:
+
+    R = alpha * R + (1 - alpha) * M,   alpha = 0.875
+
+where M is the new sample, optionally corrected by the time the server
+spent preparing the response ("This can be rectified by the server setting
+the timestamp back by the time taken to prepare its response data").
+
+It also notes that naive threshold switching oscillates — a big message
+inflates RTT, forcing a small message, which deflates RTT, and so on — and
+that "a simple history-based mechanism of RTT estimation is used to prevent
+this".  :class:`HysteresisSelector` is that mechanism: a selection only
+changes after the candidate has won ``history`` consecutive samples.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: The paper's smoothing constant: "Most estimators use a value of 0.875."
+DEFAULT_ALPHA = 0.875
+
+
+class RttEstimator:
+    """Exponentially averaged round-trip-time estimate."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self._estimate: Optional[float] = None
+        self.samples = 0
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """Current estimate in seconds, or None before the first sample."""
+        return self._estimate
+
+    def update(self, measured: float, server_time: float = 0.0) -> float:
+        """Fold in one measured RTT (optionally minus server prep time)."""
+        sample = max(0.0, measured - server_time)
+        if self._estimate is None:
+            self._estimate = sample
+        else:
+            self._estimate = (self.alpha * self._estimate
+                              + (1.0 - self.alpha) * sample)
+        self.samples += 1
+        return self._estimate
+
+    def reset(self) -> None:
+        self._estimate = None
+        self.samples = 0
+
+
+class HysteresisSelector(Generic[T]):
+    """Debounce selection changes: switch only after ``history`` consecutive
+    observations agree on a different choice.
+
+    ``history=1`` degenerates to immediate switching (the oscillating
+    behaviour the paper warns about — the ablation benchmark compares both).
+    """
+
+    def __init__(self, history: int = 3) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        self._current: Optional[T] = None
+        self._candidate: Optional[T] = None
+        self._votes = 0
+        self.switches = 0
+
+    @property
+    def current(self) -> Optional[T]:
+        return self._current
+
+    def observe(self, choice: T) -> T:
+        """Feed the instantaneous choice; returns the debounced one."""
+        if self._current is None:
+            self._current = choice
+            return choice
+        if choice == self._current:
+            self._candidate = None
+            self._votes = 0
+            return self._current
+        if choice == self._candidate:
+            self._votes += 1
+        else:
+            self._candidate = choice
+            self._votes = 1
+        if self._votes >= self.history:
+            self._current = choice
+            self._candidate = None
+            self._votes = 0
+            self.switches += 1
+        return self._current
+
+    def reset(self) -> None:
+        self._current = None
+        self._candidate = None
+        self._votes = 0
+        self.switches = 0

@@ -1,0 +1,18 @@
+"""ECho: publish/subscribe event channels with runtime-installed filters.
+
+The event substrate behind the remote-visualization application (§IV-C.4):
+typed channels, synchronous fan-out, and derived channels whose filter code
+is compiled at runtime from source shipped by clients.
+"""
+
+from .channel import (ChannelDirectory, EventChannel, Sink, Subscription)
+from .errors import ChannelClosed, EchoError, FilterError
+from .filters import (EventFilter, compile_filter, identity_filter,
+                      select_fields_filter)
+
+__all__ = [
+    "EchoError", "ChannelClosed", "FilterError",
+    "EventChannel", "ChannelDirectory", "Subscription", "Sink",
+    "EventFilter", "compile_filter", "identity_filter",
+    "select_fields_filter",
+]

@@ -1,0 +1,165 @@
+"""ECho-style event channels.
+
+ECho is the group's publish/subscribe, event-based communication system for
+large-data applications (the remote-visualization portal in §IV-C.4 uses an
+'ECho' bondserver as a backend).  The properties that matter for the
+reproduction:
+
+* typed events — every event carries a PBIO format, so subscribers receive
+  structured binary data, not blobs;
+* *derived channels* — a subscriber can install **filter code at runtime**;
+  the filter runs where the data is (at the source side) and the subscriber
+  receives only the filtered stream.  Filters here are Python source
+  strings compiled with :func:`compile`, mirroring ECho's dynamic binary
+  code generation (the paper's §V: "we have already developed the
+  technologies necessary to install binary handlers at runtime, using
+  dynamic binary code generation techniques").
+
+Delivery is synchronous and in-process (the portal and its backend share a
+process in our deployment); cross-process delivery goes through the portal's
+SOAP-bin interface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from ..pbio import Format
+from .errors import ChannelClosed
+from .filters import EventFilter
+
+#: A subscriber callback: receives (format, value).
+Sink = Callable[[Format, Dict[str, Any]], None]
+
+_subscription_ids = itertools.count(1)
+
+
+class Subscription:
+    """Handle returned by :meth:`EventChannel.subscribe`."""
+
+    def __init__(self, channel: "EventChannel", sink: Sink,
+                 event_filter: Optional[EventFilter] = None) -> None:
+        self.id = next(_subscription_ids)
+        self.channel = channel
+        self.sink = sink
+        self.filter = event_filter
+        self.events_delivered = 0
+        self.events_filtered_out = 0
+
+    def cancel(self) -> None:
+        self.channel.unsubscribe(self)
+
+    def _deliver(self, fmt: Format, value: Dict[str, Any]) -> None:
+        if self.filter is not None:
+            transformed = self.filter(fmt, value)
+            if transformed is None:
+                self.events_filtered_out += 1
+                return
+            fmt, value = transformed
+        self.events_delivered += 1
+        self.sink(fmt, value)
+
+
+class EventChannel:
+    """A named, typed event channel.
+
+    Sources submit ``(format, value)`` events; every live subscription
+    receives them (through its filter, if any).
+    """
+
+    def __init__(self, name: str, event_format: Optional[Format] = None) -> None:
+        self.name = name
+        self.event_format = event_format
+        self._lock = threading.Lock()
+        self._subscriptions: List[Subscription] = []
+        self._closed = False
+        self.events_submitted = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, sink: Sink,
+                  event_filter: Optional[EventFilter] = None) -> Subscription:
+        """Attach a sink; events flow until the subscription is cancelled.
+
+        ``event_filter`` makes this a *derived channel* subscription: the
+        filter transforms (or drops) events before the sink sees them.
+        """
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"channel {self.name!r} is closed")
+            subscription = Subscription(self, sink, event_filter)
+            self._subscriptions.append(subscription)
+            return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+
+    def submit(self, fmt: Format, value: Dict[str, Any]) -> int:
+        """Publish one event; returns the number of sinks that received it."""
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"channel {self.name!r} is closed")
+            if (self.event_format is not None
+                    and fmt.fingerprint != self.event_format.fingerprint):
+                raise ChannelClosed(
+                    f"channel {self.name!r} carries "
+                    f"{self.event_format.name!r} events, not {fmt.name!r}")
+            subscriptions = list(self._subscriptions)
+            self.events_submitted += 1
+        delivered = 0
+        for subscription in subscriptions:
+            before = subscription.events_delivered
+            subscription._deliver(fmt, value)
+            delivered += subscription.events_delivered - before
+        return delivered
+
+    # ------------------------------------------------------------------
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._subscriptions.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        return (f"<EventChannel {self.name!r} subs={self.subscriber_count} "
+                f"submitted={self.events_submitted}>")
+
+
+class ChannelDirectory:
+    """Process-wide registry of channels (ECho's channel naming)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._channels: Dict[str, EventChannel] = {}
+
+    def open(self, name: str,
+             event_format: Optional[Format] = None) -> EventChannel:
+        """Open (creating if needed) the channel called ``name``."""
+        with self._lock:
+            channel = self._channels.get(name)
+            if channel is None or channel.closed:
+                channel = EventChannel(name, event_format)
+                self._channels[name] = channel
+            return channel
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(name for name, ch in self._channels.items()
+                          if not ch.closed)
+
+    def close_all(self) -> None:
+        with self._lock:
+            for channel in self._channels.values():
+                channel.close()
+            self._channels.clear()

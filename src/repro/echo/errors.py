@@ -1,0 +1,16 @@
+"""Exception types for the ECho event substrate."""
+
+from __future__ import annotations
+
+
+class EchoError(Exception):
+    """Base class for event-system errors."""
+
+
+class ChannelClosed(EchoError):
+    """An event was submitted to (or a subscription made on) a closed
+    channel."""
+
+
+class FilterError(EchoError):
+    """A derived-channel filter failed to compile or to run."""

@@ -1,0 +1,25 @@
+"""Minimal HTTP/1.1 stack: the transport SOAP rides on.
+
+Request/response model with case-insensitive headers, a threaded keep-alive
+server, and a persistent-connection client::
+
+    from repro.http11 import HttpServer, HttpConnection, Response
+
+    with HttpServer(lambda req: Response(body=b"pong")) as server:
+        with HttpConnection(server.address) as conn:
+            assert conn.get("/").body == b"pong"
+"""
+
+from .client import HttpConnection, parse_address
+from .errors import (HttpConnectionClosed, HttpError, HttpParseError,
+                     HttpTooLarge)
+from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Headers, LineReader,
+                       Request, Response, read_request, read_response)
+from .server import HttpServer
+
+__all__ = [
+    "HttpError", "HttpParseError", "HttpConnectionClosed", "HttpTooLarge",
+    "Headers", "Request", "Response", "LineReader", "read_request",
+    "read_response", "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
+    "HttpServer", "HttpConnection", "parse_address",
+]

@@ -1,0 +1,109 @@
+"""A persistent-connection HTTP/1.1 client."""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple, Union
+
+from .errors import HttpConnectionClosed, HttpError
+from .messages import Headers, LineReader, Request, Response, read_response
+
+
+class HttpConnection:
+    """One keep-alive connection to an HTTP server.
+
+    Reconnects transparently if the server closed the connection between
+    requests (idle keep-alive timeout), but never retries a request that
+    failed mid-flight — retry policy belongs to callers who know their
+    idempotency.
+    """
+
+    def __init__(self, address: Union[Tuple[str, int], str],
+                 timeout: float = 30.0) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.address = address
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[LineReader] = None
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self.address,
+                                              timeout=self.timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = LineReader(self._sock.recv)
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+
+    def request(self, request: Request) -> Response:
+        """Send ``request`` and read the response.
+
+        Sets ``Host`` and ``Content-Length`` automatically.
+        """
+        request.headers.set("Host", f"{self.address[0]}:{self.address[1]}")
+        payload = request.to_bytes()
+        attempts = 0
+        while True:
+            self._ensure_connected()
+            try:
+                self._sock.sendall(payload)
+                response = read_response(self._reader)
+                break
+            except (HttpConnectionClosed, OSError):
+                # A stale keep-alive connection: reconnect once, but only
+                # if nothing of the response was consumed.
+                self.close()
+                attempts += 1
+                if attempts > 1:
+                    raise HttpError(
+                        f"connection to {self.address} failed repeatedly")
+        self.requests_sent += 1
+        if (response.headers.get("Connection") or "").lower() == "close":
+            self.close()
+        return response
+
+    def post(self, target: str, body: bytes, content_type: str,
+             headers: Optional[Headers] = None) -> Response:
+        """Convenience POST (what SOAP always does)."""
+        request = Request(method="POST", target=target,
+                          headers=headers or Headers(), body=body)
+        request.headers.set("Content-Type", content_type)
+        return self.request(request)
+
+    def get(self, target: str) -> Response:
+        return self.request(Request(method="GET", target=target))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._reader = None
+
+    def __enter__(self) -> "HttpConnection":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def parse_address(url: str) -> Tuple[str, int]:
+    """Extract ``(host, port)`` from an ``http://host:port[/...]`` URL.
+
+    >>> parse_address("http://127.0.0.1:8080/service")
+    ('127.0.0.1', 8080)
+    """
+    if url.startswith("http://"):
+        url = url[len("http://"):]
+    authority = url.split("/", 1)[0]
+    if ":" in authority:
+        host, _, port_text = authority.partition(":")
+        return host, int(port_text)
+    return authority, 80

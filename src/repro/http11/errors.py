@@ -1,0 +1,19 @@
+"""Exception types for the minimal HTTP/1.1 stack."""
+
+from __future__ import annotations
+
+
+class HttpError(Exception):
+    """Base class for HTTP stack errors."""
+
+
+class HttpParseError(HttpError):
+    """A request or response on the wire is malformed."""
+
+
+class HttpConnectionClosed(HttpError):
+    """The peer closed the connection mid-message (or before one)."""
+
+
+class HttpTooLarge(HttpError):
+    """A message exceeded the configured size limits."""

@@ -1,0 +1,271 @@
+"""HTTP/1.1 message model: headers, requests, responses, wire codecs.
+
+SOAP rides on HTTP POST; the paper attributes part of SOAP-bin's remaining
+overhead versus Sun RPC to exactly this layer ("The delay is mainly due to
+SOAP-bin's use of HTTP for its transactions", §IV-A), so the reproduction
+needs a real HTTP implementation rather than a function call in disguise —
+header bytes, request lines and parsing all cost what they cost.
+
+Scope: HTTP/1.1 with ``Content-Length`` framing and persistent connections.
+``Transfer-Encoding: chunked`` is not implemented (both endpoints are ours
+and always know their body sizes); messages carrying it are rejected.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
+
+#: Hard cap on header-block size: plenty for SOAPAction + quality headers.
+MAX_HEADER_BYTES = 64 * 1024
+#: Hard cap on body size (the biggest paper workload is ~1 MB images; 256 MB
+#: leaves room for the stress tests).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class Headers:
+    """A case-insensitive, order-preserving header multimap."""
+
+    def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values of ``name`` with one value."""
+        lower = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lower]
+        self._items.append((name, str(value)))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lower = name.lower()
+        for n, v in self._items:
+            if n.lower() == lower:
+                return v
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        lower = name.lower()
+        return [v for n, v in self._items if n.lower() == lower]
+
+    def remove(self, name: str) -> None:
+        lower = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lower]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class Request:
+    """An HTTP request."""
+
+    method: str = "POST"
+    target: str = "/"
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    def wants_keep_alive(self) -> bool:
+        token = (self.headers.get("Connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return token == "keep-alive"
+        return token != "close"
+
+    def to_bytes(self) -> bytes:
+        return _serialize(f"{self.method} {self.target} {self.version}",
+                          self.headers, self.body)
+
+
+@dataclass
+class Response:
+    """An HTTP response."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    def to_bytes(self) -> bytes:
+        return _serialize(f"{self.version} {self.status} {self.reason}",
+                          self.headers, self.body)
+
+    @classmethod
+    def text(cls, status: int, message: str) -> "Response":
+        resp = cls(status=status, body=message.encode("utf-8"))
+        resp.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return resp
+
+
+def _serialize(start_line: str, headers: Headers, body: bytes) -> bytes:
+    out = io.BytesIO()
+    out.write(start_line.encode("latin-1"))
+    out.write(b"\r\n")
+    has_length = "content-length" in {n.lower() for n, _ in headers}
+    for name, value in headers:
+        out.write(f"{name}: {value}\r\n".encode("latin-1"))
+    if not has_length:
+        out.write(f"Content-Length: {len(body)}\r\n".encode("latin-1"))
+    out.write(b"\r\n")
+    out.write(body)
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# wire parsing
+# ----------------------------------------------------------------------
+
+class LineReader:
+    """Buffered reader over a ``recv``-style byte source."""
+
+    def __init__(self, recv, bufsize: int = 65536) -> None:
+        self._recv = recv
+        self._bufsize = bufsize
+        self._buf = b""
+
+    def _fill(self) -> bool:
+        chunk = self._recv(self._bufsize)
+        if not chunk:
+            return False
+        self._buf += chunk
+        return True
+
+    def read_line(self, limit: int = MAX_HEADER_BYTES) -> bytes:
+        """Read one CRLF-terminated line (returned without the CRLF)."""
+        while True:
+            idx = self._buf.find(b"\r\n")
+            if idx >= 0:
+                line, self._buf = self._buf[:idx], self._buf[idx + 2:]
+                return line
+            if len(self._buf) > limit:
+                raise HttpTooLarge("header line too long")
+            if not self._fill():
+                if self._buf:
+                    raise HttpParseError("connection closed mid-line")
+                raise HttpConnectionClosed("connection closed")
+
+    def read_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            if not self._fill():
+                raise HttpParseError(
+                    f"connection closed with {n - len(self._buf)} body "
+                    f"bytes outstanding")
+        data, self._buf = self._buf[:n], self._buf[n:]
+        return data
+
+    def at_start(self) -> bool:
+        """True when no buffered bytes are pending (between messages)."""
+        return not self._buf
+
+
+def _read_headers(reader: LineReader) -> Headers:
+    headers = Headers()
+    total = 0
+    while True:
+        line = reader.read_line()
+        if not line:
+            return headers
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpTooLarge("header block too large")
+        if b":" not in line:
+            raise HttpParseError(f"bad header line {line!r}")
+        name, _, value = line.partition(b":")
+        headers.add(name.decode("latin-1").strip(),
+                    value.decode("latin-1").strip())
+
+
+def _read_body(reader: LineReader, headers: Headers) -> bytes:
+    if headers.get("Transfer-Encoding"):
+        raise HttpParseError("Transfer-Encoding is not supported")
+    raw_length = headers.get("Content-Length")
+    if raw_length is None:
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpParseError(f"bad Content-Length {raw_length!r}")
+    if length < 0:
+        raise HttpParseError("negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpTooLarge(f"body of {length} bytes exceeds limit")
+    return reader.read_exact(length)
+
+
+def read_request(reader: LineReader) -> Request:
+    """Parse one request from the reader.
+
+    Raises :class:`HttpConnectionClosed` when the peer closed cleanly
+    between requests (the keep-alive loop exits on that).
+    """
+    line = reader.read_line().decode("latin-1")
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise HttpParseError(f"bad request line {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpParseError(f"unsupported HTTP version {version!r}")
+    headers = _read_headers(reader)
+    body = _read_body(reader, headers)
+    return Request(method=method, target=target, headers=headers, body=body,
+                   version=version)
+
+
+def read_response(reader: LineReader) -> Response:
+    """Parse one response from the reader."""
+    line = reader.read_line().decode("latin-1")
+    parts = line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpParseError(f"bad status line {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpParseError(f"bad status code in {line!r}")
+    headers = _read_headers(reader)
+    body = _read_body(reader, headers)
+    return Response(status=status, headers=headers, body=body,
+                    version=parts[0])

@@ -1,0 +1,119 @@
+"""A threaded HTTP/1.1 server with persistent connections.
+
+The server is handler-driven: you give it a callable
+``handler(Request) -> Response`` and it owns sockets, keep-alive and error
+responses.  The SOAP and SOAP-bin services plug their dispatchers in here.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Tuple
+
+from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
+from .messages import LineReader, Request, Response, read_request
+
+Handler = Callable[[Request], Response]
+
+
+class HttpServer:
+    """Minimal threaded HTTP server.
+
+    Usage::
+
+        def handler(request):
+            return Response(status=200, body=b"hi")
+
+        with HttpServer(handler) as server:
+            ...  # server.address is (host, port)
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0, backlog: int = 32) -> None:
+        self.handler = handler
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._running = True
+        self.requests_served = 0
+        self.connections_accepted = 0
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="http-server", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            with self._lock:
+                self.connections_accepted += 1
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reader = LineReader(conn.recv)
+        with conn:
+            while self._running:
+                try:
+                    request = read_request(reader)
+                except HttpConnectionClosed:
+                    return
+                except HttpTooLarge:
+                    self._safe_send(conn, Response.text(413, "too large"))
+                    return
+                except (HttpParseError, OSError) as exc:
+                    self._safe_send(conn,
+                                    Response.text(400, f"bad request: {exc}"))
+                    return
+                response = self._dispatch(request)
+                keep_alive = request.wants_keep_alive()
+                if not keep_alive:
+                    response.headers.set("Connection", "close")
+                with self._lock:
+                    self.requests_served += 1
+                if not self._safe_send(conn, response):
+                    return
+                if not keep_alive:
+                    return
+
+    def _dispatch(self, request: Request) -> Response:
+        try:
+            return self.handler(request)
+        except Exception as exc:  # noqa: BLE001 - boundary of the server
+            return Response.text(500, f"internal error: {exc}")
+
+    @staticmethod
+    def _safe_send(conn: socket.socket, response: Response) -> bool:
+        try:
+            conn.sendall(response.to_bytes())
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "HttpServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

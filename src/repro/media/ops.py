@@ -1,0 +1,93 @@
+"""Image transformations: the operations the image server offers.
+
+"Transformations include routines like scaling, edge detection, etc."
+(§IV-C.1).  All operations take and return ``(H, W, 3) uint8`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+
+def grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma grayscale, replicated over three channels."""
+    weights = np.array([0.299, 0.587, 0.114])
+    gray = (image.astype(np.float64) @ weights)
+    return np.repeat(np.clip(gray, 0, 255).astype(np.uint8)[..., None], 3,
+                     axis=2)
+
+
+def scale_nearest(image: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Nearest-neighbour resize to exactly (height, width)."""
+    if width <= 0 or height <= 0:
+        raise ValueError("target dimensions must be positive")
+    src_h, src_w = image.shape[:2]
+    rows = (np.arange(height) * (src_h / height)).astype(np.intp)
+    cols = (np.arange(width) * (src_w / width)).astype(np.intp)
+    return image[rows][:, cols].copy()
+
+
+def scale_half(image: np.ndarray) -> np.ndarray:
+    """2x2 box-filter downscale — the 640x480 -> 320x240 quality step."""
+    h, w = image.shape[:2]
+    h2, w2 = h // 2, w // 2
+    trimmed = image[:h2 * 2, :w2 * 2].astype(np.uint16)
+    pooled = (trimmed[0::2, 0::2] + trimmed[1::2, 0::2]
+              + trimmed[0::2, 1::2] + trimmed[1::2, 1::2]) // 4
+    return pooled.astype(np.uint8)
+
+
+def edge_detect(image: np.ndarray) -> np.ndarray:
+    """Sobel edge magnitude (the paper's demo transformation)."""
+    gray = (image.astype(np.float64) @ np.array([0.299, 0.587, 0.114]))
+    padded = np.pad(gray, 1, mode="edge")
+    gx = (padded[:-2, 2:] + 2 * padded[1:-1, 2:] + padded[2:, 2:]
+          - padded[:-2, :-2] - 2 * padded[1:-1, :-2] - padded[2:, :-2])
+    gy = (padded[2:, :-2] + 2 * padded[2:, 1:-1] + padded[2:, 2:]
+          - padded[:-2, :-2] - 2 * padded[:-2, 1:-1] - padded[:-2, 2:])
+    magnitude = np.sqrt(gx * gx + gy * gy)
+    scaled = np.clip(magnitude / magnitude.max() * 255 if magnitude.max()
+                     else magnitude, 0, 255).astype(np.uint8)
+    return np.repeat(scaled[..., None], 3, axis=2)
+
+
+def crop(image: np.ndarray, x: int, y: int, width: int,
+         height: int) -> np.ndarray:
+    """Crop to a region of interest (the military-application filter of §I)."""
+    h, w = image.shape[:2]
+    if not (0 <= x < w and 0 <= y < h):
+        raise ValueError(f"crop origin ({x}, {y}) outside {w}x{h} image")
+    if width <= 0 or height <= 0:
+        raise ValueError("crop dimensions must be positive")
+    return image[y:min(y + height, h), x:min(x + width, w)].copy()
+
+
+def invert(image: np.ndarray) -> np.ndarray:
+    """Negative (useful on astronomy plates)."""
+    return (255 - image.astype(np.int16)).astype(np.uint8)
+
+
+def identity(image: np.ndarray) -> np.ndarray:
+    """No transformation (fetch the raw frame)."""
+    return image.copy()
+
+
+#: Named operations the image server dispatches on.
+OPERATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "identity": identity,
+    "grayscale": grayscale,
+    "edge": edge_detect,
+    "invert": invert,
+}
+
+
+def apply_operation(name: str, image: np.ndarray) -> np.ndarray:
+    """Apply a named operation; unknown names raise ``KeyError``."""
+    try:
+        op = OPERATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown image operation {name!r}; "
+                       f"available: {sorted(OPERATIONS)}")
+    return op(image)

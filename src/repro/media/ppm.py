@@ -1,0 +1,121 @@
+"""PPM image codec (P6 binary and P3 ASCII variants).
+
+The imaging application transports "raw sensor data represented in ppm
+format" (Fig. 3) — PPM because "it is not suitable to use lossy compression
+methods like JPEG" on raw telescope data.  Images are numpy arrays of shape
+``(height, width, 3)`` and dtype ``uint8``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+import numpy as np
+
+
+class PpmError(Exception):
+    """Raised on malformed PPM data."""
+
+
+def encode_p6(image: np.ndarray) -> bytes:
+    """Encode an image as binary PPM (P6)."""
+    image = _check_image(image)
+    height, width, _ = image.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    return header + image.tobytes()
+
+
+def encode_p3(image: np.ndarray) -> bytes:
+    """Encode an image as ASCII PPM (P3) — the bulky text twin of P6."""
+    image = _check_image(image)
+    height, width, _ = image.shape
+    lines = [f"P3\n{width} {height}\n255"]
+    flat = image.reshape(-1)
+    for start in range(0, len(flat), 15):
+        lines.append(" ".join(str(v) for v in flat[start:start + 15]))
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Decode P6 or P3 PPM bytes into an image array."""
+    if data[:2] == b"P6":
+        return _decode_p6(data)
+    if data[:2] == b"P3":
+        return _decode_p3(data)
+    raise PpmError(f"not a PPM image (magic {data[:2]!r})")
+
+
+def _decode_p6(data: bytes) -> np.ndarray:
+    width, height, maxval, offset = _parse_header(data)
+    if maxval > 255:
+        raise PpmError("16-bit PPM is not supported")
+    expected = width * height * 3
+    body = data[offset:offset + expected]
+    if len(body) != expected:
+        raise PpmError(
+            f"truncated P6 body: expected {expected} bytes, got {len(body)}")
+    return np.frombuffer(body, dtype=np.uint8).reshape(height, width, 3).copy()
+
+
+def _decode_p3(data: bytes) -> np.ndarray:
+    text = data.decode("ascii", "replace")
+    tokens = re.sub(r"#[^\n]*", "", text).split()
+    if tokens[0] != "P3":
+        raise PpmError("not a P3 image")
+    try:
+        width, height, maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+        values = [int(t) for t in tokens[4:4 + width * height * 3]]
+    except (ValueError, IndexError):
+        raise PpmError("malformed P3 body")
+    if len(values) != width * height * 3:
+        raise PpmError("truncated P3 body")
+    if maxval > 255:
+        raise PpmError("16-bit PPM is not supported")
+    return np.array(values, dtype=np.uint8).reshape(height, width, 3)
+
+
+def _parse_header(data: bytes) -> Tuple[int, int, int, int]:
+    """Parse the P6 header; returns (width, height, maxval, body offset)."""
+    fields = []
+    pos = 2  # past magic
+    while len(fields) < 3:
+        while pos < len(data) and data[pos:pos + 1].isspace():
+            pos += 1
+        if data[pos:pos + 1] == b"#":  # comment to end of line
+            nl = data.find(b"\n", pos)
+            if nl < 0:
+                raise PpmError("unterminated header comment")
+            pos = nl + 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos:pos + 1].isspace():
+            pos += 1
+        token = data[start:pos]
+        if not token.isdigit():
+            raise PpmError(f"bad header token {token!r}")
+        fields.append(int(token))
+    # exactly one whitespace byte separates the header from the body
+    pos += 1
+    width, height, maxval = fields
+    if width <= 0 or height <= 0:
+        raise PpmError(f"bad dimensions {width}x{height}")
+    return width, height, maxval, pos
+
+
+def _check_image(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise PpmError(f"image must be (H, W, 3), got {image.shape}")
+    if image.dtype != np.uint8:
+        image = np.clip(image, 0, 255).astype(np.uint8)
+    return image
+
+
+def image_bytes(width: int, height: int) -> int:
+    """Size of a raw (P6) PPM body for the given resolution.
+
+    >>> image_bytes(640, 480)  # the paper's "close to 1MB" response
+    921600
+    """
+    return width * height * 3

@@ -1,0 +1,89 @@
+"""SVG generation — the remote-visualization output format.
+
+"the display expects data in SVG format, which is just an XML document"
+(§IV-C.4).  Built directly on :mod:`repro.xmlcore`, so the visualization
+pipeline exercises the same XML machinery the SOAP path does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..xmlcore import SVG_NS, Element, tostring
+
+
+class SvgDocument:
+    """A small SVG builder: shapes in, XML text out."""
+
+    def __init__(self, width: int, height: int,
+                 background: Optional[str] = None) -> None:
+        self.root = Element("svg", {
+            "xmlns": SVG_NS,
+            "width": str(width),
+            "height": str(height),
+            "viewBox": f"0 0 {width} {height}",
+        })
+        if background is not None:
+            self.rect(0, 0, width, height, fill=background)
+
+    def circle(self, cx: float, cy: float, r: float, fill: str = "black",
+               **attrs: str) -> Element:
+        el = self.root.subelement("circle", {
+            "cx": _fmt(cx), "cy": _fmt(cy), "r": _fmt(r), "fill": fill})
+        el.attrib.update({k.replace("_", "-"): str(v)
+                          for k, v in attrs.items()})
+        return el
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "black", stroke_width: float = 1.0) -> Element:
+        return self.root.subelement("line", {
+            "x1": _fmt(x1), "y1": _fmt(y1), "x2": _fmt(x2), "y2": _fmt(y2),
+            "stroke": stroke, "stroke-width": _fmt(stroke_width)})
+
+    def rect(self, x: float, y: float, width: float, height: float,
+             fill: str = "black") -> Element:
+        return self.root.subelement("rect", {
+            "x": _fmt(x), "y": _fmt(y), "width": _fmt(width),
+            "height": _fmt(height), "fill": fill})
+
+    def text(self, x: float, y: float, content: str,
+             fill: str = "black", font_size: int = 12) -> Element:
+        el = self.root.subelement("text", {
+            "x": _fmt(x), "y": _fmt(y), "fill": fill,
+            "font-size": str(font_size)})
+        el.text = content
+        return el
+
+    def to_xml(self, indent: Optional[int] = None) -> str:
+        return tostring(self.root, indent=indent, xml_declaration=True)
+
+    def __len__(self) -> int:
+        return len(self.root)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def molecule_to_svg(atoms: Iterable[Dict[str, Any]],
+                    bonds: Iterable[Tuple[int, int]],
+                    width: int = 480, height: int = 480,
+                    atom_radius: float = 4.0) -> str:
+    """Render a molecular-dynamics timestep as SVG.
+
+    Atoms are dicts with ``id``, ``x``, ``y`` in [0, 1] (normalized
+    coordinates); bonds are ``(atom_id, atom_id)`` pairs.  This is the
+    filter output the display client of §IV-C.4 consumes.
+    """
+    atom_list = list(atoms)
+    positions = {atom["id"]: (atom["x"] * width, atom["y"] * height)
+                 for atom in atom_list}
+    doc = SvgDocument(width, height, background="#101020")
+    for a, b in bonds:
+        if a in positions and b in positions:
+            (x1, y1), (x2, y2) = positions[a], positions[b]
+            doc.line(x1, y1, x2, y2, stroke="#8899cc", stroke_width=1.2)
+    for atom in atom_list:
+        x, y = positions[atom["id"]]
+        doc.circle(x, y, atom_radius, fill="#ffcc33", stroke="#886600")
+    return doc.to_xml()

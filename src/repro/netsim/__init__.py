@@ -1,0 +1,23 @@
+"""Deterministic network emulation (the testbed stand-in).
+
+The paper measured on a real 100 Mbps LAN and a real ADSL line, with iperf
+generating UDP cross-traffic.  This package models those as deterministic
+link models driven by virtual clocks, so the figure-reproduction benchmarks
+are fast and repeatable while preserving the shapes that matter (who wins,
+where the crossovers are, how adaptation reduces jitter).
+"""
+
+from .clock import Clock, VirtualClock, WallClock
+from .crosstraffic import CrossTrafficSchedule, Phase
+from .link import LinkModel, adsl, lan_100mbps
+from .scenario import (Scenario, imaging_cross_traffic, imaging_scenario,
+                       mdbond_cross_traffic, mdbond_scenario,
+                       microbenchmark_links)
+
+__all__ = [
+    "Clock", "WallClock", "VirtualClock",
+    "Phase", "CrossTrafficSchedule",
+    "LinkModel", "lan_100mbps", "adsl",
+    "Scenario", "microbenchmark_links", "imaging_cross_traffic",
+    "mdbond_cross_traffic", "imaging_scenario", "mdbond_scenario",
+]

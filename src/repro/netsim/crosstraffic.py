@@ -1,0 +1,106 @@
+"""Cross-traffic schedules: the iperf stand-in.
+
+The paper emulates network variation by blasting UDP packets at varying
+speeds with iperf while the application runs (§IV-C.1: "cross-traffic is
+introduced using the IPerf tool, which sends UDP packets at varying
+speeds").  A :class:`CrossTrafficSchedule` is the deterministic equivalent:
+a piecewise-constant function from time to competing load in bits/second.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One constant-load interval ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    load_bps: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class CrossTrafficSchedule:
+    """Piecewise-constant competing load over time.
+
+    Load outside all phases is zero.  Phases must be non-overlapping and
+    sorted; the factory helpers below guarantee that.
+    """
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        self.phases: List[Phase] = sorted(phases, key=lambda p: p.start)
+        for earlier, later in zip(self.phases, self.phases[1:]):
+            if later.start < earlier.end - 1e-12:
+                raise ValueError(
+                    f"overlapping cross-traffic phases at t={later.start}")
+        self._starts = [p.start for p in self.phases]
+
+    def load_at(self, t: float) -> float:
+        """Competing load in bits/second at time ``t``."""
+        idx = bisect_right(self._starts, t) - 1
+        if idx < 0:
+            return 0.0
+        phase = self.phases[idx]
+        if t < phase.end:
+            return phase.load_bps
+        return 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.phases[-1].end if self.phases else 0.0
+
+    def __repr__(self) -> str:
+        return f"<CrossTrafficSchedule {len(self.phases)} phases>"
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def quiet(cls) -> "CrossTrafficSchedule":
+        """No cross-traffic at all."""
+        return cls([])
+
+    @classmethod
+    def steps(cls, levels_bps: Sequence[float],
+              step_duration: float) -> "CrossTrafficSchedule":
+        """Consecutive equal-length phases with the given loads.
+
+        This is the shape of the Fig. 8 experiment: iperf stepped through a
+        series of UDP rates while response times were recorded.
+        """
+        phases = [Phase(i * step_duration, step_duration, load)
+                  for i, load in enumerate(levels_bps)]
+        return cls(phases)
+
+    @classmethod
+    def square_wave(cls, low_bps: float, high_bps: float, period: float,
+                    cycles: int) -> "CrossTrafficSchedule":
+        """Alternate low/high load, ``cycles`` times."""
+        phases = []
+        for i in range(cycles):
+            base = i * period
+            phases.append(Phase(base, period / 2, low_bps))
+            phases.append(Phase(base + period / 2, period / 2, high_bps))
+        return cls(phases)
+
+    @classmethod
+    def random_bursts(cls, total_time: float, mean_load_bps: float,
+                      burstiness: float = 0.5, n_phases: int = 20,
+                      seed: int = 42) -> "CrossTrafficSchedule":
+        """Seeded random load levels (used by the jitter ablation)."""
+        rng = random.Random(seed)
+        duration = total_time / n_phases
+        phases = []
+        for i in range(n_phases):
+            factor = 1.0 + burstiness * (2 * rng.random() - 1)
+            phases.append(Phase(i * duration, duration,
+                                max(0.0, mean_load_bps * factor)))
+        return cls(phases)

@@ -1,0 +1,112 @@
+"""Deterministic network link models.
+
+A :class:`LinkModel` answers one question: how long does ``n`` bytes take to
+cross this link at time ``t``?  The answer is
+
+    one-way latency + n*8 / effective_bandwidth(t) + jitter(t)
+
+where effective bandwidth is the nominal rate minus whatever cross-traffic
+(:mod:`repro.netsim.crosstraffic`) is consuming, and jitter is drawn from a
+seeded RNG so every run of a benchmark produces the same series.
+
+Two presets mirror the paper's testbed:
+
+* :func:`lan_100mbps` — the 100 Mbps single-hop laboratory Ethernet link,
+* :func:`adsl` — the ~1 Mbps peak home ADSL link.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .crosstraffic import CrossTrafficSchedule
+
+
+class LinkModel:
+    """A point-to-point link with bandwidth, latency, jitter and cross-traffic.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Nominal capacity in bits/second.
+    latency_s:
+        One-way propagation + per-hop processing delay in seconds.
+    jitter_s:
+        Standard deviation of a truncated-gaussian latency jitter; 0 gives a
+        perfectly smooth link.
+    cross_traffic:
+        Optional schedule of competing UDP load (iperf-style).
+    min_bandwidth_fraction:
+        Floor on the fraction of nominal bandwidth that remains available no
+        matter how heavy the cross-traffic (UDP blasting a real switch still
+        lets some TCP through; 0.05 matches the qualitative Fig. 8 behaviour).
+    seed:
+        Jitter RNG seed; same seed = same series.
+    """
+
+    def __init__(self, bandwidth_bps: float, latency_s: float,
+                 jitter_s: float = 0.0,
+                 cross_traffic: Optional[CrossTrafficSchedule] = None,
+                 min_bandwidth_fraction: float = 0.05,
+                 seed: int = 2004) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.jitter_s = float(jitter_s)
+        self.cross_traffic = cross_traffic
+        self.min_bandwidth_fraction = float(min_bandwidth_fraction)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, at_time: float = 0.0) -> float:
+        """Bits/second available to us at ``at_time``."""
+        if self.cross_traffic is None:
+            return self.bandwidth_bps
+        load = self.cross_traffic.load_at(at_time)
+        floor = self.bandwidth_bps * self.min_bandwidth_fraction
+        return max(self.bandwidth_bps - load, floor)
+
+    def jitter(self) -> float:
+        """One jitter sample (non-negative, capped at 4 sigma)."""
+        if self.jitter_s <= 0:
+            return 0.0
+        sample = abs(self._rng.gauss(0.0, self.jitter_s))
+        return min(sample, 4 * self.jitter_s)
+
+    def transfer_time(self, nbytes: int, at_time: float = 0.0) -> float:
+        """Seconds for ``nbytes`` to cross the link one-way at ``at_time``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        serialization = nbytes * 8.0 / self.effective_bandwidth(at_time)
+        return self.latency_s + serialization + self.jitter()
+
+    def round_trip_time(self, request_bytes: int, response_bytes: int,
+                        at_time: float = 0.0,
+                        server_time_s: float = 0.0) -> float:
+        """Request out + server work + response back."""
+        out = self.transfer_time(request_bytes, at_time)
+        back = self.transfer_time(response_bytes, at_time + out + server_time_s)
+        return out + server_time_s + back
+
+    def __repr__(self) -> str:
+        mbps = self.bandwidth_bps / 1e6
+        return (f"<LinkModel {mbps:g} Mbps latency={self.latency_s * 1e3:g}ms"
+                f" jitter={self.jitter_s * 1e3:g}ms>")
+
+
+def lan_100mbps(cross_traffic: Optional[CrossTrafficSchedule] = None,
+                jitter_s: float = 0.0, seed: int = 2004) -> LinkModel:
+    """The paper's 100 Mbps single-hop laboratory Ethernet link."""
+    return LinkModel(100e6, latency_s=0.0002, jitter_s=jitter_s,
+                     cross_traffic=cross_traffic, seed=seed)
+
+
+def adsl(cross_traffic: Optional[CrossTrafficSchedule] = None,
+         jitter_s: float = 0.002, seed: int = 2004) -> LinkModel:
+    """The paper's home ADSL link: ~1 Mbps peak, tens of ms latency."""
+    return LinkModel(1e6, latency_s=0.015, jitter_s=jitter_s,
+                     cross_traffic=cross_traffic, seed=seed)

@@ -1,0 +1,67 @@
+"""Named experiment scenarios combining links, traffic and clocks.
+
+The microbenchmark figures all report two columns — "100 Mbps" and "ADSL" —
+and the application figures add scripted cross-traffic.  This module gives
+those setups names so that benchmark code reads like the paper's
+experimental-setup paragraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .clock import VirtualClock
+from .crosstraffic import CrossTrafficSchedule
+from .link import LinkModel, adsl, lan_100mbps
+
+
+@dataclass
+class Scenario:
+    """A link plus the clock that experiment time advances on."""
+
+    name: str
+    link: LinkModel
+    clock: VirtualClock
+
+    @classmethod
+    def create(cls, name: str, link: LinkModel) -> "Scenario":
+        return cls(name=name, link=link, clock=VirtualClock())
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-way transfer time for ``nbytes`` at the current sim time."""
+        return self.link.transfer_time(nbytes, self.clock.now())
+
+
+def microbenchmark_links() -> Dict[str, LinkModel]:
+    """The two links every microbenchmark figure sweeps over."""
+    return {"100Mbps": lan_100mbps(), "ADSL": adsl()}
+
+
+def imaging_cross_traffic(step_duration: float = 10.0) -> CrossTrafficSchedule:
+    """The Fig. 8 traffic pattern: UDP load stepping up then back down on
+    the 100 Mbps link, heavy enough to squeeze a ~1 MB/response workload."""
+    levels = [0e6, 30e6, 60e6, 90e6, 97e6, 90e6, 60e6, 30e6, 0e6]
+    return CrossTrafficSchedule.steps(levels, step_duration)
+
+
+def mdbond_cross_traffic(step_duration: float = 5.0) -> CrossTrafficSchedule:
+    """The Fig. 9 pattern: UDP bursts on the ADSL link while a scientist
+    pulls molecular-dynamics timesteps from a server farm."""
+    levels = [0.0, 0.3e6, 0.7e6, 0.9e6, 0.5e6, 0.9e6, 0.2e6, 0.0]
+    return CrossTrafficSchedule.steps(levels, step_duration)
+
+
+def imaging_scenario(jitter_s: float = 0.0005,
+                     seed: int = 2004) -> Scenario:
+    """100 Mbps link + stepped cross-traffic (imaging application)."""
+    link = lan_100mbps(cross_traffic=imaging_cross_traffic(),
+                       jitter_s=jitter_s, seed=seed)
+    return Scenario.create("imaging", link)
+
+
+def mdbond_scenario(jitter_s: float = 0.001, seed: int = 2004) -> Scenario:
+    """ADSL link + bursty cross-traffic (molecular dynamics application)."""
+    link = adsl(cross_traffic=mdbond_cross_traffic(), jitter_s=jitter_s,
+                seed=seed)
+    return Scenario.create("mdbond", link)

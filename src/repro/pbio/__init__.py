@@ -1,0 +1,53 @@
+"""PBIO — Portable Binary I/O, the binary substrate of SOAP-bin.
+
+This package reimplements the PBIO system the paper builds on (Eisenhauer,
+Bustamante, Schwan — "Native Data Representation", TPDS 2002): named binary
+*formats* that play the role of XML schemas, a *format server* with one-time
+registration and caching, native-byte-order sending with receiver-side
+conversion ("receiver makes right"), and dynamically generated per-format
+encode/decode code.
+
+Typical use::
+
+    from repro import pbio
+
+    registry = pbio.FormatRegistry()
+    fmt = pbio.Format.from_dict("sample", {"seq": "int32", "data": "float64[]"})
+    registry.register(fmt)
+
+    session = pbio.PbioSession(registry)
+    blobs = session.pack(fmt, {"seq": 1, "data": [1.0, 2.0]})
+    # ... transmit blobs; at the receiver:
+    for blob in blobs:
+        result = session.unpack(blob)
+    fmt, value = result
+"""
+
+from .compiler import BIG, LITTLE, CodecCompiler
+from .convert import compile_converter, project, zero_value
+from .errors import (ConversionError, DecodeError, EncodeError, FormatError,
+                     PbioError, UnknownFormatError)
+from .fmt import Field, Format
+from .registry import FormatRegistry, default_registry
+from .server import FormatClient, FormatServer, InMemoryFormatServer
+from .types import (CHAR, FLOAT32, FLOAT64, INT8, INT16, INT32, INT64,
+                    STRING, UINT8, UINT16, UINT32, UINT64, Array, FieldType,
+                    Primitive, StructRef, parse_type, schema_type)
+from .wire import (HEADER_SIZE, KIND_DATA, KIND_FORMAT, Message, PbioSession,
+                   SessionStats, encode_message, parse_message)
+
+__all__ = [
+    "PbioError", "FormatError", "UnknownFormatError", "EncodeError",
+    "DecodeError", "ConversionError",
+    "Primitive", "Array", "StructRef", "FieldType", "parse_type",
+    "schema_type",
+    "INT8", "INT16", "INT32", "INT64", "UINT8", "UINT16", "UINT32", "UINT64",
+    "FLOAT32", "FLOAT64", "CHAR", "STRING",
+    "Field", "Format",
+    "FormatRegistry", "default_registry",
+    "CodecCompiler", "LITTLE", "BIG",
+    "compile_converter", "project", "zero_value",
+    "InMemoryFormatServer", "FormatServer", "FormatClient",
+    "PbioSession", "SessionStats", "Message", "encode_message",
+    "parse_message", "KIND_DATA", "KIND_FORMAT", "HEADER_SIZE",
+]

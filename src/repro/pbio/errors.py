@@ -1,0 +1,32 @@
+"""Exception types for the PBIO binary I/O substrate."""
+
+from __future__ import annotations
+
+
+class PbioError(Exception):
+    """Base class for all PBIO errors."""
+
+
+class FormatError(PbioError):
+    """A format definition is invalid (bad field type, duplicate name...)."""
+
+
+class UnknownFormatError(PbioError):
+    """A wire message referenced a format id that is not registered and
+    could not be fetched from the format server."""
+
+    def __init__(self, format_id: int) -> None:
+        self.format_id = format_id
+        super().__init__(f"unknown PBIO format id {format_id}")
+
+
+class EncodeError(PbioError):
+    """A value does not match the format it is being encoded with."""
+
+
+class DecodeError(PbioError):
+    """A wire message is truncated or otherwise malformed."""
+
+
+class ConversionError(PbioError):
+    """Two formats cannot be converted into one another."""

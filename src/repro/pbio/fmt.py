@@ -1,0 +1,218 @@
+"""PBIO formats: named, ordered collections of typed fields.
+
+A :class:`Format` plays the role of an XML schema for binary data (§III-B of
+the paper: "formats are similar to XML schemas, in that they define how data
+is structured").  Formats are identified on the wire by a small integer id
+assigned at registration time and globally by a content fingerprint, so two
+independently created but structurally identical formats interoperate.
+
+Format *metadata* can be serialized to a compact binary blob — that blob is
+what travels to the format server during the one-time registration handshake
+and back to receivers that encounter an unknown format id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .errors import DecodeError, FormatError
+from .types import (Array, FieldType, Primitive, StructRef,
+                    primitive_from_code, parse_type, struct_refs,
+                    type_fingerprint_parts)
+
+_META_MAGIC = b"PBFM"
+_META_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named field of a format."""
+
+    name: str
+    ftype: FieldType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise FormatError(f"invalid field name {self.name!r}")
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.ftype.describe()}"
+
+
+class Format:
+    """An ordered, named list of fields.
+
+    Instances are immutable once constructed; the fingerprint (a SHA-1 over
+    the canonical structure) is computed eagerly and identifies the format
+    across processes.
+    """
+
+    def __init__(self, name: str, fields: Iterable[Field]) -> None:
+        if not name:
+            raise FormatError("format name must be non-empty")
+        self.name = name
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        seen = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise FormatError(
+                    f"duplicate field {f.name!r} in format {name!r}")
+            seen.add(f.name)
+        self.fingerprint = self._fingerprint()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, name: str, spec: Dict[str, str]) -> "Format":
+        """Build a format from ``{field_name: type_spec}``.
+
+        >>> Format.from_dict("point", {"x": "float64", "y": "float64"}).name
+        'point'
+        """
+        return cls(name, [Field(k, parse_type(v)) for k, v in spec.items()])
+
+    def _fingerprint(self) -> str:
+        parts = [self.name]
+        for f in self.fields:
+            parts.append(f.name)
+            parts.append(repr(type_fingerprint_parts(f.ftype)))
+        digest = hashlib.sha1("\x00".join(parts).encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def referenced_formats(self) -> List[str]:
+        """Names of all struct formats referenced (directly) by fields."""
+        out: Dict[str, None] = {}
+        for f in self.fields:
+            out.update(struct_refs(f.ftype))
+        return list(out)
+
+    def describe(self) -> str:
+        body = "; ".join(f.describe() for f in self.fields)
+        return f"format {self.name} {{ {body} }}"
+
+    def __repr__(self) -> str:
+        return (f"<Format {self.name!r} fields={len(self.fields)} "
+                f"fp={self.fingerprint[:8]}>")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Format):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    # ------------------------------------------------------------------
+    # metadata wire serialization
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """Serialize the format *definition* for the registration handshake."""
+        out = [_META_MAGIC, struct.pack("<BB", _META_VERSION, 0)]
+        out.append(_pack_str(self.name))
+        out.append(struct.pack("<H", len(self.fields)))
+        for f in self.fields:
+            out.append(_pack_str(f.name))
+            out.append(_pack_type(f.ftype))
+        return b"".join(out)
+
+    @classmethod
+    def from_wire(cls, blob: bytes) -> "Format":
+        """Inverse of :meth:`to_wire`."""
+        if len(blob) < 6:
+            raise DecodeError("truncated format metadata header")
+        if blob[:4] != _META_MAGIC:
+            raise DecodeError("bad format metadata magic")
+        version = blob[4]
+        if version != _META_VERSION:
+            raise DecodeError(f"unsupported format metadata version {version}")
+        offset = 6
+        name, offset = _unpack_str(blob, offset)
+        if offset + 2 > len(blob):
+            raise DecodeError("truncated format metadata")
+        (nfields,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        fields = []
+        for _ in range(nfields):
+            fname, offset = _unpack_str(blob, offset)
+            ftype, offset = _unpack_type(blob, offset)
+            fields.append(Field(fname, ftype))
+        return cls(name, fields)
+
+
+# ----------------------------------------------------------------------
+# metadata encoding helpers
+# ----------------------------------------------------------------------
+
+_TAG_PRIM = 1
+_TAG_FIXED_ARRAY = 2
+_TAG_VAR_ARRAY = 3
+_TAG_STRUCT = 4
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise FormatError("name too long")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(blob: bytes, offset: int) -> Tuple[str, int]:
+    if offset + 2 > len(blob):
+        raise DecodeError("truncated string in format metadata")
+    (n,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    if offset + n > len(blob):
+        raise DecodeError("truncated string in format metadata")
+    return blob[offset:offset + n].decode("utf-8"), offset + n
+
+
+def _pack_type(ftype: FieldType) -> bytes:
+    if isinstance(ftype, Primitive):
+        return struct.pack("<BB", _TAG_PRIM, ftype.code)
+    if isinstance(ftype, Array):
+        if ftype.length is not None:
+            return (struct.pack("<BI", _TAG_FIXED_ARRAY, ftype.length)
+                    + _pack_type(ftype.element))
+        return struct.pack("<B", _TAG_VAR_ARRAY) + _pack_type(ftype.element)
+    if isinstance(ftype, StructRef):
+        return struct.pack("<B", _TAG_STRUCT) + _pack_str(ftype.format_name)
+    raise FormatError(f"cannot serialize type {ftype!r}")
+
+
+def _unpack_type(blob: bytes, offset: int) -> Tuple[FieldType, int]:
+    if offset >= len(blob):
+        raise DecodeError("truncated type in format metadata")
+    tag = blob[offset]
+    offset += 1
+    if tag == _TAG_PRIM:
+        if offset >= len(blob):
+            raise DecodeError("truncated primitive code")
+        return primitive_from_code(blob[offset]), offset + 1
+    if tag == _TAG_FIXED_ARRAY:
+        if offset + 4 > len(blob):
+            raise DecodeError("truncated array length")
+        (length,) = struct.unpack_from("<I", blob, offset)
+        element, offset = _unpack_type(blob, offset + 4)
+        return Array(element, length), offset
+    if tag == _TAG_VAR_ARRAY:
+        element, offset = _unpack_type(blob, offset)
+        return Array(element, None), offset
+    if tag == _TAG_STRUCT:
+        name, offset = _unpack_str(blob, offset)
+        return StructRef(name), offset
+    raise DecodeError(f"unknown type tag {tag}")

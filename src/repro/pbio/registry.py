@@ -1,0 +1,125 @@
+"""Format registries: id assignment, lookup and caching.
+
+Every PBIO transaction begins with a registration of the format with a
+"format server" (§III-B).  The registry here is the in-process half of that
+story: it assigns wire ids, deduplicates by fingerprint, and acts as the
+local cache that makes every message after the first one cheap.  The
+network-facing format server lives in :mod:`repro.pbio.server`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .errors import FormatError, UnknownFormatError
+from .fmt import Format
+
+
+class FormatRegistry:
+    """Thread-safe store of formats, keyed by id, name and fingerprint.
+
+    Registration is idempotent: registering a structurally identical format
+    returns the previously assigned id.  Registering a *different* format
+    under an existing name is an error — formats are immutable contracts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_id: Dict[int, Format] = {}
+        self._by_name: Dict[str, Format] = {}
+        self._id_by_fp: Dict[str, int] = {}
+        self._next_id = 1
+        #: Optional fallback consulted when an id is unknown locally —
+        #: typically :meth:`repro.pbio.server.FormatClient.fetch`.
+        self.resolver: Optional[Callable[[int], Optional[Format]]] = None
+
+    # ------------------------------------------------------------------
+    def register(self, fmt: Format) -> int:
+        """Register ``fmt`` and return its wire id (idempotent)."""
+        with self._lock:
+            existing_id = self._id_by_fp.get(fmt.fingerprint)
+            if existing_id is not None:
+                return existing_id
+            existing = self._by_name.get(fmt.name)
+            if existing is not None and existing.fingerprint != fmt.fingerprint:
+                raise FormatError(
+                    f"format name {fmt.name!r} already registered with a "
+                    f"different structure")
+            fid = self._next_id
+            self._next_id += 1
+            self._by_id[fid] = fmt
+            self._by_name[fmt.name] = fmt
+            self._id_by_fp[fmt.fingerprint] = fid
+            return fid
+
+    def register_with_id(self, fmt: Format, fid: int) -> None:
+        """Adopt a format under an id assigned elsewhere (wire handshake).
+
+        Receivers use this when a sender announces ``(id, metadata)``; the
+        sender's id space wins for that connection.
+        """
+        with self._lock:
+            current = self._by_id.get(fid)
+            if current is not None and current.fingerprint != fmt.fingerprint:
+                raise FormatError(
+                    f"format id {fid} already bound to {current.name!r}")
+            self._by_id[fid] = fmt
+            self._by_name.setdefault(fmt.name, fmt)
+            self._id_by_fp.setdefault(fmt.fingerprint, fid)
+            self._next_id = max(self._next_id, fid + 1)
+
+    # ------------------------------------------------------------------
+    def by_id(self, fid: int) -> Format:
+        """Look up a format by wire id, consulting the resolver if set."""
+        with self._lock:
+            fmt = self._by_id.get(fid)
+        if fmt is not None:
+            return fmt
+        if self.resolver is not None:
+            fetched = self.resolver(fid)
+            if fetched is not None:
+                self.register_with_id(fetched, fid)
+                return fetched
+        raise UnknownFormatError(fid)
+
+    def by_name(self, name: str) -> Format:
+        with self._lock:
+            fmt = self._by_name.get(name)
+        if fmt is None:
+            raise FormatError(f"no format named {name!r}")
+        return fmt
+
+    def has_id(self, fid: int) -> bool:
+        with self._lock:
+            return fid in self._by_id
+
+    def has_name(self, name: str) -> bool:
+        with self._lock:
+            return name in self._by_name
+
+    def id_of(self, fmt: Format) -> int:
+        with self._lock:
+            fid = self._id_by_fp.get(fmt.fingerprint)
+        if fid is None:
+            raise FormatError(f"format {fmt.name!r} not registered")
+        return fid
+
+    def formats(self) -> List[Format]:
+        with self._lock:
+            return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Format]:
+        return iter(self.formats())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_name(name)
+
+
+#: A process-wide default registry, used when callers do not care about
+#: isolation (examples, quickstart).  Tests construct their own.
+default_registry = FormatRegistry()

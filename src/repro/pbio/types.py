@@ -1,0 +1,263 @@
+"""The PBIO type system.
+
+PBIO (Portable Binary I/O, Eisenhauer et al.) describes structured data with
+*formats*: ordered lists of named, typed fields.  The type system here is the
+subset the paper's Soup schema exposes — ``integer``, ``char``, ``string``
+and ``float`` as base types, composed through lists (arrays) and structs —
+widened with explicit sizes so that heterogeneous-architecture conversion
+("receiver makes right") is meaningful.
+
+Field types form a small algebra:
+
+* :class:`Primitive` — fixed-size machine types plus variable-length strings,
+* :class:`Array` — fixed-length or variable-length sequences of any type,
+* :class:`StructRef` — a nested struct, referenced by format name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from .errors import FormatError
+
+# ----------------------------------------------------------------------
+# primitive kinds
+# ----------------------------------------------------------------------
+
+#: primitive kind -> (wire code, struct char, byte size).  STRING has no
+#: struct char: it is encoded as a u32 length followed by UTF-8 bytes.
+_PRIM_INFO = {
+    "int8": (1, "b", 1),
+    "int16": (2, "h", 2),
+    "int32": (3, "i", 4),
+    "int64": (4, "q", 8),
+    "uint8": (5, "B", 1),
+    "uint16": (6, "H", 2),
+    "uint32": (7, "I", 4),
+    "uint64": (8, "Q", 8),
+    "float32": (9, "f", 4),
+    "float64": (10, "d", 8),
+    "char": (11, "c", 1),
+    "string": (12, None, None),
+}
+
+_CODE_TO_PRIM = {info[0]: name for name, info in _PRIM_INFO.items()}
+
+#: Mapping from the Soup/WSDL schema's base type names (§III-B of the paper:
+#: "integer, char, string and float") to concrete PBIO primitives.
+SCHEMA_BASE_TYPES = {
+    "integer": "int32",
+    "int": "int32",
+    "long": "int64",
+    "short": "int16",
+    "byte": "int8",
+    "unsignedInt": "uint32",
+    "unsignedByte": "uint8",
+    "unsignedShort": "uint16",
+    "unsignedLong": "uint64",
+    "float": "float32",
+    "double": "float64",
+    "char": "char",
+    "string": "string",
+    "boolean": "uint8",
+}
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A primitive field type (``int32``, ``float64``, ``string``...)."""
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PRIM_INFO:
+            raise FormatError(f"unknown primitive type {self.kind!r}")
+
+    @property
+    def code(self) -> int:
+        return _PRIM_INFO[self.kind][0]
+
+    @property
+    def struct_char(self) -> Optional[str]:
+        """The :mod:`struct` format character, or None for strings."""
+        return _PRIM_INFO[self.kind][1]
+
+    @property
+    def size(self) -> Optional[int]:
+        """Fixed byte size, or None for variable-length (string)."""
+        return _PRIM_INFO[self.kind][2]
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.kind != "string"
+
+    def describe(self) -> str:
+        return self.kind
+
+    def zero(self) -> Union[int, float, str]:
+        """The zero/padding value for this type (quality padding, §III-B)."""
+        if self.kind == "string":
+            return ""
+        if self.kind == "char":
+            return "\x00"
+        if self.kind.startswith("float"):
+            return 0.0
+        return 0
+
+
+@dataclass(frozen=True)
+class Array:
+    """An array of ``element`` values.
+
+    ``length`` of ``None`` means variable length: the element count is
+    carried on the wire as a u32 prefix.  A fixed length is part of the
+    format itself and occupies no wire space.
+    """
+
+    element: "FieldType"
+    length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length is not None and self.length < 0:
+            raise FormatError("array length must be non-negative")
+
+    @property
+    def is_fixed_length(self) -> bool:
+        return self.length is not None
+
+    def describe(self) -> str:
+        inner = self.element.describe()
+        if self.length is None:
+            return f"{inner}[]"
+        return f"{inner}[{self.length}]"
+
+    def zero(self) -> list:
+        if self.length is None:
+            return []
+        return [self.element.zero() for _ in range(self.length)]
+
+
+@dataclass(frozen=True)
+class StructRef:
+    """A nested struct field, referring to another format by name.
+
+    Nested structs are how the paper's "nested structure of varying depth"
+    business workload is modelled; encoding one requires recursive traversal,
+    the expensive case in Figs. 4b/6.
+    """
+
+    format_name: str
+
+    def describe(self) -> str:
+        return f"struct {self.format_name}"
+
+    def zero(self) -> dict:
+        # A struct's zero value needs the registry to expand; the conversion
+        # layer handles that.  An empty dict is the schema-free placeholder.
+        return {}
+
+
+FieldType = Union[Primitive, Array, StructRef]
+
+# Convenient singletons for the common cases.
+INT8 = Primitive("int8")
+INT16 = Primitive("int16")
+INT32 = Primitive("int32")
+INT64 = Primitive("int64")
+UINT8 = Primitive("uint8")
+UINT16 = Primitive("uint16")
+UINT32 = Primitive("uint32")
+UINT64 = Primitive("uint64")
+FLOAT32 = Primitive("float32")
+FLOAT64 = Primitive("float64")
+CHAR = Primitive("char")
+STRING = Primitive("string")
+
+
+def primitive_from_code(code: int) -> Primitive:
+    """Inverse of :attr:`Primitive.code` (wire metadata decoding)."""
+    try:
+        return Primitive(_CODE_TO_PRIM[code])
+    except KeyError:
+        raise FormatError(f"unknown primitive wire code {code}")
+
+
+def schema_type(name: str) -> Primitive:
+    """Resolve a WSDL/Soup schema base type name to a PBIO primitive.
+
+    >>> schema_type("integer").kind
+    'int32'
+    """
+    stripped = name.rsplit(":", 1)[-1]
+    if stripped not in SCHEMA_BASE_TYPES:
+        raise FormatError(f"unknown schema base type {name!r}")
+    return Primitive(SCHEMA_BASE_TYPES[stripped])
+
+
+def is_base_schema_type(name: str) -> bool:
+    return name.rsplit(":", 1)[-1] in SCHEMA_BASE_TYPES
+
+
+def parse_type(spec: str) -> FieldType:
+    """Parse a compact textual type spec.
+
+    Grammar (used by tests, the quality-file parser and examples)::
+
+        spec   := base suffixes
+        base   := primitive-kind | schema base type | "struct <name>"
+        suffix := "[]" | "[<n>]"
+
+    >>> parse_type("int32[]").describe()
+    'int32[]'
+    >>> parse_type("struct point").describe()
+    'struct point'
+    """
+    spec = spec.strip()
+    suffixes = []
+    while spec.endswith("]"):
+        open_idx = spec.rfind("[")
+        if open_idx < 0:
+            raise FormatError(f"unbalanced brackets in type spec {spec!r}")
+        inside = spec[open_idx + 1:-1].strip()
+        if inside == "":
+            suffixes.append(None)
+        else:
+            try:
+                suffixes.append(int(inside))
+            except ValueError:
+                raise FormatError(f"bad array length {inside!r}")
+        spec = spec[:open_idx].strip()
+    base: FieldType
+    if spec.startswith("struct "):
+        base = StructRef(spec[len("struct "):].strip())
+    elif spec in _PRIM_INFO:
+        base = Primitive(spec)
+    elif is_base_schema_type(spec):
+        base = schema_type(spec)
+    else:
+        raise FormatError(f"unknown type spec {spec!r}")
+    for length in reversed(suffixes):
+        base = Array(base, length)
+    return base
+
+
+def type_fingerprint_parts(ftype: FieldType) -> tuple:
+    """A hashable canonical description of a type (for fingerprints)."""
+    if isinstance(ftype, Primitive):
+        return ("p", ftype.kind)
+    if isinstance(ftype, Array):
+        return ("a", ftype.length, type_fingerprint_parts(ftype.element))
+    if isinstance(ftype, StructRef):
+        return ("s", ftype.format_name)
+    raise FormatError(f"not a field type: {ftype!r}")
+
+
+def struct_refs(ftype: FieldType) -> Dict[str, None]:
+    """All struct format names referenced by ``ftype`` (ordered set)."""
+    out: Dict[str, None] = {}
+    if isinstance(ftype, StructRef):
+        out[ftype.format_name] = None
+    elif isinstance(ftype, Array):
+        out.update(struct_refs(ftype.element))
+    return out

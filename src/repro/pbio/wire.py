@@ -1,0 +1,234 @@
+"""PBIO wire messages and the per-connection session protocol.
+
+A PBIO *data message* is a small fixed header followed by the encoded
+payload.  The header names the format by id and records the sender's byte
+order, so the receiver can "make right" — convert from the sender's native
+layout — without the sender ever translating its own data.
+
+The first time a session sends a given format it precedes the data message
+with a *format announcement* carrying the full format metadata; receivers
+cache it (locally and, when configured, in the shared format server), so
+subsequent messages of the same type cost only the 12-byte header.  This is
+the registration handshake of §III-B: "This transaction occurs only once,
+since the format is cached locally thereafter."
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple, Union
+
+from .compiler import BIG, LITTLE, CodecCompiler
+from .errors import DecodeError, UnknownFormatError
+from .fmt import Format
+from .registry import FormatRegistry
+
+MAGIC = b"PB"
+_HEADER = struct.Struct("<2sBBI")  # magic, flags, kind, format id
+HEADER_SIZE = _HEADER.size
+
+FLAG_LITTLE_ENDIAN = 0x01
+
+KIND_DATA = 0
+KIND_FORMAT = 1
+
+
+@dataclass
+class Message:
+    """A parsed PBIO wire message."""
+
+    kind: int
+    endian: str
+    format_id: int
+    payload: bytes
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == KIND_DATA
+
+
+def encode_message(kind: int, format_id: int, payload: bytes,
+                   endian: str = LITTLE) -> bytes:
+    """Frame a payload as a PBIO wire message."""
+    flags = FLAG_LITTLE_ENDIAN if endian == LITTLE else 0
+    return _HEADER.pack(MAGIC, flags, kind, format_id) + payload
+
+
+def parse_message(blob: Union[bytes, bytearray, memoryview]) -> Message:
+    """Parse a wire blob into a :class:`Message`.
+
+    Raises :class:`~repro.pbio.errors.DecodeError` for short blobs or a bad
+    magic — the failure-injection tests feed truncated messages here.
+    """
+    blob = bytes(blob)
+    if len(blob) < HEADER_SIZE:
+        raise DecodeError(f"message shorter than header "
+                          f"({len(blob)} < {HEADER_SIZE})")
+    magic, flags, kind, format_id = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise DecodeError(f"bad PBIO magic {magic!r}")
+    endian = LITTLE if flags & FLAG_LITTLE_ENDIAN else BIG
+    return Message(kind=kind, endian=endian, format_id=format_id,
+                   payload=blob[HEADER_SIZE:])
+
+
+@dataclass
+class SessionStats:
+    """Counters exposed for the microbenchmarks (registration cost is only
+    paid on the first message of each format — Fig. 5/6 discussion)."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    announcements_sent: int = 0
+    announcements_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class PbioSession:
+    """Encode/decode values for one logical connection.
+
+    The session owns the *sender-side* knowledge of which formats the peer
+    has already seen, and the *receiver-side* cache of the peer's id → format
+    bindings.  It is transport-agnostic: :meth:`pack` returns the wire blobs
+    to send (possibly announcement + data) and :meth:`unpack` consumes one
+    received blob.
+
+    Parameters
+    ----------
+    registry:
+        Local format registry (ids in announcements come from here).
+    compiler:
+        Shared codec compiler; one per registry is typical.
+    endian:
+        The *native byte order this host writes*.  The paper's testbed mixed
+        x86 (little) and SPARC (big); tests emulate the SPARC peer by
+        constructing a session with ``endian=BIG``.
+    format_fetcher:
+        Optional callable ``(format_id) -> Format | None`` consulted for
+        unknown ids — typically :meth:`repro.pbio.server.FormatClient.fetch`.
+    """
+
+    def __init__(self, registry: FormatRegistry,
+                 compiler: Optional[CodecCompiler] = None,
+                 endian: str = LITTLE,
+                 format_fetcher: Optional[Callable[[int], Optional[Format]]] = None) -> None:
+        self.registry = registry
+        self.compiler = compiler or CodecCompiler(registry)
+        self.endian = endian
+        self.format_fetcher = format_fetcher
+        self.stats = SessionStats()
+        self._announced: Set[int] = set()
+        self._remote: Dict[int, Format] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def pack(self, fmt: Union[Format, str], value: Dict[str, Any]) -> list:
+        """Encode ``value`` and return the list of wire blobs to transmit.
+
+        The first call for a format yields ``[announcement, data]``; later
+        calls yield ``[data]`` only.
+        """
+        if isinstance(fmt, str):
+            fmt = self.registry.by_name(fmt)
+        fid = self.registry.register(fmt)
+        blobs = []
+        if fid not in self._announced:
+            announcement = encode_message(KIND_FORMAT, fid, fmt.to_wire(),
+                                          self.endian)
+            blobs.append(announcement)
+            self._announced.add(fid)
+            self.stats.announcements_sent += 1
+        payload = self.compiler.encoder(fmt, self.endian)(value)
+        blobs.append(encode_message(KIND_DATA, fid, payload, self.endian))
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += sum(len(b) for b in blobs)
+        return blobs
+
+    def pack_bytes(self, fmt: Union[Format, str],
+                   value: Dict[str, Any]) -> bytes:
+        """Like :meth:`pack` but concatenated — for stream transports that
+        frame each :meth:`unpack_stream` call themselves."""
+        return b"".join(self.pack(fmt, value))
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def unpack(self, blob: bytes) -> Optional[Tuple[Format, Dict[str, Any]]]:
+        """Consume one wire message.
+
+        Returns ``(format, value)`` for data messages and ``None`` for
+        control messages (format announcements).
+        """
+        msg = parse_message(blob)
+        self.stats.bytes_received += len(blob)
+        if msg.kind == KIND_FORMAT:
+            fmt = Format.from_wire(msg.payload)
+            self._remote[msg.format_id] = fmt
+            self.registry.register(fmt)
+            self.stats.announcements_received += 1
+            return None
+        if msg.kind != KIND_DATA:
+            raise DecodeError(f"unknown message kind {msg.kind}")
+        fmt = self._resolve(msg.format_id)
+        value, consumed = self.compiler.decoder(fmt, msg.endian)(msg.payload, 0)
+        if consumed != len(msg.payload):
+            raise DecodeError(
+                f"format {fmt.name!r}: {len(msg.payload) - consumed} "
+                f"trailing bytes in payload")
+        self.stats.messages_received += 1
+        return fmt, value
+
+    def unpack_stream(self, blob: bytes) -> Tuple[Format, Dict[str, Any]]:
+        """Consume a blob that may contain announcement(s) + one data message
+        back to back (the output of :meth:`pack_bytes`)."""
+        offset = 0
+        result = None
+        view = memoryview(blob)
+        while offset < len(blob):
+            if len(blob) - offset < HEADER_SIZE:
+                raise DecodeError("trailing garbage after PBIO message")
+            msg_len = self._message_length(view, offset)
+            result = self.unpack(bytes(view[offset:offset + msg_len]))
+            offset += msg_len
+        if result is None:
+            raise DecodeError("stream contained no data message")
+        return result
+
+    def _message_length(self, view: memoryview, offset: int) -> int:
+        """Length of the message at ``offset``.
+
+        Announcements are self-describing (metadata blob knows its length
+        through its own fields), so for stream parsing we walk: FORMAT
+        messages are followed by more messages; the final DATA message claims
+        the rest of the blob.
+        """
+        _, _, kind, _ = _HEADER.unpack_from(view, offset)
+        if kind == KIND_DATA:
+            return len(view) - offset
+        # Format metadata blob: parse it to find its end.
+        payload_start = offset + HEADER_SIZE
+        fmt_len = _format_metadata_length(bytes(view[payload_start:]))
+        return HEADER_SIZE + fmt_len
+
+    def _resolve(self, fid: int) -> Format:
+        fmt = self._remote.get(fid)
+        if fmt is not None:
+            return fmt
+        if self.registry.has_id(fid):
+            return self.registry.by_id(fid)
+        if self.format_fetcher is not None:
+            fetched = self.format_fetcher(fid)
+            if fetched is not None:
+                self._remote[fid] = fetched
+                self.registry.register(fetched)
+                return fetched
+        raise UnknownFormatError(fid)
+
+
+def _format_metadata_length(blob: bytes) -> int:
+    """Compute the byte length of a format-metadata blob by parsing it."""
+    fmt = Format.from_wire(blob)  # raises DecodeError on truncation
+    return len(fmt.to_wire())

@@ -1,0 +1,77 @@
+"""Client-side SOAP invocation over any channel."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..compress import get_codec
+from ..pbio import Format, FormatRegistry
+from ..transport import Channel
+from ..xmlcore import Element
+from .encoding import decode_fields, encode_fields
+from .envelope import build_envelope, envelope_to_bytes, parse_envelope
+from .errors import SoapDecodingError
+from .service import XML_CONTENT_TYPE
+
+
+class SoapClient:
+    """Invoke SOAP operations with XML (optionally compressed) messages.
+
+    One client handles any number of operations; call sites supply the
+    message formats (WSDL-compiled stubs bake those in).
+    """
+
+    def __init__(self, channel: Channel,
+                 registry: Optional[FormatRegistry] = None,
+                 compress: bool = False,
+                 compression_codec: str = "zlib") -> None:
+        self.channel = channel
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.compress = compress
+        self.compression_codec = compression_codec
+
+    def call(self, operation: str, params: Dict[str, Any],
+             input_format: Format, output_format: Format,
+             header_entries: Optional[List[Element]] = None) -> Dict[str, Any]:
+        """Invoke ``operation`` and return the decoded response fields.
+
+        SOAP faults returned by the server are raised as
+        :class:`~repro.soap.errors.SoapFault`.
+        """
+        payload = self.build_request(operation, params, input_format,
+                                     header_entries)
+        headers = {"SOAPAction": f'"{operation}"'}
+        if self.compress:
+            payload = get_codec(self.compression_codec).compress(payload)
+            headers["Content-Encoding"] = "deflate"
+        reply = self.channel.call(payload, XML_CONTENT_TYPE, headers)
+        body = reply.body
+        if _reply_compressed(reply.headers):
+            body = get_codec(self.compression_codec).decompress(body)
+        return self.parse_response(operation, body, output_format)
+
+    # ------------------------------------------------------------------
+    def build_request(self, operation: str, params: Dict[str, Any],
+                      input_format: Format,
+                      header_entries: Optional[List[Element]] = None) -> bytes:
+        wrapper = Element(operation)
+        encode_fields(wrapper, params, input_format, self.registry)
+        return envelope_to_bytes(build_envelope([wrapper], header_entries))
+
+    def parse_response(self, operation: str, body: bytes,
+                       output_format: Format) -> Dict[str, Any]:
+        envelope = parse_envelope(body)
+        envelope.raise_if_fault()
+        response_el = envelope.first_body_element()
+        expected = f"{operation}Response"
+        if response_el.local_name != expected:
+            raise SoapDecodingError(
+                f"expected <{expected}>, got <{response_el.tag}>")
+        return decode_fields(response_el, output_format, self.registry)
+
+
+def _reply_compressed(headers: Dict[str, str]) -> bool:
+    for name, value in headers.items():
+        if name.lower() == "content-encoding":
+            return "deflate" in value.lower()
+    return False

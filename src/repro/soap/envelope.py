@@ -1,0 +1,108 @@
+"""SOAP 1.1 envelope construction and parsing.
+
+Envelopes are plain :class:`~repro.xmlcore.tree.Element` trees; this module
+knows the SOAP namespace conventions — Envelope/Header/Body structure,
+Fault encoding — and nothing about parameter marshalling (that lives in
+:mod:`repro.soap.encoding`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..xmlcore import Element, SOAP_ENV_NS, parse, tostring
+from .errors import SoapDecodingError, SoapFault
+
+#: Prefix used for the SOAP envelope namespace in produced documents.
+ENV_PREFIX = "SOAP-ENV"
+
+
+def build_envelope(body_children: List[Element],
+                   header_children: Optional[List[Element]] = None) -> Element:
+    """Assemble an Envelope around the given Body (and Header) entries."""
+    envelope = Element(f"{ENV_PREFIX}:Envelope",
+                       {f"xmlns:{ENV_PREFIX}": SOAP_ENV_NS})
+    if header_children:
+        header = envelope.subelement(f"{ENV_PREFIX}:Header")
+        for child in header_children:
+            header.append(child)
+    body = envelope.subelement(f"{ENV_PREFIX}:Body")
+    for child in body_children:
+        body.append(child)
+    return envelope
+
+
+def envelope_to_bytes(envelope: Element) -> bytes:
+    """Serialize an envelope for the wire (with XML declaration)."""
+    return tostring(envelope, xml_declaration=True).encode("utf-8")
+
+
+class ParsedEnvelope:
+    """The result of :func:`parse_envelope`: header entries + body entries."""
+
+    def __init__(self, root: Element) -> None:
+        self.root = root
+        if root.local_name != "Envelope":
+            raise SoapDecodingError(
+                f"document root is <{root.tag}>, not a SOAP Envelope")
+        self.header: Optional[Element] = root.find("Header")
+        body = root.find("Body")
+        if body is None:
+            raise SoapDecodingError("SOAP Envelope has no Body")
+        self.body: Element = body
+
+    @property
+    def body_entries(self) -> List[Element]:
+        return self.body.elements()
+
+    @property
+    def header_entries(self) -> List[Element]:
+        if self.header is None:
+            return []
+        return self.header.elements()
+
+    def first_body_element(self) -> Element:
+        entries = self.body_entries
+        if not entries:
+            raise SoapDecodingError("SOAP Body is empty")
+        return entries[0]
+
+    def fault(self) -> Optional[SoapFault]:
+        """Return the Fault carried by the Body, if any."""
+        fault_el = self.body.find("Fault")
+        if fault_el is None:
+            return None
+        code = fault_el.findtext("faultcode", "Server")
+        string = fault_el.findtext("faultstring", "unknown fault")
+        detail_el = fault_el.find("detail")
+        detail = detail_el.text if detail_el is not None else None
+        return SoapFault(code.rsplit(":", 1)[-1], string, detail)
+
+    def raise_if_fault(self) -> None:
+        fault = self.fault()
+        if fault is not None:
+            raise fault
+
+
+def parse_envelope(payload: bytes) -> ParsedEnvelope:
+    """Parse wire bytes into a :class:`ParsedEnvelope`."""
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SoapDecodingError(f"SOAP payload is not UTF-8: {exc}")
+    return ParsedEnvelope(parse(text))
+
+
+def build_fault(fault: SoapFault) -> Element:
+    """Encode a :class:`SoapFault` as a Body entry."""
+    fault_el = Element(f"{ENV_PREFIX}:Fault")
+    fault_el.subelement("faultcode", text=f"{ENV_PREFIX}:{fault.faultcode}")
+    fault_el.subelement("faultstring", text=fault.faultstring)
+    if fault.detail:
+        fault_el.subelement("detail", text=fault.detail)
+    return fault_el
+
+
+def fault_envelope(fault: SoapFault) -> bytes:
+    """A complete serialized fault response."""
+    return envelope_to_bytes(build_envelope([build_fault(fault)]))

@@ -1,0 +1,32 @@
+"""SOAP-level exception types, including the wire-visible Fault."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SoapError(Exception):
+    """Base class for SOAP stack errors."""
+
+
+class SoapFault(SoapError):
+    """A SOAP 1.1 Fault — raised locally and encoded onto the wire.
+
+    ``faultcode`` uses the standard qualified values (``Client``,
+    ``Server``, ``VersionMismatch``, ``MustUnderstand``).
+    """
+
+    def __init__(self, faultcode: str, faultstring: str,
+                 detail: Optional[str] = None) -> None:
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+        super().__init__(f"{faultcode}: {faultstring}")
+
+
+class SoapEncodingError(SoapError):
+    """A Python value does not match the schema it is encoded against."""
+
+
+class SoapDecodingError(SoapError):
+    """An XML payload does not match the expected message structure."""

@@ -1,0 +1,39 @@
+"""Sun RPC (ONC RPC v2) over TCP with XDR — the Fig. 4 baseline.
+
+A from-scratch implementation of the classic RPC stack the paper compares
+SOAP-bin against: XDR data representation (big-endian, 4-byte aligned,
+symmetric translation at both ends), record-marked TCP framing, numbered
+programs/versions/procedures::
+
+    from repro.sunrpc import RpcProgram, RpcServer, RpcClient, XdrEncoder
+
+    program = RpcProgram(prog=0x20000001, vers=1)
+
+    @program.procedure(1)
+    def echo(args):
+        return args
+
+    with RpcServer() as server:
+        server.add_program(program)
+        with RpcClient(server.address, 0x20000001, 1) as client:
+            assert client.call(1, b"1234") == b"1234"
+"""
+
+from .client import RpcClient
+from .errors import RpcDenied, RpcError, RpcProtocolError, XdrError
+from .rpc import (ACCEPT_STAT_NAMES, GARBAGE_ARGS, PROC_UNAVAIL,
+                  PROG_UNAVAIL, SUCCESS, SYSTEM_ERR, CallHeader, decode_call,
+                  decode_reply, encode_call, encode_reply, read_record,
+                  write_record)
+from .server import RpcProgram, RpcServer
+from .xdr import XdrDecoder, XdrEncoder
+
+__all__ = [
+    "RpcError", "XdrError", "RpcProtocolError", "RpcDenied",
+    "XdrEncoder", "XdrDecoder",
+    "CallHeader", "encode_call", "decode_call", "encode_reply",
+    "decode_reply", "read_record", "write_record",
+    "SUCCESS", "PROG_UNAVAIL", "PROC_UNAVAIL", "GARBAGE_ARGS", "SYSTEM_ERR",
+    "ACCEPT_STAT_NAMES",
+    "RpcProgram", "RpcServer", "RpcClient",
+]

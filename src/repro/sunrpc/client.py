@@ -1,0 +1,79 @@
+"""Sun RPC client over TCP with a persistent connection."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Optional, Tuple
+
+from .errors import RpcDenied, RpcProtocolError
+from .rpc import (ACCEPT_STAT_NAMES, SUCCESS, CallHeader, decode_reply,
+                  encode_call, read_record, write_record)
+
+_xid_counter = itertools.count(0x10000)
+
+
+class RpcClient:
+    """Client for one (program, version) on one server.
+
+    Thread-safe: calls are serialized over the single TCP connection, which
+    matches the synchronous Sun RPC semantics the paper benchmarks.
+    """
+
+    def __init__(self, address: Tuple[str, int], prog: int, vers: int,
+                 timeout: float = 30.0) -> None:
+        self.address = address
+        self.prog = prog
+        self.vers = vers
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        self.calls_made = 0
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address,
+                                                  timeout=self.timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self._sock
+
+    def call(self, proc: int, args: bytes = b"") -> bytes:
+        """Invoke procedure ``proc`` and return its XDR result bytes."""
+        xid = next(_xid_counter)
+        message = encode_call(CallHeader(xid=xid, prog=self.prog,
+                                         vers=self.vers, proc=proc), args)
+        with self._lock:
+            sock = self._connection()
+            write_record(sock, message)
+            response = read_record(sock)
+        if response is None:
+            self.close()
+            raise RpcProtocolError("server closed connection without reply")
+        reply_xid, accept_stat, results = decode_reply(response)
+        if reply_xid != xid:
+            raise RpcProtocolError(
+                f"xid mismatch: sent {xid}, got {reply_xid}")
+        if accept_stat != SUCCESS:
+            name = ACCEPT_STAT_NAMES.get(accept_stat, str(accept_stat))
+            raise RpcDenied(name)
+        self.calls_made += 1
+        return results
+
+    def ping(self) -> None:
+        """Invoke the null procedure (procedure 0)."""
+        self.call(0)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,23 @@
+"""Exception types for the Sun RPC / XDR baseline."""
+
+from __future__ import annotations
+
+
+class RpcError(Exception):
+    """Base class for Sun RPC errors."""
+
+
+class XdrError(RpcError):
+    """XDR encoding/decoding failure (truncation, bad padding...)."""
+
+
+class RpcProtocolError(RpcError):
+    """A wire message violated the ONC RPC v2 protocol."""
+
+
+class RpcDenied(RpcError):
+    """The server rejected or could not execute the call."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"RPC denied: {reason}")

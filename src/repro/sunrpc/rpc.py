@@ -1,0 +1,181 @@
+"""ONC RPC v2 (RFC 5531) message structure and TCP record marking.
+
+Implements the message framing Sun RPC uses over TCP:
+
+* *record marking*: each message is one or more fragments, each prefixed by
+  a 4-byte header whose high bit marks the last fragment;
+* *call* messages: xid, CALL, rpcvers=2, (prog, vers, proc), null auth;
+* *reply* messages: xid, REPLY, accepted/denied, accept status, results.
+
+Only ``AUTH_NONE`` credentials are implemented — the paper's benchmark
+programs do not authenticate.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .errors import RpcProtocolError
+from .xdr import XdrDecoder, XdrEncoder
+
+RPC_VERSION = 2
+
+CALL = 0
+REPLY = 1
+
+# reply_stat
+MSG_ACCEPTED = 0
+MSG_DENIED = 1
+
+# accept_stat
+SUCCESS = 0
+PROG_UNAVAIL = 1
+PROG_MISMATCH = 2
+PROC_UNAVAIL = 3
+GARBAGE_ARGS = 4
+SYSTEM_ERR = 5
+
+ACCEPT_STAT_NAMES = {
+    SUCCESS: "SUCCESS",
+    PROG_UNAVAIL: "PROG_UNAVAIL",
+    PROG_MISMATCH: "PROG_MISMATCH",
+    PROC_UNAVAIL: "PROC_UNAVAIL",
+    GARBAGE_ARGS: "GARBAGE_ARGS",
+    SYSTEM_ERR: "SYSTEM_ERR",
+}
+
+_LAST_FRAGMENT = 0x80000000
+_MAX_FRAGMENT = 1 << 20  # split large messages into 1 MiB fragments
+
+
+# ----------------------------------------------------------------------
+# record marking
+# ----------------------------------------------------------------------
+
+def write_record(sock: socket.socket, payload: bytes) -> None:
+    """Send ``payload`` as a record-marked message."""
+    view = memoryview(payload)
+    offset = 0
+    total = len(payload)
+    if total == 0:
+        sock.sendall(struct.pack(">I", _LAST_FRAGMENT))
+        return
+    while offset < total:
+        chunk = view[offset:offset + _MAX_FRAGMENT]
+        offset += len(chunk)
+        header = len(chunk) | (_LAST_FRAGMENT if offset >= total else 0)
+        sock.sendall(struct.pack(">I", header) + bytes(chunk))
+
+
+def read_record(sock: socket.socket) -> Optional[bytes]:
+    """Read one record-marked message; None on clean EOF."""
+    fragments = []
+    while True:
+        header = _recv_exact(sock, 4)
+        if header is None:
+            if fragments:
+                raise RpcProtocolError("connection closed mid-record")
+            return None
+        (word,) = struct.unpack(">I", header)
+        length = word & ~_LAST_FRAGMENT
+        body = _recv_exact(sock, length)
+        if body is None:
+            raise RpcProtocolError("connection closed mid-fragment")
+        fragments.append(body)
+        if word & _LAST_FRAGMENT:
+            return b"".join(fragments)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# call / reply messages
+# ----------------------------------------------------------------------
+
+@dataclass
+class CallHeader:
+    xid: int
+    prog: int
+    vers: int
+    proc: int
+
+
+def encode_call(header: CallHeader, args: bytes) -> bytes:
+    enc = XdrEncoder()
+    enc.pack_uint(header.xid)
+    enc.pack_uint(CALL)
+    enc.pack_uint(RPC_VERSION)
+    enc.pack_uint(header.prog)
+    enc.pack_uint(header.vers)
+    enc.pack_uint(header.proc)
+    enc.pack_uint(0)  # cred flavor AUTH_NONE
+    enc.pack_uint(0)  # cred length
+    enc.pack_uint(0)  # verf flavor AUTH_NONE
+    enc.pack_uint(0)  # verf length
+    return enc.getvalue() + args
+
+
+def decode_call(message: bytes) -> Tuple[CallHeader, bytes]:
+    dec = XdrDecoder(message)
+    xid = dec.unpack_uint()
+    mtype = dec.unpack_uint()
+    if mtype != CALL:
+        raise RpcProtocolError(f"expected CALL, got message type {mtype}")
+    rpcvers = dec.unpack_uint()
+    if rpcvers != RPC_VERSION:
+        raise RpcProtocolError(f"unsupported RPC version {rpcvers}")
+    prog = dec.unpack_uint()
+    vers = dec.unpack_uint()
+    proc = dec.unpack_uint()
+    _skip_auth(dec)  # cred
+    _skip_auth(dec)  # verf
+    return CallHeader(xid, prog, vers, proc), message[dec.position:]
+
+
+def encode_reply(xid: int, accept_stat: int, results: bytes = b"") -> bytes:
+    enc = XdrEncoder()
+    enc.pack_uint(xid)
+    enc.pack_uint(REPLY)
+    enc.pack_uint(MSG_ACCEPTED)
+    enc.pack_uint(0)  # verf flavor
+    enc.pack_uint(0)  # verf length
+    enc.pack_uint(accept_stat)
+    return enc.getvalue() + results
+
+
+def decode_reply(message: bytes) -> Tuple[int, int, bytes]:
+    """Returns (xid, accept_stat, results)."""
+    dec = XdrDecoder(message)
+    xid = dec.unpack_uint()
+    mtype = dec.unpack_uint()
+    if mtype != REPLY:
+        raise RpcProtocolError(f"expected REPLY, got message type {mtype}")
+    reply_stat = dec.unpack_uint()
+    if reply_stat == MSG_DENIED:
+        raise RpcProtocolError("RPC message denied by server")
+    if reply_stat != MSG_ACCEPTED:
+        raise RpcProtocolError(f"bad reply_stat {reply_stat}")
+    _skip_auth(dec)  # verf
+    accept_stat = dec.unpack_uint()
+    return xid, accept_stat, message[dec.position:]
+
+
+def _skip_auth(dec: XdrDecoder) -> None:
+    _flavor = dec.unpack_uint()
+    length = dec.unpack_uint()
+    if length > 400:
+        raise RpcProtocolError(f"auth body of {length} bytes exceeds RFC max")
+    dec.unpack_fixed_opaque(length)

@@ -1,0 +1,181 @@
+"""XDR (RFC 4506) encoding — Sun RPC's data representation.
+
+The paper's Fig. 4 baseline is "TCP-based Sun RPC (which uses the XDR data
+representation)".  XDR is a canonical big-endian format with 4-byte
+alignment: both peers always translate to/from the standard — precisely the
+"symmetric up and down translation" PBIO's receiver-makes-right design
+avoids, which is why the comparison is interesting.
+
+This module gives stream-style encoder/decoder classes covering the XDR
+types the benchmark workloads need: integers, hypers, floats, doubles,
+booleans, strings, opaques and arrays.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Sequence, TypeVar
+
+from .errors import XdrError
+
+T = TypeVar("T")
+
+_PAD = b"\x00\x00\x00"
+
+
+def _padding(n: int) -> int:
+    return (4 - (n % 4)) % 4
+
+
+class XdrEncoder:
+    """Accumulates XDR-encoded data."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    # -- primitives ----------------------------------------------------
+    def pack_int(self, value: int) -> None:
+        try:
+            self._parts.append(struct.pack(">i", value))
+        except struct.error as exc:
+            raise XdrError(f"int out of range: {exc}")
+
+    def pack_uint(self, value: int) -> None:
+        try:
+            self._parts.append(struct.pack(">I", value))
+        except struct.error as exc:
+            raise XdrError(f"uint out of range: {exc}")
+
+    def pack_hyper(self, value: int) -> None:
+        try:
+            self._parts.append(struct.pack(">q", value))
+        except struct.error as exc:
+            raise XdrError(f"hyper out of range: {exc}")
+
+    def pack_bool(self, value: bool) -> None:
+        self.pack_int(1 if value else 0)
+
+    def pack_float(self, value: float) -> None:
+        self._parts.append(struct.pack(">f", value))
+
+    def pack_double(self, value: float) -> None:
+        self._parts.append(struct.pack(">d", value))
+
+    # -- opaque / string -----------------------------------------------
+    def pack_fixed_opaque(self, data: bytes, n: int) -> None:
+        if len(data) != n:
+            raise XdrError(f"fixed opaque expected {n} bytes, "
+                           f"got {len(data)}")
+        self._parts.append(data)
+        self._parts.append(_PAD[:_padding(n)])
+
+    def pack_opaque(self, data: bytes) -> None:
+        self.pack_uint(len(data))
+        self._parts.append(bytes(data))
+        self._parts.append(_PAD[:_padding(len(data))])
+
+    def pack_string(self, value: str) -> None:
+        self.pack_opaque(value.encode("utf-8"))
+
+    # -- arrays ----------------------------------------------------------
+    def pack_fixed_array(self, items: Sequence[T], n: int,
+                         pack_item: Callable[[T], None]) -> None:
+        if len(items) != n:
+            raise XdrError(f"fixed array expected {n} items, "
+                           f"got {len(items)}")
+        for item in items:
+            pack_item(item)
+
+    def pack_array(self, items: Sequence[T],
+                   pack_item: Callable[[T], None]) -> None:
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(item)
+
+    def pack_int_array(self, values: Sequence[int]) -> None:
+        """Bulk path for the Fig. 4 integer-array workload."""
+        self.pack_uint(len(values))
+        try:
+            self._parts.append(struct.pack(f">{len(values)}i", *values))
+        except struct.error as exc:
+            raise XdrError(f"int array: {exc}")
+
+
+class XdrDecoder:
+    """Decodes XDR data from a buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+    def _take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise XdrError(f"truncated XDR data: wanted {n} bytes, "
+                           f"have {len(self._data) - self._pos}")
+        out = self._data[self._pos:end]
+        self._pos = end
+        return out
+
+    # -- primitives ----------------------------------------------------
+    def unpack_int(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uint(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_hyper(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        return self.unpack_int() != 0
+
+    def unpack_float(self) -> float:
+        return struct.unpack(">f", self._take(4))[0]
+
+    def unpack_double(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    # -- opaque / string -----------------------------------------------
+    def unpack_fixed_opaque(self, n: int) -> bytes:
+        data = self._take(n)
+        self._take(_padding(n))
+        return data
+
+    def unpack_opaque(self) -> bytes:
+        n = self.unpack_uint()
+        return self.unpack_fixed_opaque(n)
+
+    def unpack_string(self) -> str:
+        return self.unpack_opaque().decode("utf-8")
+
+    # -- arrays ----------------------------------------------------------
+    def unpack_fixed_array(self, n: int,
+                           unpack_item: Callable[[], T]) -> List[T]:
+        return [unpack_item() for _ in range(n)]
+
+    def unpack_array(self, unpack_item: Callable[[], T]) -> List[T]:
+        n = self.unpack_uint()
+        if n * 4 > self.remaining():
+            # every XDR item is at least 4 bytes; cheap sanity bound
+            raise XdrError(f"array of {n} items cannot fit in "
+                           f"{self.remaining()} bytes")
+        return [unpack_item() for _ in range(n)]
+
+    def unpack_int_array(self) -> List[int]:
+        n = self.unpack_uint()
+        raw = self._take(4 * n)
+        return list(struct.unpack(f">{n}i", raw))

@@ -1,0 +1,11 @@
+"""Transport channels: real HTTP sockets or a simulated link."""
+
+from .base import Channel, ChannelReply, DirectChannel, Endpoint
+from .sim import CallRecord, ServerTimeModel, SimChannel
+from .sockets import HttpChannel, endpoint_http_handler, serve_endpoint
+
+__all__ = [
+    "Channel", "ChannelReply", "Endpoint", "DirectChannel",
+    "SimChannel", "CallRecord", "ServerTimeModel",
+    "HttpChannel", "endpoint_http_handler", "serve_endpoint",
+]

@@ -1,0 +1,57 @@
+"""Real-socket transport: Channel over HTTP/1.1."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..http11 import (Headers, HttpConnection, HttpServer, Request, Response)
+from .base import Channel, ChannelReply, Endpoint
+
+
+class HttpChannel(Channel):
+    """A channel speaking HTTP POST over a persistent connection."""
+
+    def __init__(self, address: Union[Tuple[str, int], str],
+                 target: str = "/", timeout: float = 30.0) -> None:
+        self.connection = HttpConnection(address, timeout=timeout)
+        self.target = target
+
+    def call(self, body: bytes, content_type: str,
+             headers: Optional[Dict[str, str]] = None) -> ChannelReply:
+        extra = Headers()
+        for name, value in (headers or {}).items():
+            extra.set(name, value)
+        response = self.connection.post(self.target, body, content_type,
+                                        headers=extra)
+        return ChannelReply(
+            body=response.body,
+            content_type=response.content_type,
+            headers={name: value for name, value in response.headers},
+            status=response.status,
+        )
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def endpoint_http_handler(endpoint: Endpoint) -> Callable[[Request], Response]:
+    """Adapt an endpoint into an :class:`~repro.http11.HttpServer` handler."""
+
+    def handler(request: Request) -> Response:
+        if request.method != "POST":
+            return Response.text(405, "POST only")
+        headers = {name: value for name, value in request.headers}
+        reply = endpoint(request.body, request.content_type, headers)
+        response = Response(status=reply.status, body=reply.body)
+        response.headers.set("Content-Type", reply.content_type)
+        for name, value in reply.headers.items():
+            response.headers.set(name, value)
+        return response
+
+    return handler
+
+
+def serve_endpoint(endpoint: Endpoint, host: str = "127.0.0.1",
+                   port: int = 0) -> HttpServer:
+    """Start an HTTP server exposing ``endpoint`` at every path."""
+    return HttpServer(endpoint_http_handler(endpoint), host=host, port=port)

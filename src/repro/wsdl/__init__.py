@@ -1,0 +1,27 @@
+"""WSDL: parsing, emission and the stub-generating compiler.
+
+The entry point mirrors the original system's pipeline — WSDL (plus an
+optional quality file) in, stubs out::
+
+    from repro.wsdl import WsdlCompiler, parse_wsdl
+
+    compiler = WsdlCompiler.from_text(wsdl_text)
+    stubs = compiler.load_stubs(quality_text)
+    client = stubs["Client"](channel)           # one method per operation
+    skeleton_cls = stubs["Skeleton"]            # subclass + implement
+"""
+
+from .compiler import (CompiledInterface, CompiledOperation, WsdlCompiler)
+from .emit import emit_wsdl
+from .errors import CompileError, SchemaError, WsdlError
+from .model import WsdlDocument, WsdlMessage, WsdlOperation, WsdlPortType
+from .parser import parse_wsdl
+from .schema import parse_complex_type, parse_schema_types, resolve_type_name
+
+__all__ = [
+    "WsdlError", "SchemaError", "CompileError",
+    "WsdlMessage", "WsdlOperation", "WsdlPortType", "WsdlDocument",
+    "parse_wsdl", "emit_wsdl",
+    "parse_schema_types", "parse_complex_type", "resolve_type_name",
+    "WsdlCompiler", "CompiledInterface", "CompiledOperation",
+]

@@ -1,0 +1,76 @@
+"""Emitting WSDL documents from the object model.
+
+Services *advertise* themselves through WSDL (the remote-visualization
+portal "advertises its services through a set of WSDL files", §IV-C.4);
+this module renders a :class:`~repro.wsdl.model.WsdlDocument` back to XML
+text that :func:`~repro.wsdl.parser.parse_wsdl` round-trips.
+"""
+
+from __future__ import annotations
+
+from ..pbio import Array, FieldType, Primitive, StructRef
+from ..xmlcore import WSDL_NS, WSDL_SOAP_NS, XSD_NS, Element, tostring
+from .model import WsdlDocument
+from .schema import _PRIM_TO_XSD, emit_complex_type
+from .errors import WsdlError
+
+
+def emit_wsdl(document: WsdlDocument, indent: int = 2) -> str:
+    """Render a WSDL document as XML text."""
+    root = Element("wsdl:definitions", {
+        "name": document.name,
+        "targetNamespace": document.target_namespace,
+        "xmlns:wsdl": WSDL_NS,
+        "xmlns:soap": WSDL_SOAP_NS,
+        "xmlns:xsd": XSD_NS,
+        "xmlns:tns": document.target_namespace,
+    })
+
+    if document.types:
+        types_el = root.subelement("wsdl:types")
+        schema = types_el.subelement(
+            "xsd:schema", {"targetNamespace": document.target_namespace})
+        for fmt in document.types.values():
+            schema.append(emit_complex_type(fmt))
+
+    for message in document.messages.values():
+        message_el = root.subelement("wsdl:message",
+                                     {"name": message.name})
+        for part_name, ftype in message.parts:
+            message_el.subelement("wsdl:part", {
+                "name": part_name,
+                "type": _part_type_name(ftype, message.name, part_name),
+            })
+
+    for port_type in document.port_types.values():
+        pt_el = root.subelement("wsdl:portType", {"name": port_type.name})
+        for op in port_type.operations:
+            op_el = pt_el.subelement("wsdl:operation", {"name": op.name})
+            op_el.subelement("wsdl:input",
+                             {"message": f"tns:{op.input_message}"})
+            op_el.subelement("wsdl:output",
+                             {"message": f"tns:{op.output_message}"})
+
+    if document.location is not None:
+        service_el = root.subelement("wsdl:service",
+                                     {"name": document.name})
+        port_el = service_el.subelement("wsdl:port", {
+            "name": f"{document.name}Port",
+            "binding": f"tns:{document.name}Binding",
+        })
+        port_el.subelement("soap:address", {"location": document.location})
+
+    return tostring(root, indent=indent, xml_declaration=True)
+
+
+def _part_type_name(ftype: FieldType, message: str, part: str) -> str:
+    if isinstance(ftype, Primitive):
+        return _PRIM_TO_XSD[ftype.kind]
+    if isinstance(ftype, StructRef):
+        return f"tns:{ftype.format_name}"
+    if isinstance(ftype, Array):
+        raise WsdlError(
+            f"message {message!r} part {part!r}: array parts must be "
+            f"wrapped in a complexType (the Soup convention)")
+    raise WsdlError(f"message {message!r} part {part!r}: "
+                    f"unsupported type {ftype!r}")

@@ -1,0 +1,15 @@
+"""Exception types for the WSDL layer."""
+
+from __future__ import annotations
+
+
+class WsdlError(Exception):
+    """A WSDL document is invalid or unsupported."""
+
+
+class SchemaError(WsdlError):
+    """The embedded XML-Schema section is invalid or unsupported."""
+
+
+class CompileError(WsdlError):
+    """Stub generation failed."""

@@ -1,0 +1,115 @@
+"""The WSDL object model.
+
+A deliberately small model covering the subset the paper's Soup stack uses:
+types (complexTypes built from the four base types plus lists and structs),
+messages with typed parts, portTypes with request/response operations, and
+a service location.  PBIO :class:`~repro.pbio.fmt.Format` objects double as
+the representation of complex types — the WSDL compiler's whole point is
+that message schemas *are* binary format descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..pbio import Field, Format, FieldType
+from .errors import WsdlError
+
+
+@dataclass
+class WsdlMessage:
+    """A named message with ordered, typed parts."""
+
+    name: str
+    parts: List[Tuple[str, FieldType]] = field(default_factory=list)
+
+    def to_format(self) -> Format:
+        """The PBIO format equivalent of this message."""
+        return Format(self.name, [Field(n, t) for n, t in self.parts])
+
+
+@dataclass
+class WsdlOperation:
+    """One request/response operation."""
+
+    name: str
+    input_message: str
+    output_message: str
+
+
+@dataclass
+class WsdlPortType:
+    """A named set of operations."""
+
+    name: str
+    operations: List[WsdlOperation] = field(default_factory=list)
+
+    def operation(self, name: str) -> WsdlOperation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise WsdlError(f"portType {self.name!r} has no operation {name!r}")
+
+
+@dataclass
+class WsdlDocument:
+    """A parsed (or programmatically built) WSDL definition."""
+
+    name: str
+    target_namespace: str = "urn:repro:service"
+    #: complex types, keyed by name (PBIO formats stand in for XSD types)
+    types: Dict[str, Format] = field(default_factory=dict)
+    messages: Dict[str, WsdlMessage] = field(default_factory=dict)
+    port_types: Dict[str, WsdlPortType] = field(default_factory=dict)
+    #: service location URL (soap:address), if declared
+    location: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def add_type(self, fmt: Format) -> Format:
+        self.types[fmt.name] = fmt
+        return fmt
+
+    def add_message(self, message: WsdlMessage) -> WsdlMessage:
+        self.messages[message.name] = message
+        return message
+
+    def message(self, name: str) -> WsdlMessage:
+        try:
+            return self.messages[name]
+        except KeyError:
+            raise WsdlError(f"no message named {name!r}")
+
+    def single_port_type(self) -> WsdlPortType:
+        """The document's only portType (the common case)."""
+        if len(self.port_types) != 1:
+            raise WsdlError(
+                f"expected exactly one portType, found "
+                f"{sorted(self.port_types)}")
+        return next(iter(self.port_types.values()))
+
+    def all_operations(self) -> List[WsdlOperation]:
+        return [op for pt in self.port_types.values()
+                for op in pt.operations]
+
+    def validate(self) -> None:
+        """Check cross-references: operations -> messages -> types."""
+        from ..pbio.types import struct_refs
+        for op in self.all_operations():
+            for message_name in (op.input_message, op.output_message):
+                if message_name not in self.messages:
+                    raise WsdlError(
+                        f"operation {op.name!r} references unknown message "
+                        f"{message_name!r}")
+        for message in self.messages.values():
+            for part_name, ftype in message.parts:
+                for ref in struct_refs(ftype):
+                    if ref not in self.types:
+                        raise WsdlError(
+                            f"message {message.name!r} part {part_name!r} "
+                            f"references unknown type {ref!r}")
+        for fmt in self.types.values():
+            for ref in fmt.referenced_formats():
+                if ref not in self.types:
+                    raise WsdlError(
+                        f"type {fmt.name!r} references unknown type {ref!r}")

@@ -1,0 +1,111 @@
+"""Parsing WSDL documents into the object model."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..pbio import FieldType
+from ..xmlcore import Element, parse
+from .errors import WsdlError
+from .model import WsdlDocument, WsdlMessage, WsdlOperation, WsdlPortType
+from .schema import parse_schema_types, resolve_type_name
+
+
+def parse_wsdl(text: str) -> WsdlDocument:
+    """Parse WSDL text into a validated :class:`WsdlDocument`.
+
+    Supported layout (the subset Soup's WSDL compiler reads)::
+
+        <definitions name=... targetNamespace=...>
+          <types><xsd:schema> complexTypes... </xsd:schema></types>
+          <message name=...><part name=... type=.../>...</message>
+          <portType name=...>
+            <operation name=...>
+              <input message="tns:Req"/><output message="tns:Res"/>
+            </operation>
+          </portType>
+          <service name=...><port...><soap:address location=.../></port></service>
+        </definitions>
+
+    Bindings are accepted and skipped — the transport binding in this stack
+    is always SOAP-over-HTTP (or its binary sibling on the same endpoint).
+    """
+    root = parse(text)
+    if root.local_name != "definitions":
+        raise WsdlError(f"root element is <{root.tag}>, expected definitions")
+    document = WsdlDocument(
+        name=root.get("name", "service"),
+        target_namespace=root.get("targetNamespace", "urn:repro:service"))
+
+    for child in root.elements():
+        local = child.local_name
+        if local == "types":
+            for schema_el in child.findall("schema"):
+                document.types.update(parse_schema_types(schema_el))
+        elif local == "message":
+            document.add_message(_parse_message(child))
+        elif local == "portType":
+            port_type = _parse_port_type(child)
+            document.port_types[port_type.name] = port_type
+        elif local == "service":
+            document.location = _parse_service_location(child)
+        elif local in ("binding", "documentation", "import"):
+            continue
+        else:
+            raise WsdlError(f"unsupported WSDL construct <{child.tag}>")
+
+    document.validate()
+    return document
+
+
+def _parse_message(message_el: Element) -> WsdlMessage:
+    name = message_el.get("name")
+    if not name:
+        raise WsdlError("message requires a name")
+    parts: List[Tuple[str, FieldType]] = []
+    for part in message_el.findall("part"):
+        part_name = part.get("name")
+        type_name = part.get("type")
+        if not part_name or not type_name:
+            raise WsdlError(f"message {name!r}: part needs name and type")
+        parts.append((part_name, resolve_type_name(type_name)))
+    return WsdlMessage(name=name, parts=parts)
+
+
+def _parse_port_type(pt_el: Element) -> WsdlPortType:
+    name = pt_el.get("name")
+    if not name:
+        raise WsdlError("portType requires a name")
+    port_type = WsdlPortType(name=name)
+    for op_el in pt_el.findall("operation"):
+        op_name = op_el.get("name")
+        if not op_name:
+            raise WsdlError(f"portType {name!r}: operation requires a name")
+        input_el = op_el.find("input")
+        output_el = op_el.find("output")
+        if input_el is None or output_el is None:
+            raise WsdlError(
+                f"operation {op_name!r}: request/response operations need "
+                f"both input and output")
+        port_type.operations.append(WsdlOperation(
+            name=op_name,
+            input_message=_message_ref(input_el, op_name),
+            output_message=_message_ref(output_el, op_name)))
+    return port_type
+
+
+def _message_ref(el: Element, op_name: str) -> str:
+    ref = el.get("message")
+    if not ref:
+        raise WsdlError(f"operation {op_name!r}: missing message attribute")
+    return ref.rsplit(":", 1)[-1]
+
+
+def _parse_service_location(service_el: Element) -> str:
+    for port in service_el.findall("port"):
+        address = port.find("address")
+        if address is not None:
+            location = address.get("location")
+            if location:
+                return location
+    raise WsdlError("service declares no soap:address location")

@@ -1,0 +1,161 @@
+"""XML-Schema subset parsing: complexTypes -> PBIO formats.
+
+"The schema used in Soup identifies the basic types as integer, char,
+string and float, and it allows the user to build more complex types
+through the use of lists and structs." (§III-B)
+
+Supported constructs::
+
+    <xsd:complexType name="Point">
+      <xsd:sequence>
+        <xsd:element name="x" type="xsd:double"/>
+        <xsd:element name="y" type="xsd:double"/>
+        <xsd:element name="history" type="xsd:double" maxOccurs="unbounded"/>
+        <xsd:element name="window" type="xsd:int" maxOccurs="4"/>
+        <xsd:element name="parent" type="tns:Point0"/>
+      </xsd:sequence>
+    </xsd:complexType>
+
+``maxOccurs="unbounded"`` produces a variable-length array, a numeric
+``maxOccurs`` > 1 a fixed-length array, a ``tns:``-prefixed type a nested
+struct.  Anything outside this subset raises :class:`SchemaError` loudly —
+silent partial parses of interface definitions are how stubs end up subtly
+wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..pbio import Array, Field, FieldType, Format, StructRef, schema_type
+from ..pbio.types import is_base_schema_type
+from ..xmlcore import Element
+from .errors import SchemaError
+
+
+def parse_schema_types(schema_el: Element) -> Dict[str, Format]:
+    """Parse all complexTypes under an ``<xsd:schema>`` element."""
+    types: Dict[str, Format] = {}
+    for child in schema_el.elements():
+        local = child.local_name
+        if local == "complexType":
+            fmt = parse_complex_type(child)
+            types[fmt.name] = fmt
+        elif local in ("element", "annotation", "import", "simpleType"):
+            # top-level elements/annotations are tolerated and skipped;
+            # simpleType restrictions are outside the Soup subset
+            continue
+        else:
+            raise SchemaError(f"unsupported schema construct <{child.tag}>")
+    return types
+
+
+def parse_complex_type(ct_el: Element) -> Format:
+    """Parse one ``<xsd:complexType>`` into a :class:`Format`."""
+    name = ct_el.get("name")
+    if not name:
+        raise SchemaError("complexType requires a name attribute")
+    sequence = ct_el.find("sequence")
+    if sequence is None:
+        raise SchemaError(f"complexType {name!r} must contain a sequence")
+    fields: List[Field] = []
+    for element in sequence.elements():
+        if element.local_name != "element":
+            raise SchemaError(
+                f"complexType {name!r}: unsupported child <{element.tag}>")
+        fields.append(_parse_element(element, name))
+    return Format(name, fields)
+
+
+def _parse_element(el: Element, owner: str) -> Field:
+    field_name = el.get("name")
+    type_name = el.get("type")
+    if not field_name or not type_name:
+        raise SchemaError(
+            f"complexType {owner!r}: element needs name and type")
+    base = resolve_type_name(type_name)
+    max_occurs = el.get("maxOccurs", "1")
+    ftype = _apply_occurs(base, max_occurs, owner, field_name)
+    return Field(field_name, ftype)
+
+
+def resolve_type_name(type_name: str) -> FieldType:
+    """Map a schema type QName to a PBIO field type."""
+    local = type_name.rsplit(":", 1)[-1]
+    prefix = type_name.rsplit(":", 1)[0] if ":" in type_name else None
+    if prefix in (None, "xsd", "xs") and is_base_schema_type(local):
+        return schema_type(local)
+    if prefix in (None, "xsd", "xs"):
+        raise SchemaError(f"unsupported base schema type {type_name!r}")
+    return StructRef(local)
+
+
+def _apply_occurs(base: FieldType, max_occurs: str, owner: str,
+                  field_name: str) -> FieldType:
+    if max_occurs == "1":
+        return base
+    if max_occurs == "unbounded":
+        return Array(base, None)
+    try:
+        count = int(max_occurs)
+    except ValueError:
+        raise SchemaError(
+            f"{owner}.{field_name}: bad maxOccurs {max_occurs!r}")
+    if count < 1:
+        raise SchemaError(
+            f"{owner}.{field_name}: maxOccurs must be >= 1")
+    if count == 1:
+        return base
+    return Array(base, count)
+
+
+def emit_complex_type(fmt: Format, tns_prefix: str = "tns") -> Element:
+    """Inverse of :func:`parse_complex_type` (used by the WSDL emitter)."""
+    ct = Element("xsd:complexType", {"name": fmt.name})
+    seq = ct.subelement("xsd:sequence")
+    for field in fmt.fields:
+        seq.append(_emit_element(field.name, field.ftype, tns_prefix))
+    return ct
+
+
+_PRIM_TO_XSD = {
+    "int8": "xsd:byte",
+    "int16": "xsd:short",
+    "int32": "xsd:int",
+    "int64": "xsd:long",
+    "uint8": "xsd:unsignedByte",
+    "uint16": "xsd:unsignedShort",
+    "uint32": "xsd:unsignedInt",
+    "uint64": "xsd:unsignedLong",
+    "float32": "xsd:float",
+    "float64": "xsd:double",
+    "char": "xsd:char",
+    "string": "xsd:string",
+}
+
+_XSD_EXTRA_BASES = {
+    "unsignedByte": "uint8",
+    "unsignedShort": "uint16",
+    "unsignedLong": "uint64",
+}
+
+
+def _emit_element(name: str, ftype: FieldType, tns_prefix: str) -> Element:
+    attrs = {"name": name}
+    occurs = None
+    inner = ftype
+    if isinstance(inner, Array):
+        occurs = "unbounded" if inner.length is None else str(inner.length)
+        inner = inner.element
+        if isinstance(inner, Array):
+            raise SchemaError(
+                f"element {name!r}: nested arrays cannot be expressed in "
+                f"the schema subset; wrap the inner array in a complexType")
+    if isinstance(inner, StructRef):
+        attrs["type"] = f"{tns_prefix}:{inner.format_name}"
+    else:
+        attrs["type"] = _PRIM_TO_XSD[inner.kind]
+    if occurs is not None:
+        attrs["maxOccurs"] = occurs
+        attrs["minOccurs"] = "0"
+    return Element("xsd:element", attrs)

@@ -1,0 +1,32 @@
+"""Self-contained XML layer for the SOAP-binQ reproduction.
+
+This package stands in for Expat/libxml2 in the original system: a
+hand-written tokenizer, a lightweight element tree, a streaming pull parser
+(in the style of XPP), a serializer, and namespace utilities.
+
+Public surface::
+
+    from repro.xmlcore import Element, parse, tostring, XmlPullParser
+"""
+
+from .errors import XmlError, XmlNamespaceError, XmlParseError, XmlWriteError
+from .names import (BINQ_NS, SOAP_ENC_NS, SOAP_ENV_NS, SVG_NS, WSDL_NS,
+                    WSDL_SOAP_NS, XSD_NS, XSI_NS, NamespaceScope, local_name,
+                    split_qname)
+from .pull import PullEvent, XmlPullParser
+from .tokenizer import (CDATA, COMMENT, DOCTYPE, END, PI, START, TEXT, Token,
+                        Tokenizer, tokenize)
+from .tree import Element, fromstring, parse
+from .writer import canonical, escape_attr, escape_text, tostring
+
+__all__ = [
+    "XmlError", "XmlParseError", "XmlWriteError", "XmlNamespaceError",
+    "Element", "parse", "fromstring", "tostring", "canonical",
+    "escape_text", "escape_attr",
+    "Token", "Tokenizer", "tokenize",
+    "START", "END", "TEXT", "COMMENT", "PI", "CDATA", "DOCTYPE",
+    "PullEvent", "XmlPullParser",
+    "NamespaceScope", "split_qname", "local_name",
+    "SOAP_ENV_NS", "SOAP_ENC_NS", "WSDL_NS", "WSDL_SOAP_NS", "XSD_NS",
+    "XSI_NS", "BINQ_NS", "SVG_NS",
+]

@@ -1,0 +1,183 @@
+"""A streaming pull parser in the style of the XML Pull Parser (XPP).
+
+The paper's related-work section points at XPP, the stream-based fast XML
+parser used by SoapRMI, as the state of the art for fast SOAP parsing.  We
+provide the same programming model: the application *pulls* events one at a
+time, so a SOAP stack can decode parameters as it walks the document without
+building a full tree — the fast path for large arrays.
+
+Events carry the same token kinds as :mod:`repro.xmlcore.tokenizer`, plus
+depth tracking and tag-balance checking, which the raw tokenizer does not
+do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from . import tokenizer as tk
+from .errors import XmlParseError
+
+
+class PullEvent:
+    """A single parse event.
+
+    Attributes mirror :class:`~repro.xmlcore.tokenizer.Token`, with an added
+    ``depth``: the element nesting depth *after* the event is applied
+    (START increments, END decrements).
+    """
+
+    __slots__ = ("kind", "name", "data", "attrs", "depth")
+
+    def __init__(self, kind: str, name: str = "", data: str = "",
+                 attrs: Optional[Dict[str, str]] = None, depth: int = 0) -> None:
+        self.kind = kind
+        self.name = name
+        self.data = data
+        self.attrs = attrs or {}
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        ident = self.name or (self.data[:20] + "…" if len(self.data) > 20
+                              else self.data)
+        return f"<PullEvent {self.kind} {ident!r} depth={self.depth}>"
+
+
+class XmlPullParser:
+    """Pull events from an XML document with tag-balance enforcement.
+
+    Typical SOAP decode loop::
+
+        pp = XmlPullParser(body_text)
+        pp.require_start("Envelope")
+        pp.require_start("Body")
+        while pp.peek().kind == tokenizer.START:
+            name = pp.next().name
+            value = pp.read_text()
+            pp.require_end(name)
+    """
+
+    def __init__(self, text: str) -> None:
+        self._events = self._generate(text)
+        self._lookahead: Optional[PullEvent] = None
+        self.depth = 0
+
+    def _generate(self, text: str) -> Iterator[PullEvent]:
+        stack: List[str] = []
+        for tok in tk.Tokenizer(text).tokens():
+            if tok.kind == tk.START:
+                stack.append(tok.name)
+                yield PullEvent(tk.START, name=tok.name, attrs=tok.attrs,
+                                depth=len(stack))
+                if tok.self_closing:
+                    stack.pop()
+                    yield PullEvent(tk.END, name=tok.name, depth=len(stack))
+            elif tok.kind == tk.END:
+                if not stack:
+                    raise XmlParseError(f"unexpected </{tok.name}>",
+                                        line=tok.line, column=tok.column)
+                opened = stack.pop()
+                if opened != tok.name:
+                    raise XmlParseError(
+                        f"mismatched tag: <{opened}> closed by </{tok.name}>",
+                        line=tok.line, column=tok.column)
+                yield PullEvent(tk.END, name=tok.name, depth=len(stack))
+            elif tok.kind in (tk.TEXT, tk.CDATA):
+                if stack:
+                    yield PullEvent(tk.TEXT, data=tok.data, depth=len(stack))
+                elif tok.data.strip():
+                    raise XmlParseError("character data outside root element",
+                                        line=tok.line, column=tok.column)
+            # comments / PIs / doctype are invisible to pull consumers
+        if stack:
+            raise XmlParseError(f"unclosed element <{stack[-1]}>")
+
+    # ------------------------------------------------------------------
+    # pull API
+    # ------------------------------------------------------------------
+    def next(self) -> PullEvent:
+        """Return the next event; raises :class:`XmlParseError` at EOF."""
+        if self._lookahead is not None:
+            ev, self._lookahead = self._lookahead, None
+        else:
+            try:
+                ev = next(self._events)
+            except StopIteration:
+                raise XmlParseError("unexpected end of document")
+        self.depth = ev.depth
+        return ev
+
+    def peek(self) -> Optional[PullEvent]:
+        """Return the next event without consuming it (None at EOF)."""
+        if self._lookahead is None:
+            try:
+                self._lookahead = next(self._events)
+            except StopIteration:
+                return None
+        return self._lookahead
+
+    def at_eof(self) -> bool:
+        return self.peek() is None
+
+    # ------------------------------------------------------------------
+    # convenience combinators used by the SOAP decoder
+    # ------------------------------------------------------------------
+    def skip_text(self) -> None:
+        """Consume any whitespace-only text events."""
+        while True:
+            ev = self.peek()
+            if ev is None or ev.kind != tk.TEXT or ev.data.strip():
+                return
+            self.next()
+
+    def require_start(self, name: Optional[str] = None) -> PullEvent:
+        """Consume a START event, optionally checking its (local) name."""
+        self.skip_text()
+        ev = self.next()
+        if ev.kind != tk.START:
+            raise XmlParseError(f"expected a start tag, got {ev.kind}")
+        if name is not None and _local(ev.name) != _local(name):
+            raise XmlParseError(f"expected <{name}>, got <{ev.name}>")
+        return ev
+
+    def require_end(self, name: Optional[str] = None) -> PullEvent:
+        """Consume an END event, optionally checking its (local) name."""
+        self.skip_text()
+        ev = self.next()
+        if ev.kind != tk.END:
+            raise XmlParseError(f"expected an end tag, got {ev.kind}")
+        if name is not None and _local(ev.name) != _local(name):
+            raise XmlParseError(f"expected </{name}>, got </{ev.name}>")
+        return ev
+
+    def read_text(self) -> str:
+        """Concatenate text events up to the next structural event."""
+        parts: List[str] = []
+        while True:
+            ev = self.peek()
+            if ev is None or ev.kind != tk.TEXT:
+                return "".join(parts)
+            parts.append(self.next().data)
+
+    def read_element_text(self, name: Optional[str] = None) -> str:
+        """Consume ``<name>text</name>`` and return the text."""
+        start = self.require_start(name)
+        text = self.read_text()
+        self.require_end(start.name)
+        return text
+
+    def skip_element(self) -> None:
+        """Consume the current element (START already peeked) entirely."""
+        start = self.require_start()
+        depth = 1
+        while depth:
+            ev = self.next()
+            if ev.kind == tk.START:
+                depth += 1
+            elif ev.kind == tk.END:
+                depth -= 1
+        del start
+
+
+def _local(name: str) -> str:
+    return name.rsplit(":", 1)[-1]

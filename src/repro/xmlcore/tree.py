@@ -1,0 +1,229 @@
+"""A lightweight element tree built on the tokenizer.
+
+The SOAP and WSDL layers want a small DOM: elements with a tag, an attribute
+dict, text content and child elements.  This module provides exactly that —
+no parent pointers, no tail-text split (text is normalized into explicit
+child order), no schema awareness.
+
+The design mirrors ``xml.etree.ElementTree`` closely enough that users find
+it familiar, but it is implemented entirely on top of
+:mod:`repro.xmlcore.tokenizer` so that the whole XML path of the
+reproduction is self-contained and measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from . import tokenizer as tk
+from .errors import XmlParseError
+
+Child = Union["Element", str]
+
+
+class Element:
+    """An XML element: tag, attributes, and ordered children.
+
+    Children are either :class:`Element` instances or plain strings
+    (character data).  ``text`` gives the concatenation of all string
+    children, which is what SOAP parameter decoding needs.
+    """
+
+    __slots__ = ("tag", "attrib", "children")
+
+    def __init__(self, tag: str, attrib: Optional[Dict[str, str]] = None,
+                 text: Optional[str] = None) -> None:
+        self.tag = tag
+        self.attrib: Dict[str, str] = dict(attrib) if attrib else {}
+        self.children: List[Child] = []
+        if text is not None:
+            self.children.append(text)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: Child) -> Child:
+        """Append a child element or text node and return it."""
+        self.children.append(child)
+        return child
+
+    def subelement(self, tag: str, attrib: Optional[Dict[str, str]] = None,
+                   text: Optional[str] = None) -> "Element":
+        """Create, append and return a child element."""
+        el = Element(tag, attrib, text)
+        self.children.append(el)
+        return el
+
+    def set(self, key: str, value: str) -> None:
+        self.attrib[key] = value
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrib.get(key, default)
+
+    @property
+    def text(self) -> str:
+        """All character data directly under this element, concatenated."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    @text.setter
+    def text(self, value: str) -> None:
+        self.children = [c for c in self.children if isinstance(c, Element)]
+        if value:
+            self.children.insert(0, value)
+
+    def elements(self) -> List["Element"]:
+        """The element (non-text) children, in document order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child with the given tag (local name match allowed).
+
+        A tag of ``"ns:name"`` matches exactly; a tag of ``"name"`` also
+        matches any prefixed child whose local part is ``name``.  This
+        mirrors how SOAP stacks tolerate varying namespace prefixes.
+        """
+        for child in self.children:
+            if isinstance(child, Element) and _tag_matches(child.tag, tag):
+                return child
+        return None
+
+    def findall(self, tag: str) -> List["Element"]:
+        """All direct children matching ``tag`` (see :meth:`find`)."""
+        return [c for c in self.children
+                if isinstance(c, Element) and _tag_matches(c.tag, tag)]
+
+    def findtext(self, tag: str, default: str = "") -> str:
+        found = self.find(tag)
+        return found.text if found is not None else default
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    @property
+    def local_name(self) -> str:
+        """Tag with any namespace prefix stripped."""
+        return self.tag.rsplit(":", 1)[-1]
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.elements())
+
+    def __getitem__(self, index: int) -> "Element":
+        return self.elements()[index]
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self.elements())
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag!r} attrs={len(self.attrib)} children={len(self.children)}>"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality ignoring inter-element whitespace."""
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (self.tag == other.tag and self.attrib == other.attrib
+                and _significant(self.children) == _significant(other.children))
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+
+def _tag_matches(actual: str, wanted: str) -> bool:
+    if actual == wanted:
+        return True
+    if ":" not in wanted and ":" in actual:
+        return actual.rsplit(":", 1)[1] == wanted
+    return False
+
+
+def _significant(children: List[Child]) -> List[Child]:
+    """Children with whitespace-only text nodes removed (for ==)."""
+    out: List[Child] = []
+    for c in children:
+        if isinstance(c, str):
+            if c.strip():
+                out.append(c)
+        else:
+            out.append(c)
+    return out
+
+
+def parse(text: str, keep_whitespace: bool = False) -> Element:
+    """Parse an XML document string into its root :class:`Element`.
+
+    Inter-element whitespace-only text is dropped unless ``keep_whitespace``
+    is true; text inside leaf elements is always preserved verbatim.
+
+    Raises :class:`XmlParseError` on any well-formedness violation,
+    including unbalanced tags, multiple roots and trailing garbage.
+    """
+    root: Optional[Element] = None
+    stack: List[Element] = []
+    for tok in tk.Tokenizer(text).tokens():
+        if tok.kind == tk.START:
+            el = Element(tok.name, tok.attrs)
+            if stack:
+                stack[-1].children.append(el)
+            elif root is None:
+                root = el
+            else:
+                raise XmlParseError("multiple root elements",
+                                    line=tok.line, column=tok.column)
+            if not tok.self_closing:
+                stack.append(el)
+            elif not keep_whitespace:
+                _strip_structural_whitespace(el)
+        elif tok.kind == tk.END:
+            if not stack:
+                raise XmlParseError(f"unexpected </{tok.name}>",
+                                    line=tok.line, column=tok.column)
+            open_el = stack.pop()
+            if open_el.tag != tok.name:
+                raise XmlParseError(
+                    f"mismatched tag: <{open_el.tag}> closed by </{tok.name}>",
+                    line=tok.line, column=tok.column)
+            if not keep_whitespace:
+                _strip_structural_whitespace(open_el)
+        elif tok.kind in (tk.TEXT, tk.CDATA):
+            if stack:
+                stack[-1].children.append(tok.data)
+            elif tok.data.strip():
+                raise XmlParseError("character data outside root element",
+                                    line=tok.line, column=tok.column)
+        # comments, PIs and DOCTYPE are skipped by the tree builder
+    if stack:
+        raise XmlParseError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XmlParseError("no root element")
+    return root
+
+
+def _strip_structural_whitespace(el: Element) -> None:
+    """Remove indentation-only text from an element with element children.
+
+    Called when an element is closed: if it contains element children and
+    *no* non-whitespace text, any whitespace-only strings are indentation and
+    are dropped.  Pure-text elements (even whitespace-only ones) keep their
+    text verbatim.
+    """
+    has_elements = any(isinstance(c, Element) for c in el.children)
+    if not has_elements:
+        return
+    has_real_text = any(isinstance(c, str) and c.strip() for c in el.children)
+    if has_real_text:
+        return
+    el.children = [c for c in el.children if isinstance(c, Element)]
+
+
+def fromstring(text: str) -> Element:
+    """Alias for :func:`parse` matching the ElementTree naming."""
+    return parse(text)

@@ -1,0 +1,136 @@
+"""Serialization of :class:`~repro.xmlcore.tree.Element` trees to text.
+
+The writer is deliberately simple and fast: a single recursive walk that
+appends to a list and joins once.  Two styles are offered:
+
+* compact (default) — no added whitespace, byte-for-byte deterministic,
+  used on the wire;
+* indented — human-readable, used by examples and debugging output.
+
+Escaping follows the XML 1.0 rules: ``& < >`` always, quotes only inside
+attribute values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from .errors import XmlWriteError
+from .tree import Element
+
+_NAME_OK = re.compile(r"^[A-Za-z_:][-A-Za-z0-9._:]*$")
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+_TEXT_RX = re.compile(r"[&<>]")
+_ATTR_RX = re.compile(r'[&<>"]')
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content.
+
+    >>> escape_text("a < b & c")
+    'a &lt; b &amp; c'
+    """
+    if _TEXT_RX.search(value) is None:
+        return value
+    return _TEXT_RX.sub(lambda m: _TEXT_ESCAPES[m.group()], value)
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value (double-quote delimited)."""
+    if _ATTR_RX.search(value) is None:
+        return value
+    return _ATTR_RX.sub(lambda m: _ATTR_ESCAPES[m.group()], value)
+
+
+def tostring(element: Element, indent: Union[int, None] = None,
+             xml_declaration: bool = False) -> str:
+    """Serialize ``element`` (and descendants) to an XML string.
+
+    Parameters
+    ----------
+    element:
+        Root of the tree to serialize.
+    indent:
+        ``None`` for compact output; an integer for pretty-printing with
+        that many spaces per nesting level.  Elements with text content are
+        kept on one line so round-tripping preserves their text exactly.
+    xml_declaration:
+        Prepend ``<?xml version="1.0" encoding="utf-8"?>``.
+    """
+    parts: List[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="utf-8"?>')
+        if indent is not None:
+            parts.append("\n")
+    _write(element, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(el: Element, parts: List[str], indent: Union[int, None],
+           depth: int) -> None:
+    if not _NAME_OK.match(el.tag):
+        raise XmlWriteError(f"invalid element name {el.tag!r}")
+    pad = "" if indent is None else " " * (indent * depth)
+    parts.append(pad)
+    parts.append("<")
+    parts.append(el.tag)
+    for key, value in el.attrib.items():
+        if not _NAME_OK.match(key):
+            raise XmlWriteError(f"invalid attribute name {key!r}")
+        parts.append(f' {key}="{escape_attr(value)}"')
+    if not el.children:
+        parts.append("/>")
+        if indent is not None:
+            parts.append("\n")
+        return
+    parts.append(">")
+
+    has_element_children = any(isinstance(c, Element) for c in el.children)
+    pretty_children = indent is not None and has_element_children and not any(
+        isinstance(c, str) and c.strip() for c in el.children)
+
+    if pretty_children:
+        parts.append("\n")
+        for child in el.children:
+            if isinstance(child, Element):
+                _write(child, parts, indent, depth + 1)
+            # whitespace-only strings are dropped in pretty mode
+            elif child.strip():
+                parts.append(" " * (indent * (depth + 1)))
+                parts.append(escape_text(child))
+                parts.append("\n")
+        parts.append(pad)
+    else:
+        for child in el.children:
+            if isinstance(child, Element):
+                _write(child, parts, None, 0)
+            else:
+                parts.append(escape_text(child))
+    parts.append(f"</{el.tag}>")
+    if indent is not None:
+        parts.append("\n")
+
+
+def canonical(element: Element) -> str:
+    """A canonical compact form with sorted attributes.
+
+    Useful for comparing documents produced by different code paths (the
+    compatibility-mode tests round-trip XML through PBIO and back and need
+    an order-insensitive comparison for attributes).
+    """
+    clone = _sorted_clone(element)
+    return tostring(clone)
+
+
+def _sorted_clone(el: Element) -> Element:
+    out = Element(el.tag, dict(sorted(el.attrib.items())))
+    for child in el.children:
+        if isinstance(child, Element):
+            out.children.append(_sorted_clone(child))
+        elif child.strip():
+            out.children.append(child)
+    return out

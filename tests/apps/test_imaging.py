@@ -1,0 +1,125 @@
+"""Tests for the imaging application (Fig. 8 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.imaging import (DEFAULT_QUALITY_FILE, ImageServer,
+                                ImagingClient, fixed_policy_quality_file,
+                                image_to_value, resize_half_handler,
+                                run_imaging_experiment, value_to_image)
+from repro.core import AttributeStore
+from repro.media import starfield
+from repro.netsim import LinkModel, VirtualClock
+from repro.transport import DirectChannel, SimChannel
+
+
+class TestValueConversion:
+    def test_roundtrip(self):
+        image = starfield(32, 24, seed=1)
+        value = image_to_value("x.ppm", image)
+        np.testing.assert_array_equal(value_to_image(value), image)
+
+    def test_value_shape(self):
+        value = image_to_value("x.ppm", starfield(32, 24, seed=1))
+        assert value["width"] == 32
+        assert value["height"] == 24
+        assert len(value["pixels"]) == 32 * 24 * 3
+
+
+class TestResizeHandler:
+    def test_resizes_to_quarter_pixels(self):
+        server = ImageServer(n_images=1)
+        full = server.registry.by_name("ImageFull")
+        half = server.registry.by_name("ImageHalf")
+        value = image_to_value("s.ppm", starfield(64, 48, seed=2))
+        out = resize_half_handler(value, full, half, server.registry,
+                                  AttributeStore())
+        assert out["width"] == 32
+        assert out["height"] == 24
+        assert len(out["pixels"]) == 32 * 24 * 3
+
+
+class TestServerClient:
+    def test_request_full_image(self):
+        server = ImageServer(n_images=2)
+        client = ImagingClient(DirectChannel(server.endpoint),
+                               server.registry)
+        image = client.request_image("sky00.ppm", "identity")
+        np.testing.assert_array_equal(image, server.library["sky00.ppm"])
+
+    def test_edge_detection_applied(self):
+        server = ImageServer(n_images=1)
+        client = ImagingClient(DirectChannel(server.endpoint),
+                               server.registry)
+        edges = client.request_image("sky00.ppm", "edge")
+        assert edges.shape == (480, 640, 3)
+        assert not np.array_equal(edges, server.library["sky00.ppm"])
+
+    def test_unknown_image_fails(self):
+        from repro.core import BinProtocolError
+        server = ImageServer(n_images=1)
+        client = ImagingClient(DirectChannel(server.endpoint),
+                               server.registry)
+        with pytest.raises(BinProtocolError):
+            client.request_image("nope.ppm")
+
+    def test_unknown_operation_fails(self):
+        from repro.core import BinProtocolError
+        server = ImageServer(n_images=1)
+        client = ImagingClient(DirectChannel(server.endpoint),
+                               server.registry)
+        with pytest.raises(BinProtocolError):
+            client.request_image("sky00.ppm", "sharpen")
+
+    def test_full_response_near_1mb(self):
+        """'the ideal response is close to 1MB in size'"""
+        server = ImageServer(n_images=1)
+        channel = DirectChannel(server.endpoint)
+        client = ImagingClient(channel, server.registry)
+        client.request_image("sky00.ppm", "identity")
+        # no direct size hook on DirectChannel; check via the value
+        value = image_to_value("s", server.library["sky00.ppm"])
+        assert 900_000 < len(value["pixels"]) < 1_000_000
+
+    def test_degrades_on_slow_link(self):
+        clock = VirtualClock()
+        server = ImageServer(n_images=1, prep_time_fn=clock.now)
+        slow = LinkModel(2e6, 0.02)  # 2 Mbps: ~3.7 s for a full image
+        channel = SimChannel(server.endpoint, slow, clock)
+        client = ImagingClient(channel, server.registry, clock=clock)
+        sizes = []
+        for _ in range(6):
+            image = client.request_image("sky00.ppm", "identity")
+            sizes.append(image.shape)
+        assert sizes[0] == (480, 640, 3)       # first response is full
+        assert sizes[-1] == (240, 320, 3)      # adapted to half
+
+
+class TestExperimentHarness:
+    def test_fixed_policies_bracket_adaptive(self):
+        # the full scenario (congestion ramps up then back down) is needed
+        # for the bracketing property to hold
+        full = run_imaging_experiment("full", duration=90.0)
+        half = run_imaging_experiment("half", duration=90.0)
+        adaptive = run_imaging_experiment("adaptive", duration=90.0)
+
+        def mean_rt(points):
+            return sum(p.response_time for p in points) / len(points)
+
+        assert mean_rt(half) < mean_rt(adaptive) < mean_rt(full)
+
+    def test_adaptive_switches_sizes(self):
+        points = run_imaging_experiment("adaptive", duration=40.0)
+        sizes = {p.response_bytes for p in points}
+        assert max(sizes) > 3 * min(sizes)  # both resolutions seen
+
+    def test_fixed_policy_file_shape(self):
+        text = fixed_policy_quality_file("ImageHalf")
+        assert "0.0 inf - ImageHalf" in text
+        assert "resize_half" in text
+
+    def test_points_ordered_in_time(self):
+        points = run_imaging_experiment("half", duration=20.0)
+        times = [p.time for p in points]
+        assert times == sorted(times)
+        assert len(points) > 5

@@ -1,0 +1,222 @@
+"""Tests for the bond server, airline OIS and remote-visualization apps."""
+
+import pytest
+
+from repro.apps.airline import (AirlineDataset, AirlineServer,
+                                CateringClient, event_encodings,
+                                event_stream)
+from repro.apps.mdbond import (BondClient, BondServer, empty_timestep,
+                               run_mdbond_experiment, take_batch_handler)
+from repro.apps.remoteviz import DisplayClient, ServicePortal
+from repro.core import AttributeStore
+from repro.netsim import LinkModel, VirtualClock
+from repro.pbio import FormatRegistry
+from repro.transport import DirectChannel, SimChannel
+from repro.wsdl import parse_wsdl
+from repro.xmlcore import parse
+
+
+class TestBondServer:
+    def test_fetch_window(self):
+        server = BondServer(n_atoms=30)
+        client = BondClient(DirectChannel(server.endpoint), server.registry)
+        batch = client.fetch(0)
+        assert len(batch) == 4
+        assert [ts["step"] for ts in batch] == [0, 1, 2, 3]
+
+    def test_cursor_advances(self):
+        server = BondServer(n_atoms=30)
+        client = BondClient(DirectChannel(server.endpoint), server.registry)
+        first = client.fetch()
+        second = client.fetch()
+        assert second[0]["step"] == first[-1]["step"] + 1
+
+    def test_history_stable(self):
+        """Re-fetching the same window returns identical data."""
+        server = BondServer(n_atoms=20)
+        client = BondClient(DirectChannel(server.endpoint), server.registry)
+        a = client.fetch(2)
+        b = client.fetch(2)
+        assert a == b
+
+    def test_negative_start_rejected(self):
+        from repro.core import BinProtocolError
+        server = BondServer(n_atoms=20)
+        client = BondClient(DirectChannel(server.endpoint), server.registry)
+        with pytest.raises(BinProtocolError):
+            client.fetch(-1)
+
+    def test_take_batch_handler(self):
+        server = BondServer(n_atoms=20)
+        big = server.registry.by_name("BondBatch4")
+        small = server.registry.by_name("BondBatch1")
+        window = {"count": 4,
+                  "timesteps": [dict(empty_timestep(), step=i)
+                                for i in range(4)]}
+        out = take_batch_handler(window, big, small, server.registry,
+                                 AttributeStore())
+        assert out["count"] == 1
+        assert out["timesteps"][0]["step"] == 0
+
+    def test_degrades_to_fewer_timesteps(self):
+        clock = VirtualClock()
+        server = BondServer(n_atoms=100, prep_time_fn=clock.now)
+        terrible = LinkModel(5e4, 0.05)  # 50 kbps
+        channel = SimChannel(server.endpoint, terrible, clock)
+        client = BondClient(channel, server.registry, clock=clock)
+        lengths = [len(client.fetch()) for _ in range(8)]
+        assert lengths[0] == 4
+        assert lengths[-1] == 1
+
+    def test_experiment_policies(self):
+        four = run_mdbond_experiment("four", duration=25.0)
+        one = run_mdbond_experiment("one", duration=25.0)
+        adaptive = run_mdbond_experiment("adaptive", duration=25.0)
+
+        def mean_rt(points):
+            return sum(p.response_time for p in points) / len(points)
+
+        assert mean_rt(one) < mean_rt(four)
+        assert mean_rt(one) <= mean_rt(adaptive) <= mean_rt(four)
+        assert {p.timesteps_delivered for p in four} == {4}
+        assert {p.timesteps_delivered for p in one} == {1}
+        assert len({p.timesteps_delivered for p in adaptive}) >= 2
+
+
+class TestAirline:
+    def test_dataset_deterministic(self):
+        a = AirlineDataset(seed=5).catering_for("DL100")
+        b = AirlineDataset(seed=5).catering_for("DL100")
+        assert a == b
+
+    def test_catering_structure(self):
+        dataset = AirlineDataset(passengers_per_flight=10)
+        value = dataset.catering_for("DL101")
+        assert len(value["orders"]) == 10
+        assert value["origin"] != value["dest"]
+
+    def test_unknown_flight(self):
+        with pytest.raises(KeyError):
+            AirlineDataset().catering_for("ZZ999")
+
+    def test_business_rule_updates_manifest(self):
+        dataset = AirlineDataset(seed=3)
+        before = {f: dataset.catering_for(f)
+                  for f in dataset.flight_numbers()}
+        changed = dataset.apply_update()
+        assert dataset.catering_for(changed) != before[changed]
+
+    def test_event_stream_yields_fresh_excerpts(self):
+        dataset = AirlineDataset()
+        events = list(event_stream(dataset, 5))
+        assert len(events) == 5
+        assert all("orders" in e for e in events)
+
+    def test_server_roundtrip_bin_and_xml(self):
+        server = AirlineServer(passengers_per_flight=8)
+        for style in ("bin", "xml"):
+            client = CateringClient(DirectChannel(server.endpoint),
+                                    server.registry, style=style)
+            value = client.catering("DL100")
+            assert len(value["orders"]) == 8
+
+    def test_table1_size_relationships(self):
+        """The paper's Table I ordering: XML >> compressed > PBIO ~= bin."""
+        dataset = AirlineDataset()
+        value = dataset.catering_for("DL100")
+        encodings = event_encodings()
+        sizes = {name: enc.wire_size(value)
+                 for name, enc in encodings.items()}
+        assert sizes["SOAP"] > 3.5 * sizes["SOAP-bin"]
+        assert sizes["Native PBIO"] <= sizes["SOAP-bin"]
+        assert sizes["SOAP (compressed XML)"] < sizes["SOAP"]
+        # absolute ballpark of Table I (3898 / 860 / 860 B)
+        assert 3000 < sizes["SOAP"] < 5000
+        assert 600 < sizes["SOAP-bin"] < 1200
+
+    def test_all_encodings_roundtrip(self):
+        dataset = AirlineDataset()
+        value = dataset.catering_for("DL102")
+        for name, enc in event_encodings().items():
+            assert enc.decode(enc.encode(value)) == value, name
+
+
+class TestRemoteViz:
+    @pytest.fixture()
+    def portal(self):
+        return ServicePortal()
+
+    def test_svg_response(self, portal):
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        out = client.refresh()
+        assert out["output_format"] == "svg"
+        svg = parse(out["svg"].split("?>", 1)[1])
+        assert svg.tag == "svg"
+
+    def test_svg_size_matches_paper_workload(self, portal):
+        """§IV-C.4 measures ~16 KB responses."""
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        out = client.refresh()
+        assert 8_000 < len(out["svg"]) < 40_000
+
+    def test_raw_output_format(self, portal):
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        client.set_output_format("raw")
+        out = client.refresh()
+        assert out["output_format"] == "raw"
+        assert len(out["raw"]["atoms"]) > 0
+        assert out["svg"] == ""
+
+    def test_dynamic_filter_change(self, portal):
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        full = client.refresh()
+        client.set_filter(
+            "return {'step': value['step'], "
+            "'atoms': value['atoms'][:5], 'bonds': []}")
+        filtered = client.refresh()
+        assert len(filtered["svg"]) < len(full["svg"])
+        client.set_filter("")
+        restored = client.refresh()
+        assert len(restored["svg"]) > len(filtered["svg"])
+
+    def test_filter_dropping_event(self, portal):
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        client.set_filter("return None")
+        out = client.refresh()
+        assert parse(out["svg"].split("?>", 1)[1]).findall("circle") == []
+
+    def test_bad_filter_rejected(self, portal):
+        from repro.core import BinProtocolError
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        client.set_filter("import os")
+        with pytest.raises(BinProtocolError):
+            client.refresh()
+
+    def test_bad_output_format_rejected(self, portal):
+        from repro.core import BinProtocolError
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        client.set_output_format("jpeg")
+        with pytest.raises(BinProtocolError):
+            client.refresh()
+
+    def test_frames_advance(self, portal):
+        client = DisplayClient(DirectChannel(portal.endpoint),
+                               portal.registry)
+        client.set_output_format("raw")
+        a = client.refresh()
+        b = client.refresh()
+        assert b["raw"]["step"] > a["raw"]["step"]
+
+    def test_wsdl_advertisement_parses(self, portal):
+        document = parse_wsdl(portal.wsdl())
+        assert document.name == "viz_portal"
+        ops = [op.name for op in document.all_operations()]
+        assert ops == ["GetVisualization"]
+        assert "Timestep" in document.types

@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness: timers, tables, datagen, figures."""
+
+import pytest
+
+from repro.bench import (datagen, figures, human_bytes, human_time,
+                         jitter_stats, mean, measure, percentile,
+                         print_table, render_table, stdev)
+from repro.netsim import LinkModel
+from repro.pbio import Array, FormatRegistry, Primitive, StructRef
+
+
+class TestTimers:
+    def test_measure_positive(self):
+        assert measure(lambda: sum(range(100)), repeat=2) > 0
+
+    def test_measure_runs_warmup(self):
+        calls = []
+        measure(lambda: calls.append(1), repeat=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_mean_stdev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        assert stdev([1.0, 1.0]) == 0.0
+        assert stdev([5.0]) == 0.0
+        assert stdev([1.0, 3.0]) == pytest.approx(1.4142, rel=1e-3)
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_jitter_stats_keys(self):
+        stats = jitter_stats([0.1, 0.2, 0.3])
+        assert set(stats) == {"mean", "stdev", "p5", "p95", "max", "min"}
+        assert stats["max"] == 0.3
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_render_handles_floats(self):
+        out = render_table(["x"], [[0.000012345]])
+        assert "e-05" in out
+
+    def test_print_table_no_crash(self, capsys):
+        print_table(["h"], [[1]])
+        assert "h" in capsys.readouterr().out
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.00 KiB"
+        assert human_bytes(1_572_864) == "1.50 MiB"
+
+    def test_human_time(self):
+        assert human_time(2.0) == "2.000 s"
+        assert human_time(0.002) == "2.000 ms"
+        assert human_time(0.0000021) == "2.1 us"
+
+
+class TestDatagen:
+    def test_int_array_value(self):
+        value = datagen.int_array_value(100)
+        assert len(value["data"]) == 100
+        assert value["data"].dtype.name == "int32"
+
+    def test_list_variant_matches(self):
+        np_value = datagen.int_array_value(50)
+        list_value = datagen.int_array_value_list(50)
+        assert list(np_value["data"]) == list_value["data"]
+
+    def test_nested_formats_chain(self):
+        formats = datagen.nested_struct_formats(4)
+        assert len(formats) == 5
+        assert formats[-1].name == "NestedL4"
+        assert formats[-1].field("child").ftype == StructRef("NestedL3")
+
+    def test_nested_value_matches_format(self):
+        registry = FormatRegistry()
+        fmt = datagen.register_nested_formats(registry, 3)
+        value = datagen.nested_struct_value(3)
+        from repro.pbio import CodecCompiler
+        compiler = CodecCompiler(registry)
+        payload = compiler.encoder(fmt)(value)
+        decoded, _ = compiler.decoder(fmt)(payload, 0)
+        assert decoded == value
+
+    def test_nested_value_deterministic(self):
+        assert datagen.nested_struct_value(5) == datagen.nested_struct_value(5)
+
+    def test_wide_nested(self):
+        formats = datagen.wide_nested_struct_formats(2)
+        value = datagen.wide_nested_struct_value(2)
+        assert len(value["children"]) == 3
+        assert formats[-1].field("children").ftype == Array(
+            StructRef("WideL1"), 3)
+
+    def test_native_size(self):
+        assert datagen.native_size_bytes({"a": 1, "b": 2.0}) == 12
+        assert datagen.native_size_bytes(["xy", 1]) == 6
+        assert datagen.native_size_bytes(
+            datagen.int_array_value(10)["data"]) == 40
+
+
+class TestFigures:
+    def test_representation_costs_consistent(self):
+        registry = FormatRegistry()
+        fmt = datagen.register_array_format(registry)
+        costs = figures.representation_costs(
+            "t", datagen.int_array_value(500), fmt, registry, repeat=1)
+        assert costs.pbio_bytes == pytest.approx(500 * 4 + 4)
+        assert costs.xml_bytes > 3 * costs.pbio_bytes
+        assert costs.pbio_encode_s > 0
+        assert costs.xml_parse_s > costs.pbio_decode_s
+
+    def test_cost_series_totals(self):
+        registry = FormatRegistry()
+        fmt = datagen.register_array_format(registry)
+        costs = [figures.representation_costs(
+            "t", datagen.int_array_value(200), fmt, registry, repeat=1)]
+        link = LinkModel(1e6, 0.01)
+        series = figures.cost_series(costs, link)[0]
+        expected = (costs[0].pbio_encode_s
+                    + link.latency_s + costs[0].pbio_bytes * 8 / 1e6
+                    + costs[0].pbio_decode_s)
+        assert series["pbio"] == pytest.approx(expected)
+
+    def test_mode_series_ordering(self):
+        registry = FormatRegistry()
+        fmt = datagen.register_array_format(registry)
+        costs = [figures.representation_costs(
+            "t", datagen.int_array_value(200), fmt, registry, repeat=1)]
+        series = figures.mode_series(costs, LinkModel(1e8, 0.0))[0]
+        assert (series["high_performance"] <= series["interoperability"]
+                <= series["compatibility"])
+
+    def test_fig4_rows_kind_validation(self):
+        with pytest.raises(ValueError):
+            figures.fig4_rows("bogus")
+
+    def test_table1_protocols(self):
+        rows = figures.table1_rows(repeat=1)
+        assert {r["protocol"] for r in rows} == {
+            "SOAP", "SOAP-bin", "Native PBIO", "SOAP (compressed XML)"}
+        assert all(r["events_per_sec"] > 0 for r in rows)
+
+    def test_remoteviz_response_shape(self):
+        result = figures.remoteviz_response(repeat=2)
+        assert result["response_time_s"] > 0
+        assert result["svg_bytes"] > 1000

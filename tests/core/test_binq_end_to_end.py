@@ -1,0 +1,325 @@
+"""End-to-end SOAP-bin / SOAP-binQ tests: all three modes, adaptation,
+RTT reporting, session behaviour, real sockets and failure injection."""
+
+import pytest
+
+from repro.core import (BinProtocolError, ConversionHandler, Mode,
+                        PBIO_CONTENT_TYPE, QualityManager, SoapBinClient,
+                        SoapBinService)
+from repro.netsim import (CrossTrafficSchedule, LinkModel, VirtualClock)
+from repro.pbio import BIG, Format, FormatRegistry
+from repro.soap import SoapClient
+from repro.transport import DirectChannel, HttpChannel, SimChannel, serve_endpoint
+from repro.xmlcore import parse
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict("EchoRequest",
+                                  {"data": "float64[]", "tag": "string"}))
+    reg.register(Format.from_dict("EchoResponse",
+                                  {"data": "float64[]", "tag": "string",
+                                   "count": "int32"}))
+    reg.register(Format.from_dict("EchoSmall", {"count": "int32"}))
+    return reg
+
+
+def echo_handler(params):
+    return {"data": params["data"], "tag": params["tag"],
+            "count": len(params["data"])}
+
+
+@pytest.fixture()
+def service(registry):
+    svc = SoapBinService(registry)
+    svc.add_operation("Echo", registry.by_name("EchoRequest"),
+                      registry.by_name("EchoResponse"), echo_handler)
+    return svc
+
+
+class TestHighPerformanceMode:
+    def test_native_roundtrip(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        out = client.call("Echo", {"data": [1.0, 2.0], "tag": "hp"},
+                          registry.by_name("EchoRequest"),
+                          registry.by_name("EchoResponse"))
+        assert out["count"] == 2
+        assert out["tag"] == "hp"
+
+    def test_mode_enum_conversions(self):
+        assert Mode.HIGH_PERFORMANCE.xml_conversions == 0
+        assert Mode.INTEROPERABILITY.xml_conversions == 1
+        assert Mode.COMPATIBILITY.xml_conversions == 2
+
+    def test_wire_is_binary(self, service, registry):
+        captured = {}
+
+        def spy(body, content_type, headers):
+            captured["content_type"] = content_type
+            captured["body"] = body
+            return service.endpoint(body, content_type, headers)
+
+        client = SoapBinClient(DirectChannel(spy), registry)
+        client.call("Echo", {"data": [1.0], "tag": "t"},
+                    registry.by_name("EchoRequest"),
+                    registry.by_name("EchoResponse"))
+        assert captured["content_type"] == PBIO_CONTENT_TYPE
+        assert b"<" not in captured["body"][:2]  # PBIO magic, not XML
+
+    def test_announcement_only_on_first_call(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        fmt_in = registry.by_name("EchoRequest")
+        fmt_out = registry.by_name("EchoResponse")
+        client.call("Echo", {"data": [], "tag": ""}, fmt_in, fmt_out)
+        first_sent = client.session.stats.bytes_sent
+        client.call("Echo", {"data": [], "tag": ""}, fmt_in, fmt_out)
+        second_sent = client.session.stats.bytes_sent - first_sent
+        assert second_sent < first_sent
+        assert client.session.stats.announcements_sent == 1
+
+    def test_big_endian_client(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry,
+                               endian=BIG)
+        out = client.call("Echo", {"data": [3.5], "tag": "sparc"},
+                          registry.by_name("EchoRequest"),
+                          registry.by_name("EchoResponse"))
+        assert out["data"] == pytest.approx([3.5])
+
+    def test_multiple_clients_isolated_sessions(self, service, registry):
+        a = SoapBinClient(DirectChannel(service.endpoint), registry)
+        b = SoapBinClient(DirectChannel(service.endpoint), registry)
+        fmt_in = registry.by_name("EchoRequest")
+        fmt_out = registry.by_name("EchoResponse")
+        a.call("Echo", {"data": [], "tag": ""}, fmt_in, fmt_out)
+        b.call("Echo", {"data": [], "tag": ""}, fmt_in, fmt_out)
+        assert len(service._sessions) == 2
+
+
+class TestInteropAndCompatibilityModes:
+    def test_call_from_xml(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        xml = ("<EchoRequest><data><item>1.5</item><item>2.5</item></data>"
+               "<tag>db-row</tag></EchoRequest>")
+        out = client.call_from_xml("Echo", xml,
+                                   registry.by_name("EchoRequest"),
+                                   registry.by_name("EchoResponse"))
+        assert out["count"] == 2
+        assert out["tag"] == "db-row"
+
+    def test_call_xml_returns_xml(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        xml = "<EchoRequest><data><item>1.0</item></data><tag>x</tag></EchoRequest>"
+        response_xml = client.call_xml("Echo", xml,
+                                       registry.by_name("EchoRequest"),
+                                       registry.by_name("EchoResponse"))
+        doc = parse(response_xml)
+        assert doc.tag == "EchoResponse"
+        assert doc.findtext("count") == "1"
+
+    def test_xml_soap_client_interoperates(self, service, registry):
+        """A *standard* SOAP client talks to the same binary service."""
+        client = SoapClient(DirectChannel(service.endpoint), registry)
+        out = client.call("Echo", {"data": [9.0], "tag": "legacy"},
+                          registry.by_name("EchoRequest"),
+                          registry.by_name("EchoResponse"))
+        assert out["count"] == 1
+
+
+class TestConversionHandler:
+    def test_four_way_conversions(self, registry):
+        handler = ConversionHandler(registry.by_name("EchoRequest"), registry)
+        value = {"data": [1.0, 2.0], "tag": "t<&>"}
+        xml = handler.to_xml(value)
+        assert handler.from_xml(xml) == value
+        assert handler.from_xml(xml, streaming=False) == value
+        binary = handler.to_binary(value)
+        assert handler.from_binary(binary) == value
+
+    def test_compat_shortcuts(self, registry):
+        handler = ConversionHandler(registry.by_name("EchoRequest"), registry)
+        value = {"data": [4.0], "tag": "z"}
+        xml = handler.to_xml(value)
+        assert handler.binary_to_xml(handler.xml_to_binary(xml)) == xml
+
+    def test_binary_much_smaller_than_xml(self, registry):
+        registry.register(Format.from_dict("IntBlock", {"data": "int32[]"}))
+        handler = ConversionHandler(registry.by_name("IntBlock"), registry)
+        value = {"data": [100000 + i for i in range(500)]}
+        xml = handler.to_xml(value)
+        binary = handler.to_binary(value)
+        assert len(xml) > 3.5 * len(binary)  # the paper's 4-5x observation
+
+
+QUALITY = """
+attribute rtt
+history 1
+0.0  0.05 - EchoResponse
+0.05 inf  - EchoSmall
+"""
+
+
+class TestQualityAdaptation:
+    def test_server_downgrades_under_congestion(self, registry):
+        service = SoapBinService(registry, quality_text=QUALITY)
+        service.add_operation("Echo", registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"), echo_handler)
+        clock = VirtualClock()
+        slow = LinkModel(1e5, 0.1)  # dreadful link
+        channel = SimChannel(service.endpoint, slow, clock)
+        client = SoapBinClient(channel, registry, clock=clock)
+        fmt_in = registry.by_name("EchoRequest")
+        fmt_out = registry.by_name("EchoResponse")
+        first = client.call("Echo", {"data": [1.0] * 64, "tag": "t"},
+                            fmt_in, fmt_out)
+        # first response: server had no RTT report yet -> full message
+        assert first["tag"] == "t"
+        second = client.call("Echo", {"data": [1.0] * 64, "tag": "t"},
+                             fmt_in, fmt_out)
+        # now the client reported a huge RTT -> server sent EchoSmall,
+        # client padded the missing fields with zeroes
+        assert second["count"] == 64
+        assert second["tag"] == ""
+        assert list(second["data"]) == []
+
+    def test_server_recovers_when_conditions_improve(self, registry):
+        service = SoapBinService(registry, quality_text=QUALITY)
+        service.add_operation("Echo", registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"), echo_handler)
+        clock = VirtualClock()
+        schedule = CrossTrafficSchedule.steps([0.0, 0.99e6, 0.0], 10.0)
+        link = LinkModel(1e6, 0.001, cross_traffic=schedule,
+                         min_bandwidth_fraction=0.01)
+        channel = SimChannel(service.endpoint, link, clock)
+        client = SoapBinClient(channel, registry, clock=clock)
+        fmt_in = registry.by_name("EchoRequest")
+        fmt_out = registry.by_name("EchoResponse")
+        tags = []
+        for _ in range(40):
+            out = client.call("Echo", {"data": [1.0] * 100, "tag": "T"},
+                              fmt_in, fmt_out)
+            tags.append(out["tag"])
+            clock.advance(1.0)  # client think time between requests
+            if clock.now() > 35.0:
+                break
+        assert "" in tags      # degraded during congestion
+        assert tags[0] == "T"  # full at the start
+        assert tags[-1] == "T" or tags.count("T") > 1  # recovered
+
+    def test_client_side_request_quality(self, registry):
+        registry.register(Format.from_dict("EchoRequestSmall",
+                                           {"tag": "string"}))
+        service = SoapBinService(registry)
+        service.add_operation(
+            "Echo", registry.by_name("EchoRequest"),
+            registry.by_name("EchoResponse"), echo_handler,
+            request_message_types=("EchoRequestSmall",))
+        qm = QualityManager.from_text(
+            "history 1\n0 0.05 - EchoRequest\n0.05 inf - EchoRequestSmall\n",
+            registry)
+        client = SoapBinClient(DirectChannel(service.endpoint), registry,
+                               quality=qm)
+        qm.update_attribute("rtt", 1.0)  # pretend the link is bad
+        out = client.call("Echo", {"data": [1.0, 2.0], "tag": "keep"},
+                          registry.by_name("EchoRequest"),
+                          registry.by_name("EchoResponse"))
+        # request was reduced to tag-only; server padded data with []
+        assert out["tag"] == "keep"
+        assert out["count"] == 0
+
+    def test_update_attribute_requires_manager(self, service, registry):
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        with pytest.raises(BinProtocolError):
+            client.update_attribute("rtt", 1.0)
+
+
+class TestRttReporting:
+    def test_client_tracks_rtt(self, service, registry):
+        clock = VirtualClock()
+        channel = SimChannel(service.endpoint, LinkModel(1e6, 0.05), clock)
+        client = SoapBinClient(channel, registry, clock=clock)
+        client.call("Echo", {"data": [], "tag": ""},
+                    registry.by_name("EchoRequest"),
+                    registry.by_name("EchoResponse"))
+        assert client.estimator.estimate is not None
+        assert client.estimator.estimate >= 0.1  # two 50ms latencies
+
+    def test_server_time_header_present(self, service, registry):
+        channel = DirectChannel(service.endpoint)
+        reply = None
+        client = SoapBinClient(channel, registry)
+        client.call("Echo", {"data": [], "tag": ""},
+                    registry.by_name("EchoRequest"),
+                    registry.by_name("EchoResponse"))
+        assert client.last_rtt is not None
+
+
+class TestOverRealSockets:
+    def test_roundtrip(self, service, registry):
+        with serve_endpoint(service.endpoint) as server:
+            with HttpChannel(server.address) as channel:
+                client = SoapBinClient(channel, registry)
+                out = client.call("Echo", {"data": [1.0, 2.0, 3.0],
+                                           "tag": "tcp"},
+                                  registry.by_name("EchoRequest"),
+                                  registry.by_name("EchoResponse"))
+                assert out["count"] == 3
+
+    def test_mixed_clients_same_server(self, service, registry):
+        with serve_endpoint(service.endpoint) as server:
+            with HttpChannel(server.address) as bin_ch, \
+                    HttpChannel(server.address) as xml_ch:
+                bin_client = SoapBinClient(bin_ch, registry)
+                xml_client = SoapClient(xml_ch, registry)
+                fmt_in = registry.by_name("EchoRequest")
+                fmt_out = registry.by_name("EchoResponse")
+                a = bin_client.call("Echo", {"data": [1.0], "tag": "b"},
+                                    fmt_in, fmt_out)
+                b = xml_client.call("Echo", {"data": [1.0], "tag": "x"},
+                                    fmt_in, fmt_out)
+                assert a["count"] == b["count"] == 1
+
+
+class TestFailureInjection:
+    def test_unknown_operation_format(self, registry):
+        service = SoapBinService(registry)  # no operations registered
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        with pytest.raises(BinProtocolError):
+            client.call("Ghost", {"data": [], "tag": ""},
+                        registry.by_name("EchoRequest"),
+                        registry.by_name("EchoResponse"))
+
+    def test_truncated_binary_request(self, service):
+        reply = service.endpoint(b"PB\x01", PBIO_CONTENT_TYPE, {})
+        assert reply.status == 500
+
+    def test_garbage_binary_request(self, service):
+        reply = service.endpoint(b"\x00" * 64, PBIO_CONTENT_TYPE, {})
+        assert reply.status == 500
+
+    def test_handler_crash_surfaces(self, registry):
+        service = SoapBinService(registry)
+
+        def boom(params):
+            raise RuntimeError("kaboom")
+
+        service.add_operation("Echo", registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"), boom)
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        with pytest.raises(BinProtocolError) as ei:
+            client.call("Echo", {"data": [], "tag": ""},
+                        registry.by_name("EchoRequest"),
+                        registry.by_name("EchoResponse"))
+        assert "kaboom" in str(ei.value)
+
+    def test_bad_rtt_header_ignored(self, registry):
+        service = SoapBinService(registry, quality_text=QUALITY)
+        service.add_operation("Echo", registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"), echo_handler)
+        session_client = SoapBinClient(DirectChannel(service.endpoint),
+                                       registry)
+        body = session_client.session.pack_bytes(
+            registry.by_name("EchoRequest"), {"data": [], "tag": ""})
+        reply = service.endpoint(body, PBIO_CONTENT_TYPE,
+                                 {"X-BinQ-RTT": "not-a-number"})
+        assert reply.ok

@@ -1,0 +1,168 @@
+"""Tests for quality handlers, the handler registry and the quality manager."""
+
+import pytest
+
+from repro.core import (AttributeStore, HandlerRegistry, QualityFileError,
+                        QualityHandlerError, QualityManager,
+                        downsample_arrays_handler, trivial_handler)
+from repro.pbio import Format, FormatRegistry
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict(
+        "full", {"data": "float64[8]", "label": "string"}))
+    reg.register(Format.from_dict("half", {"data": "float64[4]"}))
+    reg.register(Format.from_dict("tiny", {"data": "float64[2]"}))
+    return reg
+
+
+POLICY = """
+attribute rtt
+history 1
+0.0  0.1 - full
+0.1  0.5 - half
+0.5  inf - tiny
+"""
+
+
+class TestHandlers:
+    def test_trivial_handler_projects(self, registry):
+        out = trivial_handler({"data": [1.0] * 8, "label": "x"},
+                              registry.by_name("full"),
+                              registry.by_name("half"),
+                              registry, AttributeStore())
+        assert out == {"data": [1.0] * 4}
+
+    def test_downsample_strides(self, registry):
+        value = {"data": [float(i) for i in range(8)], "label": "x"}
+        out = downsample_arrays_handler(value, registry.by_name("full"),
+                                        registry.by_name("half"), registry,
+                                        AttributeStore())
+        assert out["data"] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_downsample_preserves_non_arrays(self, registry):
+        fmt_src = Format.from_dict("s", {"n": "int32", "d": "float64[4]"})
+        fmt_dst = Format.from_dict("d", {"n": "int32", "d": "float64[2]"})
+        out = downsample_arrays_handler({"n": 7, "d": [1.0, 2.0, 3.0, 4.0]},
+                                        fmt_src, fmt_dst, registry,
+                                        AttributeStore())
+        assert out["n"] == 7
+        assert out["d"] == [1.0, 3.0]
+
+    def test_registry_builtins(self):
+        handlers = HandlerRegistry()
+        assert "project" in handlers
+        assert "downsample" in handlers
+
+    def test_register_and_get(self):
+        handlers = HandlerRegistry()
+
+        @handlers.handler("double")
+        def double(value, src, dst, registry, attrs):
+            return value
+
+        assert handlers.get("double") is double
+
+    def test_none_gives_trivial(self):
+        assert HandlerRegistry().get(None) is trivial_handler
+
+    def test_unknown_handler_raises(self):
+        with pytest.raises(QualityHandlerError):
+            HandlerRegistry().get("ghost")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QualityHandlerError):
+            HandlerRegistry().register("", trivial_handler)
+
+
+class TestQualityManager:
+    def test_unregistered_message_type_rejected(self, registry):
+        with pytest.raises(QualityFileError):
+            QualityManager.from_text("0 1 - ghost\n", registry)
+
+    def test_chooses_by_attribute(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        qm.update_attribute("rtt", 0.01)
+        assert qm.choose_message_type() == "full"
+        qm.update_attribute("rtt", 0.3)
+        assert qm.choose_message_type() == "half"
+        qm.update_attribute("rtt", 2.0)
+        assert qm.choose_message_type() == "tiny"
+
+    def test_outgoing_identity_when_unchanged(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        qm.update_attribute("rtt", 0.01)
+        value = {"data": [0.5] * 8, "label": "L"}
+        fmt, out = qm.outgoing(value, registry.by_name("full"))
+        assert fmt.name == "full"
+        assert out == value
+
+    def test_outgoing_projects_down(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        qm.update_attribute("rtt", 0.3)
+        fmt, out = qm.outgoing({"data": [1.0] * 8, "label": "L"},
+                               registry.by_name("full"))
+        assert fmt.name == "half"
+        assert out == {"data": [1.0] * 4}
+
+    def test_named_handler_used(self, registry):
+        handlers = HandlerRegistry()
+        qm = QualityManager.from_text(
+            POLICY + "handler half downsample\n", registry,
+            handlers=handlers)
+        qm.update_attribute("rtt", 0.3)
+        fmt, out = qm.outgoing(
+            {"data": [float(i) for i in range(8)], "label": "L"},
+            registry.by_name("full"))
+        assert out["data"] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_restore_pads(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        restored = qm.restore({"data": [1.0] * 4}, registry.by_name("half"),
+                              registry.by_name("full"))
+        assert restored["data"] == [1.0] * 4 + [0.0] * 4
+        assert restored["label"] == ""
+
+    def test_restore_identity(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        value = {"data": [1.0] * 8, "label": "x"}
+        assert qm.restore(value, registry.by_name("full"),
+                          registry.by_name("full")) is value
+
+    def test_observe_rtt_feeds_attribute(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        qm.observe_rtt(0.4)
+        assert qm.current_attribute_value() == pytest.approx(0.4)
+        assert qm.estimator.samples == 1
+
+    def test_hysteresis_respected(self, registry):
+        qm = QualityManager.from_text(POLICY.replace("history 1",
+                                                     "history 3"), registry)
+        qm.update_attribute("rtt", 0.01)
+        assert qm.choose_message_type() == "full"
+        qm.update_attribute("rtt", 2.0)
+        # needs 3 consecutive observations to switch
+        assert qm.choose_message_type() == "full"
+        assert qm.choose_message_type() == "full"
+        assert qm.choose_message_type() == "tiny"
+
+    def test_non_rtt_attribute_policy(self, registry):
+        """Policies can monitor any attribute, e.g. user resolution."""
+        policy = POLICY.replace("attribute rtt", "attribute resolution")
+        qm = QualityManager.from_text(policy, registry)
+        qm.update_attribute("resolution", 0.3)
+        assert qm.choose_message_type() == "half"
+        # rtt updates don't disturb a resolution-driven policy
+        qm.observe_rtt(99.0)
+        assert qm.choose_message_type() == "half"
+
+    def test_stats_snapshot(self, registry):
+        qm = QualityManager.from_text(POLICY, registry)
+        qm.observe_rtt(0.2)
+        qm.choose_message_type()
+        stats = qm.stats()
+        assert stats["attribute"] == "rtt"
+        assert stats["rtt_samples"] == 1
+        assert stats["current_message_type"] == "half"

@@ -1,0 +1,123 @@
+"""Tests for the quality-file DSL parser and policy selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (QualityFileError, QualityPolicy, QualityRule,
+                        format_quality_file, parse_quality_file)
+
+BASIC = """
+# imaging policy
+attribute rtt
+history 3
+0.0   0.080 - image_full
+0.080 0.5   - image_half
+0.5   inf   - image_quarter
+handler image_half resize_half
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        policy = parse_quality_file(BASIC)
+        assert policy.attribute == "rtt"
+        assert policy.history == 3
+        assert policy.message_types() == ["image_full", "image_half",
+                                          "image_quarter"]
+        assert policy.handlers == {"image_half": "resize_half"}
+
+    def test_paper_template_shape(self):
+        """The exact shape of the template in §III-B.b."""
+        text = ("0.0 0.1 - message_type_0\n"
+                "0.1 0.2 - message_type_1\n"
+                "0.2 0.4 - message_type_2\n")
+        policy = parse_quality_file(text)
+        assert len(policy.rules) == 3
+        assert policy.attribute == "rtt"  # default
+
+    def test_comments_and_blanks_ignored(self):
+        policy = parse_quality_file(
+            "# c\n\n0 1 - a  # trailing comment\n1 2 - b\n")
+        assert policy.message_types() == ["a", "b"]
+
+    def test_rules_sorted_by_interval(self):
+        policy = parse_quality_file("1 2 - high\n0 1 - low\n")
+        assert policy.message_types() == ["low", "high"]
+
+    def test_inf_upper_bound(self):
+        policy = parse_quality_file("0 inf - only\n")
+        assert policy.rules[0].hi == float("inf")
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "# only comments\n",
+        "0 1 a\n",                   # missing dash
+        "0 - a\n",                   # wrong arity
+        "x y - a\n",                 # non-numeric bounds
+        "1 1 - a\n",                 # empty interval
+        "2 1 - a\n",                 # inverted interval
+        "nan 1 - a\n",               # NaN bound
+        "0 1 - a\n0.5 2 - b\n",      # overlap
+        "0 1 - a\n2 3 - b\n",        # gap
+        "attribute\n0 1 - a\n",      # attribute arity
+        "history x\n0 1 - a\n",      # bad history
+        "history 0\n0 1 - a\n",      # history < 1
+        "handler a\n0 1 - a\n",      # handler arity
+        "0 1 - a\nhandler ghost h\n",  # handler for unknown type
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(QualityFileError):
+            parse_quality_file(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(QualityFileError) as ei:
+            parse_quality_file("0 1 - ok\nbroken line here also yes\n")
+        assert "line 2" in str(ei.value)
+
+
+class TestSelection:
+    def test_in_interval(self):
+        policy = parse_quality_file(BASIC)
+        assert policy.select(0.01).message_type == "image_full"
+        assert policy.select(0.1).message_type == "image_half"
+        assert policy.select(2.0).message_type == "image_quarter"
+
+    def test_boundaries_half_open(self):
+        policy = parse_quality_file("0 1 - a\n1 2 - b\n")
+        assert policy.select(1.0).message_type == "b"
+        assert policy.select(0.999).message_type == "a"
+
+    def test_below_range_takes_first(self):
+        policy = parse_quality_file("1 2 - a\n2 3 - b\n")
+        assert policy.select(0.5).message_type == "a"
+
+    def test_above_range_takes_last(self):
+        policy = parse_quality_file("0 1 - a\n1 2 - b\n")
+        assert policy.select(99.0).message_type == "b"
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(QualityFileError):
+            QualityPolicy().select(0.0)
+
+    @given(st.floats(min_value=-10, max_value=1000, allow_nan=False))
+    def test_selection_total(self, value):
+        policy = parse_quality_file(BASIC)
+        assert policy.select(value).message_type in policy.message_types()
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self):
+        policy = parse_quality_file(BASIC)
+        text = format_quality_file(policy)
+        again = parse_quality_file(text)
+        assert again.attribute == policy.attribute
+        assert again.history == policy.history
+        assert again.rules == policy.rules
+        assert again.handlers == policy.handlers
+
+    def test_rule_contains(self):
+        rule = QualityRule(1.0, 2.0, "m")
+        assert rule.contains(1.0)
+        assert rule.contains(1.5)
+        assert not rule.contains(2.0)
+        assert not rule.contains(0.5)

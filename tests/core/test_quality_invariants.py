@@ -1,0 +1,138 @@
+"""Property-based invariants of the quality-management machinery.
+
+These are the safety properties a downstream user relies on:
+
+* the manager's outgoing/restore pair never loses *shared* fields;
+* the chosen message type is always one the policy declares;
+* hysteresis never selects something that was never observed;
+* projection after any handler always matches the wire format exactly
+  (encodable without error).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (AttributeStore, HysteresisSelector, QualityManager,
+                        compile_quality_handler)
+from repro.pbio import CodecCompiler, Format, FormatRegistry
+
+FIELD_POOL = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+@st.composite
+def format_pair(draw):
+    """A 'full' format and a reduced subset format."""
+    names = draw(st.lists(st.sampled_from(FIELD_POOL), min_size=2,
+                          max_size=6, unique=True))
+    kinds = draw(st.lists(st.sampled_from(["int32", "float64", "string"]),
+                          min_size=len(names), max_size=len(names)))
+    full_fields = dict(zip(names, kinds))
+    keep = draw(st.integers(1, len(names)))
+    small_fields = dict(list(full_fields.items())[:keep])
+    return (Format.from_dict("FullMsg", full_fields),
+            Format.from_dict("SmallMsg", small_fields))
+
+
+def value_for(fmt, fill=1):
+    out = {}
+    for field in fmt.fields:
+        kind = field.ftype.kind
+        if kind == "string":
+            out[field.name] = f"s{fill}"
+        elif kind.startswith("float"):
+            out[field.name] = float(fill)
+        else:
+            out[field.name] = int(fill)
+    return out
+
+
+class TestManagerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(format_pair(), st.floats(min_value=0, max_value=100,
+                                    allow_nan=False))
+    def test_outgoing_restore_preserves_shared_fields(self, pair, rtt):
+        full, small = pair
+        registry = FormatRegistry()
+        registry.register(full)
+        registry.register(small)
+        qm = QualityManager.from_text(
+            "history 1\n0 0.5 - FullMsg\n0.5 inf - SmallMsg\n", registry)
+        qm.update_attribute("rtt", rtt)
+        value = value_for(full)
+        wire_fmt, wire_value = qm.outgoing(value, full)
+        assert wire_fmt.name in ("FullMsg", "SmallMsg")
+        restored = qm.restore(wire_value, wire_fmt, full)
+        for field in small.fields:  # shared fields always survive
+            assert restored[field.name] == value[field.name]
+
+    @settings(max_examples=40, deadline=None)
+    @given(format_pair(), st.floats(min_value=0, max_value=100,
+                                    allow_nan=False))
+    def test_wire_value_always_encodable(self, pair, rtt):
+        full, small = pair
+        registry = FormatRegistry()
+        registry.register(full)
+        registry.register(small)
+        compiler = CodecCompiler(registry)
+        qm = QualityManager.from_text(
+            "history 1\n0 0.5 - FullMsg\n0.5 inf - SmallMsg\n", registry)
+        qm.update_attribute("rtt", rtt)
+        wire_fmt, wire_value = qm.outgoing(value_for(full), full)
+        payload = compiler.encoder(wire_fmt)(wire_value)
+        decoded, _ = compiler.decoder(wire_fmt)(payload, 0)
+        assert decoded == wire_value
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                    min_size=1, max_size=60))
+    def test_chosen_type_always_declared(self, rtts):
+        registry = FormatRegistry()
+        registry.register(Format.from_dict("A", {"x": "int32"}))
+        registry.register(Format.from_dict("B", {"x": "int32",
+                                                 "pad": "string"}))
+        qm = QualityManager.from_text(
+            "history 2\n0 1 - A\n1 inf - B\n", registry)
+        declared = set(qm.policy.message_types())
+        for rtt in rtts:
+            qm.update_attribute("rtt", rtt)
+            assert qm.choose_message_type() in declared
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1,
+                    max_size=100),
+           st.integers(1, 5))
+    def test_hysteresis_only_selects_observed(self, choices, history):
+        selector = HysteresisSelector(history=history)
+        seen = set()
+        for choice in choices:
+            seen.add(choice)
+            assert selector.observe(choice) in seen
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b"]), min_size=2, max_size=100))
+    def test_hysteresis_switch_bound(self, choices):
+        """Switches are bounded by observations / history."""
+        selector = HysteresisSelector(history=3)
+        for choice in choices:
+            selector.observe(choice)
+        assert selector.switches <= len(choices) // 3
+
+
+class TestDynamicHandlerInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(format_pair())
+    def test_dynamic_handler_output_always_projectable(self, pair):
+        """Even a handler returning extra junk fields yields a wire value
+        that exactly matches the destination format."""
+        full, small = pair
+        registry = FormatRegistry()
+        registry.register(full)
+        registry.register(small)
+        handler = compile_quality_handler(
+            "value['junk_field'] = 'x'\nreturn value", "junky")
+        out = handler(value_for(full), full, small, registry,
+                      AttributeStore())
+        assert set(out) == set(small.field_names())
+        compiler = CodecCompiler(registry)
+        payload = compiler.encoder(small)(out)
+        assert compiler.decoder(small)(payload, 0)[0] == out

@@ -1,0 +1,166 @@
+"""Tests for RTT estimation, hysteresis and quality attributes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (AttributeStore, HysteresisSelector, RttEstimator,
+                        DEFAULT_ALPHA)
+
+
+class TestRttEstimator:
+    def test_first_sample_is_estimate(self):
+        est = RttEstimator()
+        assert est.estimate is None
+        assert est.update(0.5) == 0.5
+
+    def test_exponential_averaging_formula(self):
+        est = RttEstimator(alpha=0.875)
+        est.update(1.0)
+        # R = 0.875 * 1.0 + 0.125 * 2.0
+        assert est.update(2.0) == pytest.approx(0.875 + 0.25)
+
+    def test_default_alpha_matches_paper(self):
+        assert DEFAULT_ALPHA == 0.875
+
+    def test_server_time_subtracted(self):
+        est = RttEstimator()
+        assert est.update(1.0, server_time=0.4) == pytest.approx(0.6)
+
+    def test_server_time_larger_than_sample_clamps_to_zero(self):
+        est = RttEstimator()
+        assert est.update(0.1, server_time=0.5) == 0.0
+
+    def test_sample_counter(self):
+        est = RttEstimator()
+        for _ in range(5):
+            est.update(0.1)
+        assert est.samples == 5
+
+    def test_reset(self):
+        est = RttEstimator()
+        est.update(1.0)
+        est.reset()
+        assert est.estimate is None and est.samples == 0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator(alpha=1.0)
+        with pytest.raises(ValueError):
+            RttEstimator(alpha=-0.1)
+
+    def test_converges_to_steady_value(self):
+        est = RttEstimator()
+        est.update(10.0)
+        for _ in range(200):
+            est.update(1.0)
+        assert est.estimate == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=50))
+    def test_estimate_bounded_by_samples(self, samples):
+        est = RttEstimator()
+        for s in samples:
+            est.update(s)
+        assert min(samples) - 1e-9 <= est.estimate <= max(samples) + 1e-9
+
+
+class TestHysteresisSelector:
+    def test_first_choice_adopted(self):
+        sel = HysteresisSelector(history=3)
+        assert sel.observe("big") == "big"
+
+    def test_switch_requires_consecutive_votes(self):
+        sel = HysteresisSelector(history=3)
+        sel.observe("big")
+        assert sel.observe("small") == "big"
+        assert sel.observe("small") == "big"
+        assert sel.observe("small") == "small"
+        assert sel.switches == 1
+
+    def test_interrupted_votes_reset(self):
+        sel = HysteresisSelector(history=3)
+        sel.observe("big")
+        sel.observe("small")
+        sel.observe("small")
+        sel.observe("big")  # back home, votes cleared
+        sel.observe("small")
+        sel.observe("small")
+        assert sel.current == "big"
+
+    def test_candidate_change_resets_votes(self):
+        sel = HysteresisSelector(history=2)
+        sel.observe("a")
+        sel.observe("b")
+        sel.observe("c")  # different candidate
+        assert sel.current == "a"
+        sel.observe("c")
+        assert sel.current == "c"
+
+    def test_history_one_switches_immediately(self):
+        sel = HysteresisSelector(history=1)
+        sel.observe("a")
+        assert sel.observe("b") == "b"
+        assert sel.switches == 1
+
+    def test_oscillation_suppressed(self):
+        """The paper's oscillation scenario: alternating instantaneous
+        choices must not flip the selection back and forth."""
+        sel = HysteresisSelector(history=3)
+        sel.observe("big")
+        for _ in range(20):
+            sel.observe("small")
+            sel.observe("big")
+        assert sel.switches == 0
+        assert sel.current == "big"
+
+    def test_bad_history_rejected(self):
+        with pytest.raises(ValueError):
+            HysteresisSelector(history=0)
+
+    def test_reset(self):
+        sel = HysteresisSelector(history=2)
+        sel.observe("a")
+        sel.reset()
+        assert sel.current is None
+
+
+class TestAttributeStore:
+    def test_update_and_get(self):
+        store = AttributeStore()
+        store.update_attribute("rtt", 0.25)
+        assert store.get("rtt") == 0.25
+
+    def test_default_value(self):
+        assert AttributeStore().get("missing", 9.0) == 9.0
+
+    def test_initial_values(self):
+        store = AttributeStore({"cpu_load": 0.5})
+        assert store.has("cpu_load")
+        assert not store.has("rtt")
+
+    def test_snapshot_is_copy(self):
+        store = AttributeStore({"a": 1.0})
+        snap = store.snapshot()
+        snap["a"] = 99.0
+        assert store.get("a") == 1.0
+
+    def test_listener_notified(self):
+        store = AttributeStore()
+        seen = []
+        store.subscribe(lambda name, value: seen.append((name, value)))
+        store.update_attribute("rtt", 0.1)
+        assert seen == [("rtt", 0.1)]
+
+    def test_unsubscribe(self):
+        store = AttributeStore()
+        seen = []
+        listener = lambda n, v: seen.append(v)  # noqa: E731
+        store.subscribe(listener)
+        store.unsubscribe(listener)
+        store.update_attribute("rtt", 0.1)
+        assert seen == []
+
+    def test_value_coerced_to_float(self):
+        store = AttributeStore()
+        store.update_attribute("n", 3)
+        assert isinstance(store.get("n"), float)

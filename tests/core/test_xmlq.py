@@ -1,0 +1,145 @@
+"""Tests for quality management over the pure-XML SOAP path."""
+
+import pytest
+
+from repro.core import (SoapBinService, XmlQualityClient,
+                        build_attribute_headers, build_message_type_header,
+                        parse_attribute_headers, parse_message_type_header)
+from repro.netsim import LinkModel, VirtualClock
+from repro.pbio import Format, FormatRegistry
+from repro.soap import SoapClient, SoapFault, parse_envelope
+from repro.soap.envelope import build_envelope, envelope_to_bytes
+from repro.transport import DirectChannel, HttpChannel, SimChannel, serve_endpoint
+from repro.xmlcore import BINQ_NS, Element
+
+
+class TestHeaderEntries:
+    def _roundtrip(self, header_entries):
+        payload = envelope_to_bytes(
+            build_envelope([Element("Op")], header_entries))
+        return parse_envelope(payload)
+
+    def test_attribute_headers_roundtrip(self):
+        entries = build_attribute_headers({"rtt": 0.25, "cpu_load": 0.9})
+        envelope = self._roundtrip(entries)
+        attrs = parse_attribute_headers(envelope)
+        assert attrs == {"rtt": 0.25, "cpu_load": 0.9}
+
+    def test_attribute_headers_namespaced(self):
+        entry = build_attribute_headers({"rtt": 1.0})[0]
+        assert entry.get("xmlns:binq") == BINQ_NS
+
+    def test_bad_attribute_values_skipped(self):
+        broken = Element("binq:attribute", {"name": "rtt", "value": "NaN?"})
+        missing = Element("binq:attribute", {"value": "1.0"})
+        envelope = self._roundtrip([broken, missing])
+        assert parse_attribute_headers(envelope) == {}
+
+    def test_no_header_is_empty(self):
+        envelope = self._roundtrip(None)
+        assert parse_attribute_headers(envelope) == {}
+        assert parse_message_type_header(envelope) is None
+
+    def test_message_type_roundtrip(self):
+        envelope = self._roundtrip([build_message_type_header("ImageHalf")])
+        assert parse_message_type_header(envelope) == "ImageHalf"
+
+
+@pytest.fixture()
+def service_and_registry():
+    registry = FormatRegistry()
+    req = Format.from_dict("QReq", {"n": "int32"})
+    full = Format.from_dict("QRes", {"data": "float64[]", "tag": "string"})
+    small = Format.from_dict("QSmall", {"tag": "string"})
+    for fmt in (req, full, small):
+        registry.register(fmt)
+    service = SoapBinService(registry, quality_text="""
+        history 1
+        0.0 0.5 - QRes
+        0.5 inf - QSmall
+    """)
+    service.add_operation(
+        "Q", req, full, lambda p: {"data": [1.0] * p["n"], "tag": "t"})
+    return service, registry, req, full
+
+
+class TestXmlQualityClient:
+    def test_full_response_in_good_conditions(self, service_and_registry):
+        service, registry, req, full = service_and_registry
+        client = XmlQualityClient(DirectChannel(service.endpoint), registry)
+        out = client.call("Q", {"n": 3}, req, full)
+        assert out["data"] == [1.0, 1.0, 1.0]
+        assert out["tag"] == "t"
+        assert client.estimator.samples == 1
+
+    def test_reduced_response_under_reported_congestion(
+            self, service_and_registry):
+        service, registry, req, full = service_and_registry
+        client = XmlQualityClient(DirectChannel(service.endpoint), registry)
+        client.estimator.update(9.0)  # report a terrible RTT
+        out = client.call("Q", {"n": 3}, req, full)
+        # server sent QSmall; client projected back up: data padded
+        assert out["data"] == []
+        assert out["tag"] == "t"
+
+    def test_adaptation_over_simulated_link(self, service_and_registry):
+        service, registry, req, full = service_and_registry
+        clock = VirtualClock()
+        channel = SimChannel(service.endpoint, LinkModel(2e4, 0.05), clock)
+        client = XmlQualityClient(channel, registry, clock=clock)
+        tags, datas = [], []
+        for _ in range(4):
+            out = client.call("Q", {"n": 50}, req, full)
+            tags.append(out["tag"])
+            datas.append(len(out["data"]))
+        assert datas[0] == 50     # first call full (no estimate yet)
+        assert datas[-1] == 0     # degraded to QSmall
+        assert all(t == "t" for t in tags)  # tag survives reduction
+
+    def test_fault_propagates(self, service_and_registry):
+        service, registry, req, full = service_and_registry
+
+        def boom(params):
+            raise SoapFault("Server", "xml quality boom")
+
+        service.add_operation("Boom", req, full, boom)
+        client = XmlQualityClient(DirectChannel(service.endpoint), registry)
+        with pytest.raises(SoapFault):
+            client.call("Boom", {"n": 1}, req, full)
+
+    def test_over_real_sockets(self, service_and_registry):
+        service, registry, req, full = service_and_registry
+        with serve_endpoint(service.endpoint) as server:
+            with HttpChannel(server.address) as channel:
+                client = XmlQualityClient(channel, registry)
+                out = client.call("Q", {"n": 2}, req, full)
+                assert out["data"] == [1.0, 1.0]
+
+    def test_plain_xml_client_still_works(self, service_and_registry):
+        """A legacy SoapClient (no binq headers) gets quality-managed
+        responses too — it must tolerate the reduced shape only if the
+        server sends the full type, which it does absent an RTT report."""
+        service, registry, req, full = service_and_registry
+        client = SoapClient(DirectChannel(service.endpoint), registry)
+        out = client.call("Q", {"n": 2}, req, full)
+        assert out["data"] == [1.0, 1.0]
+
+    def test_response_carries_message_type_header(self,
+                                                  service_and_registry):
+        service, registry, req, full = service_and_registry
+        soap = SoapClient(DirectChannel(service.endpoint), registry)
+        payload = soap.build_request(
+            "Q", {"n": 1}, req,
+            header_entries=build_attribute_headers({"rtt": 99.0}))
+        reply = service.endpoint(payload, "text/xml", {})
+        envelope = parse_envelope(reply.body)
+        assert parse_message_type_header(envelope) == "QSmall"
+
+    def test_compressed_xml_bypasses_quality(self, service_and_registry):
+        from repro.compress import get_codec
+        service, registry, req, full = service_and_registry
+        service.quality.attributes.update_attribute("rtt", 99.0)
+        soap = SoapClient(DirectChannel(service.endpoint), registry,
+                          compress=True)
+        out = soap.call("Q", {"n": 2}, req, full)
+        assert out["data"] == [1.0, 1.0]  # full, not reduced

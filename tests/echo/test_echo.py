@@ -1,0 +1,174 @@
+"""Tests for ECho channels, subscriptions and runtime filters."""
+
+import pytest
+
+from repro.echo import (ChannelClosed, ChannelDirectory, EventChannel,
+                        FilterError, compile_filter, identity_filter,
+                        select_fields_filter)
+from repro.pbio import Format
+
+EVENT = Format.from_dict("reading", {"n": "int32", "v": "float64"})
+
+
+class TestChannelBasics:
+    def test_submit_reaches_subscriber(self):
+        channel = EventChannel("c", EVENT)
+        seen = []
+        channel.subscribe(lambda fmt, value: seen.append(value))
+        delivered = channel.submit(EVENT, {"n": 1, "v": 2.0})
+        assert delivered == 1
+        assert seen == [{"n": 1, "v": 2.0}]
+
+    def test_fan_out(self):
+        channel = EventChannel("c")
+        counts = [0, 0, 0]
+
+        def make_sink(i):
+            def sink(fmt, value):
+                counts[i] += 1
+            return sink
+
+        for i in range(3):
+            channel.subscribe(make_sink(i))
+        channel.submit(EVENT, {"n": 1, "v": 0.0})
+        assert counts == [1, 1, 1]
+
+    def test_unsubscribe_stops_delivery(self):
+        channel = EventChannel("c")
+        seen = []
+        sub = channel.subscribe(lambda f, v: seen.append(v))
+        channel.submit(EVENT, {"n": 1, "v": 0.0})
+        sub.cancel()
+        channel.submit(EVENT, {"n": 2, "v": 0.0})
+        assert len(seen) == 1
+        assert channel.subscriber_count == 0
+
+    def test_typed_channel_rejects_wrong_format(self):
+        channel = EventChannel("c", EVENT)
+        other = Format.from_dict("other", {"x": "int32"})
+        with pytest.raises(ChannelClosed):
+            channel.submit(other, {"x": 1})
+
+    def test_untyped_channel_accepts_anything(self):
+        channel = EventChannel("c")
+        other = Format.from_dict("other", {"x": "int32"})
+        channel.subscribe(lambda f, v: None)
+        assert channel.submit(other, {"x": 1}) == 1
+
+    def test_closed_channel_rejects(self):
+        channel = EventChannel("c")
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.submit(EVENT, {"n": 1, "v": 0.0})
+        with pytest.raises(ChannelClosed):
+            channel.subscribe(lambda f, v: None)
+
+    def test_counters(self):
+        channel = EventChannel("c")
+        sub = channel.subscribe(lambda f, v: None)
+        for _ in range(3):
+            channel.submit(EVENT, {"n": 0, "v": 0.0})
+        assert channel.events_submitted == 3
+        assert sub.events_delivered == 3
+
+
+class TestDirectory:
+    def test_open_creates_once(self):
+        directory = ChannelDirectory()
+        a = directory.open("bonds")
+        b = directory.open("bonds")
+        assert a is b
+        assert directory.names() == ["bonds"]
+
+    def test_closed_channels_reopened(self):
+        directory = ChannelDirectory()
+        a = directory.open("x")
+        a.close()
+        b = directory.open("x")
+        assert b is not a
+        assert not b.closed
+
+    def test_close_all(self):
+        directory = ChannelDirectory()
+        ch = directory.open("x")
+        directory.close_all()
+        assert ch.closed
+        assert directory.names() == []
+
+
+class TestFilters:
+    def test_compile_and_run(self):
+        f = compile_filter("return {'n': value['n'] * 2, 'v': value['v']}")
+        fmt, out = f(EVENT, {"n": 21, "v": 1.0})
+        assert out["n"] == 42
+        assert fmt is EVENT
+
+    def test_drop_events(self):
+        f = compile_filter("if value['n'] % 2: return None\nreturn value")
+        channel = EventChannel("c")
+        seen = []
+        sub = channel.subscribe(lambda fmt, v: seen.append(v["n"]),
+                                event_filter=f)
+        for n in range(6):
+            channel.submit(EVENT, {"n": n, "v": 0.0})
+        assert seen == [0, 2, 4]
+        assert sub.events_filtered_out == 3
+
+    def test_output_format_override(self):
+        small = Format.from_dict("small", {"n": "int32"})
+        f = compile_filter("return {'n': value['n']}", output_format=small)
+        fmt, out = f(EVENT, {"n": 7, "v": 3.0})
+        assert fmt is small
+        assert out == {"n": 7}
+
+    def test_filter_cannot_mutate_original(self):
+        f = compile_filter("value['n'] = 999\nreturn value")
+        original = {"n": 1, "v": 0.0}
+        f(EVENT, original)
+        assert original["n"] == 1
+
+    def test_safe_builtins_available(self):
+        f = compile_filter("return {'n': max(value['n'], 10), 'v': 0.0}")
+        assert f(EVENT, {"n": 3, "v": 0.0})[1]["n"] == 10
+
+    @pytest.mark.parametrize("bad", [
+        "import os\nreturn value",
+        "return value.__class__",
+        "exec('x = 1')\nreturn value",
+        "eval('1')\nreturn value",
+        "open('/etc/passwd')\nreturn value",
+    ])
+    def test_dangerous_source_rejected(self, bad):
+        with pytest.raises(FilterError):
+            compile_filter(bad)
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(FilterError):
+            compile_filter("return ((((")
+
+    def test_runtime_error_wrapped(self):
+        f = compile_filter("return {'n': 1 // value['n']}")
+        with pytest.raises(FilterError) as ei:
+            f(EVENT, {"n": 0, "v": 0.0})
+        assert "ZeroDivisionError" in str(ei.value)
+
+    def test_non_dict_return_rejected(self):
+        f = compile_filter("return 42")
+        with pytest.raises(FilterError):
+            f(EVENT, {"n": 1, "v": 0.0})
+
+    def test_identity_filter(self):
+        assert identity_filter(EVENT, {"n": 1, "v": 0.0})[1] == \
+            {"n": 1, "v": 0.0}
+
+    def test_select_fields_filter(self):
+        f = select_fields_filter("n")
+        assert f(EVENT, {"n": 5, "v": 9.0})[1] == {"n": 5}
+
+    def test_source_attached_for_introspection(self):
+        src = "return value"
+        assert compile_filter(src).__filter_source__ == src
+
+    def test_empty_source_is_identity(self):
+        f = compile_filter("")
+        assert f(EVENT, {"n": 1, "v": 2.0})[1] == {"n": 1, "v": 2.0}

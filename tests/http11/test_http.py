@@ -1,0 +1,263 @@
+"""Tests for the HTTP/1.1 message model, server and client."""
+
+import threading
+
+import pytest
+
+from repro.http11 import (Headers, HttpConnection, HttpParseError,
+                          HttpServer, HttpTooLarge, LineReader, Request,
+                          Response, parse_address, read_request,
+                          read_response)
+from repro.http11.errors import HttpConnectionClosed
+
+
+def reader_for(data: bytes) -> LineReader:
+    chunks = [data]
+
+    def recv(n):
+        if not chunks:
+            return b""
+        head = chunks[0]
+        out, rest = head[:n], head[n:]
+        if rest:
+            chunks[0] = rest
+        else:
+            chunks.pop(0)
+        return out
+
+    return LineReader(recv, bufsize=7)  # tiny buffer exercises refills
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        h = Headers()
+        h.add("Content-Type", "text/xml")
+        assert h.get("content-type") == "text/xml"
+        assert "CONTENT-TYPE" in h
+
+    def test_set_replaces_all(self):
+        h = Headers([("X-A", "1"), ("x-a", "2")])
+        h.set("X-A", "3")
+        assert h.get_all("x-a") == ["3"]
+
+    def test_get_all_and_remove(self):
+        h = Headers([("Via", "a"), ("via", "b")])
+        assert h.get_all("VIA") == ["a", "b"]
+        h.remove("via")
+        assert len(h) == 0
+
+    def test_default(self):
+        assert Headers().get("missing", "d") == "d"
+
+    def test_iteration_preserves_order(self):
+        h = Headers([("A", "1"), ("B", "2")])
+        assert list(h) == [("A", "1"), ("B", "2")]
+
+
+class TestSerialization:
+    def test_request_bytes(self):
+        req = Request(method="POST", target="/svc", body=b"hello")
+        req.headers.set("Content-Type", "text/xml")
+        raw = req.to_bytes()
+        assert raw.startswith(b"POST /svc HTTP/1.1\r\n")
+        assert b"Content-Length: 5\r\n" in raw
+        assert raw.endswith(b"\r\nhello")
+
+    def test_response_bytes(self):
+        resp = Response(status=404, body=b"nope")
+        raw = resp.to_bytes()
+        assert raw.startswith(b"HTTP/1.1 404 Not Found\r\n")
+
+    def test_explicit_content_length_not_duplicated(self):
+        req = Request(body=b"xy")
+        req.headers.set("Content-Length", "2")
+        assert req.to_bytes().count(b"Content-Length") == 1
+
+    def test_response_text_helper(self):
+        resp = Response.text(400, "oops")
+        assert resp.status == 400
+        assert resp.body == b"oops"
+        assert "text/plain" in resp.content_type
+
+    def test_ok_flag(self):
+        assert Response(status=204).ok
+        assert not Response(status=500).ok
+
+
+class TestParsing:
+    def test_roundtrip_request(self):
+        req = Request(method="POST", target="/x", body=b"abc")
+        req.headers.set("X-Custom", "v")
+        parsed = read_request(reader_for(req.to_bytes()))
+        assert parsed.method == "POST"
+        assert parsed.target == "/x"
+        assert parsed.body == b"abc"
+        assert parsed.headers.get("X-Custom") == "v"
+
+    def test_roundtrip_response(self):
+        resp = Response(status=200, body=b"out")
+        parsed = read_response(reader_for(resp.to_bytes()))
+        assert parsed.status == 200
+        assert parsed.body == b"out"
+
+    def test_no_body_without_content_length(self):
+        parsed = read_request(reader_for(b"GET / HTTP/1.1\r\n\r\n"))
+        assert parsed.body == b""
+
+    @pytest.mark.parametrize("raw", [
+        b"BROKEN\r\n\r\n",
+        b"GET /\r\n\r\n",
+        b"GET / HTTP/2.0\r\n\r\n",
+        b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+    ])
+    def test_malformed_requests_rejected(self, raw):
+        with pytest.raises(HttpParseError):
+            read_request(reader_for(raw))
+
+    def test_chunked_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpParseError):
+            read_request(reader_for(raw))
+
+    def test_huge_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+        with pytest.raises(HttpTooLarge):
+            read_request(reader_for(raw))
+
+    def test_closed_before_message(self):
+        with pytest.raises(HttpConnectionClosed):
+            read_request(reader_for(b""))
+
+    def test_closed_mid_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpParseError):
+            read_request(reader_for(raw))
+
+    def test_bad_status_line(self):
+        with pytest.raises(HttpParseError):
+            read_response(reader_for(b"HTTP/1.1 xx Bad\r\n\r\n"))
+
+    def test_keep_alive_defaults(self):
+        req = read_request(reader_for(b"GET / HTTP/1.1\r\n\r\n"))
+        assert req.wants_keep_alive()
+        req2 = read_request(
+            reader_for(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"))
+        assert not req2.wants_keep_alive()
+        req3 = read_request(reader_for(b"GET / HTTP/1.0\r\n\r\n"))
+        assert not req3.wants_keep_alive()
+
+
+class TestParseAddress:
+    def test_full_url(self):
+        assert parse_address("http://127.0.0.1:8080/svc") == ("127.0.0.1", 8080)
+
+    def test_default_port(self):
+        assert parse_address("http://example.org/x") == ("example.org", 80)
+
+    def test_bare_authority(self):
+        assert parse_address("10.0.0.1:99") == ("10.0.0.1", 99)
+
+
+class TestServerClient:
+    def test_basic_roundtrip(self):
+        def handler(request):
+            return Response(body=b"echo:" + request.body)
+
+        with HttpServer(handler) as server:
+            with HttpConnection(server.address) as conn:
+                resp = conn.post("/svc", b"ping", "application/octet-stream")
+                assert resp.ok
+                assert resp.body == b"echo:ping"
+
+    def test_keep_alive_reuses_connection(self):
+        with HttpServer(lambda r: Response(body=b"x")) as server:
+            with HttpConnection(server.address) as conn:
+                for _ in range(5):
+                    assert conn.get("/").body == b"x"
+            assert server.connections_accepted == 1
+            assert server.requests_served == 5
+
+    def test_connection_close_honoured(self):
+        with HttpServer(lambda r: Response(body=b"x")) as server:
+            with HttpConnection(server.address) as conn:
+                req = Request(method="GET", target="/")
+                req.headers.set("Connection", "close")
+                resp = conn.request(req)
+                assert resp.ok
+                # client noticed the close; a new request reconnects
+                assert conn._sock is None
+                assert conn.get("/").body == b"x"
+            assert server.connections_accepted == 2
+
+    def test_handler_exception_returns_500(self):
+        def handler(request):
+            raise RuntimeError("boom")
+
+        with HttpServer(handler) as server:
+            with HttpConnection(server.address) as conn:
+                resp = conn.get("/")
+                assert resp.status == 500
+                assert b"boom" in resp.body
+
+    def test_host_header_set(self):
+        seen = {}
+
+        def handler(request):
+            seen["host"] = request.headers.get("Host")
+            return Response()
+
+        with HttpServer(handler) as server:
+            with HttpConnection(server.address) as conn:
+                conn.get("/")
+        host, port = server.address
+        assert seen["host"] == f"{host}:{port}"
+
+    def test_concurrent_clients(self):
+        def handler(request):
+            return Response(body=request.body * 2)
+
+        with HttpServer(handler) as server:
+            results = []
+            errors = []
+
+            def work(i):
+                try:
+                    with HttpConnection(server.address) as conn:
+                        for j in range(10):
+                            body = f"{i}:{j}".encode()
+                            resp = conn.post("/", body, "text/plain")
+                            assert resp.body == body * 2
+                    results.append(i)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 8
+
+    def test_large_body(self):
+        payload = bytes(range(256)) * 4096  # 1 MB
+        with HttpServer(lambda r: Response(body=r.body)) as server:
+            with HttpConnection(server.address) as conn:
+                resp = conn.post("/", payload, "application/octet-stream")
+                assert resp.body == payload
+
+    def test_malformed_request_gets_400(self):
+        import socket as socket_mod
+        with HttpServer(lambda r: Response()) as server:
+            with socket_mod.create_connection(server.address) as raw:
+                raw.sendall(b"NOT AN HTTP REQUEST\r\n\r\n")
+                data = raw.recv(65536)
+        assert data.startswith(b"HTTP/1.1 400")
+
+    def test_url_property(self):
+        with HttpServer(lambda r: Response()) as server:
+            host, port = server.address
+            assert server.url == f"http://{host}:{port}"

@@ -1,0 +1,46 @@
+"""Limit-enforcement tests for the HTTP layer (DoS hardening)."""
+
+import pytest
+
+from repro.http11 import (HttpServer, HttpTooLarge, LineReader, Response,
+                          read_request)
+from repro.http11.messages import MAX_HEADER_BYTES
+
+
+def reader_for(data: bytes) -> LineReader:
+    state = [data]
+
+    def recv(n):
+        if not state:
+            return b""
+        return state.pop(0)
+
+    return LineReader(recv)
+
+
+class TestLimits:
+    def test_header_line_too_long(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * (MAX_HEADER_BYTES + 10)
+        with pytest.raises(HttpTooLarge):
+            read_request(reader_for(raw))
+
+    def test_header_block_too_large(self):
+        lines = b"".join(
+            b"X-H%d: %s\r\n" % (i, b"v" * 1000) for i in range(80))
+        raw = b"GET / HTTP/1.1\r\n" + lines + b"\r\n"
+        with pytest.raises(HttpTooLarge):
+            read_request(reader_for(raw))
+
+    def test_server_responds_413_to_oversized(self):
+        import socket
+        with HttpServer(lambda r: Response()) as server:
+            with socket.create_connection(server.address) as raw:
+                raw.sendall(b"POST / HTTP/1.1\r\n"
+                            b"Content-Length: 999999999999\r\n\r\n")
+                data = raw.recv(65536)
+        assert data.startswith(b"HTTP/1.1 413")
+
+    def test_normal_requests_unaffected(self):
+        raw = (b"GET / HTTP/1.1\r\nX-Ok: " + b"a" * 1000 + b"\r\n\r\n")
+        request = read_request(reader_for(raw))
+        assert len(request.headers.get("X-Ok")) == 1000

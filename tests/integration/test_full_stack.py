@@ -1,0 +1,183 @@
+"""Integration tests: the whole pipeline over real sockets.
+
+WSDL text -> compiler -> generated stubs -> SOAP-bin service on a real HTTP
+server -> binary + XML clients -> quality adaptation + format-server
+resolution, all in one place.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import SoapBinClient, SoapBinService
+from repro.pbio import Format, FormatClient, FormatRegistry, FormatServer
+from repro.soap import SoapClient
+from repro.transport import HttpChannel, serve_endpoint
+from repro.wsdl import WsdlCompiler
+
+WSDL = """<?xml version="1.0"?>
+<wsdl:definitions name="sensor_hub" targetNamespace="urn:it:sensors"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+    xmlns:tns="urn:it:sensors">
+  <wsdl:types>
+    <xsd:schema targetNamespace="urn:it:sensors">
+      <xsd:complexType name="Reading">
+        <xsd:sequence>
+          <xsd:element name="sensor" type="xsd:string"/>
+          <xsd:element name="values" type="xsd:double"
+                       minOccurs="0" maxOccurs="unbounded"/>
+        </xsd:sequence>
+      </xsd:complexType>
+    </xsd:schema>
+  </wsdl:types>
+  <wsdl:message name="PollRequest">
+    <wsdl:part name="sensor" type="xsd:string"/>
+    <wsdl:part name="samples" type="xsd:int"/>
+  </wsdl:message>
+  <wsdl:message name="PollResponse">
+    <wsdl:part name="reading" type="tns:Reading"/>
+  </wsdl:message>
+  <wsdl:portType name="SensorPortType">
+    <wsdl:operation name="Poll">
+      <wsdl:input message="tns:PollRequest"/>
+      <wsdl:output message="tns:PollResponse"/>
+    </wsdl:operation>
+  </wsdl:portType>
+</wsdl:definitions>
+"""
+
+
+@pytest.fixture()
+def stubs():
+    return WsdlCompiler.from_text(WSDL).load_stubs()
+
+
+@pytest.fixture()
+def running_service(stubs):
+    class Hub(stubs["Skeleton"]):
+        def poll(self, params):
+            n = int(params["samples"])
+            return {"reading": {"sensor": params["sensor"],
+                                "values": [float(i) for i in range(n)]}}
+
+    service = Hub().create_service()
+    server = serve_endpoint(service.endpoint)
+    yield server, service
+    server.close()
+
+
+class TestWsdlToWire:
+    def test_generated_stubs_over_sockets(self, stubs, running_service):
+        server, _ = running_service
+        with HttpChannel(server.address) as channel:
+            client = stubs["Client"](channel)
+            out = client.poll(sensor="cam-3", samples=4)
+            assert out["reading"]["sensor"] == "cam-3"
+            assert list(out["reading"]["values"]) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_xml_and_bin_stubs_agree(self, stubs, running_service):
+        server, _ = running_service
+        with HttpChannel(server.address) as a, \
+                HttpChannel(server.address) as b:
+            bin_client = stubs["Client"](a, style="bin")
+            xml_client = stubs["Client"](b, style="xml")
+            bin_out = bin_client.poll(sensor="s", samples=3)
+            xml_out = xml_client.poll(sensor="s", samples=3)
+            assert list(bin_out["reading"]["values"]) == \
+                list(xml_out["reading"]["values"])
+
+    def test_concurrent_stub_clients(self, stubs, running_service):
+        server, _ = running_service
+        errors = []
+
+        def worker(i):
+            try:
+                with HttpChannel(server.address) as channel:
+                    client = stubs["Client"](channel)
+                    for j in range(8):
+                        out = client.poll(sensor=f"s{i}", samples=j)
+                        assert len(out["reading"]["values"]) == j
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestQualityOverSockets:
+    def test_adaptation_end_to_end(self):
+        registry = FormatRegistry()
+        req = Format.from_dict("BulkRequest", {"n": "int32"})
+        full = Format.from_dict("BulkResponse",
+                                {"data": "float64[]", "note": "string"})
+        small = Format.from_dict("BulkSmall", {"note": "string"})
+        for fmt in (req, full, small):
+            registry.register(fmt)
+        service = SoapBinService(registry, quality_text="""
+            history 1
+            0.0 0.5 - BulkResponse
+            0.5 inf - BulkSmall
+        """)
+        service.add_operation(
+            "Bulk", req, full,
+            lambda p: {"data": [1.0] * p["n"], "note": "hi"})
+        with serve_endpoint(service.endpoint) as server:
+            with HttpChannel(server.address) as channel:
+                client = SoapBinClient(channel, registry)
+                first = client.call("Bulk", {"n": 10}, req, full)
+                assert list(first["data"]) == [1.0] * 10
+                # lie about the RTT -> server degrades the next response
+                client.estimator._estimate = 9.0
+                second = client.call("Bulk", {"n": 10}, req, full)
+                assert list(second["data"]) == []
+                assert second["note"] == "hi"
+
+    def test_mixed_protocol_clients_one_server(self):
+        registry = FormatRegistry()
+        req = Format.from_dict("PingRequest", {"x": "int32"})
+        res = Format.from_dict("PingResponse", {"x": "int32"})
+        registry.register(req)
+        registry.register(res)
+        service = SoapBinService(registry)
+        service.add_operation("Ping", req, res, lambda p: {"x": p["x"] + 1})
+        with serve_endpoint(service.endpoint) as server:
+            with HttpChannel(server.address) as a, \
+                    HttpChannel(server.address) as b:
+                assert SoapBinClient(a, registry).call(
+                    "Ping", {"x": 1}, req, res) == {"x": 2}
+                assert SoapClient(b, registry).call(
+                    "Ping", {"x": 5}, req, res) == {"x": 6}
+
+
+class TestFormatServerIntegration:
+    def test_receiver_resolves_via_format_server(self):
+        """A receiver that never saw an announcement pulls the format from
+        the shared format server (the paper's handshake)."""
+        fmt = Format.from_dict("Telemetry", {"seq": "int32",
+                                             "vals": "float64[]"})
+        with FormatServer() as fserver:
+            with FormatClient(fserver.address) as tx_fc, \
+                    FormatClient(fserver.address) as rx_fc:
+                fid = tx_fc.register(fmt)
+                tx_registry = FormatRegistry()
+                tx_registry.register_with_id(fmt, fid)
+                from repro.pbio import PbioSession
+                tx = PbioSession(tx_registry)
+                tx._announced.add(fid)  # rely on the server
+                rx = PbioSession(FormatRegistry(), format_fetcher=rx_fc.fetch)
+                blobs = tx.pack(fmt, {"seq": 1, "vals": [2.0]})
+                assert len(blobs) == 1  # no inline announcement
+                got_fmt, value = rx.unpack(blobs[0])
+                assert got_fmt.name == "Telemetry"
+                assert value["seq"] == 1
+                # cached: a second message needs no further round trips
+                before = rx_fc.network_round_trips
+                fmt2, _ = rx.unpack(tx.pack(fmt, {"seq": 2, "vals": []})[0])
+                assert rx_fc.network_round_trips == before

@@ -1,0 +1,158 @@
+"""Stress and edge-case tests across module boundaries."""
+
+import threading
+
+import pytest
+
+from repro.core import SoapBinClient, SoapBinService
+from repro.http11 import HttpConnection, HttpServer, Response
+from repro.pbio import Format, FormatRegistry
+from repro.transport import DirectChannel, HttpChannel, serve_endpoint
+
+
+class TestBinServiceHeaders:
+    def test_wants_headers_on_binary_path(self):
+        registry = FormatRegistry()
+        req = Format.from_dict("HReq", {"x": "int32"})
+        res = Format.from_dict("HRes", {"echo": "string"})
+        registry.register(req)
+        registry.register(res)
+        service = SoapBinService(registry)
+
+        def handler(params, headers):
+            return {"echo": headers.get("X-SOAP-Operation", "?")}
+
+        service.add_operation("H", req, res, handler, wants_headers=True)
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        out = client.call("H", {"x": 1}, req, res)
+        assert out["echo"] == "H"
+
+    def test_operation_header_fallback(self):
+        """If a request uses an alternative format name the server doesn't
+        know, the X-SOAP-Operation header resolves the operation."""
+        registry = FormatRegistry()
+        req = Format.from_dict("MainReq", {"x": "int32"})
+        alt = Format.from_dict("AltReq", {"x": "int32"})
+        res = Format.from_dict("MainRes", {"y": "int32"})
+        for fmt in (req, alt, res):
+            registry.register(fmt)
+        service = SoapBinService(registry)
+        service.add_operation("Op", req, res, lambda p: {"y": p["x"] * 2})
+
+        # hand-roll a request with the alternative format
+        from repro.core.modes import (HEADER_CLIENT_ID, HEADER_OPERATION,
+                                      PBIO_CONTENT_TYPE)
+        from repro.pbio import PbioSession
+        session = PbioSession(registry)
+        body = session.pack_bytes(alt, {"x": 21})
+        reply = service.endpoint(body, PBIO_CONTENT_TYPE,
+                                 {HEADER_CLIENT_ID: "t",
+                                  HEADER_OPERATION: "Op"})
+        assert reply.ok
+        rx = PbioSession(registry)
+        _, value = rx.unpack_stream(reply.body)
+        assert value == {"y": 42}
+
+    def test_content_type_with_parameters(self):
+        """'application/x-pbio; charset=binary' still routes binary."""
+        registry = FormatRegistry()
+        req = Format.from_dict("CReq", {"x": "int32"})
+        res = Format.from_dict("CRes", {"x": "int32"})
+        registry.register(req)
+        registry.register(res)
+        service = SoapBinService(registry)
+        service.add_operation("C", req, res, lambda p: p)
+        from repro.pbio import PbioSession
+        session = PbioSession(registry)
+        body = session.pack_bytes(req, {"x": 5})
+        reply = service.endpoint(body, "application/x-pbio; v=1", {})
+        assert reply.ok
+        assert reply.content_type.startswith("application/x-pbio")
+
+
+class TestHttpReconnect:
+    def test_client_recovers_from_idle_server_close(self):
+        """A keep-alive connection the server dropped between requests is
+        re-established transparently (and exactly once)."""
+        hits = []
+
+        def handler(request):
+            hits.append(1)
+            return Response(body=b"ok")
+
+        with HttpServer(handler) as server:
+            with HttpConnection(server.address) as conn:
+                assert conn.get("/").body == b"ok"
+                # kill the client's socket to emulate server-side idle
+                # timeout; the connection object doesn't know yet
+                conn._sock.close()
+                assert conn.get("/").body == b"ok"
+        assert len(hits) == 2
+
+
+class TestConcurrentQualityService:
+    def test_many_clients_adaptive_server(self):
+        registry = FormatRegistry()
+        req = Format.from_dict("SReq", {"n": "int32"})
+        full = Format.from_dict("SRes", {"data": "float64[]",
+                                         "tag": "string"})
+        small = Format.from_dict("SSmall", {"tag": "string"})
+        for fmt in (req, full, small):
+            registry.register(fmt)
+        service = SoapBinService(registry, quality_text="""
+            history 1
+            0 0.5 - SRes
+            0.5 inf - SSmall
+        """)
+        service.add_operation(
+            "S", req, full,
+            lambda p: {"data": [1.0] * p["n"], "tag": "t"})
+
+        errors = []
+
+        with serve_endpoint(service.endpoint) as server:
+            def work(i):
+                try:
+                    with HttpChannel(server.address) as channel:
+                        client = SoapBinClient(channel, registry)
+                        if i % 2:
+                            # odd clients pretend their link is terrible
+                            client.estimator.update(5.0)
+                        for n in (1, 10, 100):
+                            out = client.call("S", {"n": n}, req, full)
+                            assert out["tag"] in ("t", "")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work, args=(i,))
+                       for i in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        # per-client sessions were isolated
+        assert len(service._sessions) == 10
+
+    def test_interleaved_formats_one_session(self):
+        """One client interleaving two operations exercises announcement
+        bookkeeping for multiple formats on one session."""
+        registry = FormatRegistry()
+        req_a = Format.from_dict("AReq", {"x": "int32"})
+        res_a = Format.from_dict("ARes", {"x": "int32"})
+        req_b = Format.from_dict("BReq", {"s": "string"})
+        res_b = Format.from_dict("BRes", {"s": "string"})
+        for fmt in (req_a, res_a, req_b, res_b):
+            registry.register(fmt)
+        service = SoapBinService(registry)
+        service.add_operation("A", req_a, res_a, lambda p: p)
+        service.add_operation("B", req_b, res_b, lambda p: p)
+        client = SoapBinClient(DirectChannel(service.endpoint), registry)
+        for i in range(6):
+            if i % 2:
+                assert client.call("B", {"s": str(i)}, req_b, res_b) == \
+                    {"s": str(i)}
+            else:
+                assert client.call("A", {"x": i}, req_a, res_a) == {"x": i}
+        # exactly one announcement per request format
+        assert client.session.stats.announcements_sent == 2

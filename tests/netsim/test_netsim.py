@@ -1,0 +1,161 @@
+"""Tests for clocks, link models, cross-traffic and scenarios."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import (CrossTrafficSchedule, LinkModel, Phase,
+                          VirtualClock, WallClock, adsl, imaging_scenario,
+                          lan_100mbps, mdbond_scenario, microbenchmark_links)
+
+
+class TestClocks:
+    def test_virtual_clock_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_virtual_clock_advances(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance(2.5) == 12.5
+        assert clock.now() == 12.5
+
+    def test_virtual_sleep_is_advance(self):
+        clock = VirtualClock()
+        clock.sleep(1.0)
+        assert clock.now() == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.sleep(0.001)
+        assert clock.now() > a
+
+    def test_wall_clock_negative_sleep_noop(self):
+        WallClock().sleep(-5)  # must not raise
+
+
+class TestLinkModel:
+    def test_transfer_time_formula(self):
+        link = LinkModel(bandwidth_bps=8e6, latency_s=0.01)
+        # 1000 bytes = 8000 bits at 8 Mbps = 1 ms, + 10 ms latency
+        assert link.transfer_time(1000) == pytest.approx(0.011)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkModel(1e6, latency_s=0.02)
+        assert link.transfer_time(0) == pytest.approx(0.02)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(0, 0.1)
+        with pytest.raises(ValueError):
+            LinkModel(1e6, -0.1)
+        with pytest.raises(ValueError):
+            LinkModel(1e6, 0.1).transfer_time(-5)
+
+    def test_jitter_deterministic_per_seed(self):
+        a = LinkModel(1e6, 0.01, jitter_s=0.001, seed=1)
+        b = LinkModel(1e6, 0.01, jitter_s=0.001, seed=1)
+        assert [a.jitter() for _ in range(10)] == \
+            [b.jitter() for _ in range(10)]
+
+    def test_jitter_bounded(self):
+        link = LinkModel(1e6, 0.01, jitter_s=0.001)
+        for _ in range(200):
+            j = link.jitter()
+            assert 0 <= j <= 0.004
+
+    def test_cross_traffic_reduces_bandwidth(self):
+        schedule = CrossTrafficSchedule.steps([50e6], 10.0)
+        link = LinkModel(100e6, 0.0, cross_traffic=schedule)
+        assert link.effective_bandwidth(5.0) == pytest.approx(50e6)
+        assert link.effective_bandwidth(15.0) == pytest.approx(100e6)
+
+    def test_bandwidth_floor(self):
+        schedule = CrossTrafficSchedule.steps([500e6], 10.0)
+        link = LinkModel(100e6, 0.0, cross_traffic=schedule,
+                         min_bandwidth_fraction=0.05)
+        assert link.effective_bandwidth(1.0) == pytest.approx(5e6)
+
+    def test_round_trip_time(self):
+        link = LinkModel(8e6, 0.005)
+        rtt = link.round_trip_time(1000, 2000, server_time_s=0.003)
+        expected = (0.005 + 0.001) + 0.003 + (0.005 + 0.002)
+        assert rtt == pytest.approx(expected)
+
+    def test_presets(self):
+        assert lan_100mbps().bandwidth_bps == 100e6
+        assert adsl().bandwidth_bps == 1e6
+        assert adsl().latency_s > lan_100mbps().latency_s
+
+    @given(st.integers(0, 10_000_000))
+    def test_transfer_time_monotone_in_size(self, nbytes):
+        link = LinkModel(1e6, 0.01)
+        assert link.transfer_time(nbytes + 1) >= link.transfer_time(nbytes)
+
+
+class TestCrossTraffic:
+    def test_quiet(self):
+        assert CrossTrafficSchedule.quiet().load_at(123.0) == 0.0
+
+    def test_steps(self):
+        schedule = CrossTrafficSchedule.steps([1e6, 2e6, 3e6], 10.0)
+        assert schedule.load_at(0.0) == 1e6
+        assert schedule.load_at(15.0) == 2e6
+        assert schedule.load_at(25.0) == 3e6
+        assert schedule.load_at(31.0) == 0.0
+        assert schedule.end_time == 30.0
+
+    def test_before_first_phase(self):
+        schedule = CrossTrafficSchedule([Phase(10.0, 5.0, 1e6)])
+        assert schedule.load_at(5.0) == 0.0
+
+    def test_gap_between_phases(self):
+        schedule = CrossTrafficSchedule([Phase(0, 1, 1e6), Phase(5, 1, 2e6)])
+        assert schedule.load_at(3.0) == 0.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CrossTrafficSchedule([Phase(0, 10, 1e6), Phase(5, 10, 2e6)])
+
+    def test_square_wave(self):
+        schedule = CrossTrafficSchedule.square_wave(0, 1e6, 10.0, 2)
+        assert schedule.load_at(2.0) == 0
+        assert schedule.load_at(7.0) == 1e6
+        assert schedule.load_at(12.0) == 0
+        assert schedule.load_at(17.0) == 1e6
+
+    def test_random_bursts_deterministic(self):
+        a = CrossTrafficSchedule.random_bursts(100, 1e6, seed=3)
+        b = CrossTrafficSchedule.random_bursts(100, 1e6, seed=3)
+        assert [p.load_bps for p in a.phases] == \
+            [p.load_bps for p in b.phases]
+
+    def test_random_bursts_nonnegative(self):
+        schedule = CrossTrafficSchedule.random_bursts(100, 1e6,
+                                                      burstiness=2.0, seed=9)
+        assert all(p.load_bps >= 0 for p in schedule.phases)
+
+
+class TestScenarios:
+    def test_microbenchmark_links(self):
+        links = microbenchmark_links()
+        assert set(links) == {"100Mbps", "ADSL"}
+
+    def test_imaging_scenario_congestion_midway(self):
+        scenario = imaging_scenario()
+        early = scenario.link.effective_bandwidth(1.0)
+        mid = scenario.link.effective_bandwidth(45.0)  # peak cross-traffic
+        assert mid < early / 5
+
+    def test_mdbond_scenario_is_adsl(self):
+        scenario = mdbond_scenario()
+        assert scenario.link.bandwidth_bps == 1e6
+
+    def test_scenario_transfer_uses_clock(self):
+        scenario = imaging_scenario(jitter_s=0.0)
+        quiet = scenario.transfer_time(100_000)
+        scenario.clock.advance(45.0)  # into the congested window
+        congested = scenario.transfer_time(100_000)
+        assert congested > quiet * 3

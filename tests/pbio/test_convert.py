@@ -1,0 +1,165 @@
+"""Tests for format-to-format conversion (quality projection / padding)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pbio import (Array, Format, FormatRegistry, Primitive, StructRef,
+                        compile_converter, project, zero_value)
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict("point", {"x": "float64", "y": "float64"}))
+    reg.register(Format.from_dict("point3",
+                                  {"x": "float64", "y": "float64",
+                                   "z": "float64"}))
+    return reg
+
+
+class TestZeroValue:
+    def test_primitives(self, registry):
+        assert zero_value(Primitive("int32")) == 0
+        assert zero_value(Primitive("float64")) == 0.0
+        assert zero_value(Primitive("string")) == ""
+        assert zero_value(Primitive("char")) == "\x00"
+
+    def test_var_array(self, registry):
+        assert zero_value(Array(Primitive("int32"))) == []
+
+    def test_fixed_array(self, registry):
+        assert zero_value(Array(Primitive("int32"), 3)) == [0, 0, 0]
+
+    def test_struct_expands_with_registry(self, registry):
+        assert zero_value(StructRef("point"), registry) == {"x": 0.0,
+                                                            "y": 0.0}
+
+    def test_struct_without_registry(self):
+        assert zero_value(StructRef("mystery")) == {}
+
+
+class TestDownProjection:
+    """Server side: copy common fields into the smaller message type."""
+
+    def test_subset_fields_copied(self, registry):
+        big = Format.from_dict("big", {"a": "int32", "b": "string",
+                                       "c": "float64"})
+        small = Format.from_dict("small", {"a": "int32", "c": "float64"})
+        conv = compile_converter(big, small, registry)
+        assert conv({"a": 1, "b": "drop me", "c": 2.5}) == {"a": 1, "c": 2.5}
+
+    def test_fixed_array_truncated(self, registry):
+        big = Format.from_dict("big", {"data": "int32[8]"})
+        small = Format.from_dict("small", {"data": "int32[4]"})
+        out = project({"data": list(range(8))}, big, small, registry)
+        assert out["data"] == [0, 1, 2, 3]
+
+    def test_identity_fast_path_copies(self, registry):
+        fmt = Format.from_dict("f", {"a": "int32"})
+        conv = compile_converter(fmt, Format.from_dict("f", {"a": "int32"}),
+                                 registry)
+        src = {"a": 1}
+        out = conv(src)
+        assert out == src and out is not src
+
+
+class TestUpProjection:
+    """Client side: pad the missing fields of the larger type with zeroes."""
+
+    def test_missing_fields_zero_padded(self, registry):
+        small = Format.from_dict("small", {"a": "int32"})
+        big = Format.from_dict("big", {"a": "int32", "b": "string",
+                                       "data": "float64[]"})
+        out = project({"a": 7}, small, big, registry)
+        assert out == {"a": 7, "b": "", "data": []}
+
+    def test_fixed_array_zero_padded(self, registry):
+        small = Format.from_dict("small", {"data": "int32[2]"})
+        big = Format.from_dict("big", {"data": "int32[5]"})
+        out = project({"data": [4, 5]}, small, big, registry)
+        assert out["data"] == [4, 5, 0, 0, 0]
+
+    def test_missing_struct_expanded(self, registry):
+        small = Format.from_dict("small", {"a": "int32"})
+        big = Format.from_dict("big", {"a": "int32", "p": "struct point"})
+        out = project({"a": 1}, small, big, registry)
+        assert out["p"] == {"x": 0.0, "y": 0.0}
+
+    def test_roundtrip_preserves_common_fields(self, registry):
+        big = Format.from_dict("big", {"a": "int32", "b": "string",
+                                       "c": "float64[]"})
+        small = Format.from_dict("small", {"a": "int32", "c": "float64[]"})
+        original = {"a": 3, "b": "lost", "c": [1.0, 2.0]}
+        down = project(original, big, small, registry)
+        up = project(down, small, big, registry)
+        assert up["a"] == original["a"]
+        assert up["c"] == original["c"]
+        assert up["b"] == ""  # padded
+
+
+class TestTypeAdaptation:
+    def test_int_widening(self, registry):
+        src = Format.from_dict("s", {"v": "int16"})
+        dst = Format.from_dict("d", {"v": "int64"})
+        assert project({"v": -5}, src, dst, registry) == {"v": -5}
+
+    def test_int_to_float(self, registry):
+        src = Format.from_dict("s", {"v": "int32"})
+        dst = Format.from_dict("d", {"v": "float64"})
+        out = project({"v": 2}, src, dst, registry)
+        assert out["v"] == 2.0 and isinstance(out["v"], float)
+
+    def test_float_to_int_truncates(self, registry):
+        src = Format.from_dict("s", {"v": "float64"})
+        dst = Format.from_dict("d", {"v": "int32"})
+        assert project({"v": 3.9}, src, dst, registry) == {"v": 3}
+
+    def test_incompatible_types_padded_not_copied(self, registry):
+        src = Format.from_dict("s", {"v": "string"})
+        dst = Format.from_dict("d", {"v": "int32"})
+        assert project({"v": "nope"}, src, dst, registry) == {"v": 0}
+
+    def test_numeric_array_element_conversion(self, registry):
+        src = Format.from_dict("s", {"v": "int32[]"})
+        dst = Format.from_dict("d", {"v": "float32[]"})
+        out = project({"v": [1, 2]}, src, dst, registry)
+        assert out["v"] == [1.0, 2.0]
+
+    def test_nested_struct_field_matching(self, registry):
+        src = Format.from_dict("s", {"p": "struct point3"})
+        dst = Format.from_dict("d", {"p": "struct point"})
+        out = project({"p": {"x": 1.0, "y": 2.0, "z": 3.0}}, src, dst,
+                      registry)
+        assert out["p"] == {"x": 1.0, "y": 2.0}
+
+    def test_struct_array_conversion(self, registry):
+        src = Format.from_dict("s", {"ps": "struct point3[]"})
+        dst = Format.from_dict("d", {"ps": "struct point[]"})
+        out = project({"ps": [{"x": 1.0, "y": 2.0, "z": 9.0}]}, src, dst,
+                      registry)
+        assert out["ps"] == [{"x": 1.0, "y": 2.0}]
+
+
+class TestPropertyInvariants:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), max_size=12),
+           st.integers(0, 12))
+    def test_fixed_resize_length_invariant(self, data, target_len):
+        reg = FormatRegistry()
+        src = Format.from_dict("s", {"d": f"int32[{len(data)}]"})
+        dst = Format.from_dict("d", {"d": f"int32[{target_len}]"})
+        out = project({"d": data}, src, dst, reg)
+        assert len(out["d"]) == target_len
+        keep = min(len(data), target_len)
+        assert out["d"][:keep] == data[:keep]
+        assert all(v == 0 for v in out["d"][keep:])
+
+    @given(st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True),
+        st.integers(-1000, 1000), min_size=1, max_size=6))
+    def test_projection_never_invents_values(self, values):
+        reg = FormatRegistry()
+        src = Format.from_dict("s", {k: "int32" for k in values})
+        kept = sorted(values)[: max(1, len(values) // 2)]
+        dst = Format.from_dict("d", {k: "int32" for k in kept})
+        out = project(values, src, dst, reg)
+        assert out == {k: values[k] for k in kept}

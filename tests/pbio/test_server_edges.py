@@ -1,0 +1,63 @@
+"""Edge cases for the TCP format server protocol."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.pbio import Format, FormatClient, FormatServer
+from repro.pbio.server import _recv_frame, _send_frame
+
+
+class TestProtocolEdges:
+    def test_unknown_op_drops_connection(self):
+        with FormatServer() as server:
+            with socket.create_connection(server.address) as sock:
+                _send_frame(sock, b"\x99junk")
+                sock.settimeout(2.0)
+                assert sock.recv(1024) == b""  # server closed
+
+    def test_garbage_metadata_drops_connection(self):
+        with FormatServer() as server:
+            with socket.create_connection(server.address) as sock:
+                _send_frame(sock, b"\x01NOTMETADATA")
+                sock.settimeout(2.0)
+                # DecodeError propagates as a dropped connection, and the
+                # server stays alive for other clients
+                assert sock.recv(1024) == b""
+            with FormatClient(server.address) as client:
+                fmt = Format.from_dict("still_alive", {"x": "int32"})
+                assert client.register(fmt) >= 1
+
+    def test_empty_frame_closes(self):
+        with FormatServer() as server:
+            with socket.create_connection(server.address) as sock:
+                _send_frame(sock, b"")
+                sock.settimeout(2.0)
+                assert sock.recv(1024) == b""
+
+    def test_oversized_frame_rejected(self):
+        with FormatServer() as server:
+            with socket.create_connection(server.address) as sock:
+                # claim a 1 GiB frame; the server must drop, not allocate
+                sock.sendall(struct.pack("<I", 1 << 30))
+                sock.settimeout(2.0)
+                assert sock.recv(1024) == b""
+
+    def test_client_survives_server_restart(self):
+        fmt = Format.from_dict("restartable", {"x": "int32"})
+        server = FormatServer()
+        client = FormatClient(server.address)
+        fid = client.register(fmt)
+        # cache hit: no network involved even after server death
+        server.close()
+        assert client.fetch(fid) == fmt
+        client.close()
+
+    def test_recv_frame_none_on_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert _recv_frame(b) is None
+        finally:
+            b.close()

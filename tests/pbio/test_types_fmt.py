@@ -1,0 +1,212 @@
+"""Tests for the PBIO type algebra and format metadata."""
+
+import pytest
+
+from repro.pbio import (Array, Field, Format, FormatError, Primitive,
+                        StructRef, parse_type, schema_type)
+from repro.pbio.errors import DecodeError
+from repro.pbio.types import (is_base_schema_type, primitive_from_code,
+                              struct_refs, type_fingerprint_parts)
+
+
+class TestPrimitives:
+    def test_known_kinds(self):
+        for kind in ("int8", "int16", "int32", "int64", "uint8", "uint16",
+                     "uint32", "uint64", "float32", "float64", "char",
+                     "string"):
+            assert Primitive(kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FormatError):
+            Primitive("int128")
+
+    def test_sizes(self):
+        assert Primitive("int32").size == 4
+        assert Primitive("float64").size == 8
+        assert Primitive("char").size == 1
+        assert Primitive("string").size is None
+
+    def test_string_is_not_fixed(self):
+        assert not Primitive("string").is_fixed
+        assert Primitive("uint16").is_fixed
+
+    def test_zero_values(self):
+        assert Primitive("int32").zero() == 0
+        assert Primitive("float32").zero() == 0.0
+        assert Primitive("string").zero() == ""
+        assert Primitive("char").zero() == "\x00"
+
+    def test_code_roundtrip(self):
+        for kind in ("int8", "uint64", "float32", "char", "string"):
+            prim = Primitive(kind)
+            assert primitive_from_code(prim.code) == prim
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(FormatError):
+            primitive_from_code(99)
+
+
+class TestSchemaTypes:
+    def test_soup_base_types(self):
+        assert schema_type("integer").kind == "int32"
+        assert schema_type("float").kind == "float32"
+        assert schema_type("char").kind == "char"
+        assert schema_type("string").kind == "string"
+
+    def test_prefixed_name(self):
+        assert schema_type("xsd:double").kind == "float64"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(FormatError):
+            schema_type("xsd:dateTime")
+
+    def test_is_base(self):
+        assert is_base_schema_type("xsd:int")
+        assert not is_base_schema_type("xsd:complexThing")
+
+
+class TestParseType:
+    def test_primitive(self):
+        assert parse_type("int32") == Primitive("int32")
+
+    def test_schema_alias(self):
+        assert parse_type("integer") == Primitive("int32")
+
+    def test_var_array(self):
+        t = parse_type("float64[]")
+        assert isinstance(t, Array)
+        assert t.length is None
+        assert t.element == Primitive("float64")
+
+    def test_fixed_array(self):
+        t = parse_type("int32[16]")
+        assert t.length == 16
+
+    def test_nested_arrays(self):
+        t = parse_type("int32[4][]")
+        assert isinstance(t, Array) and t.length is None
+        assert isinstance(t.element, Array) and t.element.length == 4
+
+    def test_struct_ref(self):
+        t = parse_type("struct point")
+        assert t == StructRef("point")
+
+    def test_struct_array(self):
+        t = parse_type("struct point[]")
+        assert t.element == StructRef("point")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FormatError):
+            parse_type("what even")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(FormatError):
+            parse_type("int32[x]")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(FormatError):
+            Array(Primitive("int32"), -1)
+
+    def test_describe_roundtrip(self):
+        for spec in ("int32", "float64[]", "int32[16]", "struct point",
+                     "struct p[3]"):
+            assert parse_type(parse_type(spec).describe()).describe() == \
+                parse_type(spec).describe()
+
+
+class TestFormat:
+    def test_from_dict_preserves_order(self):
+        fmt = Format.from_dict("f", {"b": "int32", "a": "string"})
+        assert fmt.field_names() == ["b", "a"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(FormatError):
+            Format("f", [Field("x", Primitive("int32")),
+                         Field("x", Primitive("int64"))])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FormatError):
+            Format("", [])
+
+    def test_bad_field_name_rejected(self):
+        with pytest.raises(FormatError):
+            Field("has space", Primitive("int32"))
+
+    def test_fingerprint_stable(self):
+        a = Format.from_dict("f", {"x": "int32"})
+        b = Format.from_dict("f", {"x": "int32"})
+        assert a.fingerprint == b.fingerprint
+        assert a == b and hash(a) == hash(b)
+
+    def test_fingerprint_sensitive_to_structure(self):
+        a = Format.from_dict("f", {"x": "int32"})
+        b = Format.from_dict("f", {"x": "int64"})
+        c = Format.from_dict("f", {"y": "int32"})
+        d = Format.from_dict("g", {"x": "int32"})
+        assert len({a.fingerprint, b.fingerprint, c.fingerprint,
+                    d.fingerprint}) == 4
+
+    def test_field_lookup(self):
+        fmt = Format.from_dict("f", {"x": "int32"})
+        assert fmt.field("x").ftype == Primitive("int32")
+        assert fmt.has_field("x")
+        assert not fmt.has_field("y")
+        with pytest.raises(KeyError):
+            fmt.field("zz")
+
+    def test_referenced_formats(self):
+        fmt = Format.from_dict("f", {"p": "struct point",
+                                     "ps": "struct quad[]",
+                                     "x": "int32"})
+        assert fmt.referenced_formats() == ["point", "quad"]
+
+    def test_describe(self):
+        fmt = Format.from_dict("f", {"x": "int32", "d": "float64[]"})
+        assert fmt.describe() == "format f { x: int32; d: float64[] }"
+
+    def test_struct_refs_helper(self):
+        t = parse_type("struct deep[][]")
+        assert list(struct_refs(t)) == ["deep"]
+
+    def test_fingerprint_parts_rejects_junk(self):
+        with pytest.raises(FormatError):
+            type_fingerprint_parts("not a type")
+
+
+class TestMetadataWire:
+    def _rich_format(self):
+        return Format("rich", [
+            Field("i", Primitive("int32")),
+            Field("s", Primitive("string")),
+            Field("c", Primitive("char")),
+            Field("fixed", Array(Primitive("float64"), 8)),
+            Field("var", Array(Primitive("int16"))),
+            Field("nested", StructRef("inner")),
+            Field("matrix", Array(Array(Primitive("float32"), 4))),
+        ])
+
+    def test_roundtrip(self):
+        fmt = self._rich_format()
+        assert Format.from_wire(fmt.to_wire()) == fmt
+
+    def test_roundtrip_preserves_names_and_types(self):
+        fmt = Format.from_wire(self._rich_format().to_wire())
+        assert fmt.name == "rich"
+        assert fmt.field("fixed").ftype == Array(Primitive("float64"), 8)
+        assert fmt.field("nested").ftype == StructRef("inner")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DecodeError):
+            Format.from_wire(b"XXXX\x01\x00")
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(self._rich_format().to_wire())
+        blob[4] = 99
+        with pytest.raises(DecodeError):
+            Format.from_wire(bytes(blob))
+
+    @pytest.mark.parametrize("cut", [4, 6, 8, 12, 20])
+    def test_truncation_rejected(self, cut):
+        blob = self._rich_format().to_wire()
+        with pytest.raises(DecodeError):
+            Format.from_wire(blob[:cut])

@@ -1,0 +1,207 @@
+"""Tests for XML <-> native parameter marshalling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pbio import Format, FormatRegistry, parse_type
+from repro.soap import (SoapDecodingError, SoapEncodingError, decode_fields,
+                        decode_fields_pull, decode_value, encode_fields,
+                        encode_value)
+from repro.xmlcore import Element, XmlPullParser, parse, tostring
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict("point", {"x": "float64", "y": "float64"}))
+    return reg
+
+
+def xml_roundtrip(value, type_spec, registry=None):
+    ftype = parse_type(type_spec)
+    el = encode_value("v", value, ftype, registry)
+    reparsed = parse(tostring(el))
+    return decode_value(reparsed, ftype, registry)
+
+
+class TestPrimitives:
+    def test_int(self):
+        assert xml_roundtrip(-42, "int32") == -42
+
+    def test_float_precision_preserved(self):
+        assert xml_roundtrip(0.1 + 0.2, "float64") == 0.1 + 0.2
+
+    def test_string_with_markup(self):
+        assert xml_roundtrip("a <b> & 'c'", "string") == "a <b> & 'c'"
+
+    def test_char(self):
+        assert xml_roundtrip("Q", "char") == "Q"
+
+    def test_char_multi_rejected_on_encode(self):
+        with pytest.raises(SoapEncodingError):
+            encode_value("v", "QQ", parse_type("char"))
+
+    def test_bad_int_value(self):
+        with pytest.raises(SoapEncodingError):
+            encode_value("v", "NaN?", parse_type("int32"))
+
+    def test_bad_int_text_on_decode(self):
+        el = Element("v", text="twelve")
+        with pytest.raises(SoapDecodingError):
+            decode_value(el, parse_type("int32"))
+
+    def test_int_text_with_whitespace(self):
+        el = Element("v", text="  12  ")
+        assert decode_value(el, parse_type("int32")) == 12
+
+
+class TestArrays:
+    def test_tags_enclose_every_element(self):
+        """The paper's 'redundant tags' observation."""
+        el = encode_value("data", [1, 2, 3], parse_type("int32[]"))
+        xml = tostring(el)
+        assert xml == "<data><item>1</item><item>2</item><item>3</item></data>"
+
+    def test_array_roundtrip(self):
+        assert xml_roundtrip(list(range(50)), "int32[]") == list(range(50))
+
+    def test_empty_array(self):
+        assert xml_roundtrip([], "int32[]") == []
+
+    def test_fixed_array_roundtrip(self):
+        assert xml_roundtrip([1.0, 2.0], "float64[2]") == [1.0, 2.0]
+
+    def test_fixed_array_wrong_length_encode(self):
+        with pytest.raises(SoapEncodingError):
+            encode_value("v", [1], parse_type("int32[3]"))
+
+    def test_fixed_array_wrong_length_decode(self):
+        el = parse("<v><item>1</item></v>")
+        with pytest.raises(SoapDecodingError):
+            decode_value(el, parse_type("int32[3]"))
+
+    def test_nested_array(self):
+        value = [[1, 2], [3]]
+        assert xml_roundtrip(value, "int32[][]") == value
+
+    def test_string_array(self):
+        assert xml_roundtrip(["a", "<b>"], "string[]") == ["a", "<b>"]
+
+
+class TestStructs:
+    def test_struct_roundtrip(self, registry):
+        value = {"x": 1.5, "y": -2.0}
+        assert xml_roundtrip(value, "struct point", registry) == value
+
+    def test_struct_needs_registry(self):
+        with pytest.raises(SoapEncodingError):
+            encode_value("v", {}, parse_type("struct point"))
+
+    def test_struct_array(self, registry):
+        value = [{"x": 0.0, "y": 1.0}, {"x": 2.0, "y": 3.0}]
+        assert xml_roundtrip(value, "struct point[]", registry) == value
+
+    def test_deep_nesting_grows_document(self, registry):
+        """XML document size grows with struct depth (Fig. 6 rationale)."""
+        fmt_prev = "point"
+        for i in range(5):
+            registry.register(Format.from_dict(
+                f"nest{i}", {"v": "int32", "inner": f"struct {fmt_prev}"}))
+            fmt_prev = f"nest{i}"
+
+        def build(level):
+            if level < 0:
+                return {"x": 1.0, "y": 2.0}
+            return {"v": level, "inner": build(level - 1)}
+
+        shallow = tostring(encode_value("m", build(0), parse_type("struct nest0"), registry))
+        deep = tostring(encode_value("m", build(4), parse_type("struct nest4"), registry))
+        assert len(deep) > len(shallow) * 2
+        assert xml_roundtrip(build(4), "struct nest4", registry) == build(4)
+
+
+class TestFields:
+    def test_encode_decode_fields(self, registry):
+        fmt = Format.from_dict("msg", {"n": "int32", "name": "string",
+                                       "p": "struct point"})
+        value = {"n": 1, "name": "x", "p": {"x": 0.5, "y": 0.25}}
+        parent = Element("Op")
+        encode_fields(parent, value, fmt, registry)
+        reparsed = parse(tostring(parent))
+        assert decode_fields(reparsed, fmt, registry) == value
+
+    def test_missing_field_on_encode(self, registry):
+        fmt = Format.from_dict("msg", {"a": "int32", "b": "int32"})
+        with pytest.raises(SoapEncodingError):
+            encode_fields(Element("Op"), {"a": 1}, fmt, registry)
+
+    def test_missing_element_on_decode(self, registry):
+        fmt = Format.from_dict("msg", {"a": "int32", "b": "int32"})
+        el = parse("<Op><a>1</a></Op>")
+        with pytest.raises(SoapDecodingError):
+            decode_fields(el, fmt, registry)
+
+    def test_field_order_in_xml_matches_format(self, registry):
+        fmt = Format.from_dict("msg", {"z": "int32", "a": "int32"})
+        parent = Element("Op")
+        encode_fields(parent, {"z": 1, "a": 2}, fmt, registry)
+        assert [c.tag for c in parent.elements()] == ["z", "a"]
+
+
+class TestPullDecoding:
+    def _pull_for(self, fmt, value, registry):
+        parent = Element("Op")
+        encode_fields(parent, value, fmt, registry)
+        pp = XmlPullParser(tostring(parent))
+        pp.require_start("Op")
+        return pp
+
+    def test_matches_tree_decoding(self, registry):
+        fmt = Format.from_dict("msg", {
+            "n": "int32", "data": "float64[]", "name": "string",
+            "p": "struct point"})
+        value = {"n": 5, "data": [1.0, 2.5], "name": "pull",
+                 "p": {"x": 1.0, "y": 2.0}}
+        pp = self._pull_for(fmt, value, registry)
+        assert decode_fields_pull(pp, fmt, registry) == value
+        pp.require_end("Op")
+
+    def test_large_array(self, registry):
+        fmt = Format.from_dict("msg", {"data": "int32[]"})
+        value = {"data": list(range(2000))}
+        pp = self._pull_for(fmt, value, registry)
+        assert decode_fields_pull(pp, fmt, registry) == value
+
+    def test_wrong_field_name_rejected(self, registry):
+        fmt = Format.from_dict("msg", {"expected": "int32"})
+        pp = XmlPullParser("<Op><other>1</other></Op>")
+        pp.require_start("Op")
+        from repro.xmlcore import XmlParseError
+        with pytest.raises(XmlParseError):
+            decode_fields_pull(pp, fmt, registry)
+
+    def test_fixed_length_enforced(self, registry):
+        fmt = Format.from_dict("msg", {"d": "int32[3]"})
+        pp = XmlPullParser("<Op><d><item>1</item></d></Op>")
+        pp.require_start("Op")
+        with pytest.raises(SoapDecodingError):
+            decode_fields_pull(pp, fmt, registry)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), max_size=30))
+    def test_int_array_roundtrip(self, values):
+        assert xml_roundtrip(values, "int32[]") == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    max_size=20))
+    def test_float_array_roundtrip(self, values):
+        assert xml_roundtrip(values, "float64[]") == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=60))
+    def test_string_roundtrip(self, text):
+        # attribute-free element content: everything must survive
+        assert xml_roundtrip(text, "string") == text

@@ -1,0 +1,101 @@
+"""Tests for SOAP envelope construction, parsing and faults."""
+
+import pytest
+
+from repro.soap import (SoapDecodingError, SoapFault, build_envelope,
+                        build_fault, envelope_to_bytes, fault_envelope,
+                        parse_envelope)
+from repro.xmlcore import Element, parse
+
+
+class TestBuild:
+    def test_minimal_envelope(self):
+        env = build_envelope([Element("Op")])
+        raw = envelope_to_bytes(env)
+        assert raw.startswith(b"<?xml")
+        doc = parse(raw.decode())
+        assert doc.local_name == "Envelope"
+        assert doc.find("Body").find("Op") is not None
+
+    def test_namespace_declared(self):
+        env = build_envelope([Element("Op")])
+        assert env.get("xmlns:SOAP-ENV") == \
+            "http://schemas.xmlsoap.org/soap/envelope/"
+
+    def test_header_included_when_given(self):
+        entry = Element("q:rtt", text="0.5")
+        env = build_envelope([Element("Op")], [entry])
+        parsed = parse_envelope(envelope_to_bytes(env))
+        assert parsed.header is not None
+        assert parsed.header_entries[0].text == "0.5"
+
+    def test_no_header_element_when_empty(self):
+        env = build_envelope([Element("Op")])
+        assert parse_envelope(envelope_to_bytes(env)).header is None
+
+
+class TestParse:
+    def test_roundtrip(self):
+        env = build_envelope([Element("Request", text="x")])
+        parsed = parse_envelope(envelope_to_bytes(env))
+        assert parsed.first_body_element().local_name == "Request"
+
+    def test_body_entries(self):
+        env = build_envelope([Element("A"), Element("B")])
+        parsed = parse_envelope(envelope_to_bytes(env))
+        assert [e.tag for e in parsed.body_entries] == ["A", "B"]
+
+    def test_not_an_envelope(self):
+        with pytest.raises(SoapDecodingError):
+            parse_envelope(b"<NotSoap/>")
+
+    def test_missing_body(self):
+        raw = (b'<SOAP-ENV:Envelope xmlns:SOAP-ENV='
+               b'"http://schemas.xmlsoap.org/soap/envelope/"/>')
+        with pytest.raises(SoapDecodingError):
+            parse_envelope(raw)
+
+    def test_empty_body_rejected_on_access(self):
+        env = build_envelope([])
+        parsed = parse_envelope(envelope_to_bytes(env))
+        with pytest.raises(SoapDecodingError):
+            parsed.first_body_element()
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(SoapDecodingError):
+            parse_envelope(b"\xff\xfe<x/>")
+
+    def test_header_entries_empty_without_header(self):
+        env = build_envelope([Element("Op")])
+        assert parse_envelope(envelope_to_bytes(env)).header_entries == []
+
+
+class TestFaults:
+    def test_fault_roundtrip(self):
+        fault = SoapFault("Client", "bad params", detail="field x missing")
+        parsed = parse_envelope(fault_envelope(fault))
+        got = parsed.fault()
+        assert got is not None
+        assert got.faultcode == "Client"
+        assert got.faultstring == "bad params"
+        assert got.detail == "field x missing"
+
+    def test_fault_without_detail(self):
+        parsed = parse_envelope(fault_envelope(SoapFault("Server", "boom")))
+        assert parsed.fault().detail is None
+
+    def test_raise_if_fault(self):
+        parsed = parse_envelope(fault_envelope(SoapFault("Server", "boom")))
+        with pytest.raises(SoapFault):
+            parsed.raise_if_fault()
+
+    def test_no_fault_is_none(self):
+        parsed = parse_envelope(envelope_to_bytes(
+            build_envelope([Element("Fine")])))
+        assert parsed.fault() is None
+        parsed.raise_if_fault()  # no exception
+
+    def test_build_fault_element(self):
+        el = build_fault(SoapFault("Client", "msg"))
+        assert el.local_name == "Fault"
+        assert el.findtext("faultstring") == "msg"

@@ -1,0 +1,237 @@
+"""Tests for ONC RPC message structure, record marking and client/server."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.sunrpc import (CallHeader, RpcClient, RpcDenied, RpcProgram,
+                          RpcProtocolError, RpcServer, XdrDecoder,
+                          XdrEncoder, decode_call, decode_reply, encode_call,
+                          encode_reply, read_record, write_record)
+from repro.sunrpc.rpc import GARBAGE_ARGS, SUCCESS, SYSTEM_ERR
+
+PROG = 0x20000001
+VERS = 1
+
+
+class TestMessages:
+    def test_call_roundtrip(self):
+        header = CallHeader(xid=7, prog=PROG, vers=VERS, proc=3)
+        blob = encode_call(header, b"ARGS")
+        decoded, args = decode_call(blob)
+        assert decoded == header
+        assert args == b"ARGS"
+
+    def test_reply_roundtrip(self):
+        blob = encode_reply(9, SUCCESS, b"RESULT")
+        xid, stat, results = decode_reply(blob)
+        assert (xid, stat, results) == (9, SUCCESS, b"RESULT")
+
+    def test_reply_is_not_a_call(self):
+        with pytest.raises(RpcProtocolError):
+            decode_call(encode_reply(1, SUCCESS))
+
+    def test_call_is_not_a_reply(self):
+        header = CallHeader(xid=1, prog=PROG, vers=VERS, proc=1)
+        with pytest.raises(RpcProtocolError):
+            decode_reply(encode_call(header, b""))
+
+    def test_bad_rpc_version(self):
+        enc = XdrEncoder()
+        enc.pack_uint(1)   # xid
+        enc.pack_uint(0)   # CALL
+        enc.pack_uint(3)   # wrong rpcvers
+        enc.pack_uint(PROG)
+        enc.pack_uint(VERS)
+        enc.pack_uint(1)
+        for _ in range(4):
+            enc.pack_uint(0)
+        with pytest.raises(RpcProtocolError):
+            decode_call(enc.getvalue())
+
+    def test_oversized_auth_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(1)
+        enc.pack_uint(0)
+        enc.pack_uint(2)
+        enc.pack_uint(PROG)
+        enc.pack_uint(VERS)
+        enc.pack_uint(1)
+        enc.pack_uint(0)
+        enc.pack_uint(5000)  # auth length beyond RFC max
+        with pytest.raises(RpcProtocolError):
+            decode_call(enc.getvalue() + b"\x00" * 5000)
+
+
+class TestRecordMarking:
+    def _pair(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname())
+        conn, _ = server.accept()
+        server.close()
+        return client, conn
+
+    def test_roundtrip(self):
+        client, conn = self._pair()
+        try:
+            write_record(client, b"hello record")
+            assert read_record(conn) == b"hello record"
+        finally:
+            client.close()
+            conn.close()
+
+    def test_empty_record(self):
+        client, conn = self._pair()
+        try:
+            write_record(client, b"")
+            assert read_record(conn) == b""
+        finally:
+            client.close()
+            conn.close()
+
+    def test_multi_fragment(self):
+        client, conn = self._pair()
+        payload = bytes(range(256)) * 8192  # 2 MiB => 2 fragments
+        try:
+            sender = threading.Thread(target=write_record,
+                                      args=(client, payload))
+            sender.start()
+            received = read_record(conn)
+            sender.join()
+            assert received == payload
+        finally:
+            client.close()
+            conn.close()
+
+    def test_eof_returns_none(self):
+        client, conn = self._pair()
+        client.close()
+        try:
+            assert read_record(conn) is None
+        finally:
+            conn.close()
+
+    def test_mid_fragment_close_raises(self):
+        client, conn = self._pair()
+        try:
+            client.sendall(b"\x80\x00\x00\x10abc")  # claims 16, sends 3
+            client.close()
+            with pytest.raises(RpcProtocolError):
+                read_record(conn)
+        finally:
+            conn.close()
+
+
+@pytest.fixture()
+def calculator():
+    program = RpcProgram(PROG, VERS)
+
+    @program.procedure(1)
+    def add(args: bytes) -> bytes:
+        dec = XdrDecoder(args)
+        a, b = dec.unpack_int(), dec.unpack_int()
+        enc = XdrEncoder()
+        enc.pack_int(a + b)
+        return enc.getvalue()
+
+    @program.procedure(2)
+    def sum_array(args: bytes) -> bytes:
+        values = XdrDecoder(args).unpack_int_array()
+        enc = XdrEncoder()
+        enc.pack_hyper(sum(values))
+        return enc.getvalue()
+
+    @program.procedure(3)
+    def crash(args: bytes) -> bytes:
+        raise RuntimeError("deliberate")
+
+    server = RpcServer()
+    server.add_program(program)
+    yield server
+    server.close()
+
+
+class TestClientServer:
+    def test_add(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            enc = XdrEncoder()
+            enc.pack_int(20)
+            enc.pack_int(22)
+            result = XdrDecoder(client.call(1, enc.getvalue()))
+            assert result.unpack_int() == 42
+
+    def test_null_procedure(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            client.ping()
+
+    def test_array_procedure(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            enc = XdrEncoder()
+            enc.pack_int_array(list(range(1000)))
+            result = XdrDecoder(client.call(2, enc.getvalue()))
+            assert result.unpack_hyper() == sum(range(1000))
+
+    def test_unknown_program(self, calculator):
+        with RpcClient(calculator.address, PROG + 5, VERS) as client:
+            with pytest.raises(RpcDenied) as ei:
+                client.ping()
+            assert "PROG_UNAVAIL" in str(ei.value)
+
+    def test_unknown_procedure(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            with pytest.raises(RpcDenied) as ei:
+                client.call(99)
+            assert "PROC_UNAVAIL" in str(ei.value)
+
+    def test_handler_exception_is_system_err(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            with pytest.raises(RpcDenied) as ei:
+                client.call(3)
+            assert "SYSTEM_ERR" in str(ei.value)
+
+    def test_garbage_args(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            with pytest.raises(RpcDenied) as ei:
+                client.call(1, b"\x00")  # truncated args -> XdrError
+            assert "GARBAGE_ARGS" in str(ei.value)
+
+    def test_many_sequential_calls(self, calculator):
+        with RpcClient(calculator.address, PROG, VERS) as client:
+            for i in range(50):
+                enc = XdrEncoder()
+                enc.pack_int(i)
+                enc.pack_int(i)
+                dec = XdrDecoder(client.call(1, enc.getvalue()))
+                assert dec.unpack_int() == 2 * i
+            assert client.calls_made == 50
+
+    def test_concurrent_clients(self, calculator):
+        errors = []
+
+        def work(base):
+            try:
+                with RpcClient(calculator.address, PROG, VERS) as client:
+                    for i in range(20):
+                        enc = XdrEncoder()
+                        enc.pack_int(base)
+                        enc.pack_int(i)
+                        dec = XdrDecoder(client.call(1, enc.getvalue()))
+                        assert dec.unpack_int() == base + i
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i * 100,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_procedure_zero_reserved(self):
+        program = RpcProgram(PROG, VERS)
+        with pytest.raises(ValueError):
+            program.register(0, lambda args: b"")

@@ -1,0 +1,165 @@
+"""Tests for the XDR codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sunrpc import XdrDecoder, XdrEncoder, XdrError
+
+
+def roundtrip(pack, unpack, value):
+    enc = XdrEncoder()
+    pack(enc, value)
+    dec = XdrDecoder(enc.getvalue())
+    out = unpack(dec)
+    assert dec.done()
+    return out
+
+
+class TestPrimitives:
+    def test_int(self):
+        assert roundtrip(lambda e, v: e.pack_int(v),
+                         lambda d: d.unpack_int(), -123456) == -123456
+
+    def test_int_is_big_endian(self):
+        enc = XdrEncoder()
+        enc.pack_int(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_int_out_of_range(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_int(2**40)
+
+    def test_uint(self):
+        assert roundtrip(lambda e, v: e.pack_uint(v),
+                         lambda d: d.unpack_uint(), 2**32 - 1) == 2**32 - 1
+
+    def test_uint_negative_rejected(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_uint(-1)
+
+    def test_hyper(self):
+        assert roundtrip(lambda e, v: e.pack_hyper(v),
+                         lambda d: d.unpack_hyper(), -2**62) == -2**62
+
+    def test_bool(self):
+        assert roundtrip(lambda e, v: e.pack_bool(v),
+                         lambda d: d.unpack_bool(), True) is True
+        enc = XdrEncoder()
+        enc.pack_bool(False)
+        assert enc.getvalue() == b"\x00\x00\x00\x00"
+
+    def test_float_double(self):
+        assert roundtrip(lambda e, v: e.pack_float(v),
+                         lambda d: d.unpack_float(), 0.5) == 0.5
+        assert roundtrip(lambda e, v: e.pack_double(v),
+                         lambda d: d.unpack_double(), 1.1) == 1.1
+
+
+class TestOpaqueString:
+    def test_opaque_padded_to_four(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"abcde")
+        raw = enc.getvalue()
+        assert len(raw) == 4 + 8  # length word + 5 bytes + 3 pad
+        assert raw.endswith(b"\x00\x00\x00")
+
+    def test_opaque_roundtrip(self):
+        assert roundtrip(lambda e, v: e.pack_opaque(v),
+                         lambda d: d.unpack_opaque(), b"xyz") == b"xyz"
+
+    def test_fixed_opaque(self):
+        assert roundtrip(lambda e, v: e.pack_fixed_opaque(v, 6),
+                         lambda d: d.unpack_fixed_opaque(6),
+                         b"sixsix") == b"sixsix"
+
+    def test_fixed_opaque_length_check(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_fixed_opaque(b"abc", 4)
+
+    def test_string_unicode(self):
+        assert roundtrip(lambda e, v: e.pack_string(v),
+                         lambda d: d.unpack_string(), "héllo") == "héllo"
+
+    def test_empty_string_is_one_word(self):
+        enc = XdrEncoder()
+        enc.pack_string("")
+        assert enc.getvalue() == b"\x00\x00\x00\x00"
+
+
+class TestArrays:
+    def test_var_array(self):
+        enc = XdrEncoder()
+        enc.pack_array([1, 2, 3], enc.pack_int)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_array(dec.unpack_int) == [1, 2, 3]
+
+    def test_fixed_array(self):
+        enc = XdrEncoder()
+        enc.pack_fixed_array([1.0, 2.0], 2, enc.pack_double)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_fixed_array(2, dec.unpack_double) == [1.0, 2.0]
+
+    def test_fixed_array_length_check(self):
+        enc = XdrEncoder()
+        with pytest.raises(XdrError):
+            enc.pack_fixed_array([1], 2, enc.pack_int)
+
+    def test_int_array_bulk(self):
+        values = list(range(-50, 50))
+        enc = XdrEncoder()
+        enc.pack_int_array(values)
+        assert XdrDecoder(enc.getvalue()).unpack_int_array() == values
+
+    def test_bulk_matches_item_by_item(self):
+        values = [1, -2, 3]
+        bulk = XdrEncoder()
+        bulk.pack_int_array(values)
+        manual = XdrEncoder()
+        manual.pack_array(values, manual.pack_int)
+        assert bulk.getvalue() == manual.getvalue()
+
+    def test_oversized_array_count_rejected(self):
+        # count claims more items than bytes remain
+        dec = XdrDecoder(b"\xff\xff\xff\xff" + b"\x00" * 8)
+        with pytest.raises(XdrError):
+            dec.unpack_array(dec.unpack_int)
+
+
+class TestDecoderSafety:
+    def test_truncated_int(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(b"\x00\x00").unpack_int()
+
+    def test_truncated_opaque(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"0123456789")
+        with pytest.raises(XdrError):
+            XdrDecoder(enc.getvalue()[:8]).unpack_opaque()
+
+    def test_remaining_and_done(self):
+        dec = XdrDecoder(b"\x00\x00\x00\x05")
+        assert dec.remaining() == 4
+        dec.unpack_int()
+        assert dec.done()
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), max_size=100))
+    def test_int_array_roundtrip(self, values):
+        enc = XdrEncoder()
+        enc.pack_int_array(values)
+        assert XdrDecoder(enc.getvalue()).unpack_int_array() == values
+
+    @given(st.binary(max_size=100))
+    def test_opaque_roundtrip(self, data):
+        enc = XdrEncoder()
+        enc.pack_opaque(data)
+        raw = enc.getvalue()
+        assert len(raw) % 4 == 0  # XDR alignment invariant
+        assert XdrDecoder(raw).unpack_opaque() == data
+
+    @given(st.text(max_size=50))
+    def test_string_roundtrip(self, text):
+        enc = XdrEncoder()
+        enc.pack_string(text)
+        assert XdrDecoder(enc.getvalue()).unpack_string() == text

@@ -1,0 +1,126 @@
+"""Tests for the channel abstraction across all three transports."""
+
+import pytest
+
+from repro.netsim import LinkModel, VirtualClock
+from repro.transport import (ChannelReply, DirectChannel, HttpChannel,
+                             SimChannel, serve_endpoint)
+
+
+def echo_endpoint(body, content_type, headers):
+    reply_headers = {"X-Seen-Type": content_type}
+    if "X-Custom" in headers:
+        reply_headers["X-Custom-Back"] = headers["X-Custom"]
+    return ChannelReply(body=b"echo:" + body, content_type=content_type,
+                        headers=reply_headers)
+
+
+class TestDirectChannel:
+    def test_call(self):
+        channel = DirectChannel(echo_endpoint)
+        reply = channel.call(b"hi", "application/x-pbio")
+        assert reply.body == b"echo:hi"
+        assert reply.content_type == "application/x-pbio"
+        assert channel.calls == 1
+
+    def test_headers_passed(self):
+        channel = DirectChannel(echo_endpoint)
+        reply = channel.call(b"", "t", headers={"X-Custom": "v"})
+        assert reply.headers["X-Custom-Back"] == "v"
+
+    def test_context_manager(self):
+        with DirectChannel(echo_endpoint) as channel:
+            assert channel.call(b"x", "t").ok
+
+
+class TestHttpChannel:
+    def test_roundtrip_over_sockets(self):
+        with serve_endpoint(echo_endpoint) as server:
+            with HttpChannel(server.address) as channel:
+                reply = channel.call(b"payload", "text/xml",
+                                     headers={"X-Custom": "q"})
+                assert reply.ok
+                assert reply.body == b"echo:payload"
+                assert reply.content_type == "text/xml"
+                assert reply.headers.get("X-Custom-Back") == "q"
+
+    def test_get_rejected_by_endpoint_adapter(self):
+        from repro.http11 import HttpConnection
+        with serve_endpoint(echo_endpoint) as server:
+            with HttpConnection(server.address) as conn:
+                assert conn.get("/").status == 405
+
+    def test_error_status_propagates(self):
+        def failing(body, content_type, headers):
+            return ChannelReply(body=b"nope", status=500)
+
+        with serve_endpoint(failing) as server:
+            with HttpChannel(server.address) as channel:
+                reply = channel.call(b"", "t")
+                assert reply.status == 500
+                assert not reply.ok
+
+    def test_many_calls_one_connection(self):
+        with serve_endpoint(echo_endpoint) as server:
+            with HttpChannel(server.address) as channel:
+                for i in range(20):
+                    assert channel.call(str(i).encode(), "t").ok
+            assert server.connections_accepted == 1
+
+
+class TestSimChannel:
+    def test_timing_charged_to_link(self):
+        clock = VirtualClock()
+        link = LinkModel(8e6, latency_s=0.01)  # 1 MB/s, 10 ms
+        channel = SimChannel(echo_endpoint, link, clock)
+        reply = channel.call(b"x" * 1000, "t")
+        assert reply.body.startswith(b"echo:")
+        # request: 10ms + 1ms; response 1005 bytes: 10ms + ~1ms
+        assert clock.now() == pytest.approx(0.022, rel=0.05)
+
+    def test_log_records_sizes_and_times(self):
+        clock = VirtualClock()
+        channel = SimChannel(echo_endpoint, LinkModel(1e6, 0.0), clock)
+        channel.call(b"abc", "t")
+        record = channel.log[0]
+        assert record.request_bytes == 3
+        assert record.response_bytes == 8
+        assert record.elapsed == pytest.approx(clock.now())
+
+    def test_server_time_model(self):
+        clock = VirtualClock()
+        channel = SimChannel(echo_endpoint, LinkModel(1e9, 0.0), clock,
+                             server_time=lambda req, resp: 0.5)
+        channel.call(b"", "t")
+        assert clock.now() >= 0.5
+
+    def test_response_times_series(self):
+        channel = SimChannel(echo_endpoint, LinkModel(1e6, 0.001),
+                             VirtualClock())
+        for size in (10, 100, 1000):
+            channel.call(b"y" * size, "t")
+        times = channel.response_times()
+        assert len(times) == 3
+        assert times[2] > times[0]
+
+    def test_timeline_x_values_increase(self):
+        channel = SimChannel(echo_endpoint, LinkModel(1e6, 0.001),
+                             VirtualClock())
+        for _ in range(4):
+            channel.call(b"z", "t")
+        xs = [t for t, _ in channel.timeline()]
+        assert xs == sorted(xs)
+        assert xs[0] == 0.0
+
+    def test_congestion_visible_in_elapsed(self):
+        from repro.netsim import CrossTrafficSchedule
+        schedule = CrossTrafficSchedule.steps([0.0, 90e6], 10.0)
+        link = LinkModel(100e6, 0.0001, cross_traffic=schedule)
+        clock = VirtualClock()
+        channel = SimChannel(echo_endpoint, link, clock)
+        quiet = channel.call(b"q" * 100_000, "t")
+        clock.advance(12.0)  # into the congested phase
+        channel.call(b"q" * 100_000, "t")
+        times = channel.response_times()
+        assert times[1] > times[0] * 5
+        assert quiet.ok

@@ -1,0 +1,250 @@
+"""Tests for WSDL parsing, emission, schema mapping and stub generation."""
+
+import pytest
+
+from repro.pbio import Array, Format, FormatRegistry, Primitive, StructRef
+from repro.transport import DirectChannel
+from repro.wsdl import (CompileError, SchemaError, WsdlCompiler,
+                        WsdlDocument, WsdlError, WsdlMessage, WsdlOperation,
+                        WsdlPortType, emit_wsdl, parse_wsdl)
+from repro.wsdl.schema import parse_complex_type, resolve_type_name
+from repro.xmlcore import parse
+
+WSDL = """<?xml version="1.0"?>
+<wsdl:definitions name="image_server" targetNamespace="urn:repro:img"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+    xmlns:tns="urn:repro:img">
+  <wsdl:types>
+    <xsd:schema targetNamespace="urn:repro:img">
+      <xsd:complexType name="Image">
+        <xsd:sequence>
+          <xsd:element name="width" type="xsd:int"/>
+          <xsd:element name="height" type="xsd:int"/>
+          <xsd:element name="pixels" type="xsd:unsignedByte"
+                       minOccurs="0" maxOccurs="unbounded"/>
+        </xsd:sequence>
+      </xsd:complexType>
+    </xsd:schema>
+  </wsdl:types>
+  <wsdl:message name="GetImageRequest">
+    <wsdl:part name="filename" type="xsd:string"/>
+    <wsdl:part name="operation" type="xsd:string"/>
+  </wsdl:message>
+  <wsdl:message name="GetImageResponse">
+    <wsdl:part name="image" type="tns:Image"/>
+  </wsdl:message>
+  <wsdl:portType name="ImagePortType">
+    <wsdl:operation name="GetImage">
+      <wsdl:input message="tns:GetImageRequest"/>
+      <wsdl:output message="tns:GetImageResponse"/>
+    </wsdl:operation>
+  </wsdl:portType>
+  <wsdl:service name="image_server">
+    <wsdl:port name="p" binding="tns:b">
+      <soap:address location="http://127.0.0.1:8088/img"/>
+    </wsdl:port>
+  </wsdl:service>
+</wsdl:definitions>
+"""
+
+
+class TestSchemaSubset:
+    def test_resolve_base_types(self):
+        assert resolve_type_name("xsd:int") == Primitive("int32")
+        assert resolve_type_name("xsd:double") == Primitive("float64")
+        assert resolve_type_name("xsd:string") == Primitive("string")
+        assert resolve_type_name("xsd:unsignedByte") == Primitive("uint8")
+
+    def test_resolve_tns_is_struct(self):
+        assert resolve_type_name("tns:Point") == StructRef("Point")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SchemaError):
+            resolve_type_name("xsd:dateTime")
+
+    def test_complex_type_parsing(self):
+        ct = parse(
+            '<xsd:complexType name="P"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:double"/>'
+            '<xsd:element name="tags" type="xsd:string" maxOccurs="unbounded"/>'
+            '<xsd:element name="w" type="xsd:int" maxOccurs="4"/>'
+            '</xsd:sequence></xsd:complexType>')
+        fmt = parse_complex_type(ct)
+        assert fmt.field("x").ftype == Primitive("float64")
+        assert fmt.field("tags").ftype == Array(Primitive("string"))
+        assert fmt.field("w").ftype == Array(Primitive("int32"), 4)
+
+    def test_complex_type_requires_name(self):
+        with pytest.raises(SchemaError):
+            parse_complex_type(parse(
+                "<xsd:complexType><xsd:sequence/></xsd:complexType>"))
+
+    def test_complex_type_requires_sequence(self):
+        with pytest.raises(SchemaError):
+            parse_complex_type(parse('<xsd:complexType name="X"/>'))
+
+    def test_bad_max_occurs(self):
+        ct = parse('<xsd:complexType name="X"><xsd:sequence>'
+                   '<xsd:element name="a" type="xsd:int" maxOccurs="lots"/>'
+                   '</xsd:sequence></xsd:complexType>')
+        with pytest.raises(SchemaError):
+            parse_complex_type(ct)
+
+
+class TestParse:
+    def test_full_document(self):
+        doc = parse_wsdl(WSDL)
+        assert doc.name == "image_server"
+        assert doc.location == "http://127.0.0.1:8088/img"
+        assert sorted(doc.types) == ["Image"]
+        assert sorted(doc.messages) == ["GetImageRequest", "GetImageResponse"]
+        op = doc.single_port_type().operation("GetImage")
+        assert op.input_message == "GetImageRequest"
+
+    def test_image_type_structure(self):
+        doc = parse_wsdl(WSDL)
+        image = doc.types["Image"]
+        assert image.field("pixels").ftype == Array(Primitive("uint8"))
+
+    def test_not_wsdl_rejected(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl("<html/>")
+
+    def test_unknown_message_reference_rejected(self):
+        broken = WSDL.replace("tns:GetImageRequest", "tns:Ghost")
+        with pytest.raises(WsdlError):
+            parse_wsdl(broken)
+
+    def test_unknown_type_reference_rejected(self):
+        broken = WSDL.replace('type="tns:Image"', 'type="tns:Ghost"')
+        with pytest.raises(WsdlError):
+            parse_wsdl(broken)
+
+    def test_operation_needs_input_and_output(self):
+        broken = WSDL.replace('<wsdl:input message="tns:GetImageRequest"/>',
+                              "")
+        with pytest.raises(WsdlError):
+            parse_wsdl(broken)
+
+
+class TestEmit:
+    def test_roundtrip(self):
+        doc = parse_wsdl(WSDL)
+        again = parse_wsdl(emit_wsdl(doc))
+        assert again.name == doc.name
+        assert again.location == doc.location
+        assert again.types["Image"] == doc.types["Image"]
+        assert [op.name for op in again.all_operations()] == \
+            [op.name for op in doc.all_operations()]
+
+    def test_emit_programmatic_document(self):
+        doc = WsdlDocument(name="calc")
+        doc.add_message(WsdlMessage("AddRequest",
+                                    [("a", Primitive("int32")),
+                                     ("b", Primitive("int32"))]))
+        doc.add_message(WsdlMessage("AddResponse",
+                                    [("sum", Primitive("int32"))]))
+        doc.port_types["CalcPort"] = WsdlPortType("CalcPort", [
+            WsdlOperation("Add", "AddRequest", "AddResponse")])
+        doc.location = "http://127.0.0.1:1/"
+        again = parse_wsdl(emit_wsdl(doc))
+        assert again.message("AddRequest").parts[0] == ("a",
+                                                        Primitive("int32"))
+
+    def test_array_part_rejected(self):
+        doc = WsdlDocument(name="bad")
+        doc.add_message(WsdlMessage("M", [("data",
+                                           Array(Primitive("int32")))]))
+        with pytest.raises(WsdlError):
+            emit_wsdl(doc)
+
+
+class TestCompiler:
+    def test_formats_registered(self):
+        compiler = WsdlCompiler.from_text(WSDL)
+        interface = compiler.compile()
+        assert compiler.registry.has_name("Image")
+        assert compiler.registry.has_name("GetImageRequest")
+        op = interface.operation("GetImage")
+        assert op.input_format.field_names() == ["filename", "operation"]
+        assert op.python_name == "get_image"
+
+    def test_operation_lookup_by_python_name(self):
+        interface = WsdlCompiler.from_text(WSDL).compile()
+        assert interface.operation("get_image").name == "GetImage"
+        with pytest.raises(CompileError):
+            interface.operation("nope")
+
+    def test_generated_sources_are_python(self):
+        compiler = WsdlCompiler.from_text(WSDL)
+        compile(compiler.generate_client_source(), "<client>", "exec")
+        compile(compiler.generate_server_source(), "<server>", "exec")
+
+    def test_stub_roundtrip_bin_and_xml(self):
+        stubs = WsdlCompiler.from_text(WSDL).load_stubs()
+
+        class Impl(stubs["Skeleton"]):
+            def get_image(self, params):
+                image = {"width": 2, "height": 1,
+                         "pixels": [1, 2, 3, 4, 5, 6]}
+                return {"image": image}
+
+        service = Impl().create_service()
+        for style in ("bin", "xml"):
+            client = stubs["Client"](DirectChannel(service.endpoint),
+                                     style=style)
+            out = client.get_image(filename="m51.ppm", operation="edge")
+            assert out["image"]["width"] == 2
+            assert list(out["image"]["pixels"]) == [1, 2, 3, 4, 5, 6]
+
+    def test_skeleton_method_unimplemented(self):
+        stubs = WsdlCompiler.from_text(WSDL).load_stubs()
+        skeleton = stubs["Skeleton"]()
+        with pytest.raises(NotImplementedError):
+            skeleton.get_image({})
+
+    def test_bad_style_rejected(self):
+        stubs = WsdlCompiler.from_text(WSDL).load_stubs()
+        with pytest.raises(ValueError):
+            stubs["Client"](DirectChannel(lambda *a: None), style="carrier-pigeon")
+
+    def test_joint_quality_compilation(self):
+        quality = ("attribute rtt\nhistory 1\n"
+                   "0 0.05 - GetImageResponse\n"
+                   "0.05 inf - ImageSmall\n")
+        compiler = WsdlCompiler.from_text(WSDL)
+        compiler.registry.register(Format.from_dict(
+            "ImageSmall", {"image": "struct Image"}))
+        stubs = compiler.load_stubs(quality_text=quality)
+
+        class Impl(stubs["Skeleton"]):
+            def get_image(self, params):
+                return {"image": {"width": 1, "height": 1,
+                                  "pixels": [0, 0, 0]}}
+
+        service = Impl().create_service()
+        assert service.quality is not None
+        assert service.quality.policy.message_types() == \
+            ["GetImageResponse", "ImageSmall"]
+
+    def test_client_update_attribute_requires_quality(self):
+        stubs = WsdlCompiler.from_text(WSDL).load_stubs()
+        client = stubs["Client"](DirectChannel(lambda *a: None))
+        with pytest.raises(RuntimeError):
+            client.update_attribute("rtt", 1.0)
+
+    def test_client_with_quality_file(self):
+        quality = ("attribute resolution\nhistory 1\n"
+                   "0 1 - GetImageRequest\n")
+        stubs = WsdlCompiler.from_text(WSDL).load_stubs()
+        client = stubs["Client"](DirectChannel(lambda *a: None),
+                                 quality_text=quality)
+        client.update_attribute("resolution", 0.5)
+        assert client.quality.current_attribute_value() == 0.5
+
+    def test_shared_registry(self):
+        registry = FormatRegistry()
+        WsdlCompiler.from_text(WSDL, registry).compile()
+        assert registry.has_name("Image")

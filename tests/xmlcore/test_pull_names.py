@@ -1,0 +1,155 @@
+"""Tests for the pull parser and namespace utilities."""
+
+import pytest
+
+from repro.xmlcore import (SOAP_ENV_NS, NamespaceScope, PullEvent,
+                           XmlNamespaceError, XmlParseError, XmlPullParser,
+                           local_name, parse, split_qname)
+from repro.xmlcore import tokenizer as tk
+from repro.xmlcore.names import (declared_namespaces, find_by_namespace,
+                                 resolve_all)
+
+
+class TestPullParser:
+    def test_event_stream(self):
+        pp = XmlPullParser("<a><b>x</b></a>")
+        kinds = []
+        while not pp.at_eof():
+            kinds.append(pp.next().kind)
+        assert kinds == [tk.START, tk.START, tk.TEXT, tk.END, tk.END]
+
+    def test_self_closing_emits_end(self):
+        pp = XmlPullParser("<a/>")
+        assert pp.next().kind == tk.START
+        assert pp.next().kind == tk.END
+        assert pp.at_eof()
+
+    def test_depth_tracking(self):
+        pp = XmlPullParser("<a><b/></a>")
+        assert pp.next().depth == 1   # <a>
+        assert pp.next().depth == 2   # <b>
+        assert pp.next().depth == 1   # </b>
+        assert pp.next().depth == 0   # </a>
+
+    def test_peek_does_not_consume(self):
+        pp = XmlPullParser("<a/>")
+        assert pp.peek().name == "a"
+        assert pp.next().name == "a"
+
+    def test_require_start_checks_name(self):
+        pp = XmlPullParser("<a><b/></a>")
+        pp.require_start("a")
+        with pytest.raises(XmlParseError):
+            pp.require_start("zzz")
+
+    def test_require_start_matches_local_name(self):
+        pp = XmlPullParser('<soap:Envelope xmlns:soap="urn:x"/>')
+        ev = pp.require_start("Envelope")
+        assert ev.name == "soap:Envelope"
+
+    def test_read_element_text(self):
+        pp = XmlPullParser("<r><v>42</v><w>x</w></r>")
+        pp.require_start("r")
+        assert pp.read_element_text("v") == "42"
+        assert pp.read_element_text("w") == "x"
+        pp.require_end("r")
+
+    def test_read_text_concatenates_cdata(self):
+        pp = XmlPullParser("<a>one<![CDATA[ two]]></a>")
+        pp.require_start("a")
+        assert pp.read_text() == "one two"
+
+    def test_skip_element(self):
+        pp = XmlPullParser("<r><junk><deep><deeper/></deep></junk><v>1</v></r>")
+        pp.require_start("r")
+        pp.skip_element()
+        assert pp.read_element_text("v") == "1"
+
+    def test_skip_text_only_skips_whitespace(self):
+        pp = XmlPullParser("<a>  <b/>real</a>")
+        pp.require_start("a")
+        pp.skip_text()
+        assert pp.peek().kind == tk.START
+
+    def test_unbalanced_detected(self):
+        pp = XmlPullParser("<a><b></a></b>")
+        pp.next()
+        pp.next()
+        with pytest.raises(XmlParseError):
+            pp.next()
+
+    def test_eof_raises(self):
+        pp = XmlPullParser("<a/>")
+        pp.next()
+        pp.next()
+        with pytest.raises(XmlParseError):
+            pp.next()
+
+    def test_repr(self):
+        assert "start" in repr(PullEvent(tk.START, name="x"))
+
+
+class TestNames:
+    def test_split_qname(self):
+        assert split_qname("a:b") == ("a", "b")
+        assert split_qname("b") == (None, "b")
+
+    def test_local_name(self):
+        assert local_name("soap:Body") == "Body"
+        assert local_name("Body") == "Body"
+
+    def test_declared_namespaces(self):
+        el = parse('<a xmlns="urn:default" xmlns:p="urn:p"/>')
+        ns = declared_namespaces(el)
+        assert ns[None] == "urn:default"
+        assert ns["p"] == "urn:p"
+
+    def test_scope_resolution(self):
+        scope = NamespaceScope()
+        el = parse('<a xmlns="urn:d" xmlns:p="urn:p"/>')
+        scope.push(el)
+        assert scope.resolve("x") == ("urn:d", "x")
+        assert scope.resolve("p:x") == ("urn:p", "x")
+        assert scope.resolve("x", use_default=False) == (None, "x")
+        scope.pop()
+
+    def test_scope_nesting_shadows(self):
+        scope = NamespaceScope()
+        outer = parse('<a xmlns:p="urn:outer"/>')
+        inner = parse('<b xmlns:p="urn:inner"/>')
+        scope.push(outer)
+        scope.push(inner)
+        assert scope.resolve("p:x")[0] == "urn:inner"
+        scope.pop()
+        assert scope.resolve("p:x")[0] == "urn:outer"
+
+    def test_undeclared_prefix_raises(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.resolve("nope:x")
+
+    def test_scope_underflow(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.pop()
+
+    def test_prefix_for(self):
+        scope = NamespaceScope()
+        scope.push(parse('<a xmlns:s="%s"/>' % SOAP_ENV_NS))
+        assert scope.prefix_for(SOAP_ENV_NS) == "s"
+        assert scope.prefix_for("urn:unknown") is None
+
+    def test_resolve_all(self):
+        doc = parse('<s:Envelope xmlns:s="%s"><s:Body/></s:Envelope>'
+                    % SOAP_ENV_NS)
+        names = resolve_all(doc)
+        assert names[id(doc)] == (SOAP_ENV_NS, "Envelope")
+        body = doc.find("Body")
+        assert names[id(body)] == (SOAP_ENV_NS, "Body")
+
+    def test_find_by_namespace(self):
+        doc = parse('<s:Envelope xmlns:s="%s"><s:Body><x/></s:Body>'
+                    '</s:Envelope>' % SOAP_ENV_NS)
+        found = list(find_by_namespace(doc, SOAP_ENV_NS, "Body"))
+        assert len(found) == 1
+        assert found[0].local_name == "Body"

@@ -1,0 +1,174 @@
+"""Unit tests for the hand-written XML tokenizer."""
+
+import pytest
+
+from repro.xmlcore import tokenizer as tk
+from repro.xmlcore.errors import XmlParseError
+
+
+def kinds(text):
+    return [t.kind for t in tk.tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        toks = tk.tokenize("<a>hi</a>")
+        assert [t.kind for t in toks] == [tk.START, tk.TEXT, tk.END]
+        assert toks[0].name == "a"
+        assert toks[1].data == "hi"
+        assert toks[2].name == "a"
+
+    def test_self_closing(self):
+        toks = tk.tokenize("<a/>")
+        assert len(toks) == 1
+        assert toks[0].self_closing is True
+
+    def test_self_closing_with_space(self):
+        toks = tk.tokenize("<a />")
+        assert toks[0].self_closing is True
+
+    def test_nested(self):
+        toks = tk.tokenize("<a><b><c/></b></a>")
+        assert kinds("<a><b><c/></b></a>") == [
+            tk.START, tk.START, tk.START, tk.END, tk.END]
+        assert toks[2].name == "c"
+
+    def test_attributes_double_quote(self):
+        toks = tk.tokenize('<a x="1" y="two"/>')
+        assert toks[0].attrs == {"x": "1", "y": "two"}
+
+    def test_attributes_single_quote(self):
+        toks = tk.tokenize("<a x='1'/>")
+        assert toks[0].attrs == {"x": "1"}
+
+    def test_attribute_whitespace_around_equals(self):
+        toks = tk.tokenize('<a x = "1"/>')
+        assert toks[0].attrs == {"x": "1"}
+
+    def test_namespaced_names(self):
+        toks = tk.tokenize('<soap:Envelope xmlns:soap="urn:x"/>')
+        assert toks[0].name == "soap:Envelope"
+        assert toks[0].attrs["xmlns:soap"] == "urn:x"
+
+    def test_empty_document_yields_nothing(self):
+        assert tk.tokenize("") == []
+
+    def test_position_tracking(self):
+        toks = tk.tokenize("<a>\n  <b/>\n</a>")
+        b = toks[2]
+        assert b.name == "b"
+        assert b.line == 2
+        assert b.column == 3
+
+
+class TestEntities:
+    def test_named_entities_in_text(self):
+        toks = tk.tokenize("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert toks[1].data == "<>&'\""
+
+    def test_decimal_reference(self):
+        assert tk.tokenize("<a>&#65;</a>")[1].data == "A"
+
+    def test_hex_reference(self):
+        assert tk.tokenize("<a>&#x41;</a>")[1].data == "A"
+
+    def test_hex_reference_uppercase_x(self):
+        assert tk.tokenize("<a>&#X41;</a>")[1].data == "A"
+
+    def test_entity_in_attribute(self):
+        toks = tk.tokenize('<a v="&amp;&lt;"/>')
+        assert toks[0].attrs["v"] == "&<"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize("<a>&nbsp;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize("<a>&amp</a>")
+
+    def test_bad_numeric_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize("<a>&#xzz;</a>")
+
+    def test_resolve_entity_direct(self):
+        assert tk.resolve_entity("amp") == "&"
+        assert tk.resolve_entity("#10") == "\n"
+
+
+class TestSpecialConstructs:
+    def test_comment(self):
+        toks = tk.tokenize("<a><!-- note --></a>")
+        assert toks[1].kind == tk.COMMENT
+        assert toks[1].data == " note "
+
+    def test_double_dash_in_comment_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize("<a><!-- a -- b --></a>")
+
+    def test_cdata(self):
+        toks = tk.tokenize("<a><![CDATA[x < y & z]]></a>")
+        assert toks[1].kind == tk.CDATA
+        assert toks[1].data == "x < y & z"
+
+    def test_xml_declaration_is_pi(self):
+        toks = tk.tokenize('<?xml version="1.0"?><a/>')
+        assert toks[0].kind == tk.PI
+        assert toks[0].name == "xml"
+
+    def test_processing_instruction_payload(self):
+        toks = tk.tokenize("<?proc do stuff?><a/>")
+        assert toks[0].data == "do stuff"
+
+    def test_doctype_skipped(self):
+        toks = tk.tokenize("<!DOCTYPE html><a/>")
+        assert toks[0].kind == tk.DOCTYPE
+
+    def test_doctype_internal_subset_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize('<!DOCTYPE a [<!ENTITY x "y">]><a/>')
+
+    def test_bom_stripped(self):
+        toks = tk.tokenize("﻿<a/>")
+        assert toks[0].name == "a"
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("doc", [
+        "<a",                 # unterminated start tag
+        "<a b></a>",          # attribute without value
+        "<a b=c></a>",        # unquoted attribute
+        '<a b="c></a>',       # unterminated attribute value
+        "<a><!-- x </a>",     # unterminated comment
+        "<a><![CDATA[ x </a>",  # unterminated CDATA
+        "</ a>",              # bad name start
+        "<1tag/>",            # digit-leading name
+        '<a x="1"x="2"/>',    # missing whitespace between attributes
+    ])
+    def test_rejected(self, doc):
+        with pytest.raises(XmlParseError):
+            tk.tokenize(doc)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlParseError) as ei:
+            tk.tokenize('<a x="1" x="2"/>')
+        assert "duplicate" in str(ei.value)
+
+    def test_angle_in_attribute_rejected(self):
+        with pytest.raises(XmlParseError):
+            tk.tokenize('<a x="a<b"/>')
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlParseError) as ei:
+            tk.tokenize("<a>\n<b x=></b></a>")
+        assert ei.value.line == 2
+
+
+class TestAttributeNormalization:
+    def test_newline_normalized_to_space(self):
+        toks = tk.tokenize('<a v="x\ny"/>')
+        assert toks[0].attrs["v"] == "x y"
+
+    def test_tab_normalized_to_space(self):
+        toks = tk.tokenize('<a v="x\ty"/>')
+        assert toks[0].attrs["v"] == "x y"

@@ -1,0 +1,213 @@
+"""Tests for the element tree, serializer and their round-trip behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlcore import (Element, XmlParseError, XmlWriteError, canonical,
+                           escape_attr, escape_text, parse, tostring)
+
+
+class TestParse:
+    def test_roundtrip_simple(self):
+        doc = parse("<a><b>hi</b></a>")
+        assert doc.tag == "a"
+        assert doc.find("b").text == "hi"
+
+    def test_attributes(self):
+        doc = parse('<a x="1" y="2"/>')
+        assert doc.get("x") == "1"
+        assert doc.get("missing") is None
+        assert doc.get("missing", "d") == "d"
+
+    def test_whitespace_between_elements_dropped(self):
+        doc = parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>")
+        assert len(doc) == 2
+        assert doc.text == ""
+
+    def test_leaf_text_preserved(self):
+        doc = parse("<a>  padded  </a>")
+        assert doc.text == "  padded  "
+
+    def test_keep_whitespace_flag(self):
+        doc = parse("<a>\n<b/></a>", keep_whitespace=True)
+        assert doc.children[0] == "\n"
+
+    def test_mixed_content_preserved(self):
+        doc = parse("<p>one <b>two</b> three</p>")
+        assert doc.children[0] == "one "
+        assert doc.children[2] == " three"
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a><b></a></b>")
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a><b>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a/><b/>")
+
+    def test_stray_end_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("</a>")
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a/>junk")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("   ")
+
+    def test_comments_skipped(self):
+        doc = parse("<a><!-- hi --><b/></a>")
+        assert len(doc) == 1
+
+    def test_declaration_skipped(self):
+        doc = parse('<?xml version="1.0" encoding="utf-8"?><a/>')
+        assert doc.tag == "a"
+
+
+class TestElementApi:
+    def test_subelement(self):
+        root = Element("r")
+        child = root.subelement("c", {"k": "v"}, text="t")
+        assert root.find("c") is child
+        assert child.text == "t"
+
+    def test_findall(self):
+        doc = parse("<a><b>1</b><c/><b>2</b></a>")
+        assert [e.text for e in doc.findall("b")] == ["1", "2"]
+
+    def test_find_ignores_prefix(self):
+        doc = parse("<a><ns:b>x</ns:b></a>")
+        assert doc.find("b").text == "x"
+        assert doc.find("ns:b").text == "x"
+
+    def test_findtext_default(self):
+        doc = parse("<a><b>x</b></a>")
+        assert doc.findtext("b") == "x"
+        assert doc.findtext("zz", "fallback") == "fallback"
+
+    def test_iter_depth_first(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in doc.iter()] == ["a", "b", "c", "d"]
+
+    def test_text_setter_replaces(self):
+        el = Element("a", text="old")
+        el.subelement("b")
+        el.text = "new"
+        assert el.text == "new"
+        assert len(el) == 1
+
+    def test_local_name(self):
+        assert Element("soap:Body").local_name == "Body"
+
+    def test_indexing_and_len(self):
+        doc = parse("<a><b/><c/></a>")
+        assert len(doc) == 2
+        assert doc[1].tag == "c"
+        assert [e.tag for e in doc] == ["b", "c"]
+
+    def test_structural_equality(self):
+        assert parse("<a><b>x</b></a>") == parse("<a>\n  <b>x</b>\n</a>")
+        assert parse("<a/>") != parse("<b/>")
+
+
+class TestWriter:
+    def test_compact(self):
+        doc = parse("<a><b>x</b><c/></a>")
+        assert tostring(doc) == "<a><b>x</b><c/></a>"
+
+    def test_escaping_applied(self):
+        el = Element("a", {"v": 'x"<'}, text="a<&>b")
+        out = tostring(el)
+        assert out == '<a v="x&quot;&lt;">a&lt;&amp;&gt;b</a>'
+
+    def test_roundtrip_of_escapes(self):
+        el = Element("a", text="<tag> & 'quote' \"d\"")
+        assert parse(tostring(el)).text == el.text
+
+    def test_xml_declaration(self):
+        out = tostring(Element("a"), xml_declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_indent(self):
+        doc = parse("<a><b>x</b></a>")
+        out = tostring(doc, indent=2)
+        assert out == "<a>\n  <b>x</b>\n</a>\n"
+
+    def test_indented_output_reparses_equal(self):
+        doc = parse("<a><b>x</b><c><d/></c></a>")
+        assert parse(tostring(doc, indent=4)) == doc
+
+    def test_bad_tag_name_rejected(self):
+        with pytest.raises(XmlWriteError):
+            tostring(Element("has space"))
+
+    def test_bad_attr_name_rejected(self):
+        el = Element("a")
+        el.attrib["bad name"] = "v"
+        with pytest.raises(XmlWriteError):
+            tostring(el)
+
+    def test_canonical_sorts_attributes(self):
+        a = parse('<a z="1" b="2"/>')
+        b = parse('<a b="2" z="1"/>')
+        assert canonical(a) == canonical(b)
+
+    def test_escape_helpers(self):
+        assert escape_text("plain") == "plain"
+        assert escape_attr('a"b') == "a&quot;b"
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+
+text_strategy = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"),
+                           blacklist_characters="\r"),
+    max_size=40)
+
+name_strategy = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,10}", fullmatch=True)
+
+
+@st.composite
+def element_strategy(draw, depth=0):
+    tag = draw(name_strategy)
+    attrs = draw(st.dictionaries(name_strategy, text_strategy, max_size=3))
+    el = Element(tag, attrs)
+    if depth < 2:
+        n = draw(st.integers(min_value=0, max_value=3))
+        for _ in range(n):
+            if draw(st.booleans()):
+                el.children.append(draw(element_strategy(depth=depth + 1)))
+            else:
+                t = draw(text_strategy)
+                if t.strip():
+                    el.children.append(t)
+    return el
+
+
+class TestPropertyRoundTrips:
+    @given(text_strategy)
+    def test_text_escape_roundtrip(self, value):
+        el = Element("t", text=value)
+        assert parse(tostring(el)).text == value
+
+    @given(text_strategy)
+    def test_attr_escape_roundtrip(self, value):
+        el = Element("t", {"v": value})
+        # attribute-value normalization maps tabs/newlines to spaces
+        expected = value.replace("\t", " ").replace("\n", " ")
+        assert parse(tostring(el)).get("v") == expected
+
+    @given(element_strategy())
+    def test_tree_roundtrip(self, el):
+        reparsed = parse(tostring(el))
+        normalized = parse(tostring(el))
+        assert reparsed == normalized
+        assert tostring(reparsed) == tostring(normalized)

@@ -1,0 +1,62 @@
+"""Extra serializer edge cases: mixed content, deep trees, canonical form."""
+
+from repro.xmlcore import Element, canonical, parse, tostring
+
+
+class TestMixedContentPretty:
+    def test_mixed_content_stays_inline(self):
+        doc = parse("<p>one <b>two</b> three</p>")
+        out = tostring(doc, indent=2)
+        # mixed content must not gain whitespace (it would change meaning)
+        assert "<p>one <b>two</b> three</p>" in out
+
+    def test_structural_children_indent(self):
+        doc = parse("<a><b><c>x</c></b></a>")
+        out = tostring(doc, indent=2)
+        assert out == "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>\n"
+
+    def test_text_only_child_one_line(self):
+        doc = parse("<a><b>value</b></a>")
+        assert "<b>value</b>" in tostring(doc, indent=2)
+
+    def test_pretty_roundtrip_semantics(self):
+        doc = parse("<r><a>1</a><b><c/>text<c/></b></r>")
+        assert parse(tostring(doc, indent=4)) == doc
+
+
+class TestCanonicalForm:
+    def test_nested_attribute_sorting(self):
+        a = parse('<r z="1" a="2"><c y="3" b="4"/></r>')
+        b = parse('<r a="2" z="1"><c b="4" y="3"/></r>')
+        assert canonical(a) == canonical(b)
+
+    def test_canonical_drops_indentation(self):
+        a = parse("<r><c>x</c></r>")
+        b = parse("<r>\n  <c>x</c>\n</r>")
+        assert canonical(a) == canonical(b)
+
+    def test_canonical_preserves_real_text(self):
+        doc = parse("<r>  keep me  </r>")
+        assert "keep me" in canonical(doc)
+
+
+class TestDeepTrees:
+    def test_deep_nesting_roundtrip(self):
+        root = Element("L0")
+        node = root
+        for i in range(1, 200):
+            node = node.subelement(f"L{i}")
+        node.text = "bottom"
+        reparsed = parse(tostring(root))
+        probe = reparsed
+        for _ in range(199):
+            probe = probe[0]
+        assert probe.text == "bottom"
+
+    def test_wide_tree_roundtrip(self):
+        root = Element("r")
+        for i in range(500):
+            root.subelement("c", {"i": str(i)}, text=str(i))
+        reparsed = parse(tostring(root))
+        assert len(reparsed) == 500
+        assert reparsed[499].get("i") == "499"

@@ -1,0 +1,32 @@
+"""Full regression run for the headline performance numbers.
+
+Runs the :mod:`repro.bench.regress` harness in full mode and writes
+``BENCH_headline.json`` at the repository root.  This is the long-form
+companion to ``tests/bench/test_regress_smoke.py`` (which runs the same
+harness in smoke mode inside tier-1); run it when a PR touches a hot path::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_regress.py -q
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import regress
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def report():
+    return regress.write_report(str(REPO_ROOT / "BENCH_headline.json"),
+                                smoke=False)
+
+
+@pytest.mark.bench_smoke
+def test_full_regress_report(report):
+    codec = report["codec"]["float64_array_10k_list"]
+    assert codec["encode_speedup_vs_interp"] >= 3.0
+    assert report["rpc"]["p50_call_latency_s"] > 0.0
+    assert report["rpc"]["pooled_connections_reused"] > 0
+    assert (REPO_ROOT / "BENCH_headline.json").exists()

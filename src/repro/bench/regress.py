@@ -1,0 +1,213 @@
+"""The performance-regression harness behind ``BENCH_headline.json``.
+
+Every PR from the compiled-codec fast path onward tracks the same handful
+of headline numbers, so a regression in any hot path shows up as a diff in
+one JSON file:
+
+* **codec** — encode/decode ops/s for the three paper workloads (10k-element
+  float64 list, 10k-element int32 NumPy array, depth-8 nested business
+  struct), each with the interpreted field-walk ("slow path") alongside so
+  the compiled-codec speedup is explicit;
+* **wire** — steady-state session ``pack_bytes``/``unpack_stream``
+  round-trips per second (framing + codec + zero-copy parse);
+* **rpc** — p50/p95 end-to-end call latency for a SOAP-bin echo operation
+  over real loopback HTTP with pooled keep-alive connections.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.regress --out BENCH_headline.json
+
+or in smoke mode (a few seconds, used by the tier-1 test suite)::
+
+    PYTHONPATH=src python -m repro.bench.regress --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core import SoapBinClient, SoapBinService
+from ..pbio import Format, FormatRegistry, interp_decode, interp_encode
+from ..transport import PooledHttpChannel, serve_endpoint
+from ..http11 import HttpConnectionPool
+from .datagen import (int_array_value, nested_struct_value,
+                      register_array_format, register_nested_formats)
+from .timers import percentile
+
+SCHEMA_VERSION = 1
+
+FLOAT_ARRAY_FORMAT = Format.from_dict("RegressFloatArray",
+                                      {"data": "float64[]"})
+ECHO_FORMAT = Format.from_dict("RegressEcho",
+                               {"seq": "int32", "payload": "float64[]"})
+
+
+def _rate(fn: Callable[[], Any], min_time: float) -> float:
+    """Calls per second of ``fn``, measured over at least ``min_time``."""
+    fn()  # warmup / JIT the codec caches
+    n = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time:
+            return n / elapsed
+        if elapsed <= 0:
+            n *= 10
+        else:
+            n = max(n * 2, int(n * (min_time / elapsed) * 1.2) + 1)
+
+
+def _codec_entry(registry: FormatRegistry, fmt: Format,
+                 value: Dict[str, Any], min_time: float,
+                 slow_path: bool = True) -> Dict[str, float]:
+    compiler = registry.compiler
+    encode = compiler.encoder(fmt)
+    decode = compiler.decoder(fmt)
+    payload = encode(value)
+    entry: Dict[str, float] = {
+        "payload_bytes": len(payload),
+        "encode_ops_s": _rate(lambda: encode(value), min_time),
+        "decode_ops_s": _rate(lambda: decode(payload, 0), min_time),
+    }
+    if slow_path:
+        entry["interp_encode_ops_s"] = _rate(
+            lambda: interp_encode(fmt, value, registry), min_time)
+        entry["interp_decode_ops_s"] = _rate(
+            lambda: interp_decode(fmt, payload, 0, registry), min_time)
+        entry["encode_speedup_vs_interp"] = (
+            entry["encode_ops_s"] / entry["interp_encode_ops_s"])
+        entry["decode_speedup_vs_interp"] = (
+            entry["decode_ops_s"] / entry["interp_decode_ops_s"])
+    return entry
+
+
+def _bench_codecs(min_time: float) -> Dict[str, Dict[str, float]]:
+    registry = FormatRegistry()
+    out: Dict[str, Dict[str, float]] = {}
+
+    registry.register(FLOAT_ARRAY_FORMAT)
+    float_value = {"data": [float(i) * 0.5 for i in range(10_000)]}
+    out["float64_array_10k_list"] = _codec_entry(
+        registry, FLOAT_ARRAY_FORMAT, float_value, min_time)
+
+    array_fmt = register_array_format(registry)
+    # slow_path=False: the interpreter walks the ndarray per element, which
+    # in full mode would dominate the harness runtime for no extra signal —
+    # the float64 list workload above already pins down the speedup ratio.
+    out["int32_array_10k_numpy"] = _codec_entry(
+        registry, array_fmt, int_array_value(10_000), min_time,
+        slow_path=False)
+
+    nested_fmt = register_nested_formats(registry, 8)
+    out["nested_struct_d8"] = _codec_entry(
+        registry, nested_fmt, nested_struct_value(8), min_time)
+    return out
+
+
+def _bench_wire(min_time: float) -> Dict[str, float]:
+    from ..pbio import PbioSession
+    registry = FormatRegistry()
+    fmt = register_nested_formats(registry, 8)
+    value = nested_struct_value(8)
+    sender = PbioSession(registry)
+    receiver = PbioSession(registry)
+
+    def roundtrip() -> None:
+        receiver.unpack_stream(sender.pack_bytes(fmt, value))
+
+    roundtrip()  # burn the one-time announcement
+    return {"nested_struct_d8_roundtrip_ops_s": _rate(roundtrip, min_time)}
+
+
+def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
+    registry = FormatRegistry()
+    registry.register(ECHO_FORMAT)
+    service = SoapBinService(registry)
+    service.add_operation("Echo", ECHO_FORMAT, ECHO_FORMAT,
+                          lambda params: params)
+    server = serve_endpoint(service.endpoint)
+    pool = HttpConnectionPool()
+    value = {"seq": 0,
+             "payload": [float(i) for i in range(payload_elements)]}
+    try:
+        channel = PooledHttpChannel(server.address, pool=pool)
+        client = SoapBinClient(channel, registry)
+        for _ in range(min(10, calls)):  # warmup: announcement + pool fill
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+        latencies: List[float] = []
+        for seq in range(calls):
+            value["seq"] = seq
+            start = time.perf_counter()
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+            latencies.append(time.perf_counter() - start)
+    finally:
+        pool.close()
+        server.close()
+    return {
+        "calls": calls,
+        "payload_elements": payload_elements,
+        "p50_call_latency_s": percentile(latencies, 50),
+        "p95_call_latency_s": percentile(latencies, 95),
+        "ops_s": len(latencies) / sum(latencies),
+        "pooled_connections_created": pool.created,
+        "pooled_connections_reused": pool.reused,
+    }
+
+
+def run(smoke: bool = False) -> Dict[str, Any]:
+    """Run the whole harness; returns the result document."""
+    min_time = 0.05 if smoke else 0.5
+    calls = 150 if smoke else 1000
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "codec": _bench_codecs(min_time),
+        "wire": _bench_wire(min_time),
+        "rpc": _bench_rpc(calls, payload_elements=256),
+    }
+
+
+def write_report(path: str, smoke: bool = False) -> Dict[str, Any]:
+    """Run the harness and write the JSON document to ``path``.
+
+    The file is opened before any measurement runs, so an unwritable path
+    fails immediately instead of after minutes of benchmarking.
+    """
+    with open(path, "w") as fh:
+        result = run(smoke=smoke)
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SOAP-binQ performance regression harness")
+    parser.add_argument("--out", default="BENCH_headline.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode (<30 s) for CI smoke runs")
+    args = parser.parse_args(argv)
+    try:
+        result = write_report(args.out, smoke=args.smoke)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    speed = result["codec"]["float64_array_10k_list"]
+    print(f"wrote {args.out} ({result['mode']} mode)")
+    print(f"  float64[10k] encode: {speed['encode_ops_s']:,.0f} ops/s "
+          f"({speed['encode_speedup_vs_interp']:.1f}x over field walk)")
+    print(f"  rpc p50: {result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,7 @@ from typing import Any, Dict, Optional, Tuple
 import time
 
 from ..netsim.clock import Clock, WallClock
-from ..pbio import (CodecCompiler, Format, FormatRegistry, LITTLE,
-                    PbioSession)
+from ..pbio import Format, FormatRegistry, LITTLE, PbioSession
 from ..transport import Channel
 from .conversion import ConversionHandler
 from .errors import BinProtocolError
@@ -52,7 +51,7 @@ class SoapBinClient:
         self.registry = registry
         self.clock = clock or WallClock()
         self.quality = quality
-        self.compiler = CodecCompiler(registry)
+        self.compiler = registry.compiler
         self.session = PbioSession(registry, self.compiler, endian=endian)
         self.client_id = client_id or uuid.uuid4().hex
         #: used when no quality manager is installed, so RTT reporting to

@@ -26,7 +26,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from ..pbio import (CodecCompiler, Format, FormatRegistry, PbioSession,
+from ..pbio import (Format, FormatRegistry, PbioSession,
                     UnknownFormatError)
 from ..soap.errors import SoapFault
 from ..soap.service import Operation, SoapService
@@ -48,7 +48,7 @@ class SoapBinService:
                  prep_time_fn: Optional[Callable[[], float]] = None) -> None:
         self.registry = registry if registry is not None else FormatRegistry()
         self.xml_service = SoapService(self.registry)
-        self.compiler = CodecCompiler(self.registry)
+        self.compiler = self.registry.compiler
         self.handlers = handlers or HandlerRegistry()
         self.quality: Optional[QualityManager] = None
         if quality_text is not None:

@@ -24,7 +24,9 @@ class ConversionHandler:
                  endian: str = LITTLE) -> None:
         self.format = fmt
         self.registry = registry
-        self.compiler = compiler or CodecCompiler(registry)
+        # Handlers sharing a registry share its compiled-codec cache: the
+        # format is compiled once per process, not once per handler.
+        self.compiler = compiler or registry.compiler
         self.endian = endian
         registry.register(fmt)
 
@@ -60,8 +62,13 @@ class ConversionHandler:
         """Encode a native value as a PBIO payload (no wire header)."""
         return self.compiler.encoder(self.format, self.endian)(value)
 
-    def from_binary(self, payload: bytes) -> Dict[str, Any]:
-        """Decode a PBIO payload back to a native value."""
+    def to_binary_parts(self, value: Dict[str, Any]) -> list:
+        """The un-joined buffer list, for writev-style framing layers."""
+        return self.compiler.encoder_parts(self.format, self.endian)(value)
+
+    def from_binary(self, payload: Any) -> Dict[str, Any]:
+        """Decode a PBIO payload (``bytes`` or ``memoryview``) back to a
+        native value."""
         value, _ = self.compiler.decoder(self.format, self.endian)(payload, 0)
         return value
 

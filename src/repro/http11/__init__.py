@@ -10,7 +10,8 @@ server, and a persistent-connection client::
             assert conn.get("/").body == b"pong"
 """
 
-from .client import HttpConnection, parse_address
+from .client import (HttpConnection, HttpConnectionPool, default_pool,
+                     parse_address)
 from .errors import (HttpConnectionClosed, HttpError, HttpParseError,
                      HttpTooLarge)
 from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Headers, LineReader,
@@ -21,5 +22,6 @@ __all__ = [
     "HttpError", "HttpParseError", "HttpConnectionClosed", "HttpTooLarge",
     "Headers", "Request", "Response", "LineReader", "read_request",
     "read_response", "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
-    "HttpServer", "HttpConnection", "parse_address",
+    "HttpServer", "HttpConnection", "HttpConnectionPool", "default_pool",
+    "parse_address",
 ]

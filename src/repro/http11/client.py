@@ -1,9 +1,19 @@
-"""A persistent-connection HTTP/1.1 client."""
+"""A persistent-connection HTTP/1.1 client and a keep-alive pool.
+
+:class:`HttpConnection` is one keep-alive connection; the paper's
+persistent-session format cache assumes exactly this — repeated SOAP-bin
+calls to the same host must not pay TCP setup (or a fresh PBIO format
+announcement) per request.  :class:`HttpConnectionPool` extends that to
+many hosts and many concurrent callers: per-host idle lists with max-idle
+eviction and a retry-once policy for sockets that went stale while pooled.
+"""
 
 from __future__ import annotations
 
 import socket
-from typing import Optional, Tuple, Union
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 from .errors import HttpConnectionClosed, HttpError
 from .messages import Headers, LineReader, Request, Response, read_response
@@ -92,6 +102,159 @@ class HttpConnection:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class HttpConnectionPool:
+    """A thread-safe pool of keep-alive connections, keyed by host.
+
+    Checkout/checkin protocol: :meth:`acquire` hands out an idle connection
+    for ``address`` (or a fresh one), :meth:`release` returns it for reuse.
+    The one-shot helpers (:meth:`request`, :meth:`post`, :meth:`get`) wrap
+    the pair and add the pool's retry policy: if a pooled connection turns
+    out to be broken mid-request — the server dropped an idle keep-alive
+    socket — the request is retried exactly once on a brand-new connection.
+
+    Idle connections are evicted once they sit unused for ``idle_timeout``
+    seconds, and at most ``max_idle_per_host`` are kept per host; both
+    bounds are enforced lazily on acquire/release, so the pool needs no
+    background thread.
+    """
+
+    def __init__(self, max_idle_per_host: int = 8,
+                 idle_timeout: float = 60.0,
+                 timeout: float = 30.0) -> None:
+        self.max_idle_per_host = max_idle_per_host
+        self.idle_timeout = idle_timeout
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        #: address -> [(connection, time it went idle)], newest last
+        self._idle: Dict[Tuple[str, int], List[Tuple[HttpConnection, float]]] = {}
+        self._closed = False
+        self.reused = 0
+        self.created = 0
+        self.evicted = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, address: Union[Tuple[str, int], str]) -> HttpConnection:
+        """Check out a connection to ``address`` (reusing an idle one)."""
+        if isinstance(address, str):
+            address = parse_address(address)
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                raise HttpError("connection pool is closed")
+            bucket = self._idle.get(address)
+            reusable: Optional[HttpConnection] = None
+            stale: List[HttpConnection] = []
+            while bucket:
+                conn, idle_since = bucket.pop()  # newest first: warmest
+                if now - idle_since > self.idle_timeout:
+                    stale.append(conn)
+                else:
+                    reusable = conn
+                    break
+        for conn in stale:
+            self.evicted += 1
+            conn.close()
+        if reusable is not None:
+            self.reused += 1
+            return reusable
+        self.created += 1
+        return HttpConnection(address, timeout=self.timeout)
+
+    def release(self, conn: HttpConnection) -> None:
+        """Return a healthy connection to the pool."""
+        now = time.monotonic()
+        excess: List[HttpConnection] = []
+        with self._lock:
+            if self._closed:
+                excess.append(conn)
+            else:
+                bucket = self._idle.setdefault(conn.address, [])
+                bucket.append((conn, now))
+                while len(bucket) > self.max_idle_per_host:
+                    old, _ = bucket.pop(0)
+                    excess.append(old)
+        for old in excess:
+            self.evicted += 1
+            old.close()
+
+    def discard(self, conn: HttpConnection) -> None:
+        """Close a connection instead of pooling it (after an error)."""
+        conn.close()
+
+    # ------------------------------------------------------------------
+    def request(self, address: Union[Tuple[str, int], str],
+                request: Request) -> Response:
+        """Send ``request`` on a pooled connection, retrying once on a
+        broken socket."""
+        conn = self.acquire(address)
+        try:
+            response = conn.request(request)
+        except (HttpError, HttpConnectionClosed, OSError):
+            # The pooled socket was stale/broken; one fresh-connection retry.
+            self.discard(conn)
+            self.retries += 1
+            conn = self.acquire(conn.address)
+            try:
+                response = conn.request(request)
+            except BaseException:
+                self.discard(conn)
+                raise
+        self.release(conn)
+        return response
+
+    def post(self, address: Union[Tuple[str, int], str], target: str,
+             body: bytes, content_type: str,
+             headers: Optional[Headers] = None) -> Response:
+        req = Request(method="POST", target=target,
+                      headers=headers or Headers(), body=body)
+        req.headers.set("Content-Type", content_type)
+        return self.request(address, req)
+
+    def get(self, address: Union[Tuple[str, int], str],
+            target: str) -> Response:
+        return self.request(address, Request(method="GET", target=target))
+
+    # ------------------------------------------------------------------
+    def idle_count(self, address: Optional[Union[Tuple[str, int], str]] = None
+                   ) -> int:
+        if isinstance(address, str):
+            address = parse_address(address)
+        with self._lock:
+            if address is not None:
+                return len(self._idle.get(address, []))
+            return sum(len(bucket) for bucket in self._idle.values())
+
+    def close(self) -> None:
+        """Close every pooled connection and refuse further acquires."""
+        with self._lock:
+            self._closed = True
+            conns = [conn for bucket in self._idle.values()
+                     for conn, _ in bucket]
+            self._idle.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "HttpConnectionPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+_default_pool: Optional[HttpConnectionPool] = None
+_default_pool_lock = threading.Lock()
+
+
+def default_pool() -> HttpConnectionPool:
+    """The process-wide shared pool (created on first use)."""
+    global _default_pool
+    with _default_pool_lock:
+        if _default_pool is None or _default_pool._closed:
+            _default_pool = HttpConnectionPool()
+        return _default_pool
 
 
 def parse_address(url: str) -> Tuple[str, int]:

@@ -57,6 +57,13 @@ class HttpServer:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return
+            # Disable Nagle before the handler thread even spawns: SOAP
+            # RPC exchanges are small request/response pairs, and a
+            # delayed-ACK/Nagle interaction costs ~40 ms per call.
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
             with self._lock:
                 self.connections_accepted += 1
             thread = threading.Thread(target=self._serve_connection,
@@ -64,7 +71,6 @@ class HttpServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         reader = LineReader(conn.recv)
         with conn:
             while self._running:

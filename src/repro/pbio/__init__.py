@@ -23,8 +23,9 @@ Typical use::
     fmt, value = result
 """
 
-from .compiler import BIG, LITTLE, CodecCompiler
+from .compiler import BIG, LITTLE, CodecCompiler, flatten_fixed_format
 from .convert import compile_converter, project, zero_value
+from .interp import interp_decode, interp_encode
 from .errors import (ConversionError, DecodeError, EncodeError, FormatError,
                      PbioError, UnknownFormatError)
 from .fmt import Field, Format
@@ -45,7 +46,8 @@ __all__ = [
     "FLOAT32", "FLOAT64", "CHAR", "STRING",
     "Field", "Format",
     "FormatRegistry", "default_registry",
-    "CodecCompiler", "LITTLE", "BIG",
+    "CodecCompiler", "LITTLE", "BIG", "flatten_fixed_format",
+    "interp_encode", "interp_decode",
     "compile_converter", "project", "zero_value",
     "InMemoryFormatServer", "FormatServer", "FormatClient",
     "PbioSession", "SessionStats", "Message", "encode_message",

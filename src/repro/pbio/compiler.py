@@ -2,12 +2,39 @@
 
 PBIO's defining trick is *dynamic code generation*: rather than interpreting
 a format description for every message, it generates native conversion code
-once per (format, layout) pair and runs that on the hot path.  This module
+once per (format, endian) pair and runs that on the hot path.  This module
 is the Python realization — for each format we generate Python source for a
 specialized ``encode``/``decode`` function, compile it with :func:`compile`,
-and cache the resulting function.  Runs of consecutive fixed-size fields are
-collapsed into single precompiled :class:`struct.Struct` calls, and large
-primitive arrays take a NumPy bulk path.
+and cache the resulting function.
+
+Three codec *plans* exist, picked at compile time:
+
+``fixed``
+    The single-pack fast path.  A format whose fields are all fixed-size
+    primitives — including, recursively, nested structs of fixed-size
+    primitives — compiles to exactly one precompiled :class:`struct.Struct`
+    covering the whole message.  Encode is one ``pack`` call, decode is one
+    ``unpack_from`` plus a dict literal; nested structs are flattened into
+    the parent's layout, so a depth-10 business record costs one call, not
+    eleven.
+
+``general``
+    Everything else.  Runs of consecutive fixed-size fields are collapsed
+    into single precompiled :class:`struct.Struct` calls (nested fixed
+    structs are still inlined into those runs), homogeneous primitive
+    arrays take a single batch ``Struct(f"<{n}d")``-style call (or a NumPy
+    bulk path), and variable-size fields (strings, ragged arrays, dynamic
+    struct references) fall back to per-field logic.
+
+``interp``
+    The reference field-walk in :mod:`repro.pbio.interp`, used when the
+    compiler is constructed with ``use_codegen=False`` (debugging,
+    differential testing).
+
+Encoders come in two shapes: ``encoder()`` returns the payload as one
+``bytes``, ``encoder_parts()`` returns the un-joined list of buffers so
+framing layers can do a single writev-style join with their headers instead
+of re-copying the payload.
 
 The generated code implements the PBIO wire encoding:
 
@@ -17,11 +44,15 @@ The generated code implements the PBIO wire encoding:
 * variable-length arrays — u32 element count + elements,
 * fixed-length arrays — elements only (length is part of the format),
 * nested structs — encoded inline, in field order.
+
+Decoders accept any buffer supporting :func:`struct.unpack_from` —
+``bytes``, ``bytearray`` or ``memoryview`` — without copying.
 """
 
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 try:
@@ -31,6 +62,7 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
 
 from .errors import DecodeError, EncodeError, FormatError
 from .fmt import Format
+from .interp import interp_decode, interp_encode
 from .registry import FormatRegistry
 from .types import Array, FieldType, Primitive, StructRef
 
@@ -44,19 +76,26 @@ _NP_CHARS = {
 }
 
 EncodeFn = Callable[[Dict[str, Any]], bytes]
-DecodeFn = Callable[[bytes, int], Tuple[Dict[str, Any], int]]
+EncodePartsFn = Callable[[Dict[str, Any]], List[bytes]]
+DecodeFn = Callable[[Any, int], Tuple[Dict[str, Any], int]]
 
 
 # ----------------------------------------------------------------------
 # runtime helpers referenced from generated code
 # ----------------------------------------------------------------------
 
+@lru_cache(maxsize=512)
+def _array_struct(endian: str, count: int, char: str) -> struct.Struct:
+    """Precompiled batch codec for ``count`` homogeneous elements."""
+    return struct.Struct(f"{endian}{count}{char}")
+
+
 def _pack_prim_array(values: Any, char: str, endian: str) -> bytes:
     """Bulk-encode an array of one primitive kind.
 
     NumPy arrays are serialized with a single dtype cast + ``tobytes`` —
     this is what makes the 1 MB-image benchmarks representative.  Plain
-    sequences fall back to one big :func:`struct.pack`.
+    sequences go through one precompiled batch :class:`struct.Struct`.
     """
     if char == "c":
         if isinstance(values, str):
@@ -70,19 +109,20 @@ def _pack_prim_array(values: Any, char: str, endian: str) -> bytes:
         dtype = _np.dtype(endian + _NP_CHARS[char])
         return values.astype(dtype, copy=False).tobytes()
     try:
-        return struct.pack(f"{endian}{len(values)}{char}", *values)
+        return _array_struct(endian, len(values), char).pack(*values)
     except struct.error as exc:
         raise EncodeError(f"bad array value: {exc}")
 
 
-def _unpack_prim_array(buf: bytes, off: int, char: str, count: int,
+def _unpack_prim_array(buf: Any, off: int, char: str, count: int,
                        endian: str) -> Tuple[Any, int]:
-    """Bulk-decode ``count`` primitives starting at ``off``."""
+    """Bulk-decode ``count`` primitives starting at ``off`` (zero-copy for
+    the NumPy path: the returned array is a view over ``buf``)."""
     if char == "c":
         end = off + count
         if end > len(buf):
             raise DecodeError("truncated char array")
-        return buf[off:end].decode("latin-1"), end
+        return bytes(buf[off:end]).decode("latin-1"), end
     size = struct.calcsize(char) * count
     end = off + size
     if end > len(buf):
@@ -91,7 +131,7 @@ def _unpack_prim_array(buf: bytes, off: int, char: str, count: int,
         dtype = _np.dtype(endian + _NP_CHARS[char])
         arr = _np.frombuffer(buf, dtype=dtype, count=count, offset=off)
         return arr, end
-    values = list(struct.unpack_from(f"{endian}{count}{char}", buf, off))
+    values = list(_array_struct(endian, count, char).unpack_from(buf, off))
     return values, end
 
 
@@ -100,14 +140,14 @@ def _pack_string(value: str) -> bytes:
     return struct.pack("<I", len(raw)) + raw
 
 
-def _unpack_string(buf: bytes, off: int) -> Tuple[str, int]:
+def _unpack_string(buf: Any, off: int) -> Tuple[str, int]:
     if off + 4 > len(buf):
         raise DecodeError("truncated string length")
     (n,) = struct.unpack_from("<I", buf, off)
     off += 4
     if off + n > len(buf):
         raise DecodeError("truncated string body")
-    return buf[off:off + n].decode("utf-8"), off + n
+    return bytes(buf[off:off + n]).decode("utf-8"), off + n
 
 
 def _check_len(values: Any, expected: int, field: str) -> Any:
@@ -116,6 +156,78 @@ def _check_len(values: Any, expected: int, field: str) -> Any:
             f"field {field!r}: expected {expected} elements, "
             f"got {len(values)}")
     return values
+
+
+# ----------------------------------------------------------------------
+# flat-plan analysis
+# ----------------------------------------------------------------------
+
+def flatten_fixed_format(fmt: Format, registry: Optional[FormatRegistry],
+                         _visiting: Optional[frozenset] = None
+                         ) -> Optional[List[Tuple[Tuple[str, ...], str]]]:
+    """The flat plan of a fixed-layout format, or ``None``.
+
+    A format has a fixed layout when every field is a fixed-size primitive
+    or a nested struct that itself has a fixed layout.  The plan is the
+    ordered list of ``(field path, struct char)`` leaves — exactly the
+    arguments of the single :class:`struct.Struct` that covers the whole
+    message.  Strings, arrays and unresolvable/recursive struct references
+    make the format dynamic (``None``): those stay on the general plan.
+    """
+    if not fmt.fields:
+        return None
+    visiting = (_visiting or frozenset()) | {fmt.name}
+    leaves: List[Tuple[Tuple[str, ...], str]] = []
+    for f in fmt.fields:
+        sub = _flatten_fixed_type(f.ftype, registry, visiting)
+        if sub is None:
+            return None
+        leaves.extend(((f.name,) + path, char) for path, char in sub)
+    return leaves
+
+
+def _flatten_fixed_type(ftype: FieldType, registry: Optional[FormatRegistry],
+                        visiting: frozenset
+                        ) -> Optional[List[Tuple[Tuple[str, ...], str]]]:
+    if isinstance(ftype, Primitive):
+        if not ftype.is_fixed:
+            return None
+        return [((), ftype.struct_char)]
+    if isinstance(ftype, StructRef):
+        if registry is None or ftype.format_name in visiting:
+            return None
+        try:
+            sub_fmt = registry.by_name(ftype.format_name)
+        except FormatError:
+            return None
+        return flatten_fixed_format(sub_fmt, registry, visiting)
+    return None
+
+
+def _dict_expr(leaves: List[Tuple[Tuple[str, ...], str]]) -> str:
+    """A nested dict-literal expression rebuilding values from leaf targets.
+
+    ``leaves`` pairs each field path with the local variable holding its
+    decoded value, in format field order.
+    """
+    order: List[Tuple[str, Optional[str]]] = []
+    groups: Dict[str, List[Tuple[Tuple[str, ...], str]]] = {}
+    for path, target in leaves:
+        head = path[0]
+        if len(path) == 1:
+            order.append((head, target))
+        else:
+            if head not in groups:
+                order.append((head, None))
+                groups[head] = []
+            groups[head].append((path[1:], target))
+    parts = []
+    for head, target in order:
+        if target is not None:
+            parts.append(f"{head!r}: {target}")
+        else:
+            parts.append(f"{head!r}: {_dict_expr(groups[head])}")
+    return "{" + ", ".join(parts) + "}"
 
 
 # ----------------------------------------------------------------------
@@ -161,18 +273,86 @@ class _SourceBuilder:
         return fn
 
 
+class _EncodeBatch:
+    """A pending run of fixed-size encode expressions."""
+
+    def __init__(self, sb: _SourceBuilder) -> None:
+        self.sb = sb
+        self.items: List[Tuple[str, str]] = []  # (struct char, value expr)
+
+    def add(self, char: str, expr: str) -> None:
+        self.items.append((char, expr))
+
+    def flush(self, depth: int) -> None:
+        if not self.items:
+            return
+        chars = "".join(c for c, _ in self.items)
+        packer = self.sb.add_const("s", struct.Struct(self.sb.endian + chars))
+        exprs = ", ".join(e for _, e in self.items)
+        self.sb.emit(f"_a({packer}.pack({exprs}))", depth)
+        self.items.clear()
+
+
+class _DecodeBatch:
+    """A pending run of fixed-size decode targets, plus deferred lines that
+    must run right after the batch unpacks (nested-struct dict rebuilds)."""
+
+    def __init__(self, sb: _SourceBuilder) -> None:
+        self.sb = sb
+        self.items: List[Tuple[str, str]] = []  # (struct char, target name)
+        self.post: List[str] = []
+
+    def add(self, char: str, target: str) -> None:
+        self.items.append((char, target))
+
+    def add_post(self, line: str) -> None:
+        self.post.append(line)
+
+    def flush(self, depth: int) -> None:
+        if self.items:
+            chars = "".join(c for c, _ in self.items)
+            unpacker = self.sb.add_const(
+                "s", struct.Struct(self.sb.endian + chars))
+            targets = ", ".join(t for _, t in self.items)
+            trailing = "," if len(self.items) == 1 else ""
+            self.sb.emit(
+                f"{targets}{trailing} = {unpacker}.unpack_from(_buf, _off)",
+                depth)
+            # decode chars from bytes to 1-char strings
+            for c, t in self.items:
+                if c == "c":
+                    self.sb.emit(f"{t} = {t}.decode('latin-1')", depth)
+            self.sb.emit(f"_off += {unpacker}.size", depth)
+            self.items.clear()
+        for line in self.post:
+            self.sb.emit(line, depth)
+        self.post.clear()
+
+
 class CodecCompiler:
     """Compiles and caches encode/decode functions per (format, endian).
 
-    One compiler is typically shared per registry; nested struct fields
-    resolve their sub-codecs lazily through the compiler so that formats can
-    be registered in any order.
+    One compiler is typically shared per registry (see
+    :attr:`FormatRegistry.compiler`); nested struct fields resolve their
+    sub-codecs lazily through the compiler so that formats can be
+    registered in any order.  The caches are invalidated when the registry
+    redefines a format (:meth:`FormatRegistry.redefine`).
+
+    ``use_codegen=False`` swaps every codec for the reference interpreter —
+    the slow path — which is handy for differential tests and debugging
+    generated code.
     """
 
-    def __init__(self, registry: FormatRegistry) -> None:
+    def __init__(self, registry: FormatRegistry,
+                 use_codegen: bool = True) -> None:
         self.registry = registry
+        self.use_codegen = use_codegen
         self._encoders: Dict[Tuple[str, str], EncodeFn] = {}
+        self._encoder_parts: Dict[Tuple[str, str], EncodePartsFn] = {}
         self._decoders: Dict[Tuple[str, str], DecodeFn] = {}
+        attach = getattr(registry, "_attach_compiler", None)
+        if attach is not None:
+            attach(self)
 
     # ------------------------------------------------------------------
     def encoder(self, fmt: Format, endian: str = LITTLE) -> EncodeFn:
@@ -180,8 +360,19 @@ class CodecCompiler:
         key = (fmt.fingerprint, endian)
         fn = self._encoders.get(key)
         if fn is None:
-            fn = self._compile_encoder(fmt, endian)
-            self._encoders[key] = fn
+            self._build_encoders(fmt, endian)
+            fn = self._encoders[key]
+        return fn
+
+    def encoder_parts(self, fmt: Format,
+                      endian: str = LITTLE) -> EncodePartsFn:
+        """Like :meth:`encoder` but the function returns the un-joined list
+        of buffers, for writev-style framing."""
+        key = (fmt.fingerprint, endian)
+        fn = self._encoder_parts.get(key)
+        if fn is None:
+            self._build_encoders(fmt, endian)
+            fn = self._encoder_parts[key]
         return fn
 
     def decoder(self, fmt: Format, endian: str = LITTLE) -> DecodeFn:
@@ -193,33 +384,79 @@ class CodecCompiler:
             self._decoders[key] = fn
         return fn
 
+    def invalidate(self) -> None:
+        """Drop every cached codec (a registry format was redefined).
+
+        Functions already handed out keep encoding the layout they were
+        compiled for; fetch codecs through the compiler after a
+        redefinition to pick up the new layout.
+        """
+        self._encoders.clear()
+        self._encoder_parts.clear()
+        self._decoders.clear()
+
     # ------------------------------------------------------------------
     # encoder generation
     # ------------------------------------------------------------------
-    def _compile_encoder(self, fmt: Format, endian: str) -> EncodeFn:
+    def _build_encoders(self, fmt: Format, endian: str) -> None:
+        key = (fmt.fingerprint, endian)
+        if not self.use_codegen:
+            registry = self.registry
+
+            def encode(value: Dict[str, Any]) -> bytes:
+                return interp_encode(fmt, value, registry, endian)
+
+            encode.__pbio_plan__ = "interp"
+            self._encoders[key] = encode
+            self._encoder_parts[key] = lambda value: [encode(value)]
+            return
+        leaves = flatten_fixed_format(fmt, self.registry)
+        if leaves is not None:
+            self._compile_fixed_encoder(fmt, endian, leaves)
+        else:
+            self._compile_general_encoder(fmt, endian)
+
+    def _compile_fixed_encoder(self, fmt: Format, endian: str,
+                               leaves: List[Tuple[Tuple[str, ...], str]]
+                               ) -> None:
         sb = _SourceBuilder(endian)
-        sb.namespace["_sub_encoder"] = lambda name: self.encoder(
-            self.registry.by_name(name), endian)
-        sb.emit("def _encode(_v):", 0)
+        chars = "".join(char for _, char in leaves)
+        packer = sb.add_const("s", struct.Struct(endian + chars))
+        exprs = ", ".join(_leaf_encode_expr("_v", path, char)
+                          for path, char in leaves)
+        for name, ret in (("_encode", f"return {packer}.pack({exprs})"),
+                          ("_encode_parts",
+                           f"return [{packer}.pack({exprs})]")):
+            sb.emit(f"def {name}(_v):", 0)
+            sb.emit("try:")
+            sb.emit(ret, 2)
+            sb.emit("except KeyError as _e:")
+            sb.emit("raise _EncodeError(" +
+                    repr(f"format {fmt.name!r}: missing field ") +
+                    " + str(_e))", 2)
+            sb.emit("except (_struct.error, TypeError, AttributeError) "
+                    "as _e:")
+            sb.emit("raise _EncodeError(" +
+                    repr(f"format {fmt.name!r}: ") + " + str(_e))", 2)
+        fn = sb.compile("_encode", f"<pbio-encode:{fmt.name}>")
+        parts_fn = sb.namespace["_encode_parts"]
+        fn.__pbio_plan__ = parts_fn.__pbio_plan__ = "fixed"
+        key = (fmt.fingerprint, endian)
+        self._encoders[key] = fn
+        self._encoder_parts[key] = parts_fn
+
+    def _compile_general_encoder(self, fmt: Format, endian: str) -> None:
+        sb = _SourceBuilder(endian)
+        sb.emit("def _encode_parts(_v):", 0)
         sb.emit("_out = []")
         sb.emit("_a = _out.append")
         sb.emit("try:")
         sb.emit("pass", 2)
-        batch: List[Tuple[str, str]] = []  # (struct char, value expression)
-
-        def flush(depth: int = 2) -> None:
-            if not batch:
-                return
-            chars = "".join(c for c, _ in batch)
-            packer = sb.add_const("s", struct.Struct(endian + chars))
-            exprs = ", ".join(e for _, e in batch)
-            sb.emit(f"_a({packer}.pack({exprs}))", depth)
-            batch.clear()
-
+        batch = _EncodeBatch(sb)
         for f in fmt.fields:
             self._gen_encode_field(sb, f.name, f"_v[{f.name!r}]", f.ftype,
-                                   batch, flush, depth=2)
-        flush()
+                                   batch, depth=2)
+        batch.flush(2)
         sb.emit("except KeyError as _e:")
         sb.emit("raise _EncodeError(" +
                 repr(f"format {fmt.name!r}: missing field ") +
@@ -227,23 +464,33 @@ class CodecCompiler:
         sb.emit("except (_struct.error, TypeError, AttributeError) as _e:")
         sb.emit("raise _EncodeError(" +
                 repr(f"format {fmt.name!r}: ") + " + str(_e))", 2)
+        body = sb.lines[1:]
+        sb.emit("return _out")
+        sb.emit("def _encode(_v):", 0)
+        sb.lines.extend(body)
         sb.emit("return b''.join(_out)")
-        return sb.compile("_encode", f"<pbio-encode:{fmt.name}>")
+        fn = sb.compile("_encode", f"<pbio-encode:{fmt.name}>")
+        parts_fn = sb.namespace["_encode_parts"]
+        parts_fn.__pbio_source__ = fn.__pbio_source__
+        fn.__pbio_plan__ = parts_fn.__pbio_plan__ = "general"
+        key = (fmt.fingerprint, endian)
+        self._encoders[key] = fn
+        self._encoder_parts[key] = parts_fn
 
     def _gen_encode_field(self, sb: _SourceBuilder, fname: str, src: str,
-                          ftype: FieldType, batch: List[Tuple[str, str]],
-                          flush: Callable[..., None], depth: int) -> None:
+                          ftype: FieldType, batch: _EncodeBatch,
+                          depth: int) -> None:
         if isinstance(ftype, Primitive):
             if ftype.kind == "string":
-                flush(depth)
+                batch.flush(depth)
                 sb.emit(f"_a(_pack_string({src}))", depth)
             elif ftype.kind == "char":
-                batch.append(("c", f"{src}.encode('latin-1')"))
+                batch.add("c", f"{src}.encode('latin-1')")
             else:
-                batch.append((ftype.struct_char, src))
+                batch.add(ftype.struct_char, src)
             return
         if isinstance(ftype, Array):
-            flush(depth)
+            batch.flush(depth)
             var = sb.fresh("arr")
             sb.emit(f"{var} = {src}", depth)
             if ftype.length is not None:
@@ -258,63 +505,91 @@ class CodecCompiler:
             else:
                 item = sb.fresh("it")
                 sb.emit(f"for {item} in {var}:", depth)
-                inner_batch: List[Tuple[str, str]] = []
-
-                def inner_flush(d: int = depth + 1) -> None:
-                    if not inner_batch:
-                        return
-                    chars = "".join(c for c, _ in inner_batch)
-                    packer = sb.add_const("s", struct.Struct(sb.endian + chars))
-                    exprs = ", ".join(e for _, e in inner_batch)
-                    sb.emit(f"_a({packer}.pack({exprs}))", d)
-                    inner_batch.clear()
-
-                self._gen_encode_field(sb, fname, item, el, inner_batch,
-                                       inner_flush, depth + 1)
-                inner_flush()
+                inner = _EncodeBatch(sb)
+                self._gen_encode_field(sb, fname, item, el, inner, depth + 1)
+                inner.flush(depth + 1)
             return
         if isinstance(ftype, StructRef):
-            flush(depth)
+            inlined = self._inline_struct_leaves(ftype)
+            if inlined is not None:
+                for path, char in inlined:
+                    batch.add(char, _leaf_encode_expr(src, path, char))
+                return
+            batch.flush(depth)
             sub = sb.add_const("sub", _LazyCodec(self, ftype.format_name,
                                                  sb.endian, "encoder"))
             sb.emit(f"_a({sub}({src}))", depth)
             return
         raise FormatError(f"cannot encode type {ftype!r}")
 
+    def _inline_struct_leaves(self, ftype: StructRef
+                              ) -> Optional[List[Tuple[Tuple[str, ...], str]]]:
+        """The flat plan of a referenced struct, if it has a fixed layout
+        and is already registered — lets mixed formats keep nested fixed
+        structs inside a single pack/unpack run."""
+        try:
+            sub_fmt = self.registry.by_name(ftype.format_name)
+        except FormatError:
+            return None
+        return flatten_fixed_format(sub_fmt, self.registry)
+
     # ------------------------------------------------------------------
     # decoder generation
     # ------------------------------------------------------------------
     def _compile_decoder(self, fmt: Format, endian: str) -> DecodeFn:
+        if not self.use_codegen:
+            registry = self.registry
+
+            def decode(buf: Any, off: int) -> Tuple[Dict[str, Any], int]:
+                return interp_decode(fmt, buf, off, registry, endian)
+
+            decode.__pbio_plan__ = "interp"
+            return decode
+        leaves = flatten_fixed_format(fmt, self.registry)
+        if leaves is not None:
+            return self._compile_fixed_decoder(fmt, endian, leaves)
+        return self._compile_general_decoder(fmt, endian)
+
+    def _compile_fixed_decoder(self, fmt: Format, endian: str,
+                               leaves: List[Tuple[Tuple[str, ...], str]]
+                               ) -> DecodeFn:
+        sb = _SourceBuilder(endian)
+        unpacker_struct = struct.Struct(
+            endian + "".join(char for _, char in leaves))
+        unpacker = sb.add_const("s", unpacker_struct)
+        pairs = [(path, f"_f{i}") for i, (path, _) in enumerate(leaves)]
+        targets = ", ".join(t for _, t in pairs)
+        trailing = "," if len(pairs) == 1 else ""
+        sb.emit("def _decode(_buf, _off):", 0)
+        sb.emit("try:")
+        sb.emit(f"{targets}{trailing} = {unpacker}.unpack_from(_buf, _off)",
+                2)
+        sb.emit("except _struct.error as _e:")
+        sb.emit("raise _DecodeError(" +
+                repr(f"format {fmt.name!r}: truncated message: ") +
+                " + str(_e))", 2)
+        for (_, char), (_, target) in zip(leaves, pairs):
+            if char == "c":
+                sb.emit(f"{target} = {target}.decode('latin-1')")
+        sb.emit(f"return {_dict_expr(pairs)}, _off + {unpacker_struct.size}")
+        fn = sb.compile("_decode", f"<pbio-decode:{fmt.name}>")
+        fn.__pbio_plan__ = "fixed"
+        return fn
+
+    def _compile_general_decoder(self, fmt: Format, endian: str) -> DecodeFn:
         sb = _SourceBuilder(endian)
         sb.emit("def _decode(_buf, _off):", 0)
         sb.emit("_v = {}")
         sb.emit("try:")
         sb.emit("pass", 2)
-        batch: List[Tuple[str, str]] = []  # (struct char, target expression)
-
-        def flush(depth: int = 2) -> None:
-            if not batch:
-                return
-            chars = "".join(c for c, _ in batch)
-            unpacker = sb.add_const("s", struct.Struct(endian + chars))
-            targets = ", ".join(t for _, t in batch)
-            trailing = "," if len(batch) == 1 else ""
-            sb.emit(f"{targets}{trailing} = {unpacker}.unpack_from(_buf, _off)",
-                    depth)
-            # decode chars from bytes to 1-char strings
-            for c, t in batch:
-                if c == "c":
-                    sb.emit(f"{t} = {t}.decode('latin-1')", depth)
-            sb.emit(f"_off += {unpacker}.size", depth)
-            batch.clear()
-
+        batch = _DecodeBatch(sb)
         tmp_targets: Dict[str, str] = {}
         for f in fmt.fields:
             target = sb.fresh("f")
             tmp_targets[f.name] = target
-            self._gen_decode_field(sb, f.name, target, f.ftype, batch, flush,
+            self._gen_decode_field(sb, f.name, target, f.ftype, batch,
                                    depth=2)
-        flush()
+        batch.flush(2)
         for fname, target in tmp_targets.items():
             sb.emit(f"_v[{fname!r}] = {target}", 2)
         sb.emit("except _struct.error as _e:")
@@ -322,20 +597,22 @@ class CodecCompiler:
                 repr(f"format {fmt.name!r}: truncated message: ") +
                 " + str(_e))", 2)
         sb.emit("return _v, _off")
-        return sb.compile("_decode", f"<pbio-decode:{fmt.name}>")
+        fn = sb.compile("_decode", f"<pbio-decode:{fmt.name}>")
+        fn.__pbio_plan__ = "general"
+        return fn
 
     def _gen_decode_field(self, sb: _SourceBuilder, fname: str, target: str,
-                          ftype: FieldType, batch: List[Tuple[str, str]],
-                          flush: Callable[..., None], depth: int) -> None:
+                          ftype: FieldType, batch: _DecodeBatch,
+                          depth: int) -> None:
         if isinstance(ftype, Primitive):
             if ftype.kind == "string":
-                flush(depth)
+                batch.flush(depth)
                 sb.emit(f"{target}, _off = _unpack_string(_buf, _off)", depth)
             else:
-                batch.append((ftype.struct_char, target))
+                batch.add(ftype.struct_char, target)
             return
         if isinstance(ftype, Array):
-            flush(depth)
+            batch.flush(depth)
             if ftype.length is not None:
                 count_expr = str(ftype.length)
             else:
@@ -354,36 +631,34 @@ class CodecCompiler:
                 idx = sb.fresh("i")
                 sb.emit(f"for {idx} in range({count_expr}):", depth)
                 item = sb.fresh("e")
-                inner_batch: List[Tuple[str, str]] = []
-
-                def inner_flush(d: int = depth + 1) -> None:
-                    if not inner_batch:
-                        return
-                    chars = "".join(c for c, _ in inner_batch)
-                    unpacker = sb.add_const("s",
-                                            struct.Struct(sb.endian + chars))
-                    targets = ", ".join(t for _, t in inner_batch)
-                    trailing = "," if len(inner_batch) == 1 else ""
-                    sb.emit(f"{targets}{trailing} = "
-                            f"{unpacker}.unpack_from(_buf, _off)", d)
-                    for c, t in inner_batch:
-                        if c == "c":
-                            sb.emit(f"{t} = {t}.decode('latin-1')", d)
-                    sb.emit(f"_off += {unpacker}.size", d)
-                    inner_batch.clear()
-
-                self._gen_decode_field(sb, fname, item, el, inner_batch,
-                                       inner_flush, depth + 1)
-                inner_flush()
+                inner = _DecodeBatch(sb)
+                self._gen_decode_field(sb, fname, item, el, inner, depth + 1)
+                inner.flush(depth + 1)
                 sb.emit(f"{target}.append({item})", depth + 1)
             return
         if isinstance(ftype, StructRef):
-            flush(depth)
+            inlined = self._inline_struct_leaves(ftype)
+            if inlined is not None:
+                pairs = []
+                for path, char in inlined:
+                    leaf = sb.fresh("g")
+                    batch.add(char, leaf)
+                    pairs.append((path, leaf))
+                batch.add_post(f"{target} = {_dict_expr(pairs)}")
+                return
+            batch.flush(depth)
             sub = sb.add_const("sub", _LazyCodec(self, ftype.format_name,
                                                  sb.endian, "decoder"))
             sb.emit(f"{target}, _off = {sub}(_buf, _off)", depth)
             return
         raise FormatError(f"cannot decode type {ftype!r}")
+
+
+def _leaf_encode_expr(root: str, path: Tuple[str, ...], char: str) -> str:
+    expr = root + "".join(f"[{p!r}]" for p in path)
+    if char == "c":
+        expr += ".encode('latin-1')"
+    return expr
 
 
 class _LazyCodec:

@@ -111,10 +111,20 @@ def compile_converter(src_fmt: Format, dst_fmt: Format,
 
     The returned callable performs "a single copy" per invocation, as the
     paper describes for quality-file message substitution.  Identical
-    formats get an identity-shaped fast path.
+    formats get an identity-shaped fast path.  Compiled converters are
+    memoized on the registry (cleared by
+    :meth:`~repro.pbio.registry.FormatRegistry.redefine`), so per-message
+    up/down-translation never re-walks the two formats.
     """
     if src_fmt.fingerprint == dst_fmt.fingerprint:
         return dict  # shallow copy preserves caller's ownership expectations
+
+    cache = getattr(registry, "converter_cache", None)
+    cache_key = (src_fmt.fingerprint, dst_fmt.fingerprint)
+    if cache is not None:
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
 
     plan = []  # (dst_name, src_field_or_None, dst_type)
     for dst_field in dst_fmt.fields:
@@ -135,6 +145,8 @@ def compile_converter(src_fmt: Format, dst_fmt: Format,
                                            dst_type, registry)
         return out
 
+    if cache is not None:
+        cache[cache_key] = convert
     return convert
 
 

@@ -131,8 +131,19 @@ class Format:
         return b"".join(out)
 
     @classmethod
-    def from_wire(cls, blob: bytes) -> "Format":
-        """Inverse of :meth:`to_wire`."""
+    def from_wire(cls, blob) -> "Format":
+        """Inverse of :meth:`to_wire`.
+
+        Accepts ``bytes``, ``bytearray`` or ``memoryview`` without copying;
+        trailing bytes after the metadata are ignored.
+        """
+        fmt, _ = cls.from_wire_prefix(blob)
+        return fmt
+
+    @classmethod
+    def from_wire_prefix(cls, blob) -> Tuple["Format", int]:
+        """Parse one metadata blob at the head of ``blob``; returns the
+        format and the number of bytes it occupied (stream framing)."""
         if len(blob) < 6:
             raise DecodeError("truncated format metadata header")
         if blob[:4] != _META_MAGIC:
@@ -151,7 +162,7 @@ class Format:
             fname, offset = _unpack_str(blob, offset)
             ftype, offset = _unpack_type(blob, offset)
             fields.append(Field(fname, ftype))
-        return cls(name, fields)
+        return cls(name, fields), offset
 
 
 # ----------------------------------------------------------------------
@@ -171,14 +182,14 @@ def _pack_str(s: str) -> bytes:
     return struct.pack("<H", len(raw)) + raw
 
 
-def _unpack_str(blob: bytes, offset: int) -> Tuple[str, int]:
+def _unpack_str(blob, offset: int) -> Tuple[str, int]:
     if offset + 2 > len(blob):
         raise DecodeError("truncated string in format metadata")
     (n,) = struct.unpack_from("<H", blob, offset)
     offset += 2
     if offset + n > len(blob):
         raise DecodeError("truncated string in format metadata")
-    return blob[offset:offset + n].decode("utf-8"), offset + n
+    return bytes(blob[offset:offset + n]).decode("utf-8"), offset + n
 
 
 def _pack_type(ftype: FieldType) -> bytes:

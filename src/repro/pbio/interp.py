@@ -1,0 +1,146 @@
+"""The interpreted PBIO codec — the reference "slow path".
+
+This is the field-walk the paper's measurements argue against: for every
+message it re-traverses the format metadata, dispatching per field and per
+array element.  It produces byte-for-byte the same wire encoding as the
+compiled codecs in :mod:`repro.pbio.compiler`, which makes it the oracle
+for differential tests and the fallback when dynamic code generation is
+disabled (``CodecCompiler(use_codegen=False)``).
+
+Keep this module boring on purpose: correctness and readability over
+speed.  Anything clever belongs in the compiler.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import DecodeError, EncodeError, FormatError
+from .fmt import Format
+from .types import Array, FieldType, Primitive, StructRef
+
+LITTLE = "<"
+BIG = ">"
+
+
+def _registry_lookup(registry: Any, name: str) -> Format:
+    if registry is None:
+        raise FormatError(f"nested struct {name!r} needs a registry")
+    return registry.by_name(name)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+def interp_encode(fmt: Format, value: Dict[str, Any],
+                  registry: Any = None, endian: str = LITTLE) -> bytes:
+    """Encode ``value`` by walking ``fmt`` field by field."""
+    out: list = []
+    for field in fmt.fields:
+        try:
+            field_value = value[field.name]
+        except (KeyError, TypeError):
+            raise EncodeError(
+                f"format {fmt.name!r}: missing field '{field.name}'")
+        _encode_value(out, field.name, field_value, field.ftype, registry,
+                      endian)
+    return b"".join(out)
+
+
+def _encode_value(out: list, fname: str, value: Any, ftype: FieldType,
+                  registry: Any, endian: str) -> None:
+    if isinstance(ftype, Primitive):
+        out.append(_encode_primitive(fname, value, ftype, endian))
+        return
+    if isinstance(ftype, Array):
+        if ftype.length is not None:
+            if len(value) != ftype.length:
+                raise EncodeError(
+                    f"field {fname!r}: expected {ftype.length} elements, "
+                    f"got {len(value)}")
+        else:
+            out.append(struct.pack("<I", len(value)))
+        for item in value:
+            _encode_value(out, fname, item, ftype.element, registry, endian)
+        return
+    if isinstance(ftype, StructRef):
+        sub = _registry_lookup(registry, ftype.format_name)
+        out.append(interp_encode(sub, value, registry, endian))
+        return
+    raise FormatError(f"cannot encode type {ftype!r}")
+
+
+def _encode_primitive(fname: str, value: Any, ftype: Primitive,
+                      endian: str) -> bytes:
+    try:
+        if ftype.kind == "string":
+            raw = value.encode("utf-8")
+            return struct.pack("<I", len(raw)) + raw
+        if ftype.kind == "char":
+            return value.encode("latin-1")
+        return struct.pack(endian + ftype.struct_char, value)
+    except (struct.error, AttributeError, TypeError) as exc:
+        raise EncodeError(f"field {fname!r}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+def interp_decode(fmt: Format, buf: Any, offset: int = 0,
+                  registry: Any = None,
+                  endian: str = LITTLE) -> Tuple[Dict[str, Any], int]:
+    """Decode one ``fmt`` value starting at ``offset``; returns
+    ``(value, new_offset)``."""
+    value: Dict[str, Any] = {}
+    for field in fmt.fields:
+        value[field.name], offset = _decode_value(
+            fmt.name, buf, offset, field.ftype, registry, endian)
+    return value, offset
+
+
+def _decode_value(ctx: str, buf: Any, offset: int, ftype: FieldType,
+                  registry: Any, endian: str) -> Tuple[Any, int]:
+    if isinstance(ftype, Primitive):
+        return _decode_primitive(ctx, buf, offset, ftype, endian)
+    if isinstance(ftype, Array):
+        if ftype.length is not None:
+            count = ftype.length
+        else:
+            count, offset = _unpack(ctx, "<I", buf, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(ctx, buf, offset, ftype.element,
+                                         registry, endian)
+            items.append(item)
+        return items, offset
+    if isinstance(ftype, StructRef):
+        sub = _registry_lookup(registry, ftype.format_name)
+        return interp_decode(sub, buf, offset, registry, endian)
+    raise FormatError(f"cannot decode type {ftype!r}")
+
+
+def _decode_primitive(ctx: str, buf: Any, offset: int, ftype: Primitive,
+                      endian: str) -> Tuple[Any, int]:
+    if ftype.kind == "string":
+        n, offset = _unpack(ctx, "<I", buf, offset)
+        end = offset + n
+        if end > len(buf):
+            raise DecodeError(f"format {ctx!r}: truncated string body")
+        return bytes(buf[offset:end]).decode("utf-8"), end
+    if ftype.kind == "char":
+        if offset + 1 > len(buf):
+            raise DecodeError(f"format {ctx!r}: truncated char")
+        return bytes(buf[offset:offset + 1]).decode("latin-1"), offset + 1
+    value, offset = _unpack(ctx, endian + ftype.struct_char, buf, offset)
+    return value, offset
+
+
+def _unpack(ctx: str, spec: str, buf: Any, offset: int) -> Tuple[Any, int]:
+    try:
+        (value,) = struct.unpack_from(spec, buf, offset)
+    except struct.error as exc:
+        raise DecodeError(f"format {ctx!r}: truncated message: {exc}")
+    return value, offset + struct.calcsize(spec)

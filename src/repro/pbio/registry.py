@@ -10,7 +10,8 @@ network-facing format server lives in :mod:`repro.pbio.server`.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterator, List, Optional
+import weakref
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .errors import FormatError, UnknownFormatError
 from .fmt import Format
@@ -21,7 +22,15 @@ class FormatRegistry:
 
     Registration is idempotent: registering a structurally identical format
     returns the previously assigned id.  Registering a *different* format
-    under an existing name is an error — formats are immutable contracts.
+    under an existing name is an error — formats are immutable contracts;
+    the sanctioned escape hatch is :meth:`redefine`, which rebinds a name
+    and invalidates every codec cache attached to this registry.
+
+    The registry also owns the per-process codec caches: :attr:`compiler`
+    is the shared :class:`~repro.pbio.compiler.CodecCompiler` every layer
+    (sessions, conversion handlers, services) should reuse so a format is
+    compiled once per process, and :attr:`converter_cache` memoizes the
+    format-to-format converters of :mod:`repro.pbio.convert`.
     """
 
     def __init__(self) -> None:
@@ -33,6 +42,30 @@ class FormatRegistry:
         #: Optional fallback consulted when an id is unknown locally —
         #: typically :meth:`repro.pbio.server.FormatClient.fetch`.
         self.resolver: Optional[Callable[[int], Optional[Format]]] = None
+        #: compilers whose codec caches must be dropped on :meth:`redefine`
+        self._compilers: "weakref.WeakSet" = weakref.WeakSet()
+        self._shared_compiler: Optional[Any] = None
+        #: (src fingerprint, dst fingerprint) -> compiled converter
+        self.converter_cache: Dict[Tuple[str, str], Callable] = {}
+        #: bumped on every :meth:`redefine`; lets long-lived holders of
+        #: compiled codecs notice staleness cheaply
+        self.codec_epoch = 0
+
+    # ------------------------------------------------------------------
+    # codec cache plumbing
+    # ------------------------------------------------------------------
+    @property
+    def compiler(self):
+        """The shared codec compiler for this registry (created lazily)."""
+        with self._lock:
+            if self._shared_compiler is None:
+                from .compiler import CodecCompiler
+                self._shared_compiler = CodecCompiler(self)
+            return self._shared_compiler
+
+    def _attach_compiler(self, compiler: Any) -> None:
+        """Track ``compiler`` so :meth:`redefine` can invalidate it."""
+        self._compilers.add(compiler)
 
     # ------------------------------------------------------------------
     def register(self, fmt: Format) -> int:
@@ -68,6 +101,38 @@ class FormatRegistry:
             self._by_name.setdefault(fmt.name, fmt)
             self._id_by_fp.setdefault(fmt.fingerprint, fid)
             self._next_id = max(self._next_id, fid + 1)
+
+    def redefine(self, fmt: Format) -> int:
+        """Rebind ``fmt.name`` to a (possibly different) structure.
+
+        Returns the wire id — the old name's id is reused so persistent
+        sessions keep their id space — and invalidates every codec and
+        converter cache attached to this registry, so the next
+        ``compiler.encoder(...)`` call recompiles against the new layout.
+        Codec functions already held by callers keep the layout they were
+        compiled for.
+        """
+        with self._lock:
+            old = self._by_name.get(fmt.name)
+            if old is None:
+                fid = self._id_by_fp.get(fmt.fingerprint)
+                if fid is None:
+                    fid = self._next_id
+                    self._next_id += 1
+            else:
+                fid = self._id_by_fp.pop(old.fingerprint, None)
+                if fid is None:
+                    fid = self._next_id
+                    self._next_id += 1
+            self._by_id[fid] = fmt
+            self._by_name[fmt.name] = fmt
+            self._id_by_fp[fmt.fingerprint] = fid
+            self.codec_epoch += 1
+            compilers = list(self._compilers)
+            self.converter_cache.clear()
+        for compiler in compilers:
+            compiler.invalidate()
+        return fid
 
     # ------------------------------------------------------------------
     def by_id(self, fid: int) -> Format:

@@ -11,13 +11,24 @@ cache it (locally and, when configured, in the shared format server), so
 subsequent messages of the same type cost only the 12-byte header.  This is
 the registration handshake of §III-B: "This transaction occurs only once,
 since the format is cached locally thereafter."
+
+The wire path is zero-copy end-to-end:
+
+* :func:`parse_message` hands out the payload as a :class:`memoryview`
+  slice over the caller's buffer — nothing is copied until a decoder
+  materializes leaf values (and large primitive arrays decode as NumPy
+  views over the same buffer, so even they stay copy-free);
+* :func:`encode_message` accepts the un-joined buffer list produced by
+  ``CodecCompiler.encoder_parts`` and performs a single writev-style
+  ``bytes.join`` with the header, instead of joining the payload and then
+  copying it again behind the header.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .compiler import BIG, LITTLE, CodecCompiler
 from .errors import DecodeError, UnknownFormatError
@@ -33,35 +44,57 @@ FLAG_LITTLE_ENDIAN = 0x01
 KIND_DATA = 0
 KIND_FORMAT = 1
 
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 @dataclass
 class Message:
-    """A parsed PBIO wire message."""
+    """A parsed PBIO wire message.
+
+    ``payload`` is a :class:`memoryview` slice over the buffer given to
+    :func:`parse_message` — no copy is made.  Use :attr:`payload_bytes`
+    when an owned ``bytes`` object is genuinely needed.
+    """
 
     kind: int
     endian: str
     format_id: int
-    payload: bytes
+    payload: Buffer
 
     @property
     def is_data(self) -> bool:
         return self.kind == KIND_DATA
 
+    @property
+    def payload_bytes(self) -> bytes:
+        """The payload materialized as ``bytes`` (copies on demand)."""
+        payload = self.payload
+        return payload if isinstance(payload, bytes) else bytes(payload)
 
-def encode_message(kind: int, format_id: int, payload: bytes,
+
+def encode_message(kind: int, format_id: int,
+                   payload: Union[Buffer, Sequence[Buffer]],
                    endian: str = LITTLE) -> bytes:
-    """Frame a payload as a PBIO wire message."""
+    """Frame a payload as a PBIO wire message.
+
+    ``payload`` may be a single buffer or a sequence of buffers (the
+    output of ``CodecCompiler.encoder_parts``); a sequence is joined
+    together with the header in one pass, so the payload bytes are copied
+    exactly once.
+    """
     flags = FLAG_LITTLE_ENDIAN if endian == LITTLE else 0
-    return _HEADER.pack(MAGIC, flags, kind, format_id) + payload
+    header = _HEADER.pack(MAGIC, flags, kind, format_id)
+    if isinstance(payload, (list, tuple)):
+        return b"".join([header, *payload])
+    return header + payload
 
 
-def parse_message(blob: Union[bytes, bytearray, memoryview]) -> Message:
-    """Parse a wire blob into a :class:`Message`.
+def parse_message(blob: Buffer) -> Message:
+    """Parse a wire blob into a :class:`Message` without copying.
 
     Raises :class:`~repro.pbio.errors.DecodeError` for short blobs or a bad
     magic — the failure-injection tests feed truncated messages here.
     """
-    blob = bytes(blob)
     if len(blob) < HEADER_SIZE:
         raise DecodeError(f"message shorter than header "
                           f"({len(blob)} < {HEADER_SIZE})")
@@ -69,8 +102,9 @@ def parse_message(blob: Union[bytes, bytearray, memoryview]) -> Message:
     if magic != MAGIC:
         raise DecodeError(f"bad PBIO magic {magic!r}")
     endian = LITTLE if flags & FLAG_LITTLE_ENDIAN else BIG
+    view = blob if isinstance(blob, memoryview) else memoryview(blob)
     return Message(kind=kind, endian=endian, format_id=format_id,
-                   payload=blob[HEADER_SIZE:])
+                   payload=view[HEADER_SIZE:])
 
 
 @dataclass
@@ -100,7 +134,9 @@ class PbioSession:
     registry:
         Local format registry (ids in announcements come from here).
     compiler:
-        Shared codec compiler; one per registry is typical.
+        Shared codec compiler; defaults to the registry's own
+        (``registry.compiler``), so sessions sharing a registry share
+        compiled codecs.
     endian:
         The *native byte order this host writes*.  The paper's testbed mixed
         x86 (little) and SPARC (big); tests emulate the SPARC peer by
@@ -115,7 +151,10 @@ class PbioSession:
                  endian: str = LITTLE,
                  format_fetcher: Optional[Callable[[int], Optional[Format]]] = None) -> None:
         self.registry = registry
-        self.compiler = compiler or CodecCompiler(registry)
+        if compiler is None:
+            compiler = getattr(registry, "compiler", None) \
+                or CodecCompiler(registry)
+        self.compiler = compiler
         self.endian = endian
         self.format_fetcher = format_fetcher
         self.stats = SessionStats()
@@ -136,13 +175,9 @@ class PbioSession:
         fid = self.registry.register(fmt)
         blobs = []
         if fid not in self._announced:
-            announcement = encode_message(KIND_FORMAT, fid, fmt.to_wire(),
-                                          self.endian)
-            blobs.append(announcement)
-            self._announced.add(fid)
-            self.stats.announcements_sent += 1
-        payload = self.compiler.encoder(fmt, self.endian)(value)
-        blobs.append(encode_message(KIND_DATA, fid, payload, self.endian))
+            blobs.append(self._announce(fmt, fid))
+        parts = self.compiler.encoder_parts(fmt, self.endian)(value)
+        blobs.append(encode_message(KIND_DATA, fid, parts, self.endian))
         self.stats.messages_sent += 1
         self.stats.bytes_sent += sum(len(b) for b in blobs)
         return blobs
@@ -150,14 +185,37 @@ class PbioSession:
     def pack_bytes(self, fmt: Union[Format, str],
                    value: Dict[str, Any]) -> bytes:
         """Like :meth:`pack` but concatenated — for stream transports that
-        frame each :meth:`unpack_stream` call themselves."""
-        return b"".join(self.pack(fmt, value))
+        frame each :meth:`unpack_stream` call themselves.
+
+        The announcement (if due), the data header and the payload parts
+        are joined in a single pass.
+        """
+        if isinstance(fmt, str):
+            fmt = self.registry.by_name(fmt)
+        fid = self.registry.register(fmt)
+        parts: List[bytes] = []
+        if fid not in self._announced:
+            parts.append(self._announce(fmt, fid))
+        flags = FLAG_LITTLE_ENDIAN if self.endian == LITTLE else 0
+        parts.append(_HEADER.pack(MAGIC, flags, KIND_DATA, fid))
+        parts.extend(self.compiler.encoder_parts(fmt, self.endian)(value))
+        blob = b"".join(parts)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(blob)
+        return blob
+
+    def _announce(self, fmt: Format, fid: int) -> bytes:
+        announcement = encode_message(KIND_FORMAT, fid, fmt.to_wire(),
+                                      self.endian)
+        self._announced.add(fid)
+        self.stats.announcements_sent += 1
+        return announcement
 
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
-    def unpack(self, blob: bytes) -> Optional[Tuple[Format, Dict[str, Any]]]:
-        """Consume one wire message.
+    def unpack(self, blob: Buffer) -> Optional[Tuple[Format, Dict[str, Any]]]:
+        """Consume one wire message (``bytes`` or ``memoryview``).
 
         Returns ``(format, value)`` for data messages and ``None`` for
         control messages (format announcements).
@@ -181,17 +239,18 @@ class PbioSession:
         self.stats.messages_received += 1
         return fmt, value
 
-    def unpack_stream(self, blob: bytes) -> Tuple[Format, Dict[str, Any]]:
+    def unpack_stream(self, blob: Buffer) -> Tuple[Format, Dict[str, Any]]:
         """Consume a blob that may contain announcement(s) + one data message
         back to back (the output of :meth:`pack_bytes`)."""
         offset = 0
         result = None
-        view = memoryview(blob)
-        while offset < len(blob):
-            if len(blob) - offset < HEADER_SIZE:
+        view = blob if isinstance(blob, memoryview) else memoryview(blob)
+        total = len(view)
+        while offset < total:
+            if total - offset < HEADER_SIZE:
                 raise DecodeError("trailing garbage after PBIO message")
             msg_len = self._message_length(view, offset)
-            result = self.unpack(bytes(view[offset:offset + msg_len]))
+            result = self.unpack(view[offset:offset + msg_len])
             offset += msg_len
         if result is None:
             raise DecodeError("stream contained no data message")
@@ -209,8 +268,7 @@ class PbioSession:
         if kind == KIND_DATA:
             return len(view) - offset
         # Format metadata blob: parse it to find its end.
-        payload_start = offset + HEADER_SIZE
-        fmt_len = _format_metadata_length(bytes(view[payload_start:]))
+        _, fmt_len = Format.from_wire_prefix(view[offset + HEADER_SIZE:])
         return HEADER_SIZE + fmt_len
 
     def _resolve(self, fid: int) -> Format:
@@ -226,9 +284,3 @@ class PbioSession:
                 self.registry.register(fetched)
                 return fetched
         raise UnknownFormatError(fid)
-
-
-def _format_metadata_length(blob: bytes) -> int:
-    """Compute the byte length of a format-metadata blob by parsing it."""
-    fmt = Format.from_wire(blob)  # raises DecodeError on truncation
-    return len(fmt.to_wire())

@@ -2,10 +2,12 @@
 
 from .base import Channel, ChannelReply, DirectChannel, Endpoint
 from .sim import CallRecord, ServerTimeModel, SimChannel
-from .sockets import HttpChannel, endpoint_http_handler, serve_endpoint
+from .sockets import (HttpChannel, PooledHttpChannel, endpoint_http_handler,
+                      serve_endpoint)
 
 __all__ = [
     "Channel", "ChannelReply", "Endpoint", "DirectChannel",
     "SimChannel", "CallRecord", "ServerTimeModel",
-    "HttpChannel", "endpoint_http_handler", "serve_endpoint",
+    "HttpChannel", "PooledHttpChannel", "endpoint_http_handler",
+    "serve_endpoint",
 ]

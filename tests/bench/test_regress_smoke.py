@@ -1,0 +1,51 @@
+"""Tier-1 smoke run of the performance-regression harness.
+
+Runs :func:`repro.bench.regress.write_report` in smoke mode (a couple of
+seconds) so every test run exercises the full measurement path — compiled
+codecs, interpreted slow path, zero-copy wire framing, and a real pooled
+loopback RPC — and refreshes ``BENCH_headline.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import regress
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+HEADLINE = REPO_ROOT / "BENCH_headline.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return regress.write_report(str(HEADLINE), smoke=True)
+
+
+@pytest.mark.bench_smoke
+def test_smoke_writes_headline_json(report):
+    assert HEADLINE.exists()
+    on_disk = json.loads(HEADLINE.read_text())
+    assert on_disk["schema"] == regress.SCHEMA_VERSION
+    assert on_disk["mode"] == "smoke"
+    assert set(on_disk) >= {"codec", "wire", "rpc"}
+
+
+@pytest.mark.bench_smoke
+def test_smoke_compiled_speedup_on_float_array(report):
+    # The PR's acceptance bar: the compiled fast path must beat the
+    # interpreted field walk by >=3x on a 10k-element float64 list.
+    codec = report["codec"]["float64_array_10k_list"]
+    assert codec["encode_speedup_vs_interp"] >= 3.0
+    assert codec["decode_speedup_vs_interp"] >= 3.0
+    assert codec["payload_bytes"] == 4 + 10_000 * 8
+
+
+@pytest.mark.bench_smoke
+def test_smoke_rpc_used_pooled_keepalive(report):
+    rpc = report["rpc"]
+    assert rpc["p50_call_latency_s"] > 0.0
+    assert rpc["p95_call_latency_s"] >= rpc["p50_call_latency_s"]
+    # One socket, reused across every call: keep-alive pooling at work.
+    assert rpc["pooled_connections_created"] <= 2
+    assert rpc["pooled_connections_reused"] >= rpc["calls"] - 2

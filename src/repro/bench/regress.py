@@ -10,6 +10,10 @@ one JSON file:
   the compiled-codec speedup is explicit;
 * **wire** — steady-state session ``pack_bytes``/``unpack_stream``
   round-trips per second (framing + codec + zero-copy parse);
+* **xlate** — XML translation ops/s for the Fig. 5b/Fig. 7 array payloads
+  (``to_xml``/``from_xml`` on 10k- and 1k-element int arrays), with the
+  tree/pull reference paths alongside so the compiled-XML-plan speedup is
+  explicit;
 * **rpc** — p50/p95 end-to-end call latency for a SOAP-bin echo operation
   over real loopback HTTP with pooled keep-alive connections.
 
@@ -126,6 +130,50 @@ def _bench_wire(min_time: float) -> Dict[str, float]:
     return {"nested_struct_d8_roundtrip_ops_s": _rate(roundtrip, min_time)}
 
 
+def _bench_xlate(min_time: float) -> Dict[str, Dict[str, float]]:
+    """XML translation throughput: compiled plans vs tree/pull paths.
+
+    The payloads mirror the paper's array workloads: 10k ints is the
+    Fig. 5b generation-cost point, 1k ints the Fig. 7a interoperability
+    parse point.
+    """
+    from ..core import ConversionHandler
+    from ..soap.encoding import decode_fields_pull
+    from ..xmlcore import XmlPullParser
+
+    registry = FormatRegistry()
+    fmt = register_array_format(registry)
+    out: Dict[str, Dict[str, float]] = {}
+    for n in (10_000, 1_000):
+        handler = ConversionHandler(fmt, registry)
+        value = int_array_value(n)
+        xml_text = handler.to_xml(value)
+        assert xml_text == handler.to_xml_tree(value)
+
+        def from_xml_pull() -> Dict[str, Any]:
+            pp = XmlPullParser(xml_text)
+            start = pp.require_start()
+            decoded = decode_fields_pull(pp, fmt, registry)
+            pp.require_end(start.name)
+            return decoded
+
+        entry: Dict[str, float] = {
+            "xml_bytes": len(xml_text),
+            "to_xml_ops_s": _rate(lambda: handler.to_xml(value), min_time),
+            "to_xml_tree_ops_s": _rate(
+                lambda: handler.to_xml_tree(value), min_time),
+            "from_xml_ops_s": _rate(
+                lambda: handler.from_xml(xml_text), min_time),
+            "from_xml_pull_ops_s": _rate(from_xml_pull, min_time),
+        }
+        entry["to_xml_speedup_vs_tree"] = (
+            entry["to_xml_ops_s"] / entry["to_xml_tree_ops_s"])
+        entry["from_xml_speedup_vs_pull"] = (
+            entry["from_xml_ops_s"] / entry["from_xml_pull_ops_s"])
+        out[f"int32_array_{n // 1000}k"] = entry
+    return out
+
+
 def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
     registry = FormatRegistry()
     registry.register(ECHO_FORMAT)
@@ -171,6 +219,7 @@ def run(smoke: bool = False) -> Dict[str, Any]:
         "python": platform.python_version(),
         "codec": _bench_codecs(min_time),
         "wire": _bench_wire(min_time),
+        "xlate": _bench_xlate(min_time),
         "rpc": _bench_rpc(calls, payload_elements=256),
     }
 
@@ -205,6 +254,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.out} ({result['mode']} mode)")
     print(f"  float64[10k] encode: {speed['encode_ops_s']:,.0f} ops/s "
           f"({speed['encode_speedup_vs_interp']:.1f}x over field walk)")
+    xl = result["xlate"]["int32_array_10k"]
+    print(f"  int32[10k] to_xml: {xl['to_xml_ops_s']:,.0f} ops/s "
+          f"({xl['to_xml_speedup_vs_tree']:.1f}x over tree)")
     print(f"  rpc p50: {result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")
     return 0
 

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..pbio import CodecCompiler, Format, FormatRegistry, LITTLE
-from ..soap.encoding import decode_fields, decode_fields_pull, encode_fields
-from ..xmlcore import Element, XmlPullParser, parse, tostring
+from ..soap.encoding import decode_fields, encode_fields
+from ..xmlcore import Element, parse, tostring
 
 
 class ConversionHandler:
@@ -36,7 +36,17 @@ class ConversionHandler:
         """Render a native value as an XML fragment.
 
         The wrapper element defaults to the format name, which matches the
-        operation-element convention of the SOAP RPC layer.
+        operation-element convention of the SOAP RPC layer.  Uses the
+        compiled XML plan (:mod:`repro.soap.xlate`) shared through the
+        registry; output is byte-identical to :meth:`to_xml_tree`.
+        """
+        return self.registry.xlate.emitter(self.format)(value, wrapper_tag)
+
+    def to_xml_tree(self, value: Dict[str, Any],
+                    wrapper_tag: Optional[str] = None) -> str:
+        """Tree-building reference implementation of :meth:`to_xml`.
+
+        Kept as the differential-test oracle for the compiled plans.
         """
         wrapper = Element(wrapper_tag or self.format.name)
         encode_fields(wrapper, value, self.format, self.registry)
@@ -45,15 +55,12 @@ class ConversionHandler:
     def from_xml(self, xml_text: str, streaming: bool = True) -> Dict[str, Any]:
         """Parse an XML fragment into a native value.
 
-        ``streaming=True`` uses the pull parser (fast path for big arrays);
-        ``False`` builds a tree first (simpler failure messages).
+        ``streaming=True`` scans with the compiled XML plan, falling back
+        internally to the pull parser for documents outside the plan's fast
+        grammar; ``False`` builds a tree first (simpler failure messages).
         """
         if streaming:
-            pp = XmlPullParser(xml_text)
-            start = pp.require_start()
-            value = decode_fields_pull(pp, self.format, self.registry)
-            pp.require_end(start.name)
-            return value
+            return self.registry.xlate.parser(self.format)(xml_text)
         root = parse(xml_text)
         return decode_fields(root, self.format, self.registry)
 

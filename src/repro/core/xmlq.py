@@ -26,12 +26,12 @@ from typing import Any, Dict, List, Optional
 from ..netsim.clock import Clock, WallClock
 from ..pbio import Format, FormatRegistry
 from ..soap.client import SoapClient
-from ..soap.encoding import decode_fields, encode_fields
-from ..soap.envelope import (ParsedEnvelope, build_envelope,
-                             envelope_to_bytes, parse_envelope)
+from ..soap.encoding import decode_fields
+from ..soap.envelope import (ParsedEnvelope, envelope_bytes_from_xml,
+                             parse_envelope)
 from ..soap.service import XML_CONTENT_TYPE
 from ..transport import Channel
-from ..xmlcore import BINQ_NS, Element
+from ..xmlcore import BINQ_NS, Element, tostring
 from .quality_handlers import trivial_handler
 from .rtt import RttEstimator
 
@@ -141,7 +141,6 @@ def encode_quality_response(op_response_name: str, value: Dict[str, Any],
                             registry: FormatRegistry) -> bytes:
     """Server side: encode a (possibly reduced) XML response with the
     message-type header."""
-    wrapper = Element(op_response_name)
-    encode_fields(wrapper, value, wire_format, registry)
-    return envelope_to_bytes(build_envelope(
-        [wrapper], [build_message_type_header(wire_format.name)]))
+    body_xml = registry.xlate.emitter(wire_format)(value, op_response_name)
+    header_xml = tostring(build_message_type_header(wire_format.name))
+    return envelope_bytes_from_xml(body_xml, header_xml)

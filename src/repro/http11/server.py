@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
 from .messages import LineReader, Request, Response, read_request
@@ -27,11 +27,19 @@ class HttpServer:
 
         with HttpServer(handler) as server:
             ...  # server.address is (host, port)
+
+    ``max_connections`` bounds the thread-per-connection growth: beyond the
+    cap new connections are answered immediately with ``503 Service
+    Unavailable`` (``Connection: close``) instead of spawning a thread, so
+    a client stampede degrades loudly rather than exhausting the process.
+    ``None`` (the default) keeps the historical unbounded behaviour.
     """
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
-                 port: int = 0, backlog: int = 32) -> None:
+                 port: int = 0, backlog: int = 32,
+                 max_connections: Optional[int] = None) -> None:
         self.handler = handler
+        self.max_connections = max_connections
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -40,6 +48,8 @@ class HttpServer:
         self._running = True
         self.requests_served = 0
         self.connections_accepted = 0
+        self.connections_rejected = 0
+        self._active_connections = 0
         self._lock = threading.Lock()
         self._thread = threading.Thread(target=self._accept_loop,
                                         name="http-server", daemon=True)
@@ -66,11 +76,35 @@ class HttpServer:
                 pass
             with self._lock:
                 self.connections_accepted += 1
+                over_cap = (self.max_connections is not None
+                            and self._active_connections
+                            >= self.max_connections)
+                if over_cap:
+                    self.connections_rejected += 1
+                else:
+                    self._active_connections += 1
+            if over_cap:
+                self._reject_connection(conn)
+                continue
             thread = threading.Thread(target=self._serve_connection,
                                       args=(conn,), daemon=True)
             thread.start()
 
+    def _reject_connection(self, conn: socket.socket) -> None:
+        """Answer 503 and hang up — no handler thread is spawned."""
+        response = Response.text(503, "connection limit reached")
+        response.headers.set("Connection", "close")
+        with conn:
+            self._safe_send(conn, response)
+
     def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection_inner(conn)
+        finally:
+            with self._lock:
+                self._active_connections -= 1
+
+    def _serve_connection_inner(self, conn: socket.socket) -> None:
         reader = LineReader(conn.recv)
         with conn:
             while self._running:

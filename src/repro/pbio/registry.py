@@ -42,9 +42,10 @@ class FormatRegistry:
         #: Optional fallback consulted when an id is unknown locally —
         #: typically :meth:`repro.pbio.server.FormatClient.fetch`.
         self.resolver: Optional[Callable[[int], Optional[Format]]] = None
-        #: compilers whose codec caches must be dropped on :meth:`redefine`
+        #: compilers/planners whose caches must be dropped on :meth:`redefine`
         self._compilers: "weakref.WeakSet" = weakref.WeakSet()
         self._shared_compiler: Optional[Any] = None
+        self._shared_xlate: Optional[Any] = None
         #: (src fingerprint, dst fingerprint) -> compiled converter
         self.converter_cache: Dict[Tuple[str, str], Callable] = {}
         #: bumped on every :meth:`redefine`; lets long-lived holders of
@@ -63,8 +64,24 @@ class FormatRegistry:
                 self._shared_compiler = CodecCompiler(self)
             return self._shared_compiler
 
+    @property
+    def xlate(self):
+        """The shared XML-plan cache for this registry (created lazily).
+
+        Holds the compiled XML emitters/parsers of
+        :mod:`repro.soap.xlate` — the streaming XML<->native fast path —
+        beside the binary codec plans of :attr:`compiler`.  Both cache
+        families are invalidated together by :meth:`redefine`.
+        """
+        with self._lock:
+            if self._shared_xlate is None:
+                from ..soap.xlate import XlatePlanner
+                self._shared_xlate = XlatePlanner(self)
+            return self._shared_xlate
+
     def _attach_compiler(self, compiler: Any) -> None:
-        """Track ``compiler`` so :meth:`redefine` can invalidate it."""
+        """Track ``compiler`` (anything with ``invalidate()``) so
+        :meth:`redefine` can drop its caches."""
         self._compilers.add(compiler)
 
     # ------------------------------------------------------------------
@@ -106,9 +123,10 @@ class FormatRegistry:
         """Rebind ``fmt.name`` to a (possibly different) structure.
 
         Returns the wire id — the old name's id is reused so persistent
-        sessions keep their id space — and invalidates every codec and
-        converter cache attached to this registry, so the next
-        ``compiler.encoder(...)`` call recompiles against the new layout.
+        sessions keep their id space — and invalidates every codec,
+        XML-plan and converter cache attached to this registry, so the
+        next ``compiler.encoder(...)`` / ``xlate.emitter(...)`` call
+        recompiles against the new layout.
         Codec functions already held by callers keep the layout they were
         compiled for.
         """

@@ -7,11 +7,14 @@ from typing import Any, Dict, List, Optional
 from ..compress import get_codec
 from ..pbio import Format, FormatRegistry
 from ..transport import Channel
-from ..xmlcore import Element
-from .encoding import decode_fields, encode_fields
-from .envelope import build_envelope, envelope_to_bytes, parse_envelope
+from ..xmlcore import Element, tostring
+from ..xmlcore.errors import XmlParseError
+from .encoding import decode_fields
+from .envelope import (envelope_bytes_from_xml, parse_envelope,
+                       split_fast_envelope)
 from .errors import SoapDecodingError
 from .service import XML_CONTENT_TYPE
+from .xlate import _SIMPLE_TAG_RX
 
 
 class SoapClient:
@@ -54,12 +57,16 @@ class SoapClient:
     def build_request(self, operation: str, params: Dict[str, Any],
                       input_format: Format,
                       header_entries: Optional[List[Element]] = None) -> bytes:
-        wrapper = Element(operation)
-        encode_fields(wrapper, params, input_format, self.registry)
-        return envelope_to_bytes(build_envelope([wrapper], header_entries))
+        body_xml = self.registry.xlate.emitter(input_format)(params, operation)
+        header_xml = "".join(tostring(el) for el in header_entries) \
+            if header_entries else ""
+        return envelope_bytes_from_xml(body_xml, header_xml)
 
     def parse_response(self, operation: str, body: bytes,
                        output_format: Format) -> Dict[str, Any]:
+        fast = self._parse_response_fast(operation, body, output_format)
+        if fast is not None:
+            return fast
         envelope = parse_envelope(body)
         envelope.raise_if_fault()
         response_el = envelope.first_body_element()
@@ -68,6 +75,33 @@ class SoapClient:
             raise SoapDecodingError(
                 f"expected <{expected}>, got <{response_el.tag}>")
         return decode_fields(response_el, output_format, self.registry)
+
+    def _parse_response_fast(self, operation: str, body: bytes,
+                             output_format: Format) -> Optional[Dict[str, Any]]:
+        """Decode via the compiled XML plan, or ``None`` for the tree path.
+
+        Only a headerless envelope in this stack's exact framing whose body
+        opens with the expected ``<{operation}Response>`` element qualifies;
+        Faults (local name ``Fault``), name mismatches and malformed or
+        mistyped fragments all return ``None`` so the tree path raises its
+        exact faults/errors.
+        """
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        fragment = split_fast_envelope(text)
+        if fragment is None:
+            return None
+        match = _SIMPLE_TAG_RX.match(fragment)
+        if match is None:
+            return None
+        if match.group(1).rsplit(":", 1)[-1] != f"{operation}Response":
+            return None
+        try:
+            return self.registry.xlate.parser(output_format)(fragment)
+        except (XmlParseError, SoapDecodingError):
+            return None
 
 
 def _reply_compressed(headers: Dict[str, str]) -> bool:

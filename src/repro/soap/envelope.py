@@ -16,6 +16,52 @@ from .errors import SoapDecodingError, SoapFault
 #: Prefix used for the SOAP envelope namespace in produced documents.
 ENV_PREFIX = "SOAP-ENV"
 
+#: The exact serialized framing this stack emits, used by the streaming
+#: fast path to frame/deframe envelopes without building a tree.  Byte
+#: parity with ``envelope_to_bytes(build_envelope(...))`` is enforced by
+#: the differential tests.
+XML_DECL = '<?xml version="1.0" encoding="utf-8"?>'
+ENVELOPE_OPEN = f'<{ENV_PREFIX}:Envelope xmlns:{ENV_PREFIX}="{SOAP_ENV_NS}">'
+ENVELOPE_CLOSE = f'</{ENV_PREFIX}:Envelope>'
+HEADER_OPEN = f'<{ENV_PREFIX}:Header>'
+HEADER_CLOSE = f'</{ENV_PREFIX}:Header>'
+BODY_OPEN = f'<{ENV_PREFIX}:Body>'
+BODY_CLOSE = f'</{ENV_PREFIX}:Body>'
+
+#: Exact head/tail of a headerless fast-path envelope document.
+FAST_PREFIX = XML_DECL + ENVELOPE_OPEN + BODY_OPEN
+FAST_SUFFIX = BODY_CLOSE + ENVELOPE_CLOSE
+
+
+def envelope_bytes_from_xml(body_xml: str, header_xml: str = "") -> bytes:
+    """Frame pre-rendered body (and header) fragments as envelope bytes.
+
+    The string fast path of :func:`build_envelope` +
+    :func:`envelope_to_bytes`: fragments produced by the compiled XML
+    plans (:mod:`repro.soap.xlate`) are wrapped in the exact serialized
+    framing the tree path produces, without constructing any
+    :class:`~repro.xmlcore.tree.Element`.
+    """
+    header = f"{HEADER_OPEN}{header_xml}{HEADER_CLOSE}" if header_xml else ""
+    body = f"{BODY_OPEN}{body_xml}{BODY_CLOSE}" if body_xml \
+        else f"<{ENV_PREFIX}:Body/>"
+    return (f"{XML_DECL}<{ENV_PREFIX}:Envelope xmlns:{ENV_PREFIX}="
+            f'"{SOAP_ENV_NS}">{header}{body}{ENVELOPE_CLOSE}'
+            ).encode("utf-8")
+
+
+def split_fast_envelope(text: str) -> Optional[str]:
+    """Return the Body's inner XML if ``text`` is a headerless envelope in
+    this stack's exact serialized framing, else ``None``.
+
+    ``None`` means "use the tree path" — foreign prefixes, Header entries,
+    extra whitespace and anything else outside the fast grammar all land
+    there, so the fast deframe never changes observable behaviour.
+    """
+    if text.startswith(FAST_PREFIX) and text.endswith(FAST_SUFFIX):
+        return text[len(FAST_PREFIX):-len(FAST_SUFFIX)]
+    return None
+
 
 def build_envelope(body_children: List[Element],
                    header_children: Optional[List[Element]] = None) -> Element:

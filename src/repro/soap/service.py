@@ -19,11 +19,12 @@ from typing import Any, Callable, Dict, Optional
 from ..compress import get_codec
 from ..pbio import Format, FormatRegistry
 from ..transport import ChannelReply
-from ..xmlcore import Element
-from .encoding import decode_fields, encode_fields
-from .envelope import (build_envelope, envelope_to_bytes, fault_envelope,
-                       parse_envelope)
+from ..xmlcore.errors import XmlParseError
+from .encoding import decode_fields
+from .envelope import (envelope_bytes_from_xml, fault_envelope,
+                       parse_envelope, split_fast_envelope)
 from .errors import SoapDecodingError, SoapEncodingError, SoapFault
+from .xlate import _SIMPLE_TAG_RX
 
 XML_CONTENT_TYPE = "text/xml; charset=utf-8"
 
@@ -121,12 +122,51 @@ class SoapService:
         Split out from :meth:`endpoint` so the SOAP-bin service can reuse it
         for interoperability-mode requests.
         """
-        params, op, _ = self.decode_request(payload)
+        fast = self._decode_request_fast(payload)
+        if fast is not None:
+            params, op = fast
+        else:
+            params, op, _ = self.decode_request(payload)
         result = self.invoke(op, params, headers or {})
         return self.encode_response(op, result)
 
+    def _decode_request_fast(self, payload: bytes):
+        """Decode via the compiled XML plans, or ``None`` for the tree path.
+
+        Applies only to headerless envelopes in this stack's exact
+        serialized framing with a known operation element.  *Every* error
+        condition — malformed fragment, unknown operation, field type
+        mismatch — returns ``None`` so the tree path re-raises with its
+        exact message and document positions; the fast path never produces
+        an error the tree path wouldn't.
+        """
+        try:
+            text = payload.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        fragment = split_fast_envelope(text)
+        if fragment is None:
+            return None
+        match = _SIMPLE_TAG_RX.match(fragment)
+        if match is None:
+            return None
+        op = self.operations.get(match.group(1).rsplit(":", 1)[-1])
+        if op is None:
+            return None
+        try:
+            params = self.registry.xlate.parser(op.input_format)(fragment)
+        except (XmlParseError, SoapDecodingError):
+            return None
+        return params, op
+
     def decode_request(self, payload: bytes):
-        """Parse + decode a request; returns (params, operation, envelope)."""
+        """Parse + decode a request; returns (params, operation, envelope).
+
+        The tree-building general path: used for envelopes with Header
+        entries (the quality layer consumes the returned envelope's
+        headers) and as the error-reporting oracle for
+        :meth:`_decode_request_fast`.
+        """
         envelope = parse_envelope(payload)
         request_el = envelope.first_body_element()
         op = self.operation(request_el.local_name)
@@ -142,9 +182,9 @@ class SoapService:
 
     def encode_response(self, op: Operation,
                         result: Dict[str, Any]) -> bytes:
-        wrapper = Element(op.response_name)
-        encode_fields(wrapper, result, op.output_format, self.registry)
-        return envelope_to_bytes(build_envelope([wrapper]))
+        body_xml = self.registry.xlate.emitter(op.output_format)(
+            result, op.response_name)
+        return envelope_bytes_from_xml(body_xml)
 
 
 def _is_compressed(headers: Dict[str, str]) -> bool:

@@ -19,6 +19,12 @@ from . import tokenizer as tk
 from .errors import XmlParseError
 
 
+#: Shared attribute dict for events that cannot carry attributes (END and
+#: TEXT).  Saves one dict allocation per event on the hot decode path;
+#: consumers treat event attrs as read-only.
+_NO_ATTRS: Dict[str, str] = {}
+
+
 class PullEvent:
     """A single parse event.
 
@@ -34,7 +40,7 @@ class PullEvent:
         self.kind = kind
         self.name = name
         self.data = data
-        self.attrs = attrs or {}
+        self.attrs = attrs if attrs is not None else _NO_ATTRS
         self.depth = depth
 
     def __repr__(self) -> str:
@@ -63,16 +69,19 @@ class XmlPullParser:
         self.depth = 0
 
     def _generate(self, text: str) -> Iterator[PullEvent]:
+        # Kind constants are interned module strings; binding them locally
+        # keeps the per-token dispatch cheap (== short-circuits on identity).
+        START, END, TEXT, CDATA = tk.START, tk.END, tk.TEXT, tk.CDATA
         stack: List[str] = []
         for tok in tk.Tokenizer(text).tokens():
-            if tok.kind == tk.START:
+            if tok.kind == START:
                 stack.append(tok.name)
-                yield PullEvent(tk.START, name=tok.name, attrs=tok.attrs,
+                yield PullEvent(START, name=tok.name, attrs=tok.attrs,
                                 depth=len(stack))
                 if tok.self_closing:
                     stack.pop()
-                    yield PullEvent(tk.END, name=tok.name, depth=len(stack))
-            elif tok.kind == tk.END:
+                    yield PullEvent(END, name=tok.name, depth=len(stack))
+            elif tok.kind == END:
                 if not stack:
                     raise XmlParseError(f"unexpected </{tok.name}>",
                                         line=tok.line, column=tok.column)
@@ -81,10 +90,10 @@ class XmlPullParser:
                     raise XmlParseError(
                         f"mismatched tag: <{opened}> closed by </{tok.name}>",
                         line=tok.line, column=tok.column)
-                yield PullEvent(tk.END, name=tok.name, depth=len(stack))
-            elif tok.kind in (tk.TEXT, tk.CDATA):
+                yield PullEvent(END, name=tok.name, depth=len(stack))
+            elif tok.kind == TEXT or tok.kind == CDATA:
                 if stack:
-                    yield PullEvent(tk.TEXT, data=tok.data, depth=len(stack))
+                    yield PullEvent(TEXT, data=tok.data, depth=len(stack))
                 elif tok.data.strip():
                     raise XmlParseError("character data outside root element",
                                         line=tok.line, column=tok.column)

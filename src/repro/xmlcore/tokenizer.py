@@ -23,6 +23,7 @@ omitting them removes an entire class of XXE security problems.
 from __future__ import annotations
 
 import re
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -50,8 +51,11 @@ _NAMED_ENTITIES = {
 # letter/digit set plus the full unicode letter ranges via \w.
 _NAME_START = re.compile(r"[A-Za-z_:À-￿]")
 _NAME_CHAR = re.compile(r"[-A-Za-z0-9._:À-￿]")
+# Whole-name matcher: one C-level scan instead of per-character stepping.
+_NAME_RX = re.compile(r"[A-Za-z_:À-￿][-A-Za-z0-9._:À-￿]*")
 
 _WHITESPACE = " \t\r\n"
+_WS_RX = re.compile(r"[ \t\r\n]*")
 
 
 @dataclass
@@ -159,21 +163,19 @@ class Tokenizer:
         return self._text.startswith(s, self._pos)
 
     def _skip_ws(self) -> None:
-        text, pos, n = self._text, self._pos, self._len
-        while pos < n and text[pos] in _WHITESPACE:
-            pos += 1
-        self._pos = pos
+        # One C-level scan (find-chunked) instead of per-character stepping.
+        self._pos = _WS_RX.match(self._text, self._pos).end()
 
     def _scan_name(self) -> str:
-        start = self._pos
-        if start >= self._len or not _NAME_START.match(self._text[start]):
+        match = _NAME_RX.match(self._text, self._pos)
+        if match is None:
             raise self._error("expected a name")
-        pos = start + 1
-        text, n = self._text, self._len
-        while pos < n and _NAME_CHAR.match(text[pos]):
-            pos += 1
-        self._pos = pos
-        return text[start:pos]
+        self._pos = match.end()
+        # Tag and attribute names repeat constantly in SOAP documents
+        # (every array item shares one tag); interning makes every
+        # downstream name comparison a pointer check and collapses the
+        # per-token allocations to one string per distinct name.
+        return sys.intern(match.group())
 
     def _expect(self, s: str) -> None:
         if not self._startswith(s):

@@ -21,11 +21,11 @@ from .tree import Element
 
 _NAME_OK = re.compile(r"^[A-Za-z_:][-A-Za-z0-9._:]*$")
 
-_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
-
-_TEXT_RX = re.compile(r"[&<>]")
-_ATTR_RX = re.compile(r'[&<>"]')
+# Escaping runs as a single C-level str.translate call: one pass over the
+# string, no regex machinery, no per-match Python callbacks.
+_TEXT_TABLE = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+_ATTR_TABLE = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;",
+                             '"': "&quot;"})
 
 
 def escape_text(value: str) -> str:
@@ -34,16 +34,12 @@ def escape_text(value: str) -> str:
     >>> escape_text("a < b & c")
     'a &lt; b &amp; c'
     """
-    if _TEXT_RX.search(value) is None:
-        return value
-    return _TEXT_RX.sub(lambda m: _TEXT_ESCAPES[m.group()], value)
+    return value.translate(_TEXT_TABLE)
 
 
 def escape_attr(value: str) -> str:
     """Escape an attribute value (double-quote delimited)."""
-    if _ATTR_RX.search(value) is None:
-        return value
-    return _ATTR_RX.sub(lambda m: _ATTR_ESCAPES[m.group()], value)
+    return value.translate(_ATTR_TABLE)
 
 
 def tostring(element: Element, indent: Union[int, None] = None,

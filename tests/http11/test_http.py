@@ -261,3 +261,70 @@ class TestServerClient:
         with HttpServer(lambda r: Response()) as server:
             host, port = server.address
             assert server.url == f"http://{host}:{port}"
+
+
+class TestMaxConnections:
+    """The thread-per-connection growth guard (503 beyond the cap)."""
+
+    @staticmethod
+    def _wait_for(predicate, timeout=2.0):
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_connections_beyond_cap_get_503(self):
+        with HttpServer(lambda r: Response(body=b"x"),
+                        max_connections=2) as server:
+            held = [HttpConnection(server.address) for _ in range(2)]
+            try:
+                for conn in held:  # ensure both are accepted and active
+                    assert conn.get("/").status == 200
+                with HttpConnection(server.address) as extra:
+                    resp = extra.get("/")
+                    assert resp.status == 503
+                    assert resp.headers.get("Connection") == "close"
+                assert server.connections_rejected == 1
+            finally:
+                for conn in held:
+                    conn.close()
+
+    def test_slot_freed_after_close(self):
+        with HttpServer(lambda r: Response(body=b"x"),
+                        max_connections=1) as server:
+            first = HttpConnection(server.address)
+            assert first.get("/").status == 200
+            first.close()
+            # the handler thread releases its slot asynchronously
+            assert self._wait_for(
+                lambda: server._active_connections == 0)
+            with HttpConnection(server.address) as conn:
+                assert conn.get("/").status == 200
+            assert server.connections_rejected == 0
+
+    def test_default_is_unbounded(self):
+        with HttpServer(lambda r: Response(body=b"x")) as server:
+            assert server.max_connections is None
+            held = [HttpConnection(server.address) for _ in range(8)]
+            try:
+                for conn in held:
+                    assert conn.get("/").status == 200
+            finally:
+                for conn in held:
+                    conn.close()
+            assert server.connections_rejected == 0
+
+    def test_rejected_connection_does_not_count_requests(self):
+        with HttpServer(lambda r: Response(body=b"x"),
+                        max_connections=1) as server:
+            first = HttpConnection(server.address)
+            try:
+                assert first.get("/").status == 200
+                with HttpConnection(server.address) as extra:
+                    assert extra.get("/").status == 503
+                assert server.requests_served == 1
+            finally:
+                first.close()

@@ -1,0 +1,438 @@
+"""Differential tests: compiled XML plans vs the tree/pull oracles.
+
+The streaming translator (:mod:`repro.soap.xlate`) must be observationally
+identical to the paths it replaced: byte-identical XML out (vs the tree
+writer), equal native values in (vs the pull decoder), and the *same*
+exception classes with comparable messages on bad input — never a silent
+fallthrough.  Every application format in :mod:`repro.apps` is exercised.
+"""
+
+import random
+
+import pytest
+
+from repro import apps
+from repro.pbio import Array, Format, FormatRegistry, Primitive, StructRef
+from repro.soap.encoding import decode_fields, decode_fields_pull, encode_fields
+from repro.soap.errors import SoapDecodingError, SoapEncodingError
+from repro.soap.xlate import XlatePlanner, compile_emitter, compile_parser
+from repro.xmlcore import Element, XmlParseError, XmlPullParser, parse, tostring
+
+APP_FORMAT_SETS = {
+    "imaging": apps.image_formats,
+    "mdbond": apps.bond_formats,
+    "airline": apps.airline_formats,
+    "remoteviz": apps.viz_formats,
+}
+
+
+def all_app_formats():
+    """(app, format) pairs for every application message format."""
+    out = []
+    for app_name, factory in APP_FORMAT_SETS.items():
+        for fmt in factory().values():
+            out.append(pytest.param(app_name, fmt,
+                                    id=f"{app_name}-{fmt.name}"))
+    return out
+
+
+def sample_value(fmt, registry, rng):
+    """A deterministic pseudo-random native value for ``fmt``."""
+    return {f.name: _sample_type(f.ftype, registry, rng) for f in fmt.fields}
+
+
+def _sample_type(ftype, registry, rng):
+    if isinstance(ftype, Primitive):
+        kind = ftype.kind
+        if kind == "string":
+            # Exercise the escaper: markup characters, entities-to-be,
+            # quotes, leading/trailing whitespace-ish content.
+            return rng.choice(["plain", "a <b> & c", "tail>", "'q' \"r\"",
+                               "", "x&amp;y"])
+        if kind == "char":
+            return chr(rng.randint(65, 90))
+        if kind.startswith("float"):
+            return rng.randint(-1000, 1000) / 8.0
+        if kind.startswith("uint"):
+            return rng.randint(0, 200)
+        return rng.randint(-200, 200)
+    if isinstance(ftype, Array):
+        n = ftype.length if ftype.length is not None else rng.randint(0, 6)
+        return [_sample_type(ftype.element, registry, rng) for _ in range(n)]
+    if isinstance(ftype, StructRef):
+        sub = registry.by_name(ftype.format_name)
+        return sample_value(sub, registry, rng)
+    raise TypeError(ftype)
+
+
+def tree_to_xml(value, fmt, registry, wrapper=None):
+    el = Element(wrapper or fmt.name)
+    encode_fields(el, value, fmt, registry)
+    return tostring(el)
+
+
+def pull_from_xml(text, fmt, registry):
+    pp = XmlPullParser(text)
+    start = pp.require_start()
+    value = decode_fields_pull(pp, fmt, registry)
+    pp.require_end(start.name)
+    return value
+
+
+@pytest.fixture()
+def app_registry():
+    reg = FormatRegistry()
+    for factory in APP_FORMAT_SETS.values():
+        for fmt in factory().values():
+            reg.register(fmt)
+    return reg
+
+
+class TestEmitterParity:
+    @pytest.mark.parametrize("app_name,fmt", all_app_formats())
+    def test_byte_identical_to_tree(self, app_name, fmt, app_registry):
+        rng = random.Random(hash(fmt.name) & 0xFFFF)
+        emit = app_registry.xlate.emitter(fmt)
+        for trial in range(5):
+            value = sample_value(fmt, app_registry, rng)
+            assert emit(value) == tree_to_xml(value, fmt, app_registry)
+
+    @pytest.mark.parametrize("app_name,fmt", all_app_formats())
+    def test_wrapper_tag_override(self, app_name, fmt, app_registry):
+        rng = random.Random(1)
+        value = sample_value(fmt, app_registry, rng)
+        emit = app_registry.xlate.emitter(fmt)
+        assert emit(value, "Wrapped") == \
+            tree_to_xml(value, fmt, app_registry, "Wrapped")
+
+    def test_empty_array_and_empty_string_forms(self, app_registry):
+        fmt = Format.from_dict("edge", {"s": "string", "a": "int32[]"})
+        app_registry.register(fmt)
+        value = {"s": "", "a": []}
+        xml = app_registry.xlate.emitter(fmt)(value)
+        assert xml == tree_to_xml(value, fmt, app_registry)
+        # the two distinct empty forms the tree writer produces
+        assert "<s></s>" in xml and "<a/>" in xml
+
+    def test_missing_field_message_matches_tree(self, app_registry):
+        fmt = app_registry.by_name("Atom")
+        with pytest.raises(SoapEncodingError) as fast_err:
+            app_registry.xlate.emitter(fmt)({"id": 1})
+        with pytest.raises(SoapEncodingError) as tree_err:
+            tree_to_xml({"id": 1}, fmt, app_registry)
+        assert str(fast_err.value) == str(tree_err.value)
+
+    def test_bad_item_value_message_matches_tree(self, app_registry):
+        fmt = Format.from_dict("nums", {"v": "int32[]"})
+        app_registry.register(fmt)
+        bad = {"v": [1, 2, "three"]}
+        with pytest.raises(SoapEncodingError) as fast_err:
+            app_registry.xlate.emitter(fmt)(bad)
+        with pytest.raises(SoapEncodingError) as tree_err:
+            tree_to_xml(bad, fmt, app_registry)
+        assert str(fast_err.value) == str(tree_err.value)
+
+    def test_fixed_length_mismatch_matches_tree(self, app_registry):
+        fmt = app_registry.by_name("BondBatch2")
+        bad = {"count": 1, "timesteps": []}
+        with pytest.raises(SoapEncodingError) as fast_err:
+            app_registry.xlate.emitter(fmt)(bad)
+        with pytest.raises(SoapEncodingError) as tree_err:
+            tree_to_xml(bad, fmt, app_registry)
+        assert str(fast_err.value) == str(tree_err.value)
+
+
+class TestParserParity:
+    @pytest.mark.parametrize("app_name,fmt", all_app_formats())
+    def test_values_equal_pull_path(self, app_name, fmt, app_registry):
+        rng = random.Random(hash(fmt.name) & 0xFFFF)
+        parse_fast = app_registry.xlate.parser(fmt)
+        for trial in range(5):
+            value = sample_value(fmt, app_registry, rng)
+            xml = tree_to_xml(value, fmt, app_registry)
+            assert parse_fast(xml) == pull_from_xml(xml, fmt, app_registry)
+            assert parse_fast(xml) == value
+
+    @pytest.mark.parametrize("app_name,fmt", all_app_formats())
+    def test_roundtrip_through_emitter(self, app_name, fmt, app_registry):
+        rng = random.Random(99)
+        value = sample_value(fmt, app_registry, rng)
+        xml = app_registry.xlate.emitter(fmt)(value)
+        assert app_registry.xlate.parser(fmt)(xml) == value
+
+    def test_entity_references(self, app_registry):
+        fmt = Format.from_dict("ent", {"s": "string", "n": "int32"})
+        app_registry.register(fmt)
+        xml = "<ent><s>a &lt;b&gt; &amp; &#65;&#x42;</s><n> &#52;2 </n></ent>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"s": "a <b> & AB", "n": 42}
+
+    def test_entities_inside_array_items(self, app_registry):
+        fmt = Format.from_dict("earr", {"v": "string[]"})
+        app_registry.register(fmt)
+        xml = "<earr><v><item>a&amp;b</item><item>&lt;x&gt;</item></v></earr>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"v": ["a&b", "<x>"]}
+
+    def test_cdata_falls_back_to_pull(self, app_registry):
+        fmt = Format.from_dict("cd", {"s": "string"})
+        app_registry.register(fmt)
+        xml = "<cd><s><![CDATA[a <raw> & b]]></s></cd>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"s": "a <raw> & b"}
+
+    def test_cdata_inside_numeric_array(self, app_registry):
+        fmt = Format.from_dict("cdn", {"v": "int32[]"})
+        app_registry.register(fmt)
+        xml = "<cdn><v><item><![CDATA[7]]></item><item>8</item></v></cdn>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"v": [7, 8]}
+
+    def test_mixed_whitespace(self, app_registry):
+        fmt = app_registry.by_name("Atom")
+        xml = ("\n  <Atom>\n\t<id> 7 </id>\n  <x>1.5</x>"
+               "\r\n<y> -2.25 </y>  <z>0.0</z>\n</Atom>\n")
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"id": 7, "x": 1.5, "y": -2.25, "z": 0.0}
+
+    def test_whitespace_between_array_items(self, app_registry):
+        fmt = Format.from_dict("wsa", {"v": "int32[]"})
+        app_registry.register(fmt)
+        xml = "<wsa><v>\n  <item>1</item>\n  <item>2</item>\n</v></wsa>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"v": [1, 2]}
+
+    def test_xml_declaration_and_comment_prefix(self, app_registry):
+        fmt = app_registry.by_name("Bond")
+        plain = "<Bond><a>1</a><b>2</b></Bond>"
+        for xml in ('<?xml version="1.0"?>' + plain,
+                    "<!-- c --> " + plain):
+            fast = app_registry.xlate.parser(fmt)(xml)
+            assert fast == pull_from_xml(xml, fmt, app_registry)
+
+    def test_prefixed_tags_fall_back(self, app_registry):
+        fmt = app_registry.by_name("Bond")
+        xml = "<ns:Bond><a>1</a><b>2</b></ns:Bond>"
+        assert app_registry.xlate.parser(fmt)(xml) == \
+            pull_from_xml(xml, fmt, app_registry)
+
+    def test_self_closing_primitive_items(self, app_registry):
+        fmt = Format.from_dict("sc", {"s": "string"})
+        app_registry.register(fmt)
+        xml = "<sc><s/></sc>"
+        fast = app_registry.xlate.parser(fmt)(xml)
+        assert fast == pull_from_xml(xml, fmt, app_registry)
+        assert fast == {"s": ""}
+
+
+class TestErrorParity:
+    """Malformed/mistyped documents: same class, same message, both paths."""
+
+    def both_errors(self, registry, fmt, xml):
+        with pytest.raises((XmlParseError, SoapDecodingError)) as fast_err:
+            registry.xlate.parser(fmt)(xml)
+        with pytest.raises((XmlParseError, SoapDecodingError)) as pull_err:
+            pull_from_xml(xml, fmt, registry)
+        return fast_err.value, pull_err.value
+
+    @pytest.mark.parametrize("xml", [
+        "<Atom><id>7</id><x>1.0</x>",                       # truncated
+        "<Atom><id>7</id></Oops>",                          # mismatched tag
+        "<Atom><id>7<id></Atom>",                           # unclosed child
+        "<Atom><id>7</id><x>1.0</x><y>2.0</y></Atom>",      # missing field
+        "<Atom 1bad='x'><id>7</id></Atom>",                 # bad attribute
+        "<Atom><id>&bogus;</id></Atom>",                    # unknown entity
+        "<Atom><id>&#x41;</id></Atom>",                     # non-numeric text
+    ])
+    def test_malformed_same_class_and_message(self, app_registry, xml):
+        fmt = app_registry.by_name("Atom")
+        fast, pull = self.both_errors(app_registry, fmt, xml)
+        assert type(fast) is type(pull)
+        assert str(fast) == str(pull)
+
+    @pytest.mark.parametrize("xml", [
+        "<nums><v><item>1</item><item>two</item></v></nums>",
+        "<nums><v><item>3.5</item></v></nums>",
+        "<nums><v><item></item></v></nums>",
+    ])
+    def test_type_mismatch_same_class_and_message(self, app_registry, xml):
+        fmt = Format.from_dict("nums", {"v": "int32[]"})
+        app_registry.register(fmt)
+        fast, pull = self.both_errors(app_registry, fmt, xml)
+        assert type(fast) is type(pull)
+        assert str(fast) == str(pull)
+
+    def test_fixed_length_mismatch_same_message(self, app_registry):
+        fmt = app_registry.by_name("BondBatch1")
+        xml = "<BondBatch1><count>0</count><timesteps/></BondBatch1>"
+        fast, pull = self.both_errors(app_registry, fmt, xml)
+        assert type(fast) is type(pull)
+        assert str(fast) == str(pull)
+
+    def test_no_silent_fallthrough_on_garbage(self, app_registry):
+        fmt = app_registry.by_name("Atom")
+        with pytest.raises((XmlParseError, SoapDecodingError)):
+            app_registry.xlate.parser(fmt)("not xml at all")
+
+
+class TestPlanCache:
+    def test_plans_cached_per_fingerprint(self):
+        reg = FormatRegistry()
+        fmt = Format.from_dict("p", {"x": "int32"})
+        reg.register(fmt)
+        assert reg.xlate.emitter(fmt) is reg.xlate.emitter(fmt)
+        assert reg.xlate.parser(fmt) is reg.xlate.parser(fmt)
+
+    def test_redefine_invalidates_plans(self):
+        reg = FormatRegistry()
+        fmt = Format.from_dict("p", {"x": "int32"})
+        reg.register(fmt)
+        old_emit = reg.xlate.emitter(fmt)
+        old_parse = reg.xlate.parser(fmt)
+        fmt2 = Format.from_dict("p", {"x": "int32", "y": "int32"})
+        reg.redefine(fmt2)
+        assert reg.xlate.emitter(fmt2) is not old_emit
+        assert reg.xlate.parser(fmt2) is not old_parse
+        assert reg.xlate.emitter(fmt2)({"x": 1, "y": 2}) == \
+            "<p><x>1</x><y>2</y></p>"
+
+    def test_lazy_struct_ref_resolution_order(self):
+        # The referenced format may be registered after the plan compiles.
+        reg = FormatRegistry()
+        outer = Format.from_dict("outer", {"inner": "struct leaf"})
+        reg.register(outer)
+        emit = reg.xlate.emitter(outer)
+        reg.register(Format.from_dict("leaf", {"n": "int32"}))
+        assert emit({"inner": {"n": 5}}) == \
+            "<outer><inner><n>5</n></inner></outer>"
+
+    def test_planner_standalone(self):
+        reg = FormatRegistry()
+        fmt = Format.from_dict("q", {"x": "float64"})
+        reg.register(fmt)
+        planner = XlatePlanner(reg)
+        xml = compile_emitter(fmt, planner)({"x": 2.5})
+        assert compile_parser(fmt, planner)(xml) == {"x": 2.5}
+
+
+class TestRpcFramingParity:
+    """The fast envelope framing is byte-identical to the tree path and the
+    client/service fast paths never change observable RPC behaviour."""
+
+    def _service(self, registry):
+        from repro.soap.service import SoapService
+        fmt_in = Format.from_dict("AddRequest", {"a": "int32", "b": "int32"})
+        fmt_out = Format.from_dict("AddResult", {"sum": "int32"})
+        svc = SoapService(registry)
+        svc.add_operation("Add", fmt_in, fmt_out,
+                          lambda p: {"sum": p["a"] + p["b"]})
+        return svc, fmt_in, fmt_out
+
+    def test_request_bytes_identical(self, app_registry):
+        from repro.soap.client import SoapClient
+        from repro.soap.envelope import build_envelope, envelope_to_bytes
+        from repro.transport import DirectChannel
+        svc, fmt_in, _ = self._service(app_registry)
+        client = SoapClient(DirectChannel(svc.endpoint), app_registry)
+        params = {"a": 2, "b": 40}
+        fast = client.build_request("Add", params, fmt_in)
+        wrapper = Element("Add")
+        encode_fields(wrapper, params, fmt_in, app_registry)
+        assert fast == envelope_to_bytes(build_envelope([wrapper]))
+
+    def test_request_bytes_identical_with_headers(self, app_registry):
+        from repro.soap.client import SoapClient
+        from repro.soap.envelope import build_envelope, envelope_to_bytes
+        from repro.transport import DirectChannel
+        svc, fmt_in, _ = self._service(app_registry)
+        client = SoapClient(DirectChannel(svc.endpoint), app_registry)
+        header = Element("q:hint", {"xmlns:q": "urn:q", "v": "1"})
+        params = {"a": 1, "b": 2}
+        fast = client.build_request("Add", params, fmt_in, [header])
+        wrapper = Element("Add")
+        encode_fields(wrapper, params, fmt_in, app_registry)
+        assert fast == envelope_to_bytes(build_envelope([wrapper], [header]))
+
+    def test_response_bytes_identical(self, app_registry):
+        from repro.soap.envelope import build_envelope, envelope_to_bytes
+        svc, _, fmt_out = self._service(app_registry)
+        op = svc.operation("Add")
+        fast = svc.encode_response(op, {"sum": 42})
+        wrapper = Element("AddResponse")
+        encode_fields(wrapper, {"sum": 42}, fmt_out, app_registry)
+        assert fast == envelope_to_bytes(build_envelope([wrapper]))
+
+    def test_end_to_end_call(self, app_registry):
+        from repro.soap.client import SoapClient
+        from repro.transport import DirectChannel
+        svc, fmt_in, fmt_out = self._service(app_registry)
+        client = SoapClient(DirectChannel(svc.endpoint), app_registry)
+        assert client.call("Add", {"a": 2, "b": 40}, fmt_in, fmt_out) == \
+            {"sum": 42}
+
+    def test_unknown_operation_fault_unchanged(self, app_registry):
+        from repro.soap.client import SoapClient
+        from repro.soap.errors import SoapFault
+        from repro.transport import DirectChannel
+        svc, fmt_in, fmt_out = self._service(app_registry)
+        client = SoapClient(DirectChannel(svc.endpoint), app_registry)
+        with pytest.raises(SoapFault) as err:
+            client.call("Mul", {"a": 1, "b": 2}, fmt_in, fmt_out)
+        assert err.value.faultcode == "Client"
+        assert "unknown operation 'Mul'" in err.value.faultstring
+
+    def test_type_mismatch_fault_unchanged(self, app_registry):
+        from repro.soap.envelope import FAST_PREFIX, FAST_SUFFIX
+        svc, _, _ = self._service(app_registry)
+        bad = (FAST_PREFIX + "<Add><a>one</a><b>2</b></Add>" +
+               FAST_SUFFIX).encode()
+        # the tree path reports this error (fast path steps aside), with
+        # the exact pre-plan message
+        with pytest.raises(SoapDecodingError) as err:
+            svc.handle_xml(bad)
+        assert str(err.value) == \
+            "<a>: bad int32 value 'one': invalid literal for int() " \
+            "with base 10: 'one'"
+
+    def test_handler_result_fast_vs_tree_decode(self, app_registry):
+        # A request decoded by the fast path yields the same params the
+        # tree path produces for identical bytes.
+        from repro.soap.encoding import decode_fields as tree_decode
+        from repro.soap.envelope import parse_envelope
+        svc, fmt_in, _ = self._service(app_registry)
+        from repro.soap.client import SoapClient
+        from repro.transport import DirectChannel
+        client = SoapClient(DirectChannel(svc.endpoint), app_registry)
+        payload = client.build_request("Add", {"a": -3, "b": 7}, fmt_in)
+        fast = svc._decode_request_fast(payload)
+        assert fast is not None
+        params, op = fast
+        env = parse_envelope(payload)
+        assert params == tree_decode(env.first_body_element(), fmt_in,
+                                     app_registry)
+        assert op.name == "Add"
+
+
+class TestNumpyArrays:
+    def test_numpy_array_emission_matches_tree(self, app_registry):
+        np = pytest.importorskip("numpy")
+        fmt = app_registry.by_name("ImageFull")
+        value = {"filename": "f.pgm", "width": 3, "height": 1,
+                 "pixels": np.array([1, 2, 3], dtype=np.uint8)}
+        fast = app_registry.xlate.emitter(fmt)(value)
+        assert fast == tree_to_xml(value, fmt, app_registry)
+
+    def test_numpy_float_array(self, app_registry):
+        np = pytest.importorskip("numpy")
+        fmt = Format.from_dict("fl", {"v": "float64[]"})
+        app_registry.register(fmt)
+        value = {"v": np.array([0.5, -1.25])}
+        fast = app_registry.xlate.emitter(fmt)(value)
+        assert fast == tree_to_xml(value, fmt, app_registry)
+        assert app_registry.xlate.parser(fmt)(fast) == {"v": [0.5, -1.25]}

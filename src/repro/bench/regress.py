@@ -175,6 +175,8 @@ def _bench_xlate(min_time: float) -> Dict[str, Dict[str, float]]:
 
 
 def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
+    from ..reliability import RetryPolicy
+
     registry = FormatRegistry()
     registry.register(ECHO_FORMAT)
     service = SoapBinService(registry)
@@ -184,8 +186,14 @@ def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
     pool = HttpConnectionPool()
     value = {"seq": 0,
              "payload": [float(i) for i in range(payload_elements)]}
+    # the production shape: reliability enabled; the happy path must not
+    # pay for it (the p50 gate below is compared against the pre-policy
+    # baseline)
+    policy = RetryPolicy(max_attempts=3, deadline_s=30.0,
+                         backoff_initial_s=0.05)
     try:
-        channel = PooledHttpChannel(server.address, pool=pool)
+        channel = PooledHttpChannel(server.address, pool=pool,
+                                    retry_policy=policy)
         client = SoapBinClient(channel, registry)
         for _ in range(min(10, calls)):  # warmup: announcement + pool fill
             client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
@@ -206,6 +214,8 @@ def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
         "ops_s": len(latencies) / sum(latencies),
         "pooled_connections_created": pool.created,
         "pooled_connections_reused": pool.reused,
+        "retry_policy_enabled": True,
+        "retries": pool.retries,
     }
 
 

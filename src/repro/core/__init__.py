@@ -40,9 +40,10 @@ from .dynamic import HandlerRepository, compile_quality_handler
 from .xmlq import (XmlQualityClient, build_attribute_headers,
                    build_message_type_header, parse_attribute_headers,
                    parse_message_type_header)
-from .monitor import (BandwidthMonitor, ExchangeObservation,
-                      MarshallingCostMonitor, MonitorHub,
-                      NetworkTimeMonitor, ServerTimeMonitor)
+from .monitor import (BandwidthMonitor, BreakerRttCoupling,
+                      ExchangeObservation, MarshallingCostMonitor,
+                      MonitorHub, NetworkTimeMonitor, ServerTimeMonitor,
+                      worst_interval_rtt)
 from .errors import (BinProtocolError, BinqError, QualityFileError,
                      QualityHandlerError)
 from .manager import QualityManager
@@ -73,6 +74,7 @@ __all__ = [
     "compile_quality_handler", "HandlerRepository",
     "ExchangeObservation", "MonitorHub", "NetworkTimeMonitor",
     "ServerTimeMonitor", "BandwidthMonitor", "MarshallingCostMonitor",
+    "BreakerRttCoupling", "worst_interval_rtt",
     "XmlQualityClient", "build_attribute_headers",
     "parse_attribute_headers", "build_message_type_header",
     "parse_message_type_header",

@@ -60,6 +60,10 @@ class SoapBinClient:
         self.last_rtt: Optional[float] = None
         #: optional dproc-style monitoring: every exchange is reported here
         self.monitor_hub = monitor_hub
+        #: reliability metadata of the most recent exchange (attempts,
+        #: elapsed, deadline headroom) when the channel runs under a
+        #: RetryPolicy; None otherwise
+        self.last_call = None
 
     # ------------------------------------------------------------------
     # the three modes
@@ -111,7 +115,10 @@ class SoapBinClient:
         if estimate is not None:
             headers[HEADER_RTT] = f"{estimate:.9f}"
         start = self.clock.now()
-        reply = self.channel.call(body, PBIO_CONTENT_TYPE, headers)
+        try:
+            reply = self.channel.call(body, PBIO_CONTENT_TYPE, headers)
+        finally:
+            self.last_call = getattr(self.channel, "last_call", None)
         elapsed = self.clock.now() - start
         if not reply.ok:
             raise BinProtocolError(

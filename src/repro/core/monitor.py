@@ -21,16 +21,25 @@ instead of ``rtt``).
 * :class:`MarshallingCostMonitor` — client-side CPU cost per exchange
   (the "CPU load, by measuring marshalling or unmarshalling costs"
   attribute of §III-B.c);
-* :class:`MonitorHub` — fans one observation out to many monitors.
+* :class:`MonitorHub` — fans one observation out to many monitors;
+* :class:`BreakerRttCoupling` — failure-driven degradation: circuit-breaker
+  events from :mod:`repro.reliability` are fed into the quality manager's
+  RTT estimator as *worst-interval* RTT, so an endpoint that is *broken*
+  degrades through exactly the same quality handlers as one that is merely
+  *slow* — the paper's adaptation loop extended from congestion to outages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, TYPE_CHECKING
 
 from .attributes import AttributeStore
 from .rtt import RttEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .manager import QualityManager
+    from .quality_file import QualityPolicy
 
 
 @dataclass
@@ -174,3 +183,70 @@ class MonitorHub:
         if network <= 0 and server <= 0:
             return "ok"
         return "server" if server > network else "network"
+
+
+def worst_interval_rtt(policy: "QualityPolicy",
+                       spread_factor: float = 2.0) -> float:
+    """An RTT value squarely inside a policy's worst (last) interval.
+
+    This is what "the link is broken" translates to in the quality file's
+    own vocabulary: a finite worst interval yields its midpoint; an
+    unbounded one (``lo inf``) yields ``lo * spread_factor`` so the value
+    sits clearly past the last threshold.  A policy whose only interval is
+    ``[0, inf)`` has no degraded tier to select, so any positive value
+    works; 1 second is returned as a conventional "very bad" RTT.
+    """
+    from math import isinf
+
+    if not policy.rules:
+        return 1.0
+    worst = policy.rules[-1]
+    if not isinf(worst.hi):
+        return (worst.lo + worst.hi) / 2.0
+    if worst.lo > 0:
+        return worst.lo * spread_factor
+    return 1.0
+
+
+class BreakerRttCoupling:
+    """Feed circuit-breaker events into the quality manager's RTT loop.
+
+    Register :meth:`state_changed` as a
+    :class:`~repro.reliability.breaker.CircuitBreaker` listener and hand the
+    coupling to :class:`~repro.reliability.channel.ReliableChannel` (or
+    :func:`~repro.reliability.policy.call_with_policy`).  Every failed
+    attempt, every locally-rejected call and the open transition itself
+    push ``penalty_rtt`` — the policy's worst-interval RTT by default —
+    through :meth:`QualityManager.observe_rtt`, so the exponential
+    estimator climbs during an outage and the existing quality handlers
+    shed payload.  Recovery needs no special casing: once calls succeed
+    again, real (small) RTT samples decay the estimate back down and
+    quality steps back up through the same hysteresis the paper specifies.
+    """
+
+    def __init__(self, quality: "QualityManager",
+                 penalty_rtt: Optional[float] = None) -> None:
+        self.quality = quality
+        self.penalty_rtt = (penalty_rtt if penalty_rtt is not None
+                            else worst_interval_rtt(quality.policy))
+        self.samples_fed = 0
+        self.transitions: List[tuple] = []
+
+    # -- breaker listener ------------------------------------------------
+    def state_changed(self, old: str, new: str, at_time: float) -> None:
+        self.transitions.append((old, new, at_time))
+        if new == "open":
+            self._feed()
+
+    # -- reliability-layer events ---------------------------------------
+    def call_failed(self) -> None:
+        """One attempt failed (the endpoint is misbehaving right now)."""
+        self._feed()
+
+    def call_rejected(self) -> None:
+        """The open breaker shed a call without touching the wire."""
+        self._feed()
+
+    def _feed(self) -> None:
+        self.quality.observe_rtt(self.penalty_rtt)
+        self.samples_fed += 1

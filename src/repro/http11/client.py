@@ -53,24 +53,40 @@ class HttpConnection:
         """Send ``request`` and read the response.
 
         Sets ``Host`` and ``Content-Length`` automatically.
+
+        A stale keep-alive socket is reconnected and the request resent
+        *only* when no request bytes had been written yet — resending after
+        a partial write could double-execute a non-idempotent operation.
+        Every propagated exception is annotated with a ``bytes_written``
+        attribute so pool- and policy-level retries can make the same
+        distinction.
         """
         request.headers.set("Host", f"{self.address[0]}:{self.address[1]}")
         payload = request.to_bytes()
         attempts = 0
         while True:
-            self._ensure_connected()
+            sent = 0
             try:
-                self._sock.sendall(payload)
+                self._ensure_connected()
+            except OSError as exc:
+                self.close()
+                exc.bytes_written = False
+                raise
+            try:
+                view = memoryview(payload)
+                while sent < len(view):
+                    sent += self._sock.send(view[sent:])
                 response = read_response(self._reader)
                 break
-            except (HttpConnectionClosed, OSError):
-                # A stale keep-alive connection: reconnect once, but only
-                # if nothing of the response was consumed.
+            except (HttpConnectionClosed, OSError) as exc:
                 self.close()
                 attempts += 1
-                if attempts > 1:
-                    raise HttpError(
-                        f"connection to {self.address} failed repeatedly")
+                if sent == 0 and attempts <= 1:
+                    # Nothing reached the wire: a stale keep-alive socket.
+                    # Reconnecting and resending is provably safe.
+                    continue
+                exc.bytes_written = sent > 0
+                raise
         self.requests_sent += 1
         if (response.headers.get("Connection") or "").lower() == "close":
             self.close()
@@ -188,13 +204,21 @@ class HttpConnectionPool:
     def request(self, address: Union[Tuple[str, int], str],
                 request: Request) -> Response:
         """Send ``request`` on a pooled connection, retrying once on a
-        broken socket."""
+        broken socket — but only when no request bytes had been written
+        (``exc.bytes_written`` is False), so the silent retry can never
+        double-execute a request whose body partially reached the server.
+        Failures after bytes hit the wire propagate; deciding whether *those*
+        are resendable is :class:`~repro.reliability.policy.RetryPolicy`'s
+        job, because only callers know their idempotency.
+        """
         conn = self.acquire(address)
         try:
             response = conn.request(request)
-        except (HttpError, HttpConnectionClosed, OSError):
-            # The pooled socket was stale/broken; one fresh-connection retry.
+        except (HttpError, HttpConnectionClosed, OSError) as exc:
             self.discard(conn)
+            if getattr(exc, "bytes_written", True):
+                raise
+            # The pooled socket was stale; one fresh-connection retry.
             self.retries += 1
             conn = self.acquire(conn.address)
             try:

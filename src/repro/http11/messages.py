@@ -35,6 +35,7 @@ REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
 
 

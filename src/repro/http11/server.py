@@ -7,6 +7,7 @@ responses.  The SOAP and SOAP-bin services plug their dispatchers in here.
 
 from __future__ import annotations
 
+import math
 import socket
 import threading
 from typing import Callable, Optional, Tuple
@@ -30,16 +31,20 @@ class HttpServer:
 
     ``max_connections`` bounds the thread-per-connection growth: beyond the
     cap new connections are answered immediately with ``503 Service
-    Unavailable`` (``Connection: close``) instead of spawning a thread, so
-    a client stampede degrades loudly rather than exhausting the process.
+    Unavailable`` (``Connection: close`` and a ``Retry-After`` of
+    ``retry_after_s`` seconds, so well-behaved clients back off for exactly
+    as long as the server suggests) instead of spawning a thread, so a
+    client stampede degrades loudly rather than exhausting the process.
     ``None`` (the default) keeps the historical unbounded behaviour.
     """
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
                  port: int = 0, backlog: int = 32,
-                 max_connections: Optional[int] = None) -> None:
+                 max_connections: Optional[int] = None,
+                 retry_after_s: float = 1.0) -> None:
         self.handler = handler
         self.max_connections = max_connections
+        self.retry_after_s = max(0.0, retry_after_s)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -94,6 +99,10 @@ class HttpServer:
         """Answer 503 and hang up — no handler thread is spawned."""
         response = Response.text(503, "connection limit reached")
         response.headers.set("Connection", "close")
+        # RFC 9110 Retry-After is integer delay-seconds; round up so a
+        # client honoring it never comes back while we are still over cap.
+        response.headers.set("Retry-After",
+                             str(int(math.ceil(self.retry_after_s))))
         with conn:
             self._safe_send(conn, response)
 

@@ -14,7 +14,7 @@ speed.  Anything clever belongs in the compiler.
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from .errors import DecodeError, EncodeError, FormatError
 from .fmt import Format

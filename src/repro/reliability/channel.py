@@ -1,0 +1,87 @@
+"""ReliableChannel: retries, deadlines and breaking for any transport.
+
+This is the reliability layer's main wiring point: wrap any
+:class:`~repro.transport.base.Channel` and every ``call`` runs under a
+:class:`~repro.reliability.policy.RetryPolicy`, optionally guarded by a
+:class:`~repro.reliability.breaker.CircuitBreaker` whose state can be
+coupled into the quality manager (see
+:class:`~repro.core.monitor.BreakerRttCoupling`).
+
+Guarantees to callers above (:class:`~repro.soap.client.SoapClient`,
+:class:`~repro.core.binclient.SoapBinClient`):
+
+* no bare ``OSError``/``socket.timeout`` ever escapes — every failure is
+  one typed :class:`~repro.reliability.errors.ReliabilityError`;
+* HTTP 503 replies become
+  :class:`~repro.reliability.errors.ServiceUnavailable` and their
+  ``Retry-After`` seeds the backoff (other non-2xx statuses pass through:
+  they are application-protocol business, not transport faults);
+* :attr:`last_call` always holds the
+  :class:`~repro.reliability.policy.CallMeta` of the most recent call —
+  attempts, elapsed, backoff and deadline headroom — which the SOAP and
+  SOAP-bin clients re-surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..netsim.clock import Clock, WallClock
+from ..transport.base import Channel, ChannelReply
+from .breaker import CircuitBreaker
+from .errors import ServiceUnavailable
+from .policy import CallMeta, RetryPolicy, call_with_policy
+
+
+def reply_unavailable(reply: ChannelReply) -> ServiceUnavailable:
+    """Build the typed 503 error, honoring a ``Retry-After`` header."""
+    retry_after: Optional[float] = None
+    for name, value in (reply.headers or {}).items():
+        if name.lower() == "retry-after":
+            try:
+                retry_after = max(0.0, float(value))
+            except ValueError:
+                retry_after = None
+            break
+    return ServiceUnavailable("server answered 503 Service Unavailable",
+                              retry_after_s=retry_after)
+
+
+class ReliableChannel(Channel):
+    """A channel that absorbs transient faults instead of surfacing them."""
+
+    def __init__(self, inner: Channel,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Optional[Clock] = None,
+                 coupling: Optional[object] = None,
+                 idempotent: bool = True) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.clock = clock or WallClock()
+        self.coupling = coupling
+        self.idempotent = idempotent
+        self.last_call: Optional[CallMeta] = None
+
+    def call(self, body: bytes, content_type: str,
+             headers: Optional[Dict[str, str]] = None) -> ChannelReply:
+        def attempt() -> ChannelReply:
+            reply = self.inner.call(body, content_type, headers)
+            if reply.status == 503:
+                raise reply_unavailable(reply)
+            return reply
+
+        try:
+            reply, meta = call_with_policy(
+                attempt, self.policy, clock=self.clock,
+                idempotent=self.idempotent, breaker=self.breaker,
+                coupling=self.coupling)
+        except Exception as exc:
+            self.last_call = getattr(exc, "meta", None)
+            raise
+        self.last_call = meta
+        return reply
+
+    def close(self) -> None:
+        self.inner.close()

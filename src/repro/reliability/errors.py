@@ -1,0 +1,188 @@
+"""Typed failure taxonomy for the reliability layer.
+
+The paper's quality loop assumes every call completes and only its *latency*
+varies; real deployments also see calls that never complete.  This module
+names the failure shapes the stack can actually produce — connect refusals,
+mid-stream resets, stalled reads, truncated frames, 503 shedding — so that
+retry policy can reason about them ("was anything written to the wire?")
+instead of pattern-matching on ``OSError`` strings, and so that application
+code above :class:`~repro.soap.client.SoapClient` /
+:class:`~repro.core.binclient.SoapBinClient` never sees a bare socket error.
+
+Two orthogonal properties drive the retry decision:
+
+* :attr:`ReliabilityError.retry_safe` — the request provably never reached
+  the server (connect refused, local breaker rejection, a 503 answered by
+  the accept loop), so resending cannot double-execute anything;
+* failures that are only safe to resend when the caller declares the
+  operation *idempotent* (mid-stream resets, stalled reads, truncated
+  replies: the server may have processed the request).
+
+Low-level exceptions crossing the transport boundary are annotated with a
+``bytes_written`` attribute (see :func:`mark_bytes_written`) by whoever knows
+the wire state — :class:`~repro.http11.client.HttpConnection` for real
+sockets, the fault injector for simulated ones — and
+:func:`classify_failure` folds that into exactly one typed error.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .policy import CallMeta
+
+#: Wire phases a failure can be attributed to.
+PHASE_CONNECT = "connect"
+PHASE_REQUEST = "request"
+PHASE_RESPONSE = "response"
+
+
+class ReliabilityError(Exception):
+    """Base class: a call failed in a way the reliability layer understands.
+
+    Attributes
+    ----------
+    phase:
+        Where in the exchange the failure happened.
+    bytes_written:
+        Whether any request bytes are known to have reached the wire.
+    retry_after_s:
+        Server- (or breaker-) suggested wait before the next attempt.
+    attempts / meta:
+        Filled in by :class:`~repro.reliability.policy.RetryPolicy` when the
+        error is what a whole policed call ultimately raises.
+    """
+
+    #: resending cannot double-execute the request
+    retry_safe = False
+    phase = PHASE_REQUEST
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.bytes_written = not self.retry_safe
+        self.attempts: int = 1
+        self.meta: Optional["CallMeta"] = None
+
+
+class ConnectFailed(ReliabilityError):
+    """TCP connect was refused or failed; nothing was ever sent."""
+
+    retry_safe = True
+    phase = PHASE_CONNECT
+
+
+class CallTimeout(ReliabilityError):
+    """An attempt timed out before any request bytes were written."""
+
+    retry_safe = True
+    phase = PHASE_CONNECT
+
+
+class StalledRead(ReliabilityError):
+    """The request was sent but the response never arrived (read timeout)."""
+
+    phase = PHASE_RESPONSE
+
+
+class ResetMidStream(ReliabilityError):
+    """The connection was reset after request bytes hit the wire."""
+
+    phase = PHASE_REQUEST
+
+
+class TruncatedReply(ReliabilityError):
+    """The peer closed mid-response: the reply frame is incomplete."""
+
+    phase = PHASE_RESPONSE
+
+
+class TransportFailure(ReliabilityError):
+    """Any other transport-level error (the taxonomy's catch-all)."""
+
+    phase = PHASE_REQUEST
+
+
+class ServiceUnavailable(ReliabilityError):
+    """HTTP 503: the server shed the connection before dispatching it.
+
+    The :class:`~repro.http11.server.HttpServer` ``max_connections`` guard
+    answers 503 from the accept loop — the handler never ran — so resending
+    is always safe; ``Retry-After`` (when present) seeds the backoff.
+    """
+
+    retry_safe = True
+    phase = PHASE_CONNECT
+
+
+class CircuitOpen(ReliabilityError):
+    """The local circuit breaker rejected the call without touching the wire.
+
+    ``retry_after_s`` carries the breaker's remaining cooldown so a
+    deadline-budgeted policy can sleep exactly until the half-open probe
+    window instead of hammering a known-bad endpoint.
+    """
+
+    retry_safe = True
+    phase = PHASE_CONNECT
+
+
+class DeadlineExceeded(ReliabilityError):
+    """The end-to-end deadline budget ran out (never retried)."""
+
+    phase = PHASE_CONNECT
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message, retry_after_s)
+        self.bytes_written = False
+
+
+def mark_bytes_written(exc: BaseException, written: bool) -> BaseException:
+    """Annotate a low-level exception with the wire state at failure time."""
+    exc.bytes_written = written
+    return exc
+
+
+def classify_failure(exc: BaseException) -> ReliabilityError:
+    """Map one low-level transport exception to exactly one typed error.
+
+    The ``bytes_written`` annotation (when present) decides between the
+    always-safe connect-phase errors and the idempotent-only mid-stream
+    ones; an unannotated exception is conservatively treated as written.
+    """
+    if isinstance(exc, ReliabilityError):
+        return exc
+    written = getattr(exc, "bytes_written", True)
+    typed: ReliabilityError
+    if isinstance(exc, ConnectionRefusedError):
+        typed = ConnectFailed(f"connection refused: {exc}")
+    elif isinstance(exc, (TimeoutError, socket.timeout)):
+        if written:
+            typed = StalledRead(f"read stalled: {exc}")
+        else:
+            typed = CallTimeout(f"timed out before sending: {exc}")
+    elif isinstance(exc, ConnectionResetError):
+        if written:
+            typed = ResetMidStream(f"connection reset mid-stream: {exc}")
+        else:
+            typed = ConnectFailed(f"connection reset on connect: {exc}")
+    else:
+        # HttpConnectionClosed (truncated frame) without importing http11:
+        # duck-type on the class name so reliability stays transport-neutral.
+        name = type(exc).__name__
+        if name == "HttpConnectionClosed":
+            if written:
+                typed = TruncatedReply(f"response truncated: {exc}")
+            else:
+                typed = ConnectFailed(f"peer closed before send: {exc}")
+        elif written:
+            typed = TransportFailure(f"{name}: {exc}")
+        else:
+            typed = ConnectFailed(f"{name}: {exc}")
+    typed.bytes_written = bool(written) and not typed.retry_safe
+    typed.__cause__ = exc
+    return typed

@@ -1,0 +1,203 @@
+"""Retry policy with an end-to-end deadline budget.
+
+A :class:`RetryPolicy` answers three questions for every failed attempt:
+
+* **May this failure be retried at all?**  Connect-phase failures (nothing
+  on the wire) always may; mid-stream failures only when the caller marked
+  the operation idempotent.  See :mod:`repro.reliability.errors`.
+* **How long to wait?**  Exponential backoff with a cap, plus deterministic
+  injectable jitter (a plain ``attempt -> seconds`` callable, so tests and
+  simulations replay exactly), floored by any server/breaker supplied
+  ``Retry-After``.
+* **Is there budget left?**  The *deadline* is end-to-end: it covers every
+  attempt **and** every backoff sleep.  A retry whose backoff would overrun
+  the budget is not attempted; the call fails with
+  :class:`~repro.reliability.errors.DeadlineExceeded` while there is still
+  time for the caller to act on the failure.
+
+:func:`call_with_policy` is the engine shared by
+:class:`~repro.reliability.channel.ReliableChannel` and the socket channels
+in :mod:`repro.transport.sockets`; it also folds in the optional circuit
+breaker (checked before *every* attempt, so a call that outlives an open
+window completes instead of being shed) and the breaker→quality coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..netsim.clock import Clock, WallClock
+from .errors import (CircuitOpen, DeadlineExceeded, ReliabilityError,
+                     classify_failure)
+
+#: Deterministic jitter: extra seconds of backoff for a given attempt number.
+JitterFn = Callable[[int], float]
+
+
+@dataclass
+class CallMeta:
+    """What one policed call cost: surfaced by the SOAP/bin clients.
+
+    ``faults`` lists the typed error class name of every failed attempt in
+    order, so a caller (or test) can see exactly which injected fault each
+    retry absorbed.
+    """
+
+    attempts: int = 0
+    retried: bool = False
+    elapsed_s: float = 0.0
+    backoff_s: float = 0.0
+    deadline_s: Optional[float] = None
+    deadline_remaining_s: Optional[float] = None
+    faults: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the call ultimately returned a reply."""
+        return self.attempts > 0 and (not self.faults
+                                      or len(self.faults) < self.attempts)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/deadline policy for one class of calls.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = never retry).
+    deadline_s:
+        End-to-end budget per call, attempts + backoffs included.  ``None``
+        means unbounded.
+    call_timeout_s:
+        Per-attempt timeout hint, applied by transports that can enforce it
+        (socket timeouts, the fault injector's stall clock).
+    backoff_initial_s / backoff_multiplier / backoff_max_s:
+        Exponential backoff schedule: ``initial * multiplier**(n-1)`` capped
+        at ``backoff_max_s`` before the n+1'th attempt.
+    jitter:
+        Optional deterministic jitter ``attempt -> seconds`` added to the
+        backoff.  Injectable so simulations replay bit-for-bit; ``None``
+        means no jitter at all (still deterministic).
+    retry_non_idempotent:
+        When True, mid-stream failures are retried even for calls not
+        marked idempotent.  Off by default — double-executing a booking is
+        worse than failing it.
+    """
+
+    max_attempts: int = 3
+    deadline_s: Optional[float] = None
+    call_timeout_s: Optional[float] = None
+    backoff_initial_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: Optional[JitterFn] = None
+    retry_non_idempotent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+    # ------------------------------------------------------------------
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``'th failure (1-based)."""
+        base = min(self.backoff_initial_s
+                   * self.backoff_multiplier ** (attempt - 1),
+                   self.backoff_max_s)
+        if self.jitter is not None:
+            base += max(0.0, self.jitter(attempt))
+        return base
+
+    def may_retry(self, error: ReliabilityError, idempotent: bool) -> bool:
+        """Is retrying ``error`` safe for this call?"""
+        if isinstance(error, DeadlineExceeded):
+            return False
+        return (error.retry_safe or idempotent
+                or self.retry_non_idempotent)
+
+
+def call_with_policy(attempt_fn: Callable[[], Any],
+                     policy: RetryPolicy,
+                     clock: Optional[Clock] = None,
+                     idempotent: bool = True,
+                     breaker: Optional[Any] = None,
+                     coupling: Optional[Any] = None) -> Any:
+    """Run ``attempt_fn`` under ``policy``; returns ``(result, CallMeta)``.
+
+    ``attempt_fn`` performs one attempt and either returns a result or
+    raises; low-level exceptions are classified into the typed taxonomy.
+    ``breaker`` (duck-typed :class:`~repro.reliability.breaker.CircuitBreaker`)
+    is consulted before each attempt and told about every outcome;
+    ``coupling`` (duck-typed
+    :class:`~repro.core.monitor.BreakerRttCoupling`) hears about failures
+    and local rejections so the quality manager can degrade payloads.
+
+    The typed error a call ultimately raises carries ``attempts`` and the
+    full :class:`CallMeta` on its ``meta`` attribute.
+    """
+    clock = clock or WallClock()
+    meta = CallMeta(deadline_s=policy.deadline_s)
+    start = clock.now()
+    deadline = (start + policy.deadline_s
+                if policy.deadline_s is not None else None)
+    while True:
+        if deadline is not None and clock.now() >= deadline:
+            raise _finalize(DeadlineExceeded(
+                f"deadline budget of {policy.deadline_s:g}s exhausted "
+                f"after {meta.attempts} attempt(s)"), meta, clock, start)
+        meta.attempts += 1
+        if breaker is not None and not breaker.allow():
+            error: ReliabilityError = CircuitOpen(
+                "circuit breaker is open",
+                retry_after_s=breaker.cooldown_remaining())
+            if coupling is not None:
+                coupling.call_rejected()
+        else:
+            try:
+                result = attempt_fn()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                error = classify_failure(exc)
+                if breaker is not None:
+                    breaker.record_failure()
+                if coupling is not None:
+                    coupling.call_failed()
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                meta.elapsed_s = clock.now() - start
+                if deadline is not None:
+                    meta.deadline_remaining_s = deadline - clock.now()
+                return result, meta
+        meta.faults.append(type(error).__name__)
+        if not policy.may_retry(error, idempotent) \
+                or meta.attempts >= policy.max_attempts:
+            raise _finalize(error, meta, clock, start)
+        pause = policy.backoff_for(meta.attempts)
+        if error.retry_after_s is not None:
+            pause = max(pause, error.retry_after_s)
+        if deadline is not None and clock.now() + pause >= deadline:
+            deadline_error = DeadlineExceeded(
+                f"backoff of {pause:g}s would overrun the "
+                f"{policy.deadline_s:g}s deadline budget")
+            deadline_error.__cause__ = error
+            meta.faults.append(type(deadline_error).__name__)
+            raise _finalize(deadline_error, meta, clock, start)
+        meta.retried = True
+        meta.backoff_s += pause
+        clock.sleep(pause)
+
+
+def _finalize(error: ReliabilityError, meta: CallMeta, clock: Clock,
+              start: float) -> ReliabilityError:
+    meta.elapsed_s = clock.now() - start
+    if meta.deadline_s is not None:
+        meta.deadline_remaining_s = max(
+            0.0, start + meta.deadline_s - clock.now())
+    error.attempts = meta.attempts
+    error.meta = meta
+    return error

@@ -32,6 +32,10 @@ class SoapClient:
         self.registry = registry if registry is not None else FormatRegistry()
         self.compress = compress
         self.compression_codec = compression_codec
+        #: reliability metadata of the most recent call (attempts, elapsed,
+        #: deadline headroom) when the channel runs under a RetryPolicy —
+        #: a ReliableChannel or a socket channel with ``retry_policy=``.
+        self.last_call = None
 
     def call(self, operation: str, params: Dict[str, Any],
              input_format: Format, output_format: Format,
@@ -39,7 +43,10 @@ class SoapClient:
         """Invoke ``operation`` and return the decoded response fields.
 
         SOAP faults returned by the server are raised as
-        :class:`~repro.soap.errors.SoapFault`.
+        :class:`~repro.soap.errors.SoapFault`.  Transport failures under a
+        reliability-enabled channel are typed
+        :class:`~repro.reliability.errors.ReliabilityError`\\ s; attempt and
+        deadline metadata for either outcome lands in :attr:`last_call`.
         """
         payload = self.build_request(operation, params, input_format,
                                      header_entries)
@@ -47,7 +54,10 @@ class SoapClient:
         if self.compress:
             payload = get_codec(self.compression_codec).compress(payload)
             headers["Content-Encoding"] = "deflate"
-        reply = self.channel.call(payload, XML_CONTENT_TYPE, headers)
+        try:
+            reply = self.channel.call(payload, XML_CONTENT_TYPE, headers)
+        finally:
+            self.last_call = getattr(self.channel, "last_call", None)
         body = reply.body
         if _reply_compressed(reply.headers):
             body = get_codec(self.compression_codec).decompress(body)

@@ -1,24 +1,85 @@
-"""Real-socket transport: Channel over HTTP/1.1."""
+"""Real-socket transport: Channel over HTTP/1.1.
+
+Both socket channels optionally run every call under a
+:class:`~repro.reliability.policy.RetryPolicy` (plus an optional
+:class:`~repro.reliability.breaker.CircuitBreaker`): pass ``retry_policy=``
+and transient transport faults — stale sockets, refused connects, 503
+shedding from ``HttpServer(max_connections=...)`` — are classified, retried
+within the policy's deadline budget, and surfaced as typed
+:class:`~repro.reliability.errors.ReliabilityError` instead of bare
+``OSError``.  Without a policy the channels behave exactly as before.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..http11 import (Headers, HttpConnection, HttpConnectionPool,
                       HttpServer, Request, Response, default_pool)
 from .base import Channel, ChannelReply, Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netsim.clock import Clock
+    from ..reliability.breaker import CircuitBreaker
+    from ..reliability.policy import CallMeta, RetryPolicy
+
+
+def _policed(channel: "HttpChannel | PooledHttpChannel",
+             one_attempt: Callable[[], ChannelReply]) -> ChannelReply:
+    """Run one channel call under the channel's retry policy.
+
+    Imported lazily so ``repro.transport`` and ``repro.reliability`` can be
+    imported in either order without a cycle.
+    """
+    from ..reliability.channel import reply_unavailable
+    from ..reliability.policy import call_with_policy
+
+    def attempt() -> ChannelReply:
+        reply = one_attempt()
+        if reply.status == 503:
+            raise reply_unavailable(reply)
+        return reply
+
+    try:
+        reply, meta = call_with_policy(
+            attempt, channel.retry_policy, clock=channel.clock,
+            idempotent=channel.idempotent, breaker=channel.breaker)
+    except Exception as exc:
+        channel.last_call = getattr(exc, "meta", None)
+        raise
+    channel.last_call = meta
+    return reply
 
 
 class HttpChannel(Channel):
     """A channel speaking HTTP POST over a persistent connection."""
 
     def __init__(self, address: Union[Tuple[str, int], str],
-                 target: str = "/", timeout: float = 30.0) -> None:
+                 target: str = "/", timeout: float = 30.0,
+                 retry_policy: Optional["RetryPolicy"] = None,
+                 breaker: Optional["CircuitBreaker"] = None,
+                 clock: Optional["Clock"] = None,
+                 idempotent: bool = True) -> None:
+        if retry_policy is not None \
+                and retry_policy.call_timeout_s is not None:
+            timeout = retry_policy.call_timeout_s
         self.connection = HttpConnection(address, timeout=timeout)
         self.target = target
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.clock = clock
+        self.idempotent = idempotent
+        self.last_call: Optional["CallMeta"] = None
 
     def call(self, body: bytes, content_type: str,
              headers: Optional[Dict[str, str]] = None) -> ChannelReply:
+        if self.retry_policy is None:
+            return self._call_once(body, content_type, headers)
+        return _policed(
+            self, lambda: self._call_once(body, content_type, headers))
+
+    def _call_once(self, body: bytes, content_type: str,
+                   headers: Optional[Dict[str, str]]) -> ChannelReply:
         extra = Headers()
         for name, value in (headers or {}).items():
             extra.set(name, value)
@@ -47,13 +108,29 @@ class PooledHttpChannel(Channel):
 
     def __init__(self, address: Union[Tuple[str, int], str],
                  target: str = "/",
-                 pool: Optional[HttpConnectionPool] = None) -> None:
+                 pool: Optional[HttpConnectionPool] = None,
+                 retry_policy: Optional["RetryPolicy"] = None,
+                 breaker: Optional["CircuitBreaker"] = None,
+                 clock: Optional["Clock"] = None,
+                 idempotent: bool = True) -> None:
         self.address = address
         self.target = target
         self.pool = pool if pool is not None else default_pool()
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.clock = clock
+        self.idempotent = idempotent
+        self.last_call: Optional["CallMeta"] = None
 
     def call(self, body: bytes, content_type: str,
              headers: Optional[Dict[str, str]] = None) -> ChannelReply:
+        if self.retry_policy is None:
+            return self._call_once(body, content_type, headers)
+        return _policed(
+            self, lambda: self._call_once(body, content_type, headers))
+
+    def _call_once(self, body: bytes, content_type: str,
+                   headers: Optional[Dict[str, str]]) -> ChannelReply:
         extra = Headers()
         for name, value in (headers or {}).items():
             extra.set(name, value)
@@ -89,6 +166,7 @@ def endpoint_http_handler(endpoint: Endpoint) -> Callable[[Request], Response]:
 
 
 def serve_endpoint(endpoint: Endpoint, host: str = "127.0.0.1",
-                   port: int = 0) -> HttpServer:
+                   port: int = 0, **server_kwargs) -> HttpServer:
     """Start an HTTP server exposing ``endpoint`` at every path."""
-    return HttpServer(endpoint_http_handler(endpoint), host=host, port=port)
+    return HttpServer(endpoint_http_handler(endpoint), host=host, port=port,
+                      **server_kwargs)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps.imaging import (DEFAULT_QUALITY_FILE, ImageServer,
+from repro.apps.imaging import (ImageServer,
                                 ImagingClient, fixed_policy_quality_file,
                                 image_to_value, resize_half_handler,
                                 run_imaging_experiment, value_to_image)

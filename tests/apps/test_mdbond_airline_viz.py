@@ -10,7 +10,6 @@ from repro.apps.mdbond import (BondClient, BondServer, empty_timestep,
 from repro.apps.remoteviz import DisplayClient, ServicePortal
 from repro.core import AttributeStore
 from repro.netsim import LinkModel, VirtualClock
-from repro.pbio import FormatRegistry
 from repro.transport import DirectChannel, SimChannel
 from repro.wsdl import parse_wsdl
 from repro.xmlcore import parse

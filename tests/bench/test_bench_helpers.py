@@ -6,7 +6,7 @@ from repro.bench import (datagen, figures, human_bytes, human_time,
                          jitter_stats, mean, measure, percentile,
                          print_table, render_table, stdev)
 from repro.netsim import LinkModel
-from repro.pbio import Array, FormatRegistry, Primitive, StructRef
+from repro.pbio import Array, FormatRegistry, StructRef
 
 
 class TestTimers:

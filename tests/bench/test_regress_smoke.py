@@ -49,3 +49,13 @@ def test_smoke_rpc_used_pooled_keepalive(report):
     # One socket, reused across every call: keep-alive pooling at work.
     assert rpc["pooled_connections_created"] <= 2
     assert rpc["pooled_connections_reused"] >= rpc["calls"] - 2
+
+
+@pytest.mark.bench_smoke
+def test_smoke_rpc_measured_with_reliability_enabled(report):
+    # The headline latency is the *production* shape: RetryPolicy on.  On
+    # loopback the policy must never fire — zero retries prove the happy
+    # path pays only the per-call bookkeeping, not backoff sleeps.
+    rpc = report["rpc"]
+    assert rpc["retry_policy_enabled"] is True
+    assert rpc["retries"] == 0

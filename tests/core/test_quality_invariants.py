@@ -9,7 +9,6 @@ These are the safety properties a downstream user relies on:
   (encodable without error).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (AttributeStore, HysteresisSelector, QualityManager,

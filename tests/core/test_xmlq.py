@@ -136,7 +136,6 @@ class TestXmlQualityClient:
         assert parse_message_type_header(envelope) == "QSmall"
 
     def test_compressed_xml_bypasses_quality(self, service_and_registry):
-        from repro.compress import get_codec
         service, registry, req, full = service_and_registry
         service.quality.attributes.update_attribute("rtt", 99.0)
         soap = SoapClient(DirectChannel(service.endpoint), registry,

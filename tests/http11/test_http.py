@@ -317,6 +317,31 @@ class TestMaxConnections:
                     conn.close()
             assert server.connections_rejected == 0
 
+    def test_rejection_carries_retry_after(self):
+        with HttpServer(lambda r: Response(body=b"x"),
+                        max_connections=1, retry_after_s=2.5) as server:
+            first = HttpConnection(server.address)
+            try:
+                assert first.get("/").status == 200
+                with HttpConnection(server.address) as extra:
+                    resp = extra.get("/")
+                    assert resp.status == 503
+                    # RFC 9110 delay-seconds: integer, rounded up
+                    assert resp.headers.get("Retry-After") == "3"
+            finally:
+                first.close()
+
+    def test_retry_after_default_one_second(self):
+        with HttpServer(lambda r: Response(body=b"x"),
+                        max_connections=1) as server:
+            first = HttpConnection(server.address)
+            try:
+                assert first.get("/").status == 200
+                with HttpConnection(server.address) as extra:
+                    assert extra.get("/").headers.get("Retry-After") == "1"
+            finally:
+                first.close()
+
     def test_rejected_connection_does_not_count_requests(self):
         with HttpServer(lambda r: Response(body=b"x"),
                         max_connections=1) as server:

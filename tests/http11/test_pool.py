@@ -90,8 +90,8 @@ class TestRetry:
             assert pool.retries == 0
 
     def test_dead_pooled_connection_retries_once(self, server):
-        # When the pooled connection object gives up entirely (its own
-        # reconnect also failed), the pool discards it and retries the
+        # When the pooled connection object gives up entirely before any
+        # request bytes were written, the pool discards it and retries the
         # request exactly once on a brand-new connection.
         with HttpConnectionPool() as pool:
             first = pool.get(server.address, "/a")
@@ -99,7 +99,9 @@ class TestRetry:
             conn = pool._idle[server.address][0][0]
 
             def exhausted(request):
-                raise HttpError("connection failed repeatedly")
+                error = HttpError("connection failed before sending")
+                error.bytes_written = False
+                raise error
 
             conn.request = exhausted
             second = pool.get(server.address, "/b")
@@ -107,6 +109,42 @@ class TestRetry:
             assert second.body == b"GET /b"
             assert pool.retries == 1
             assert pool.created == 2
+
+    def test_no_silent_retry_after_bytes_written(self, server):
+        # A failure *after* request bytes hit the wire must not be resent
+        # silently — the server may have executed the request; only a
+        # RetryPolicy that knows the call's idempotency may resend it.
+        with HttpConnectionPool() as pool:
+            first = pool.get(server.address, "/a")
+            assert first.status == 200
+            conn = pool._idle[server.address][0][0]
+
+            def mid_stream(request):
+                error = HttpError("reset after partial write")
+                error.bytes_written = True
+                raise error
+
+            conn.request = mid_stream
+            with pytest.raises(HttpError):
+                pool.get(server.address, "/b")
+            assert pool.retries == 0
+            # the broken connection was discarded, not repooled
+            assert pool.idle_count(server.address) == 0
+
+    def test_unannotated_failure_is_not_resent(self, server):
+        # Without a bytes_written annotation the pool must assume the worst.
+        with HttpConnectionPool() as pool:
+            first = pool.get(server.address, "/a")
+            assert first.status == 200
+            conn = pool._idle[server.address][0][0]
+
+            def unknown(request):
+                raise HttpError("failed who-knows-where")
+
+            conn.request = unknown
+            with pytest.raises(HttpError):
+                pool.get(server.address, "/b")
+            assert pool.retries == 0
 
     def test_unreachable_host_raises_after_retry(self):
         # a bound-but-not-listening port: connect is refused both times

@@ -4,12 +4,11 @@ declared error type — never an unrelated exception, never a hang.
 Every wire-facing decoder in the stack is fed random and mutated bytes.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compress import CompressError, lzss, lzw, zlib_codec
 from repro.core import PBIO_CONTENT_TYPE, SoapBinService
-from repro.http11 import (HttpConnectionClosed, HttpError, LineReader,
+from repro.http11 import (HttpError, LineReader,
                           read_request, read_response)
 from repro.pbio import (DecodeError, Format, FormatRegistry, PbioSession,
                         UnknownFormatError, parse_message)

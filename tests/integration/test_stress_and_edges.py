@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.core import SoapBinClient, SoapBinService
 from repro.http11 import HttpConnection, HttpServer, Response

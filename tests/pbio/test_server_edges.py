@@ -3,7 +3,6 @@
 import socket
 import struct
 
-import pytest
 
 from repro.pbio import Format, FormatClient, FormatServer
 from repro.pbio.server import _recv_frame, _send_frame

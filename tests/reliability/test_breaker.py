@@ -1,0 +1,191 @@
+"""Circuit-breaker state machine on the virtual clock."""
+
+import pytest
+
+from repro.netsim import VirtualClock
+from repro.reliability import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                               CircuitOpen, RetryPolicy, call_with_policy,
+                               mark_bytes_written)
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout_s", 10.0)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestTransitionTable:
+    """Every legal transition, driven deterministically."""
+
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.rejected == 0
+
+    def test_closed_to_open_at_threshold(self, clock):
+        breaker = make_breaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 2 < 3: still counting
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_count == 1
+
+    def test_success_resets_failure_count_while_closed(self, clock):
+        breaker = make_breaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak was broken
+
+    def test_open_rejects_and_reports_cooldown(self, clock):
+        breaker = make_breaker(clock, reset_timeout_s=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.rejected == 1
+        clock.advance(4.0)
+        assert breaker.cooldown_remaining() == pytest.approx(6.0)
+
+    def test_open_to_half_open_after_cooldown(self, clock):
+        breaker = make_breaker(clock, reset_timeout_s=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+        assert breaker.cooldown_remaining() == 0.0
+
+    def test_half_open_limits_probes(self, clock):
+        breaker = make_breaker(clock, half_open_max_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots taken
+        assert breaker.rejected == 1
+
+    def test_half_open_to_closed_on_probe_success(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # and the failure streak is gone: one new failure does not open
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_to_open_on_probe_failure(self, clock):
+        breaker = make_breaker(clock, reset_timeout_s=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_count == 2
+        # fresh cooldown from the re-open, not the original open
+        assert breaker.cooldown_remaining() == pytest.approx(10.0)
+
+    def test_success_threshold_requires_consecutive_probes(self, clock):
+        breaker = make_breaker(clock, half_open_max_probes=1,
+                               success_threshold=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # 1 of 2
+        assert breaker.allow()  # slot was freed by the success
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max_probes=0, clock=clock)
+
+
+class TestListeners:
+    def test_full_cycle_is_observable(self, clock):
+        events = []
+        breaker = make_breaker(
+            clock, listeners=[lambda o, n, t: events.append((o, n, t))])
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert events == [
+            (CLOSED, OPEN, 0.0),
+            (OPEN, HALF_OPEN, 10.0),
+            (HALF_OPEN, CLOSED, 10.0),
+        ]
+
+
+class TestPolicyIntegration:
+    """call_with_policy + breaker: open windows are slept out, not shed."""
+
+    def test_failures_open_breaker_through_policy(self, clock):
+        breaker = make_breaker(clock, failure_threshold=2)
+        policy = RetryPolicy(max_attempts=5, backoff_initial_s=0.01)
+
+        def attempt():
+            raise mark_bytes_written(ConnectionRefusedError("down"), False)
+
+        with pytest.raises(Exception):
+            call_with_policy(attempt, policy, clock=clock, breaker=breaker)
+        assert breaker.state == OPEN
+
+    def test_open_breaker_rejection_is_slept_out(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1,
+                               reset_timeout_s=0.5)
+        breaker.record_failure()  # open, cooldown until t=0.5
+        policy = RetryPolicy(max_attempts=3, deadline_s=5.0,
+                             backoff_initial_s=0.01)
+        result, meta = call_with_policy(lambda: "served", policy,
+                                        clock=clock, breaker=breaker)
+        # first attempt was rejected locally, the retry waited out the
+        # cooldown, the half-open probe succeeded and closed the breaker
+        assert result == "served"
+        assert meta.faults == ["CircuitOpen"]
+        assert clock.now() >= 0.5
+        assert breaker.state == CLOSED
+
+    def test_open_breaker_without_budget_raises_circuit_open(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1,
+                               reset_timeout_s=30.0)
+        breaker.record_failure()
+        policy = RetryPolicy(max_attempts=2, deadline_s=1.0,
+                             backoff_initial_s=0.01)
+        with pytest.raises(Exception) as info:
+            call_with_policy(lambda: "never", policy, clock=clock,
+                             breaker=breaker)
+        # the 30s cooldown cannot fit in a 1s budget
+        assert info.value.meta.faults[0] == "CircuitOpen"
+        assert clock.now() < 1.0  # failed fast, did not sleep 30s
+
+    def test_circuit_open_carries_cooldown_as_retry_after(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1,
+                               reset_timeout_s=8.0)
+        breaker.record_failure()
+        clock.advance(3.0)
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(CircuitOpen) as info:
+            call_with_policy(lambda: "never", policy, clock=clock,
+                             breaker=breaker)
+        assert info.value.retry_after_s == pytest.approx(5.0)
+        assert info.value.retry_safe

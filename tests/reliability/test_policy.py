@@ -1,0 +1,237 @@
+"""RetryPolicy semantics: backoff math, deadline budget, idempotency."""
+
+import socket
+
+import pytest
+
+from repro.netsim import VirtualClock
+from repro.reliability import (CallTimeout, ConnectFailed, DeadlineExceeded,
+                               ReliabilityError, ResetMidStream, RetryPolicy,
+                               ServiceUnavailable, StalledRead,
+                               TransportFailure, TruncatedReply,
+                               call_with_policy, classify_failure,
+                               mark_bytes_written)
+from repro.http11.errors import HttpConnectionClosed
+
+
+class TestClassification:
+    """Low-level exception -> exactly one typed reliability error."""
+
+    @pytest.mark.parametrize("exc,written,expected", [
+        (ConnectionRefusedError("refused"), False, ConnectFailed),
+        (ConnectionResetError("reset"), True, ResetMidStream),
+        (ConnectionResetError("reset"), False, ConnectFailed),
+        (TimeoutError("t/o"), True, StalledRead),
+        (TimeoutError("t/o"), False, CallTimeout),
+        (socket.timeout("t/o"), True, StalledRead),
+        (HttpConnectionClosed("closed"), True, TruncatedReply),
+        (HttpConnectionClosed("closed"), False, ConnectFailed),
+        (OSError("misc"), True, TransportFailure),
+        (OSError("misc"), False, ConnectFailed),
+    ])
+    def test_mapping(self, exc, written, expected):
+        typed = classify_failure(mark_bytes_written(exc, written))
+        assert type(typed) is expected
+        assert typed.__cause__ is exc
+
+    def test_unannotated_exception_presumed_written(self):
+        # conservative: unknown wire state is treated as sent
+        assert type(classify_failure(ConnectionResetError("x"))) \
+            is ResetMidStream
+
+    def test_typed_errors_pass_through(self):
+        err = StalledRead("already typed")
+        assert classify_failure(err) is err
+
+    @pytest.mark.parametrize("cls,safe", [
+        (ConnectFailed, True), (CallTimeout, True),
+        (ServiceUnavailable, True),
+        (StalledRead, False), (ResetMidStream, False),
+        (TruncatedReply, False), (TransportFailure, False),
+    ])
+    def test_retry_safety(self, cls, safe):
+        assert cls("x").retry_safe is safe
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(backoff_initial_s=0.1, backoff_multiplier=2.0,
+                             backoff_max_s=0.5)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+        assert policy.backoff_for(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_for(10) == pytest.approx(0.5)
+
+    def test_deterministic_injectable_jitter(self):
+        jitter = lambda attempt: attempt * 0.01  # noqa: E731
+        policy = RetryPolicy(backoff_initial_s=0.1, jitter=jitter)
+        assert policy.backoff_for(1) == pytest.approx(0.11)
+        assert policy.backoff_for(2) == pytest.approx(0.22)
+        # same policy, same attempt, same answer — replayable by design
+        assert policy.backoff_for(2) == policy.backoff_for(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+
+def failing_fn(failures, exc_factory):
+    """An attempt function that fails ``failures`` times then succeeds."""
+    state = {"calls": 0}
+
+    def attempt():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc_factory()
+        return f"ok after {state['calls']}"
+
+    return attempt
+
+
+def refused():
+    return mark_bytes_written(ConnectionRefusedError("refused"), False)
+
+
+def reset():
+    return mark_bytes_written(ConnectionResetError("reset"), True)
+
+
+class TestCallWithPolicy:
+    def test_success_first_attempt(self):
+        clock = VirtualClock()
+        result, meta = call_with_policy(lambda: "hi", RetryPolicy(),
+                                        clock=clock)
+        assert result == "hi"
+        assert meta.attempts == 1
+        assert not meta.retried
+        assert meta.faults == []
+        assert meta.ok
+
+    def test_connect_failures_retried_with_backoff(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, backoff_initial_s=0.1,
+                             backoff_multiplier=2.0)
+        result, meta = call_with_policy(failing_fn(2, refused), policy,
+                                        clock=clock)
+        assert result == "ok after 3"
+        assert meta.attempts == 3
+        assert meta.faults == ["ConnectFailed", "ConnectFailed"]
+        assert meta.backoff_s == pytest.approx(0.3)  # 0.1 + 0.2
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_attempts_exhausted_raises_typed_error(self):
+        policy = RetryPolicy(max_attempts=2, backoff_initial_s=0.0)
+        with pytest.raises(ConnectFailed) as info:
+            call_with_policy(failing_fn(5, refused), policy,
+                             clock=VirtualClock())
+        assert info.value.attempts == 2
+        assert info.value.meta.faults == ["ConnectFailed", "ConnectFailed"]
+        assert not info.value.meta.ok
+
+    def test_mid_stream_not_retried_for_non_idempotent(self):
+        policy = RetryPolicy(max_attempts=5, backoff_initial_s=0.0)
+        with pytest.raises(ResetMidStream) as info:
+            call_with_policy(failing_fn(1, reset), policy,
+                             clock=VirtualClock(), idempotent=False)
+        assert info.value.attempts == 1  # no second attempt
+
+    def test_mid_stream_retried_for_idempotent(self):
+        policy = RetryPolicy(max_attempts=5, backoff_initial_s=0.0)
+        result, meta = call_with_policy(failing_fn(1, reset), policy,
+                                        clock=VirtualClock(), idempotent=True)
+        assert result == "ok after 2"
+        assert meta.faults == ["ResetMidStream"]
+
+    def test_connect_failures_retried_even_for_non_idempotent(self):
+        # nothing reached the wire, so resending cannot double-execute
+        policy = RetryPolicy(max_attempts=3, backoff_initial_s=0.0)
+        result, _ = call_with_policy(failing_fn(2, refused), policy,
+                                     clock=VirtualClock(), idempotent=False)
+        assert result == "ok after 3"
+
+    def test_retry_non_idempotent_override(self):
+        policy = RetryPolicy(max_attempts=3, backoff_initial_s=0.0,
+                             retry_non_idempotent=True)
+        result, _ = call_with_policy(failing_fn(1, reset), policy,
+                                     clock=VirtualClock(), idempotent=False)
+        assert result == "ok after 2"
+
+    def test_deadline_budget_covers_backoff(self):
+        # backoff would overrun the budget: fail *before* sleeping it out
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=10, deadline_s=0.25,
+                             backoff_initial_s=0.2, backoff_multiplier=2.0)
+        with pytest.raises(DeadlineExceeded) as info:
+            call_with_policy(failing_fn(10, refused), policy, clock=clock)
+        # one attempt + one 0.2s backoff fits; the second 0.4s backoff
+        # would overrun 0.25s, so the call fails with budget still standing
+        assert clock.now() < 0.25
+        assert info.value.meta.faults[-1] == "DeadlineExceeded"
+        assert isinstance(info.value.__cause__, ConnectFailed)
+
+    def test_deadline_already_exhausted_fails_without_attempt(self):
+        clock = VirtualClock()
+        slow_success = failing_fn(0, refused)
+
+        def attempt():
+            clock.advance(1.0)
+            return slow_success()
+
+        policy = RetryPolicy(max_attempts=3, deadline_s=0.5,
+                             backoff_initial_s=0.0)
+        # first attempt succeeds but eats the whole budget; a *second* call
+        # through the same policy still works (budget is per call)
+        result, meta = call_with_policy(attempt, policy, clock=clock)
+        assert result == "ok after 1"
+        assert meta.deadline_remaining_s == pytest.approx(-0.5)
+
+    def test_retry_after_floors_backoff(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=2, backoff_initial_s=0.01)
+
+        def attempt():
+            if clock.now() < 0.5:
+                raise ServiceUnavailable("503", retry_after_s=0.5)
+            return "served"
+
+        result, meta = call_with_policy(attempt, policy, clock=clock)
+        assert result == "served"
+        assert clock.now() == pytest.approx(0.5)
+        assert meta.faults == ["ServiceUnavailable"]
+
+    def test_deadline_exceeded_never_retried(self):
+        policy = RetryPolicy(max_attempts=5, backoff_initial_s=0.0)
+
+        def attempt():
+            raise DeadlineExceeded("inner deadline")
+
+        with pytest.raises(DeadlineExceeded) as info:
+            call_with_policy(attempt, policy, clock=VirtualClock())
+        assert info.value.attempts == 1
+
+    def test_meta_surfaces_deadline_headroom(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=1, deadline_s=2.0)
+
+        def attempt():
+            clock.advance(0.5)
+            return "done"
+
+        _, meta = call_with_policy(attempt, policy, clock=clock)
+        assert meta.elapsed_s == pytest.approx(0.5)
+        assert meta.deadline_remaining_s == pytest.approx(1.5)
+
+    def test_error_carries_full_meta(self):
+        policy = RetryPolicy(max_attempts=3, backoff_initial_s=0.125)
+        clock = VirtualClock()
+        with pytest.raises(ReliabilityError) as info:
+            call_with_policy(failing_fn(9, refused), policy, clock=clock)
+        meta = info.value.meta
+        assert meta.attempts == 3
+        assert meta.backoff_s == pytest.approx(0.375)  # 0.125 + 0.25
+        assert meta.elapsed_s == pytest.approx(clock.now())

@@ -1,0 +1,181 @@
+"""The acceptance scenario: reset burst → stall → recovery, on netsim.
+
+One deterministic virtual-clock timeline exercises the whole reliability
+stack at once:
+
+* the client under a :class:`RetryPolicy` completes ≥99% of idempotent
+  calls within their deadline budget despite a scripted reset burst and a
+  read stall;
+* the breaker opens during the burst and its
+  :class:`~repro.core.monitor.BreakerRttCoupling` pushes the quality
+  manager into the degraded tier (reduced request format) while the burst
+  lasts, and back to full quality after recovery;
+* the *same* fault schedule without the reliability layer loses calls.
+"""
+
+import pytest
+
+from repro.core import (BreakerRttCoupling, QualityManager, SoapBinClient,
+                        SoapBinService, worst_interval_rtt)
+from repro.netsim import LinkModel, VirtualClock
+from repro.pbio import Format, FormatRegistry
+from repro.reliability import (CircuitBreaker, FaultInjector,
+                               FaultInjectingChannel, FaultKind,
+                               FaultSchedule, FaultWindow, ReliableChannel,
+                               RetryPolicy)
+from repro.transport import SimChannel
+
+QUALITY = ("attribute rtt\n"
+           "history 1\n"
+           "0 0.05 - EchoRequest\n"
+           "0.05 inf - EchoRequestSmall\n")
+
+PAYLOAD = [float(i) for i in range(32)]
+
+#: resets from t=0.5 until t=1.0, one stall window at t=1.5
+SCHEDULE = [
+    FaultWindow(FaultKind.RESET_MID_STREAM, start_s=0.5, end_s=1.0),
+    FaultWindow(FaultKind.STALLED_READ, start_s=1.5, end_s=1.6),
+]
+
+TOTAL_CALLS = 120
+PACING_S = 0.02
+
+
+def build_registry():
+    registry = FormatRegistry()
+    registry.register(Format.from_dict(
+        "EchoRequest", {"data": "float64[]", "tag": "string"}))
+    registry.register(Format.from_dict(
+        "EchoResponse", {"data": "float64[]", "tag": "string",
+                         "count": "int32"}))
+    registry.register(Format.from_dict("EchoRequestSmall",
+                                       {"tag": "string"}))
+    return registry
+
+
+def build_service(registry):
+    svc = SoapBinService(registry)
+
+    def echo(params):
+        return {"data": params["data"], "tag": params["tag"],
+                "count": len(params["data"])}
+
+    # the service accepts the reduced request format and pads data to []
+    svc.add_operation("Echo", registry.by_name("EchoRequest"),
+                      registry.by_name("EchoResponse"), echo,
+                      request_message_types=("EchoRequestSmall",))
+    return svc
+
+
+def run_schedule(reliable: bool):
+    """Drive TOTAL_CALLS paced calls through the scripted fault timeline."""
+    registry = build_registry()
+    service = build_service(registry)
+    clock = VirtualClock()
+    link = LinkModel(1e8, 0.001)  # fast LAN: clean RTT ≈ 2 ms
+    sim = SimChannel(service.endpoint, link, clock)
+    injector = FaultInjector(FaultSchedule(SCHEDULE), clock=clock)
+    faulty = FaultInjectingChannel(sim, injector, read_timeout_s=0.25)
+
+    quality = QualityManager.from_text(QUALITY, registry)
+    coupling = None
+    breaker = None
+    if reliable:
+        coupling = BreakerRttCoupling(quality)
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=0.1,
+                                 clock=clock,
+                                 listeners=[coupling.state_changed])
+        policy = RetryPolicy(max_attempts=10, deadline_s=5.0,
+                             backoff_initial_s=0.05, backoff_multiplier=2.0,
+                             backoff_max_s=0.4)
+        channel = ReliableChannel(faulty, policy=policy, breaker=breaker,
+                                  clock=clock, coupling=coupling)
+    else:
+        channel = faulty
+
+    client = SoapBinClient(channel, registry, clock=clock, quality=quality)
+    fmt_in = registry.by_name("EchoRequest")
+    fmt_out = registry.by_name("EchoResponse")
+
+    outcomes = []  # (start_time, "ok" | "lost", request_was_reduced)
+    for index in range(TOTAL_CALLS):
+        started = clock.now()
+        try:
+            out = client.call("Echo", {"data": PAYLOAD, "tag": "t"},
+                              fmt_in, fmt_out)
+        except Exception:
+            outcomes.append((started, "lost", None))
+        else:
+            # the handler counts the *restored* data: a reduced request
+            # arrives with data padded to [], so count == 0 marks it
+            outcomes.append((started, "ok", out["count"] == 0))
+        clock.advance(PACING_S)
+    return {
+        "outcomes": outcomes,
+        "breaker": breaker,
+        "coupling": coupling,
+        "quality": quality,
+        "injector": injector,
+        "clock": clock,
+        "client": client,
+    }
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_schedule(reliable=True)
+
+    def test_fault_schedule_actually_fired(self, run):
+        injected = run["injector"].injected
+        assert injected.get(FaultKind.RESET_MID_STREAM, 0) >= 3
+        assert injected.get(FaultKind.STALLED_READ, 0) >= 1
+
+    def test_at_least_99_percent_complete_within_deadline(self, run):
+        outcomes = run["outcomes"]
+        completed = sum(1 for _, status, _ in outcomes if status == "ok")
+        assert completed / len(outcomes) >= 0.99
+        # and no call's reliability metadata shows a blown deadline
+        meta = run["client"].last_call
+        assert meta is not None and meta.deadline_remaining_s > 0
+
+    def test_breaker_opened_during_burst(self, run):
+        breaker = run["breaker"]
+        assert breaker.opened_count >= 1
+        opens = [t for old, new, t in run["coupling"].transitions
+                 if new == "open"]
+        assert opens and 0.5 <= opens[0] < 1.5
+
+    def test_quality_stepped_down_then_recovered(self, run):
+        outcomes = run["outcomes"]
+        # full quality on the clean ramp-up before the burst
+        assert outcomes[0][2] is False
+        # degraded (reduced request) while the coupling fed penalty RTT
+        degraded_times = [t for t, status, reduced in outcomes
+                          if status == "ok" and reduced]
+        assert degraded_times, "quality never stepped down"
+        assert min(degraded_times) >= 0.5  # not before the burst
+        # ... and back to the full request once the timeline is clean again
+        assert outcomes[-1][2] is False
+        last_degraded = max(degraded_times)
+        assert last_degraded < outcomes[-1][0]
+
+    def test_coupling_fed_worst_interval_rtt(self, run):
+        coupling = run["coupling"]
+        assert coupling.samples_fed >= 3
+        # the penalty value is derived from the quality file itself:
+        # worst interval is [0.05, inf) -> 0.05 * 2
+        assert coupling.penalty_rtt == pytest.approx(
+            worst_interval_rtt(run["quality"].policy))
+        assert coupling.penalty_rtt == pytest.approx(0.1)
+
+    def test_same_schedule_without_reliability_loses_calls(self, run):
+        baseline = run_schedule(reliable=False)
+        lost = sum(1 for _, status, _ in baseline["outcomes"]
+                   if status == "lost")
+        assert lost >= 10  # the burst sheds call after call
+        # while the reliability run lost none of those same calls
+        reliable_lost = sum(1 for _, status, _ in run["outcomes"]
+                            if status == "lost")
+        assert reliable_lost < lost

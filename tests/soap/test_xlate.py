@@ -13,10 +13,10 @@ import pytest
 
 from repro import apps
 from repro.pbio import Array, Format, FormatRegistry, Primitive, StructRef
-from repro.soap.encoding import decode_fields, decode_fields_pull, encode_fields
+from repro.soap.encoding import decode_fields_pull, encode_fields
 from repro.soap.errors import SoapDecodingError, SoapEncodingError
 from repro.soap.xlate import XlatePlanner, compile_emitter, compile_parser
-from repro.xmlcore import Element, XmlParseError, XmlPullParser, parse, tostring
+from repro.xmlcore import Element, XmlParseError, XmlPullParser, tostring
 
 APP_FORMAT_SETS = {
     "imaging": apps.image_formats,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..pbio import (Format, FormatRegistry, PbioSession,
@@ -45,22 +46,47 @@ class SoapBinService:
     def __init__(self, registry: Optional[FormatRegistry] = None,
                  quality_text: Optional[str] = None,
                  handlers: Optional[HandlerRegistry] = None,
-                 prep_time_fn: Optional[Callable[[], float]] = None) -> None:
+                 prep_time_fn: Optional[Callable[[], float]] = None,
+                 max_sessions: int = 4096,
+                 session_idle_ttl_s: Optional[float] = None,
+                 sandbox: Optional[object] = None) -> None:
         self.registry = registry if registry is not None else FormatRegistry()
         self.xml_service = SoapService(self.registry)
         self.compiler = self.registry.compiler
         self.handlers = handlers or HandlerRegistry()
+        #: quality handlers run under this boundary (see
+        #: repro.serving.sandbox): a raising/stalling handler falls back to
+        #: the trivial projection instead of failing the request.
+        self.sandbox = sandbox if sandbox is not None \
+            else self._default_sandbox()
         self.quality: Optional[QualityManager] = None
         if quality_text is not None:
             self.quality = QualityManager.from_text(
-                quality_text, self.registry, handlers=self.handlers)
-        #: per-client PBIO sessions (format announcements are per client)
-        self._sessions: Dict[str, PbioSession] = {}
+                quality_text, self.registry, handlers=self.handlers,
+                sandbox=self.sandbox)
+        #: per-client PBIO sessions (format announcements are per client),
+        #: LRU-ordered and bounded: beyond ``max_sessions`` (or past
+        #: ``session_idle_ttl_s`` of inactivity) the coldest session is
+        #: evicted, so a million distinct client ids cannot retain a
+        #: million sessions.  An evicted client's next data-only message
+        #: fails format lookup and must re-announce (first-contact rules).
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.session_idle_ttl_s = session_idle_ttl_s
+        self.sessions_evicted = 0
+        self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._sessions_lock = threading.Lock()
         self._ops_by_format: Dict[str, Operation] = {}
         #: measures server response-preparation time for RTT rectification;
         #: overridable so simulated deployments report virtual prep time.
+        #: Doubles as the session-idle time source.
         self._prep_time_fn = prep_time_fn or time.perf_counter
+
+    @staticmethod
+    def _default_sandbox():
+        from ..serving.sandbox import HandlerSandbox
+        return HandlerSandbox()
 
     # ------------------------------------------------------------------
     # registration
@@ -90,7 +116,8 @@ class SoapBinService:
         management (§V).
         """
         self.quality = QualityManager.from_text(quality_text, self.registry,
-                                                handlers=self.handlers)
+                                                handlers=self.handlers,
+                                                sandbox=self.sandbox)
         return self.quality
 
     def install_handler_source(self, name: str, source: str) -> None:
@@ -223,8 +250,41 @@ class SoapBinService:
 
     def _session_for(self, client_id: str) -> PbioSession:
         with self._sessions_lock:
-            session = self._sessions.get(client_id)
-            if session is None:
-                session = PbioSession(self.registry, self.compiler)
-                self._sessions[client_id] = session
+            now = self._prep_time_fn()
+            entry = self._sessions.get(client_id)
+            if entry is not None:
+                entry.last_used = now
+                self._sessions.move_to_end(client_id)
+                return entry.session
+            self._evict_idle_sessions(now)
+            session = PbioSession(self.registry, self.compiler)
+            self._sessions[client_id] = _SessionEntry(session, now)
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.sessions_evicted += 1
             return session
+
+    def _evict_idle_sessions(self, now: float) -> None:
+        """Drop sessions idle past the TTL (LRU order == idleness order)."""
+        if self.session_idle_ttl_s is None:
+            return
+        horizon = now - self.session_idle_ttl_s
+        while self._sessions:
+            _, entry = next(iter(self._sessions.items()))
+            if entry.last_used > horizon:
+                return
+            self._sessions.popitem(last=False)
+            self.sessions_evicted += 1
+
+    @property
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+
+class _SessionEntry:
+    __slots__ = ("session", "last_used")
+
+    def __init__(self, session: PbioSession, last_used: float) -> None:
+        self.session = session
+        self.last_used = last_used

@@ -25,7 +25,7 @@ padding missing fields with zeroes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..pbio import Format, FormatRegistry
 from .attributes import RTT, AttributeStore
@@ -34,14 +34,26 @@ from .quality_file import QualityPolicy, parse_quality_file
 from .quality_handlers import HandlerRegistry, trivial_handler
 from .rtt import HysteresisSelector, RttEstimator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.sandbox import HandlerSandbox
+
 
 class QualityManager:
-    """Runtime quality management for one endpoint."""
+    """Runtime quality management for one endpoint.
+
+    ``sandbox`` (a :class:`~repro.serving.sandbox.HandlerSandbox`) puts a
+    timeout + exception boundary around *named* quality handlers: when one
+    raises, stalls or is quarantined, :meth:`outgoing` falls back to the
+    trivial projection handler — and to the full-fidelity application
+    format if even that fails — instead of letting user handler code fail
+    the request.
+    """
 
     def __init__(self, policy: QualityPolicy, registry: FormatRegistry,
                  handlers: Optional[HandlerRegistry] = None,
                  attributes: Optional[AttributeStore] = None,
-                 alpha: float = 0.875) -> None:
+                 alpha: float = 0.875,
+                 sandbox: Optional["HandlerSandbox"] = None) -> None:
         self.policy = policy
         self.registry = registry
         self.handlers = handlers or HandlerRegistry()
@@ -49,6 +61,10 @@ class QualityManager:
         self.estimator = RttEstimator(alpha=alpha)
         self.selector: HysteresisSelector[str] = HysteresisSelector(
             history=policy.history)
+        self.sandbox = sandbox
+        #: times a named handler failed and the trivial projection (or the
+        #: full-fidelity format) was substituted
+        self.handler_fallbacks = 0
         for message_type in policy.message_types():
             if not registry.has_name(message_type):
                 raise QualityFileError(
@@ -59,10 +75,11 @@ class QualityManager:
     @classmethod
     def from_text(cls, quality_text: str, registry: FormatRegistry,
                   handlers: Optional[HandlerRegistry] = None,
-                  attributes: Optional[AttributeStore] = None) -> "QualityManager":
+                  attributes: Optional[AttributeStore] = None,
+                  sandbox: Optional["HandlerSandbox"] = None) -> "QualityManager":
         """Build a manager straight from quality-file text."""
         return cls(parse_quality_file(quality_text), registry,
-                   handlers=handlers, attributes=attributes)
+                   handlers=handlers, attributes=attributes, sandbox=sandbox)
 
     # ------------------------------------------------------------------
     # monitoring inputs
@@ -100,9 +117,23 @@ class QualityManager:
         if chosen_name == app_format.name:
             return app_format, value
         wire_format = self.registry.by_name(chosen_name)
-        handler = self.handlers.get(self.policy.handler_for(chosen_name))
-        wire_value = handler(value, app_format, wire_format, self.registry,
-                             self.attributes)
+        handler_name = self.policy.handler_for(chosen_name)
+        handler = self.handlers.get(handler_name)
+        if self.sandbox is not None and handler_name is not None:
+            ok, wire_value = self.sandbox.run(
+                handler_name, handler, value, app_format, wire_format,
+                self.registry, self.attributes)
+            if not ok:
+                self.handler_fallbacks += 1
+                try:
+                    wire_value = trivial_handler(value, app_format,
+                                                 wire_format, self.registry,
+                                                 self.attributes)
+                except Exception:  # noqa: BLE001 - last-resort fallback
+                    return app_format, value
+        else:
+            wire_value = handler(value, app_format, wire_format,
+                                 self.registry, self.attributes)
         return wire_format, wire_value
 
     def restore(self, wire_value: Dict[str, Any], wire_format: Format,
@@ -121,11 +152,15 @@ class QualityManager:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Observability snapshot used by benchmarks and examples."""
-        return {
+        stats = {
             "attribute": self.policy.attribute,
             "value": self.current_attribute_value(),
             "rtt_estimate": self.estimator.estimate,
             "rtt_samples": self.estimator.samples,
             "current_message_type": self.selector.current,
             "switches": self.selector.switches,
+            "handler_fallbacks": self.handler_fallbacks,
         }
+        if self.sandbox is not None:
+            stats["sandbox"] = self.sandbox.stats()
+        return stats

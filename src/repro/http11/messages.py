@@ -19,10 +19,12 @@ from typing import Iterator, List, Optional, Tuple
 
 from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
 
-#: Hard cap on header-block size: plenty for SOAPAction + quality headers.
+#: Default cap on header-block size: plenty for SOAPAction + quality
+#: headers.  Per-server overrides: ``HttpServer(max_header_bytes=...)``.
 MAX_HEADER_BYTES = 64 * 1024
-#: Hard cap on body size (the biggest paper workload is ~1 MB images; 256 MB
-#: leaves room for the stress tests).
+#: Default cap on body size (the biggest paper workload is ~1 MB images;
+#: 256 MB leaves room for the stress tests).  Per-server overrides:
+#: ``HttpServer(max_body_bytes=...)``.
 MAX_BODY_BYTES = 256 * 1024 * 1024
 
 REASONS = {
@@ -31,6 +33,7 @@ REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     411: "Length Required",
     413: "Payload Too Large",
     500: "Internal Server Error",
@@ -203,16 +206,18 @@ class LineReader:
         return not self._buf
 
 
-def _read_headers(reader: LineReader) -> Headers:
+def _read_headers(reader: LineReader,
+                  max_header_bytes: int = MAX_HEADER_BYTES) -> Headers:
     headers = Headers()
     total = 0
     while True:
-        line = reader.read_line()
+        line = reader.read_line(limit=max_header_bytes)
         if not line:
             return headers
         total += len(line)
-        if total > MAX_HEADER_BYTES:
-            raise HttpTooLarge("header block too large")
+        if total > max_header_bytes:
+            raise HttpTooLarge(
+                f"header block exceeds limit of {max_header_bytes} bytes")
         if b":" not in line:
             raise HttpParseError(f"bad header line {line!r}")
         name, _, value = line.partition(b":")
@@ -220,7 +225,8 @@ def _read_headers(reader: LineReader) -> Headers:
                     value.decode("latin-1").strip())
 
 
-def _read_body(reader: LineReader, headers: Headers) -> bytes:
+def _read_body(reader: LineReader, headers: Headers,
+               max_body_bytes: int = MAX_BODY_BYTES) -> bytes:
     if headers.get("Transfer-Encoding"):
         raise HttpParseError("Transfer-Encoding is not supported")
     raw_length = headers.get("Content-Length")
@@ -232,26 +238,32 @@ def _read_body(reader: LineReader, headers: Headers) -> bytes:
         raise HttpParseError(f"bad Content-Length {raw_length!r}")
     if length < 0:
         raise HttpParseError("negative Content-Length")
-    if length > MAX_BODY_BYTES:
-        raise HttpTooLarge(f"body of {length} bytes exceeds limit")
+    if length > max_body_bytes:
+        raise HttpTooLarge(
+            f"body of {length} bytes exceeds limit of "
+            f"{max_body_bytes} bytes")
     return reader.read_exact(length)
 
 
-def read_request(reader: LineReader) -> Request:
+def read_request(reader: LineReader,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> Request:
     """Parse one request from the reader.
 
     Raises :class:`HttpConnectionClosed` when the peer closed cleanly
-    between requests (the keep-alive loop exits on that).
+    between requests (the keep-alive loop exits on that).  The size limits
+    default to the module constants; servers pass their own
+    (``HttpServer(max_body_bytes=..., max_header_bytes=...)``).
     """
-    line = reader.read_line().decode("latin-1")
+    line = reader.read_line(limit=max_header_bytes).decode("latin-1")
     parts = line.split(" ")
     if len(parts) != 3:
         raise HttpParseError(f"bad request line {line!r}")
     method, target, version = parts
     if version not in ("HTTP/1.1", "HTTP/1.0"):
         raise HttpParseError(f"unsupported HTTP version {version!r}")
-    headers = _read_headers(reader)
-    body = _read_body(reader, headers)
+    headers = _read_headers(reader, max_header_bytes)
+    body = _read_body(reader, headers, max_body_bytes)
     return Request(method=method, target=target, headers=headers, body=body,
                    version=version)
 

@@ -3,6 +3,28 @@
 The server is handler-driven: you give it a callable
 ``handler(Request) -> Response`` and it owns sockets, keep-alive and error
 responses.  The SOAP and SOAP-bin services plug their dispatchers in here.
+
+Overload protection (see ``docs/overload.md``):
+
+* ``max_connections`` caps thread-per-connection growth (connection-level);
+* ``admission`` (an :class:`~repro.serving.admission.AdmissionController`)
+  gates every parsed *request* through a bounded worker pool + bounded
+  queue, sheds with ``503`` + ``Retry-After`` + ``X-Shed-Reason``, and
+  honors the client's propagated ``X-Deadline-Ms`` budget — expired
+  requests are refused before the handler runs;
+* ``load_coupling`` (a :class:`~repro.serving.coupling.LoadQualityCoupling`)
+  takes a load reading after every request so the quality policy can
+  degrade reply payloads under pressure;
+* ``idle_timeout_s`` bounds how long a silent keep-alive client may pin a
+  connection thread;
+* ``max_body_bytes`` / ``max_header_bytes`` override the module-level
+  request size limits per server (413 replies name the limit);
+* ``GET /healthz`` (path configurable via ``health_path``) answers
+  readiness without touching the application handler;
+* ``close(drain_s=...)`` drains gracefully: stop accepting, mark
+  not-ready, answer in-flight and already-queued requests with
+  ``Connection: close``, and wait up to ``drain_s`` for the last worker
+  before tearing anything down.
 """
 
 from __future__ import annotations
@@ -10,10 +32,17 @@ from __future__ import annotations
 import math
 import socket
 import threading
-from typing import Callable, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, TYPE_CHECKING, Tuple
 
+from ..serving.deadline import deadline_from_headers
 from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
-from .messages import LineReader, Request, Response, read_request
+from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, LineReader, Request,
+                       Response, read_request)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.admission import AdmissionController
+    from ..serving.coupling import LoadQualityCoupling
 
 Handler = Callable[[Request], Response]
 
@@ -41,21 +70,40 @@ class HttpServer:
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
                  port: int = 0, backlog: int = 32,
                  max_connections: Optional[int] = None,
-                 retry_after_s: float = 1.0) -> None:
+                 retry_after_s: float = 1.0,
+                 admission: Optional["AdmissionController"] = None,
+                 load_coupling: Optional["LoadQualityCoupling"] = None,
+                 assume_synced_clock: bool = False,
+                 idle_timeout_s: Optional[float] = None,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 health_path: str = "/healthz") -> None:
         self.handler = handler
         self.max_connections = max_connections
         self.retry_after_s = max(0.0, retry_after_s)
+        self.admission = admission
+        self.load_coupling = load_coupling
+        self.assume_synced_clock = assume_synced_clock
+        self.idle_timeout_s = idle_timeout_s
+        self.max_body_bytes = max_body_bytes
+        self.max_header_bytes = max_header_bytes
+        self.health_path = health_path
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
         self.address: Tuple[str, int] = self._sock.getsockname()
         self._running = True
+        self._draining = False
         self.requests_served = 0
+        self.requests_shed = 0
         self.connections_accepted = 0
         self.connections_rejected = 0
         self._active_connections = 0
         self._lock = threading.Lock()
+        self._idle_cond = threading.Condition(self._lock)
+        #: open connection sockets -> True while a request is mid-dispatch
+        self._connections: Dict[socket.socket, bool] = {}
         self._thread = threading.Thread(target=self._accept_loop,
                                         name="http-server", daemon=True)
         self._thread.start()
@@ -64,6 +112,11 @@ class HttpServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    @property
+    def ready(self) -> bool:
+        """Readiness for new work: accepting and not draining."""
+        return self._running and not self._draining
 
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -88,6 +141,7 @@ class HttpServer:
                     self.connections_rejected += 1
                 else:
                     self._active_connections += 1
+                    self._connections[conn] = False
             if over_cap:
                 self._reject_connection(conn)
                 continue
@@ -110,26 +164,49 @@ class HttpServer:
         try:
             self._serve_connection_inner(conn)
         finally:
-            with self._lock:
+            with self._idle_cond:
                 self._active_connections -= 1
+                self._connections.pop(conn, None)
+                self._idle_cond.notify_all()
 
     def _serve_connection_inner(self, conn: socket.socket) -> None:
         reader = LineReader(conn.recv)
+        if self.idle_timeout_s is not None:
+            conn.settimeout(self.idle_timeout_s)
         with conn:
             while self._running:
                 try:
-                    request = read_request(reader)
+                    request = read_request(
+                        reader, max_header_bytes=self.max_header_bytes,
+                        max_body_bytes=self.max_body_bytes)
                 except HttpConnectionClosed:
                     return
-                except HttpTooLarge:
-                    self._safe_send(conn, Response.text(413, "too large"))
+                except HttpTooLarge as exc:
+                    self._safe_send(conn, Response.text(413, str(exc)))
                     return
-                except (HttpParseError, OSError) as exc:
+                except TimeoutError:
+                    # Dead or dawdling keep-alive client: release the
+                    # worker thread instead of pinning it forever.  A
+                    # timeout mid-request earns a 408; silence between
+                    # requests is just a quiet hang-up.
+                    if not reader.at_start():
+                        self._safe_send(
+                            conn, Response.text(408, "request timeout"))
+                    return
+                except HttpParseError as exc:
                     self._safe_send(conn,
                                     Response.text(400, f"bad request: {exc}"))
                     return
-                response = self._dispatch(request)
-                keep_alive = request.wants_keep_alive()
+                except OSError:
+                    # Socket torn down under us (peer reset, or drain
+                    # closed an idle connection) — nothing to answer.
+                    return
+                self._mark_processing(conn, True)
+                try:
+                    response = self._respond(request)
+                finally:
+                    self._mark_processing(conn, False)
+                keep_alive = request.wants_keep_alive() and not self._draining
                 if not keep_alive:
                     response.headers.set("Connection", "close")
                 with self._lock:
@@ -138,6 +215,55 @@ class HttpServer:
                     return
                 if not keep_alive:
                     return
+
+    def _mark_processing(self, conn: socket.socket, busy: bool) -> None:
+        with self._lock:
+            if conn in self._connections:
+                self._connections[conn] = busy
+
+    def _respond(self, request: Request) -> Response:
+        """Health check, admission gate, then the application handler."""
+        if request.target == self.health_path:
+            return self._health_response()
+        if self.admission is None:
+            return self._dispatch(request)
+        headers = {name: value for name, value in request.headers}
+        now = self.admission.clock.now()
+        deadline = deadline_from_headers(
+            headers, now, assume_synced_clock=self.assume_synced_clock)
+        decision = self.admission.acquire(deadline=deadline)
+        if not decision.admitted:
+            with self._lock:
+                self.requests_shed += 1
+            self._observe_load()
+            return self._shed_response(decision.reason or "overloaded")
+        try:
+            return self._dispatch(request)
+        finally:
+            self.admission.release(decision.ticket)
+            self._observe_load()
+
+    def _observe_load(self) -> None:
+        if self.load_coupling is not None:
+            self.load_coupling.observe()
+
+    def _health_response(self) -> Response:
+        if self.ready:
+            return Response.text(200, "ready")
+        response = Response.text(503,
+                                 "draining" if self._draining else "closed")
+        response.headers.set("Retry-After",
+                             str(int(math.ceil(self.retry_after_s))))
+        return response
+
+    def _shed_response(self, reason: str) -> Response:
+        response = Response.text(503, f"overloaded: {reason}")
+        retry_after = max(self.retry_after_s,
+                          self.admission.retry_after_s
+                          if self.admission is not None else 0.0)
+        response.headers.set("Retry-After", str(int(math.ceil(retry_after))))
+        response.headers.set("X-Shed-Reason", reason)
+        return response
 
     def _dispatch(self, request: Request) -> Response:
         try:
@@ -154,12 +280,66 @@ class HttpServer:
             return False
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, drain_s: Optional[float] = None) -> None:
+        """Stop the server.
+
+        ``drain_s=None`` keeps the historical immediate shutdown.  With a
+        drain bound the server: (1) stops accepting and reports not-ready
+        on the health path, (2) lets every in-flight request finish and
+        marks its reply ``Connection: close``, (3) hangs up idle
+        keep-alive connections, and (4) waits up to ``drain_s`` seconds
+        for the last connection before returning.  In-flight work is never
+        reset while the bound holds.
+        """
+        if drain_s is None:
+            self._running = False
+            self._close_listener()
+            return
+        self._draining = True
+        self._close_listener()
+        self._close_idle_connections()
+        deadline = time.monotonic() + max(0.0, drain_s)
+        with self._idle_cond:
+            while self._active_connections > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle_cond.wait(remaining)
         self._running = False
+        # Anything still open after the bound is abandoned ungracefully.
+        self._close_idle_connections(force=True)
+
+    def _close_listener(self) -> None:
+        # shutdown() before close(): a thread blocked in accept() holds a
+        # kernel reference to the listening socket, so close() alone would
+        # leave the port accepting until the next connection arrives.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
+
+    def _close_idle_connections(self, force: bool = False) -> None:
+        """Hang up connections with no request mid-dispatch.
+
+        With ``force=True`` even busy connections are torn down — only
+        used after the drain bound has expired.
+        """
+        with self._lock:
+            victims = [conn for conn, busy in self._connections.items()
+                       if force or not busy]
+        for conn in victims:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "HttpServer":
         return self

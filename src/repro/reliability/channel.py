@@ -66,8 +66,21 @@ class ReliableChannel(Channel):
 
     def call(self, body: bytes, content_type: str,
              headers: Optional[Dict[str, str]] = None) -> ChannelReply:
+        # Propagate the end-to-end budget: every attempt carries the
+        # remaining milliseconds as X-Deadline-Ms (recomputed per attempt,
+        # so retries carry a shrinking budget).  See repro.serving.deadline.
+        from ..serving.deadline import with_deadline_header
+
+        deadline = None
+        if self.policy.deadline_s is not None:
+            deadline = self.clock.now() + self.policy.deadline_s
+
         def attempt() -> ChannelReply:
-            reply = self.inner.call(body, content_type, headers)
+            sent = headers
+            if deadline is not None:
+                sent = with_deadline_header(headers,
+                                            deadline - self.clock.now())
+            reply = self.inner.call(body, content_type, sent)
             if reply.status == 503:
                 raise reply_unavailable(reply)
             return reply

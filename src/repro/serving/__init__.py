@@ -1,0 +1,48 @@
+"""Server-side overload protection for the SOAP-binQ stack.
+
+PR 3 made the *client* survive a misbehaving server; this package makes
+the *server* survive its clients, by treating overload as a first-class
+quality attribute:
+
+* :mod:`~repro.serving.admission` — bounded worker pool + bounded,
+  sheddable wait queue (LIFO / deadline-aware shed policies) with live
+  load metrics (queue depth, per-worker utilization, p95 service time);
+* :mod:`~repro.serving.deadline` — the ``X-Deadline-Ms`` header contract
+  propagating PR 3's client deadline budgets to the server, which then
+  refuses work the client will discard;
+* :mod:`~repro.serving.coupling` — :class:`LoadQualityCoupling` feeds
+  admission load into the quality manager, so an overloaded server sheds
+  *bytes* (reduced reply formats) before it sheds *requests*;
+* :mod:`~repro.serving.sandbox` — :class:`HandlerSandbox` puts a
+  timeout + exception boundary + strike-based quarantine around user
+  quality handlers, so a faulty handler degrades quality, not uptime;
+* :mod:`~repro.serving.endpoint` — :class:`ProtectedEndpoint` composes
+  all of the above around any transport endpoint.
+
+Graceful drain and the ``/healthz`` readiness hook live on
+:class:`~repro.http11.HttpServer` itself (``close(drain_s=...)``).
+
+See ``docs/overload.md`` for the full contract.
+"""
+
+from .admission import (SHED_DEADLINE_EXPIRED, SHED_DISPLACED,
+                        SHED_QUEUE_FULL, SHED_SATURATED,
+                        AdmissionController, AdmissionMetrics, Decision,
+                        Ticket)
+from .coupling import SERVER_LOAD, LoadQualityCoupling
+from .deadline import (HEADER_DEADLINE_MS, HEADER_SHED_REASON,
+                       deadline_from_headers, deadline_header_value,
+                       with_deadline_header)
+from .endpoint import ProtectedEndpoint, shed_reply
+from .sandbox import HandlerSandbox
+
+__all__ = [
+    "AdmissionController", "AdmissionMetrics", "Decision", "Ticket",
+    "SHED_DEADLINE_EXPIRED", "SHED_DISPLACED", "SHED_QUEUE_FULL",
+    "SHED_SATURATED",
+    "HEADER_DEADLINE_MS", "HEADER_SHED_REASON",
+    "deadline_from_headers", "deadline_header_value", "with_deadline_header",
+    "LoadQualityCoupling", "SERVER_LOAD",
+    "HandlerSandbox",
+    "ProtectedEndpoint", "shed_reply",
+]

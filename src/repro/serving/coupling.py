@@ -1,0 +1,86 @@
+"""Load-coupled quality: server overload drives the SOAP-binQ policy loop.
+
+The paper's continuous quality management reacts to the *network* (RTT
+intervals choose message types, §IV-C.h); PR 3's
+:class:`~repro.core.monitor.BreakerRttCoupling` extended the loop to
+*outages*.  This module closes the triangle with *server load*: the
+:class:`~repro.serving.admission.AdmissionController` already measures
+per-worker utilization and queue depth, and :class:`LoadQualityCoupling`
+feeds that composite load into the server's
+:class:`~repro.core.manager.QualityManager`, so an overloaded server sheds
+*bytes* before it has to shed *requests* — exactly the "degrade instead of
+fail" idea of §4, applied to the serving side.
+
+Two modes, chosen by the quality policy's monitored attribute:
+
+* a policy with ``attribute server_load`` gets the composite load value
+  (``utilization + queue_depth / queue_limit``, so a saturated pool with a
+  deep queue reads above 1.0) published directly on every observation —
+  symmetric degradation and recovery with the policy's own hysteresis;
+* a policy monitoring ``rtt`` gets the :class:`BreakerRttCoupling`
+  treatment instead: while load is at or above ``high_water`` the
+  coupling pushes the policy's worst-interval RTT through
+  :meth:`~repro.core.manager.QualityManager.observe_rtt`; once the burst
+  drains, real RTT samples decay the estimate back down.
+
+In both modes the raw load is also published under ``server_load`` in the
+attribute store, so dproc-style monitors and operators can read it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.attributes import RTT
+from ..core.monitor import worst_interval_rtt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.manager import QualityManager
+    from .admission import AdmissionController
+
+#: Attribute name for the composite server-load signal.
+SERVER_LOAD = "server_load"
+
+
+class LoadQualityCoupling:
+    """Feed admission-control load metrics into a quality manager."""
+
+    def __init__(self, quality: "QualityManager",
+                 admission: "AdmissionController",
+                 high_water: float = 0.8,
+                 penalty_rtt: Optional[float] = None) -> None:
+        self.quality = quality
+        self.admission = admission
+        self.high_water = high_water
+        self.penalty_rtt = (penalty_rtt if penalty_rtt is not None
+                            else worst_interval_rtt(quality.policy))
+        self.samples_fed = 0
+        self.penalties_fed = 0
+        self.last_load = 0.0
+        #: (time, load) series for tests and dashboards
+        self.history: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def current_load(self) -> float:
+        """Composite load: utilization plus relative queue pressure."""
+        snap = self.admission.snapshot()
+        queue_limit = snap["queue_limit"] or 1
+        return (float(snap["utilization"])
+                + float(snap["queue_depth"]) / float(queue_limit))
+
+    def observe(self) -> float:
+        """Take one load reading and push it into the quality loop.
+
+        Call after every completed (or shed) request — the protected
+        endpoint and the HTTP server do this automatically.
+        """
+        load = self.current_load()
+        self.last_load = load
+        self.samples_fed += 1
+        self.history.append((self.admission.clock.now(), load))
+        self.quality.attributes.update_attribute(SERVER_LOAD, load)
+        if self.quality.policy.attribute == RTT:
+            if load >= self.high_water:
+                self.quality.observe_rtt(self.penalty_rtt)
+                self.penalties_fed += 1
+        return load

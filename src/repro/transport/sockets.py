@@ -25,17 +25,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def _policed(channel: "HttpChannel | PooledHttpChannel",
-             one_attempt: Callable[[], ChannelReply]) -> ChannelReply:
+             call_once: Callable[[Optional[Dict[str, str]]], ChannelReply],
+             headers: Optional[Dict[str, str]]) -> ChannelReply:
     """Run one channel call under the channel's retry policy.
+
+    When the policy carries an end-to-end deadline budget, every attempt is
+    stamped with ``X-Deadline-Ms`` — the budget *remaining at send time* —
+    so an admission-controlled server (see :mod:`repro.serving`) can refuse
+    work this client is going to abandon anyway.  The value shrinks across
+    retries because it is recomputed per attempt.
 
     Imported lazily so ``repro.transport`` and ``repro.reliability`` can be
     imported in either order without a cycle.
     """
+    from ..netsim.clock import WallClock
     from ..reliability.channel import reply_unavailable
     from ..reliability.policy import call_with_policy
+    from ..serving.deadline import with_deadline_header
+
+    clock = channel.clock or WallClock()
+    deadline = None
+    if channel.retry_policy.deadline_s is not None:
+        deadline = clock.now() + channel.retry_policy.deadline_s
 
     def attempt() -> ChannelReply:
-        reply = one_attempt()
+        sent = headers
+        if deadline is not None:
+            sent = with_deadline_header(headers, deadline - clock.now())
+        reply = call_once(sent)
         if reply.status == 503:
             raise reply_unavailable(reply)
         return reply
@@ -76,7 +93,7 @@ class HttpChannel(Channel):
         if self.retry_policy is None:
             return self._call_once(body, content_type, headers)
         return _policed(
-            self, lambda: self._call_once(body, content_type, headers))
+            self, lambda h: self._call_once(body, content_type, h), headers)
 
     def _call_once(self, body: bytes, content_type: str,
                    headers: Optional[Dict[str, str]]) -> ChannelReply:
@@ -127,7 +144,7 @@ class PooledHttpChannel(Channel):
         if self.retry_policy is None:
             return self._call_once(body, content_type, headers)
         return _policed(
-            self, lambda: self._call_once(body, content_type, headers))
+            self, lambda h: self._call_once(body, content_type, h), headers)
 
     def _call_once(self, body: bytes, content_type: str,
                    headers: Optional[Dict[str, str]]) -> ChannelReply:

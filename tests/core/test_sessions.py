@@ -1,0 +1,113 @@
+"""SoapBinService session table: LRU bound, idle TTL, eviction counters."""
+
+import pytest
+
+from repro.core import SoapBinClient, SoapBinService
+from repro.pbio import Format, FormatRegistry
+from repro.transport import DirectChannel
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict("EchoRequest",
+                                  {"data": "float64[]", "tag": "string"}))
+    reg.register(Format.from_dict("EchoResponse",
+                                  {"data": "float64[]", "tag": "string",
+                                   "count": "int32"}))
+    return reg
+
+
+def echo_handler(params):
+    return {"data": params["data"], "tag": params["tag"],
+            "count": len(params["data"])}
+
+
+class FakeTime:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestLruBound:
+    def test_a_million_clients_do_not_retain_a_million_sessions(self, registry):
+        service = SoapBinService(registry, max_sessions=1024)
+        for i in range(1_000_000):
+            service._session_for(f"client-{i}")
+        assert service.session_count == 1024
+        assert service.sessions_evicted == 1_000_000 - 1024
+
+    def test_recently_used_sessions_survive(self, registry):
+        service = SoapBinService(registry, max_sessions=2)
+        a = service._session_for("a")
+        service._session_for("b")
+        service._session_for("a")        # touch: a is now most recent
+        service._session_for("c")        # evicts b, the coldest
+        assert service._session_for("a") is a
+        assert service.sessions_evicted == 1
+        assert service.session_count == 2
+
+    def test_max_sessions_validation(self, registry):
+        with pytest.raises(ValueError):
+            SoapBinService(registry, max_sessions=0)
+
+
+class TestIdleTtl:
+    def test_idle_sessions_expire(self, registry):
+        fake = FakeTime()
+        service = SoapBinService(registry, session_idle_ttl_s=10.0,
+                                 prep_time_fn=fake)
+        service._session_for("early")
+        fake.t = 5.0
+        service._session_for("mid")
+        fake.t = 16.0                    # "early" idle 16s, "mid" 11s
+        service._session_for("late")
+        assert service.session_count == 1
+        assert service.sessions_evicted == 2
+
+    def test_activity_refreshes_the_ttl(self, registry):
+        fake = FakeTime()
+        service = SoapBinService(registry, session_idle_ttl_s=10.0,
+                                 prep_time_fn=fake)
+        keeper = service._session_for("keeper")
+        fake.t = 8.0
+        service._session_for("keeper")   # touched at t=8
+        fake.t = 15.0                    # idle only 7s since touch
+        service._session_for("other")
+        assert service._session_for("keeper") is keeper
+        assert service.sessions_evicted == 0
+
+    def test_no_ttl_means_no_idle_eviction(self, registry):
+        fake = FakeTime()
+        service = SoapBinService(registry, prep_time_fn=fake)
+        service._session_for("old")
+        fake.t = 1e9
+        service._session_for("new")
+        assert service.session_count == 2
+
+
+class TestEndToEnd:
+    def test_eviction_is_invisible_to_persistent_clients(self, registry):
+        """The one client that keeps calling is the most recently used:
+        its session survives a churn of drive-by clients."""
+        service = SoapBinService(registry, max_sessions=8)
+        service.add_operation("Echo", registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"), echo_handler)
+        regular = SoapBinClient(DirectChannel(service.endpoint), registry,
+                                client_id="regular")
+        for wave in range(5):
+            out = regular.call("Echo", {"data": [1.0], "tag": "r"},
+                               registry.by_name("EchoRequest"),
+                               registry.by_name("EchoResponse"))
+            assert out["count"] == 1
+            for i in range(6):           # drive-by churn below the cap
+                drive_by = SoapBinClient(DirectChannel(service.endpoint),
+                                         registry,
+                                         client_id=f"w{wave}-{i}")
+                drive_by.call("Echo", {"data": [], "tag": "d"},
+                              registry.by_name("EchoRequest"),
+                              registry.by_name("EchoResponse"))
+        assert service.session_count <= 8
+        assert service.sessions_evicted > 0

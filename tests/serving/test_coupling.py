@@ -1,0 +1,120 @@
+"""LoadQualityCoupling: server load drives the quality policy loop."""
+
+import threading
+
+import pytest
+
+from repro.core.manager import QualityManager
+from repro.netsim import VirtualClock
+from repro.pbio import Format, FormatRegistry
+from repro.serving import (SERVER_LOAD, AdmissionController,
+                           LoadQualityCoupling)
+
+LOAD_POLICY = """
+attribute server_load
+history 1
+0.0 0.6 - Full
+0.6 inf - Small
+"""
+
+RTT_POLICY = """
+attribute rtt
+history 1
+0.0  0.05 - Full
+0.05 0.2  - Small
+"""
+
+
+@pytest.fixture()
+def registry():
+    reg = FormatRegistry()
+    reg.register(Format.from_dict(
+        "Full", {"data": "float64[]", "count": "int32"}))
+    reg.register(Format.from_dict("Small", {"count": "int32"}))
+    return reg
+
+
+class TestServerLoadMode:
+    def test_load_published_and_policy_reacts(self, registry):
+        clock = VirtualClock()
+        admission = AdmissionController(max_concurrency=1, queue_limit=4,
+                                        utilization_window_s=1.0,
+                                        clock=clock)
+        quality = QualityManager.from_text(LOAD_POLICY, registry)
+        coupling = LoadQualityCoupling(quality, admission)
+
+        assert quality.choose_message_type() == "Full"
+        # the worker is busy 90% of the window
+        d = admission.acquire()
+        clock.advance(0.9)
+        admission.release(d.ticket)
+        load = coupling.observe()
+        assert load == pytest.approx(0.9)
+        assert quality.attributes.get(SERVER_LOAD) == pytest.approx(0.9)
+        assert quality.choose_message_type() == "Small"
+        # drain: the busy interval ages out of the sliding window
+        clock.advance(3.0)
+        assert coupling.observe() == pytest.approx(0.0)
+        assert quality.choose_message_type() == "Full"
+        assert coupling.samples_fed == 2
+        assert coupling.penalties_fed == 0      # not an rtt policy
+        assert [t for t, _ in coupling.history] == [0.9, 3.9]
+
+    def test_queue_pressure_raises_the_load(self, registry):
+        admission = AdmissionController(max_concurrency=1, queue_limit=2)
+        quality = QualityManager.from_text(LOAD_POLICY, registry)
+        coupling = LoadQualityCoupling(quality, admission)
+        holder = admission.acquire()
+        queued = []
+
+        def wait_for_permit():
+            queued.append(admission.acquire())
+
+        thread = threading.Thread(target=wait_for_permit, daemon=True)
+        thread.start()
+        for _ in range(2000):
+            if admission.queue_depth == 1:
+                break
+            threading.Event().wait(0.001)
+        # one of two queue slots occupied adds 0.5 to the composite load
+        assert coupling.current_load() >= 0.5
+        admission.release(holder.ticket)
+        thread.join(timeout=5)
+        admission.release(queued[0].ticket)
+
+
+class TestRttPenaltyMode:
+    def test_high_load_feeds_worst_interval_rtt(self, registry):
+        clock = VirtualClock()
+        admission = AdmissionController(max_concurrency=1, queue_limit=4,
+                                        utilization_window_s=1.0,
+                                        clock=clock)
+        quality = QualityManager.from_text(RTT_POLICY, registry)
+        coupling = LoadQualityCoupling(quality, admission, high_water=0.8)
+        # midpoint of the worst interval [0.05, 0.2)
+        assert coupling.penalty_rtt == pytest.approx(0.125)
+
+        d = admission.acquire()
+        clock.advance(0.95)
+        admission.release(d.ticket)
+        coupling.observe()
+        assert coupling.penalties_fed == 1
+        assert quality.estimator.estimate > 0.05
+        assert quality.choose_message_type() == "Small"
+        # raw load is still published for monitors even in rtt mode
+        assert quality.attributes.get(SERVER_LOAD) == pytest.approx(0.95)
+
+    def test_below_high_water_feeds_nothing(self, registry):
+        clock = VirtualClock()
+        admission = AdmissionController(max_concurrency=1, queue_limit=4,
+                                        utilization_window_s=1.0,
+                                        clock=clock)
+        quality = QualityManager.from_text(RTT_POLICY, registry)
+        coupling = LoadQualityCoupling(quality, admission, high_water=0.8)
+        d = admission.acquire()
+        clock.advance(0.3)
+        admission.release(d.ticket)
+        coupling.observe()
+        assert coupling.penalties_fed == 0
+        assert quality.estimator.estimate is None
+        assert quality.choose_message_type() == "Full"

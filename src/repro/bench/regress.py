@@ -15,7 +15,11 @@ one JSON file:
   tree/pull reference paths alongside so the compiled-XML-plan speedup is
   explicit;
 * **rpc** — p50/p95 end-to-end call latency for a SOAP-bin echo operation
-  over real loopback HTTP with pooled keep-alive connections.
+  over real loopback HTTP with pooled keep-alive connections;
+* **concurrency** — the event-driven serving core under load: active-call
+  latency while thousands of idle keep-alive connections are held (with
+  thread and RSS growth recorded), pipelined vs serial throughput at
+  depths 1/8/32, and a reactor-vs-threaded A/B of plain call latency.
 
 Run it directly::
 
@@ -38,7 +42,8 @@ from typing import Any, Callable, Dict, List, Optional
 from ..core import SoapBinClient, SoapBinService
 from ..pbio import Format, FormatRegistry, interp_decode, interp_encode
 from ..transport import PooledHttpChannel, serve_endpoint
-from ..http11 import HttpConnectionPool
+from ..http11 import (HttpConnection, HttpConnectionPool, HttpServer,
+                      PipelinedHttpConnection, Request, Response)
 from .datagen import (int_array_value, nested_struct_value,
                       register_array_format, register_nested_formats)
 from .timers import percentile
@@ -203,6 +208,7 @@ def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
             start = time.perf_counter()
             client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
             latencies.append(time.perf_counter() - start)
+        pool_stats = pool.stats()
     finally:
         pool.close()
         server.close()
@@ -216,7 +222,180 @@ def _bench_rpc(calls: int, payload_elements: int) -> Dict[str, Any]:
         "pooled_connections_reused": pool.reused,
         "retry_policy_enabled": True,
         "retries": pool.retries,
+        "pool_stats": pool_stats,
     }
+
+
+def _rss_kb() -> int:
+    """Resident set size of this process in KiB (Linux ``/proc``)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _echo_rpc_setup():
+    """The same echo service/client shape as :func:`_bench_rpc`."""
+    registry = FormatRegistry()
+    registry.register(ECHO_FORMAT)
+    service = SoapBinService(registry)
+    service.add_operation("Echo", ECHO_FORMAT, ECHO_FORMAT,
+                          lambda params: params)
+    return registry, service
+
+
+def _bench_idle_hold(requested: int, active_calls: int) -> Dict[str, Any]:
+    """Hold thousands of idle keep-alive connections against the reactor
+    while measuring active-call RPC latency — the c10k shape the
+    thread-per-connection core could not serve."""
+    import resource
+    import socket
+    import threading
+
+    soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    # two fds per loopback connection (client + server end), plus slack
+    target = max(64, min(requested, (soft - 256) // 2))
+    registry, service = _echo_rpc_setup()
+    server = serve_endpoint(service.endpoint, concurrency="reactor",
+                            backlog=1024)
+    value = {"seq": 0, "payload": [float(i) for i in range(256)]}
+    threads_before = threading.active_count()
+    rss_before = _rss_kb()
+    held: List[socket.socket] = []
+    pool = HttpConnectionPool()
+    try:
+        for _ in range(target):
+            held.append(socket.create_connection(server.address,
+                                                 timeout=10.0))
+        deadline = time.monotonic() + 30.0
+        while (getattr(server, "_active_connections", target) < target
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        threads_during = threading.active_count()
+        rss_during = _rss_kb()
+        channel = PooledHttpChannel(server.address, pool=pool)
+        client = SoapBinClient(channel, registry)
+        for _ in range(min(10, active_calls)):
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+        latencies: List[float] = []
+        for seq in range(active_calls):
+            value["seq"] = seq
+            start = time.perf_counter()
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+            latencies.append(time.perf_counter() - start)
+    finally:
+        pool.close()
+        for sock in held:
+            sock.close()
+        server.close()
+    return {
+        "connections_held": target,
+        "threads_added": threads_during - threads_before,
+        "rss_held_kb": rss_during - rss_before,
+        "active_calls": active_calls,
+        "active_p50_latency_s": percentile(latencies, 50),
+        "active_p95_latency_s": percentile(latencies, 95),
+    }
+
+
+def _bench_pipelined(requests_per_depth: int) -> Dict[str, Any]:
+    """Raw HTTP echo throughput: the serial keep-alive client
+    (``HttpConnection``, what ``HttpChannel`` drives — the path a
+    ``call_many`` adopter migrates *from*) versus one pipelined
+    connection at depth 1/8/32.  Speedups are quoted against the serial
+    client; the depth-1 figure sits alongside so the non-blocking
+    transport's own serial cost stays visible."""
+    body = b"x" * 256
+
+    def handler(request):
+        return Response(body=request.body)
+
+    depths = (1, 8, 32)
+    samples: Dict[Any, List[float]] = {depth: [] for depth in depths}
+    samples["serial"] = []
+    # requests are built once, outside every timed window: the metric is
+    # transport throughput, not Request-object construction
+    requests = [Request(method="POST", target="/", body=body)
+                for _ in range(requests_per_depth)]
+    with HttpServer(handler, concurrency="reactor") as server:
+        serial = HttpConnection(server.address)
+        pipes = {depth: PipelinedHttpConnection(server.address, depth=depth)
+                 for depth in depths}
+        try:
+            for _ in range(64):  # warmup
+                serial.post("/", body, "application/octet-stream")
+            for depth in depths:
+                pipes[depth].request_many(requests[:64])
+            # interleaved passes, median per config: scheduler noise on a
+            # shared box lands on every config instead of whichever one
+            # happened to run during the bad slice
+            for _ in range(5):
+                start = time.perf_counter()
+                for _ in range(requests_per_depth):
+                    serial.post("/", body, "application/octet-stream")
+                elapsed = time.perf_counter() - start
+                samples["serial"].append(requests_per_depth / elapsed)
+                for depth in depths:
+                    start = time.perf_counter()
+                    responses = pipes[depth].request_many(requests)
+                    elapsed = time.perf_counter() - start
+                    assert len(responses) == requests_per_depth
+                    samples[depth].append(requests_per_depth / elapsed)
+        finally:
+            serial.close()
+            for pipe in pipes.values():
+                pipe.close()
+    out: Dict[str, Any] = {
+        f"pipelined_depth{depth}_ops_s": percentile(samples[depth], 50)
+        for depth in depths}
+    out["serial_ops_s"] = percentile(samples["serial"], 50)
+    # speedups are the median of *per-pass* ratios: each pass's pipelined
+    # run is paired with the serial run adjacent to it in time, so a
+    # machine-wide slow slice cancels instead of skewing the quotient
+    for depth in (8, 32):
+        ratios = [pipelined / serial_rate for pipelined, serial_rate
+                  in zip(samples[depth], samples["serial"])]
+        out[f"pipelined_depth{depth}_speedup_vs_serial"] = (
+            percentile(ratios, 50))
+    return out
+
+
+def _bench_mode_ab(calls: int) -> Dict[str, Any]:
+    """Serial keep-alive call latency, reactor vs threaded — the switch
+    must not tax the single-connection happy path."""
+
+    def handler(request):
+        return Response(body=request.body)
+
+    out: Dict[str, Any] = {}
+    body = b"x" * 256
+    for mode in ("reactor", "threaded"):
+        with HttpServer(handler, concurrency=mode) as server:
+            with PipelinedHttpConnection(server.address, depth=1) as pipe:
+                for _ in range(min(10, calls)):
+                    pipe.post("/", body, "application/octet-stream")
+                latencies: List[float] = []
+                for _ in range(calls):
+                    start = time.perf_counter()
+                    pipe.post("/", body, "application/octet-stream")
+                    latencies.append(time.perf_counter() - start)
+        out[f"{mode}_p50_call_latency_s"] = percentile(latencies, 50)
+    return out
+
+
+def _bench_concurrency(smoke: bool) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "idle_hold": _bench_idle_hold(
+            requested=128 if smoke else 5000,
+            active_calls=60 if smoke else 200),
+    }
+    out.update(_bench_pipelined(300 if smoke else 3000))
+    out.update(_bench_mode_ab(60 if smoke else 400))
+    return out
 
 
 def run(smoke: bool = False) -> Dict[str, Any]:
@@ -231,6 +410,7 @@ def run(smoke: bool = False) -> Dict[str, Any]:
         "wire": _bench_wire(min_time),
         "xlate": _bench_xlate(min_time),
         "rpc": _bench_rpc(calls, payload_elements=256),
+        "concurrency": _bench_concurrency(smoke),
     }
 
 
@@ -268,6 +448,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"  int32[10k] to_xml: {xl['to_xml_ops_s']:,.0f} ops/s "
           f"({xl['to_xml_speedup_vs_tree']:.1f}x over tree)")
     print(f"  rpc p50: {result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")
+    conc = result["concurrency"]
+    print(f"  pipelined depth-8: {conc['pipelined_depth8_ops_s']:,.0f} "
+          f"ops/s ({conc['pipelined_depth8_speedup_vs_serial']:.1f}x "
+          f"over serial)")
+    hold = conc["idle_hold"]
+    print(f"  {hold['connections_held']} idle conns held: active rpc p50 "
+          f"{hold['active_p50_latency_s'] * 1e3:.3f} ms, "
+          f"+{hold['threads_added']} threads")
     return 0
 
 

@@ -21,7 +21,7 @@ request (§IV-C.h).
 from __future__ import annotations
 
 import uuid
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import time
 
@@ -64,6 +64,8 @@ class SoapBinClient:
         #: elapsed, deadline headroom) when the channel runs under a
         #: RetryPolicy; None otherwise
         self.last_call = None
+        #: per-sub-call metadata of the most recent :meth:`call_many` batch
+        self.last_calls: List[Any] = []
 
     # ------------------------------------------------------------------
     # the three modes
@@ -99,6 +101,165 @@ class SoapBinClient:
         return out_handler.to_xml(native, f"{operation}Response")
 
     # ------------------------------------------------------------------
+    # concurrent batch mode
+    # ------------------------------------------------------------------
+    def call_many(self, operation: str, params_list: List[Dict[str, Any]],
+                  input_format: Format, output_format: Format,
+                  return_exceptions: bool = False) -> List[Any]:
+        """High-performance mode for a whole batch: many calls in flight.
+
+        When the channel has a ``call_many`` batch surface (a
+        :class:`~repro.transport.sockets.PipelinedHttpChannel`, or a
+        :class:`~repro.reliability.channel.ReliableChannel`), the batch is
+        dispatched through it; otherwise the calls run sequentially.
+        Results come back in input order.  Per-sub-call reliability
+        metadata lands in :attr:`last_calls` (a list of ``CallMeta`` or
+        ``None``, parallel to the results).
+
+        PBIO session ordering is preserved by **priming**: any sub-call
+        whose packed body carries a format announcement (the first message
+        of a new wire format on this session) is exchanged serially first,
+        so the server has seen every announcement — and the client has
+        seen the server's reply-format announcement — before requests
+        start racing each other on the wire.
+
+        Partial failures: by default the first failed sub-call's error is
+        raised after the whole batch settles; with
+        ``return_exceptions=True`` the result list carries the exception
+        object in each failed slot instead.
+
+        RTT accounting folds **one** sample per batch into the estimator —
+        the wall-clock time divided by the number of pipelined sub-calls —
+        since that is the marginal cost of a call in this mode; per-call
+        timestamps would count the same wait ``n`` times.
+        """
+        total = len(params_list)
+        if total == 0:
+            self.last_calls = []
+            return []
+        call_many_fn = getattr(self.channel, "call_many", None)
+        if call_many_fn is None:
+            return self._call_many_sequential(
+                operation, params_list, input_format, output_format,
+                return_exceptions)
+
+        marshal_started = time.perf_counter()
+        bodies: List[bytes] = []
+        primers: List[int] = []
+        for params in params_list:
+            wire_format, wire_value = self._apply_request_quality(
+                params, input_format)
+            before = self.session.stats.announcements_sent
+            bodies.append(self.session.pack_bytes(wire_format, wire_value))
+            if self.session.stats.announcements_sent != before:
+                primers.append(len(bodies) - 1)
+        marshal_s = time.perf_counter() - marshal_started
+
+        results: List[Any] = [None] * total
+        metas: List[Any] = [None] * total
+        errors: List[Tuple[int, Exception]] = []
+
+        # Announcement-carrying bodies go out serially first (and their
+        # replies are unpacked immediately): both sessions are in sync
+        # before anything is pipelined.
+        for index in primers:
+            try:
+                reply_format, reply_value = self._exchange_body(
+                    operation, bodies[index])
+            except Exception as exc:  # noqa: BLE001 - surfaced per slot
+                errors.append((index, exc))
+                metas[index] = self.last_call
+                continue
+            metas[index] = self.last_call
+            results[index] = self._restore_response(
+                reply_value, reply_format, output_format)
+
+        batch = [i for i in range(total) if i not in set(primers)]
+        if batch:
+            estimate = self._current_estimate()
+            headers_list = []
+            for _ in batch:
+                headers = {
+                    HEADER_CLIENT_ID: self.client_id,
+                    HEADER_OPERATION: operation,
+                    HEADER_TIMESTAMP: f"{self.clock.now():.9f}",
+                }
+                if estimate is not None:
+                    headers[HEADER_RTT] = f"{estimate:.9f}"
+                headers_list.append(headers)
+            start = self.clock.now()
+            batch_results = call_many_fn(
+                [bodies[i] for i in batch], PBIO_CONTENT_TYPE, headers_list)
+            elapsed = self.clock.now() - start
+            per_call_s = elapsed / len(batch)
+            sample_headers: Dict[str, str] = {}
+            unmarshal_started = time.perf_counter()
+            # Replies are unpacked sequentially in index order: with an
+            # ordered transport that is exactly the order the server's
+            # session emitted them, so reply-format announcements are
+            # learned before the messages that rely on them.
+            for index, outcome in zip(batch, batch_results):
+                metas[index] = outcome.meta
+                if not outcome.ok:
+                    errors.append((index, outcome.error))
+                    continue
+                reply = outcome.reply
+                if not reply.ok:
+                    errors.append((index, BinProtocolError(
+                        f"operation {operation!r} failed with status "
+                        f"{reply.status}: "
+                        f"{reply.body[:200].decode('utf-8', 'replace')}")))
+                    continue
+                try:
+                    reply_format, reply_value = self.session.unpack_stream(
+                        reply.body)
+                    results[index] = self._restore_response(
+                        reply_value, reply_format, output_format)
+                except Exception as exc:  # noqa: BLE001 - per-slot result
+                    errors.append((index, exc))
+                    continue
+                sample_headers = reply.headers
+            unmarshal_s = time.perf_counter() - unmarshal_started
+            server_time = self._observe_rtt(per_call_s, sample_headers)
+            if self.monitor_hub is not None:
+                self.monitor_hub.observe(ExchangeObservation(
+                    elapsed_s=elapsed,
+                    request_bytes=sum(len(bodies[i]) for i in batch),
+                    response_bytes=sum(
+                        len(r.reply.body) for r in batch_results if r.ok),
+                    server_time_s=server_time,
+                    marshal_s=marshal_s, unmarshal_s=unmarshal_s))
+        self.last_calls = metas
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            if not return_exceptions:
+                raise errors[0][1]
+            for index, exc in errors:
+                results[index] = exc
+        return results
+
+    def _call_many_sequential(self, operation: str,
+                              params_list: List[Dict[str, Any]],
+                              input_format: Format, output_format: Format,
+                              return_exceptions: bool) -> List[Any]:
+        results: List[Any] = []
+        metas: List[Any] = []
+        first_error: Optional[Exception] = None
+        for params in params_list:
+            try:
+                results.append(self.call(operation, params, input_format,
+                                         output_format))
+            except Exception as exc:  # noqa: BLE001 - surfaced per slot
+                if first_error is None:
+                    first_error = exc
+                results.append(exc)
+            metas.append(self.last_call)
+        self.last_calls = metas
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def _exchange(self, operation: str, wire_format: Format,
@@ -106,6 +267,11 @@ class SoapBinClient:
         marshal_started = time.perf_counter()
         body = self.session.pack_bytes(wire_format, wire_value)
         marshal_s = time.perf_counter() - marshal_started
+        return self._exchange_body(operation, body, marshal_s)
+
+    def _exchange_body(self, operation: str, body: bytes,
+                       marshal_s: float = 0.0
+                       ) -> Tuple[Format, Dict[str, Any]]:
         headers = {
             HEADER_CLIENT_ID: self.client_id,
             HEADER_OPERATION: operation,

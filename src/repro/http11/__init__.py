@@ -1,13 +1,21 @@
 """Minimal HTTP/1.1 stack: the transport SOAP rides on.
 
-Request/response model with case-insensitive headers, a threaded keep-alive
-server, and a persistent-connection client::
+Request/response model with case-insensitive headers, two server cores —
+an event-driven selector reactor (default) and the classic
+thread-per-connection server — plus persistent-connection and pipelined
+clients::
 
     from repro.http11 import HttpServer, HttpConnection, Response
 
     with HttpServer(lambda req: Response(body=b"pong")) as server:
         with HttpConnection(server.address) as conn:
             assert conn.get("/").body == b"pong"
+
+``HttpServer(...)`` is a factory: ``concurrency="reactor"`` (default,
+overridable via the ``REPRO_HTTP_CONCURRENCY`` env var) builds a
+:class:`ReactorHttpServer`, ``concurrency="threaded"`` the original
+:class:`ThreadedHttpServer`.  Both expose the identical surface and run
+the same test suite.
 """
 
 from .client import (HttpConnection, HttpConnectionPool, default_pool,
@@ -15,13 +23,20 @@ from .client import (HttpConnection, HttpConnectionPool, default_pool,
 from .errors import (HttpConnectionClosed, HttpError, HttpParseError,
                      HttpTooLarge)
 from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Headers, LineReader,
-                       Request, Response, read_request, read_response)
-from .server import HttpServer
+                       Request, RequestParser, Response, ResponseParser,
+                       read_request, read_response)
+from .pipeline import PipelinedHttpConnection, PipelineError
+from .reactor import ReactorHttpServer
+from .server import (CONCURRENCY_ENV, HttpServer, ThreadedHttpServer,
+                     default_concurrency)
 
 __all__ = [
     "HttpError", "HttpParseError", "HttpConnectionClosed", "HttpTooLarge",
     "Headers", "Request", "Response", "LineReader", "read_request",
-    "read_response", "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
-    "HttpServer", "HttpConnection", "HttpConnectionPool", "default_pool",
-    "parse_address",
+    "read_response", "RequestParser", "ResponseParser",
+    "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
+    "HttpServer", "ThreadedHttpServer", "ReactorHttpServer",
+    "default_concurrency", "CONCURRENCY_ENV",
+    "HttpConnection", "HttpConnectionPool", "default_pool", "parse_address",
+    "PipelinedHttpConnection", "PipelineError",
 ]

@@ -134,17 +134,37 @@ class HttpConnectionPool:
     seconds, and at most ``max_idle_per_host`` are kept per host; both
     bounds are enforced lazily on acquire/release, so the pool needs no
     background thread.
+
+    ``max_per_host`` additionally caps *live* connections per host —
+    checked-out plus idle — so a burst of concurrent callers cannot open
+    an unbounded number of sockets to one server.  At the cap,
+    ``overflow="block"`` makes :meth:`acquire` wait up to
+    ``acquire_timeout`` seconds for a connection to come back (then fail),
+    while ``overflow="fail"`` raises immediately.
     """
 
     def __init__(self, max_idle_per_host: int = 8,
                  idle_timeout: float = 60.0,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 max_per_host: Optional[int] = None,
+                 overflow: str = "block",
+                 acquire_timeout: float = 10.0) -> None:
+        if overflow not in ("block", "fail"):
+            raise ValueError("overflow must be 'block' or 'fail'")
+        if max_per_host is not None and max_per_host < 1:
+            raise ValueError("max_per_host must be >= 1")
         self.max_idle_per_host = max_idle_per_host
         self.idle_timeout = idle_timeout
         self.timeout = timeout
+        self.max_per_host = max_per_host
+        self.overflow = overflow
+        self.acquire_timeout = acquire_timeout
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         #: address -> [(connection, time it went idle)], newest last
         self._idle: Dict[Tuple[str, int], List[Tuple[HttpConnection, float]]] = {}
+        #: address -> number of connections currently checked out
+        self._in_use: Dict[Tuple[str, int], int] = {}
         self._closed = False
         self.reused = 0
         self.created = 0
@@ -156,34 +176,58 @@ class HttpConnectionPool:
         """Check out a connection to ``address`` (reusing an idle one)."""
         if isinstance(address, str):
             address = parse_address(address)
-        now = time.monotonic()
-        with self._lock:
-            if self._closed:
-                raise HttpError("connection pool is closed")
-            bucket = self._idle.get(address)
-            reusable: Optional[HttpConnection] = None
-            stale: List[HttpConnection] = []
-            while bucket:
-                conn, idle_since = bucket.pop()  # newest first: warmest
-                if now - idle_since > self.idle_timeout:
-                    stale.append(conn)
-                else:
-                    reusable = conn
-                    break
-        for conn in stale:
-            self.evicted += 1
-            conn.close()
-        if reusable is not None:
-            self.reused += 1
-            return reusable
-        self.created += 1
-        return HttpConnection(address, timeout=self.timeout)
+        deadline = time.monotonic() + self.acquire_timeout
+        stale: List[HttpConnection] = []
+        try:
+            with self._cond:
+                while True:
+                    if self._closed:
+                        raise HttpError("connection pool is closed")
+                    now = time.monotonic()
+                    bucket = self._idle.get(address)
+                    reusable: Optional[HttpConnection] = None
+                    while bucket:
+                        conn, idle_since = bucket.pop()  # newest: warmest
+                        if now - idle_since > self.idle_timeout:
+                            stale.append(conn)
+                        else:
+                            reusable = conn
+                            break
+                    if reusable is not None:
+                        self._in_use[address] = \
+                            self._in_use.get(address, 0) + 1
+                        self.reused += 1
+                        return reusable
+                    live = (self._in_use.get(address, 0)
+                            + len(self._idle.get(address, ())))
+                    if self.max_per_host is None or live < self.max_per_host:
+                        self._in_use[address] = \
+                            self._in_use.get(address, 0) + 1
+                        self.created += 1
+                        return HttpConnection(address, timeout=self.timeout)
+                    if self.overflow == "fail":
+                        raise HttpError(
+                            f"connection pool exhausted for {address}: "
+                            f"{live} live >= max_per_host="
+                            f"{self.max_per_host}")
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        raise HttpError(
+                            f"timed out after {self.acquire_timeout:.1f}s "
+                            f"waiting for a pooled connection to {address} "
+                            f"(max_per_host={self.max_per_host})")
+                    self._cond.wait(remaining)
+        finally:
+            for conn in stale:
+                self.evicted += 1
+                conn.close()
 
     def release(self, conn: HttpConnection) -> None:
         """Return a healthy connection to the pool."""
         now = time.monotonic()
         excess: List[HttpConnection] = []
-        with self._lock:
+        with self._cond:
+            self._checkin(conn.address)
             if self._closed:
                 excess.append(conn)
             else:
@@ -192,13 +236,24 @@ class HttpConnectionPool:
                 while len(bucket) > self.max_idle_per_host:
                     old, _ = bucket.pop(0)
                     excess.append(old)
+            self._cond.notify_all()
         for old in excess:
             self.evicted += 1
             old.close()
 
     def discard(self, conn: HttpConnection) -> None:
         """Close a connection instead of pooling it (after an error)."""
+        with self._cond:
+            self._checkin(conn.address)
+            self._cond.notify_all()
         conn.close()
+
+    def _checkin(self, address: Tuple[str, int]) -> None:
+        count = self._in_use.get(address, 0)
+        if count <= 1:
+            self._in_use.pop(address, None)
+        else:
+            self._in_use[address] = count - 1
 
     # ------------------------------------------------------------------
     def request(self, address: Union[Tuple[str, int], str],
@@ -251,13 +306,26 @@ class HttpConnectionPool:
                 return len(self._idle.get(address, []))
             return sum(len(bucket) for bucket in self._idle.values())
 
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus a point-in-time occupancy snapshot."""
+        with self._lock:
+            return {
+                "created": self.created,
+                "reused": self.reused,
+                "evicted": self.evicted,
+                "retries": self.retries,
+                "in_use": sum(self._in_use.values()),
+                "idle": sum(len(bucket) for bucket in self._idle.values()),
+            }
+
     def close(self) -> None:
         """Close every pooled connection and refuse further acquires."""
-        with self._lock:
+        with self._cond:
             self._closed = True
             conns = [conn for bucket in self._idle.values()
                      for conn, _ in bucket]
             self._idle.clear()
+            self._cond.notify_all()
         for conn in conns:
             conn.close()
 

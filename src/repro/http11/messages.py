@@ -13,7 +13,6 @@ and always know their body sizes); messages carrying it are rejected.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -43,49 +42,57 @@ REASONS = {
 
 
 class Headers:
-    """A case-insensitive, order-preserving header multimap."""
+    """A case-insensitive, order-preserving header multimap.
+
+    Stored as ``(name, value, lowercased-name)`` triples so lookups on
+    the parse/serialize hot path never re-lowercase stored keys.
+    """
+
+    __slots__ = ("_items",)
 
     def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
-        self._items: List[Tuple[str, str]] = []
+        self._items: List[Tuple[str, str, str]] = []
         if items:
             for name, value in items:
                 self.add(name, value)
 
     def add(self, name: str, value: str) -> None:
-        self._items.append((name, str(value)))
+        self._items.append((name, str(value), name.lower()))
 
     def set(self, name: str, value: str) -> None:
         """Replace all values of ``name`` with one value."""
         lower = name.lower()
-        self._items = [(n, v) for n, v in self._items if n.lower() != lower]
-        self._items.append((name, str(value)))
+        items = self._items
+        if any(t[2] == lower for t in items):
+            self._items = [t for t in items if t[2] != lower]
+        self._items.append((name, str(value), lower))
 
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         lower = name.lower()
-        for n, v in self._items:
-            if n.lower() == lower:
+        for _n, v, l in self._items:
+            if l == lower:
                 return v
         return default
 
     def get_all(self, name: str) -> List[str]:
         lower = name.lower()
-        return [v for n, v in self._items if n.lower() == lower]
+        return [v for _n, v, l in self._items if l == lower]
 
     def remove(self, name: str) -> None:
         lower = name.lower()
-        self._items = [(n, v) for n, v in self._items if n.lower() != lower]
+        self._items = [t for t in self._items if t[2] != lower]
 
     def __contains__(self, name: str) -> bool:
         return self.get(name) is not None
 
     def __iter__(self) -> Iterator[Tuple[str, str]]:
-        return iter(self._items)
+        return iter([(n, v) for n, v, _l in self._items])
 
     def __len__(self) -> int:
         return len(self._items)
 
     def __repr__(self) -> str:
-        return f"Headers({self._items!r})"
+        return f"Headers({[(n, v) for n, v, _l in self._items]!r})"
 
 
 @dataclass
@@ -146,17 +153,16 @@ class Response:
 
 
 def _serialize(start_line: str, headers: Headers, body: bytes) -> bytes:
-    out = io.BytesIO()
-    out.write(start_line.encode("latin-1"))
-    out.write(b"\r\n")
-    has_length = "content-length" in {n.lower() for n, _ in headers}
-    for name, value in headers:
-        out.write(f"{name}: {value}\r\n".encode("latin-1"))
+    parts = [start_line, "\r\n"]
+    has_length = False
+    for name, value, lower in headers._items:
+        if lower == "content-length":
+            has_length = True
+        parts += (name, ": ", value, "\r\n")
     if not has_length:
-        out.write(f"Content-Length: {len(body)}\r\n".encode("latin-1"))
-    out.write(b"\r\n")
-    out.write(body)
-    return out.getvalue()
+        parts += ("Content-Length: ", str(len(body)), "\r\n")
+    parts.append("\r\n")
+    return "".join(parts).encode("latin-1") + body
 
 
 # ----------------------------------------------------------------------
@@ -282,3 +288,206 @@ def read_response(reader: LineReader) -> Response:
     body = _read_body(reader, headers)
     return Response(status=status, headers=headers, body=body,
                     version=parts[0])
+
+
+# ----------------------------------------------------------------------
+# incremental (push) parsing for event-driven endpoints
+# ----------------------------------------------------------------------
+
+class _IncrementalParser:
+    """Push-style HTTP/1.1 message parser.
+
+    Where :class:`LineReader` *pulls* bytes from a blocking socket, this
+    parser is *fed* whatever bytes happen to arrive on a non-blocking one
+    (:meth:`feed`) and hands out complete messages as they materialize
+    (:meth:`next_message`, ``None`` while incomplete).  Back-to-back
+    pipelined messages in one buffer come out one at a time; the parse
+    state survives arbitrary fragmentation, including a header block
+    split mid-CRLF.
+
+    Errors are the same taxonomy as the pull path:
+    :class:`~repro.http11.errors.HttpParseError` for malformed messages,
+    :class:`~repro.http11.errors.HttpTooLarge` for limit violations.  An
+    errored parser stays errored — the connection is unrecoverable because
+    message framing is lost.
+    """
+
+    def __init__(self, max_header_bytes: int = MAX_HEADER_BYTES,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._buf = bytearray()
+        #: consumption offset — bytes before it are already parsed.  The
+        #: buffer is compacted lazily instead of ``del buf[:n]`` per
+        #: message, which would memmove the whole tail and turn a large
+        #: pipelined burst into O(n²) of copying.
+        self._pos = 0
+        self._scan = 0                  # resume offset for the \r\n\r\n hunt
+        self._head: Optional[Tuple] = None   # parsed head awaiting its body
+        self._body_length = 0
+        self._failed = False
+
+    def feed(self, data: bytes) -> None:
+        """Append freshly received bytes."""
+        self._buf += data
+
+    @property
+    def mid_message(self) -> bool:
+        """True while a partially received message is pending (the
+        distinction between a quiet keep-alive hang-up and a 408)."""
+        return len(self._buf) > self._pos or self._head is not None
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buf) - self._pos
+
+    def _compact(self) -> None:
+        if self._pos:
+            del self._buf[:self._pos]
+            self._scan = max(0, self._scan - self._pos)
+            self._pos = 0
+
+    def next_message(self):
+        """Return the next complete message, or ``None`` if more bytes
+        are needed.  Call repeatedly to drain a pipelined burst."""
+        if self._failed:
+            raise HttpParseError("parser already failed; framing lost")
+        try:
+            return self._next()
+        except (HttpParseError, HttpTooLarge):
+            self._failed = True
+            raise
+
+    def _next(self):
+        if self._head is None:
+            end = self._buf.find(b"\r\n\r\n",
+                                 max(self._pos, self._scan - 3))
+            if end < 0:
+                if len(self._buf) - self._pos > self.max_header_bytes:
+                    raise HttpTooLarge(
+                        f"header block exceeds limit of "
+                        f"{self.max_header_bytes} bytes")
+                self._scan = len(self._buf)
+                return None
+            if end - self._pos > self.max_header_bytes:
+                raise HttpTooLarge(
+                    f"header block exceeds limit of "
+                    f"{self.max_header_bytes} bytes")
+            head = bytes(self._buf[self._pos:end])
+            self._pos = end + 4
+            self._scan = self._pos
+            (start_line, headers, raw_length,
+             transfer_encoding) = self._split_head(head)
+            parsed_start = self._parse_start_line(start_line)
+            self._body_length = self._content_length(raw_length,
+                                                     transfer_encoding)
+            self._head = (parsed_start, headers)
+        if len(self._buf) - self._pos < self._body_length:
+            self._compact()  # keep the wait-for-body footprint small
+            return None
+        body = bytes(self._buf[self._pos:self._pos + self._body_length])
+        self._pos += self._body_length
+        if self._pos >= len(self._buf):
+            del self._buf[:]            # cheap reset: all bytes consumed
+            self._pos = self._scan = 0
+        elif self._pos > 65536:
+            self._compact()
+        parsed_start, headers = self._head
+        self._head = None
+        self._body_length = 0
+        return self._build(parsed_start, headers, body)
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _split_head(head: bytes) -> Tuple[str, Headers, Optional[str],
+                                          Optional[str]]:
+        """Split a header block; also captures the two framing headers
+        (Content-Length, Transfer-Encoding) during the same pass so the
+        hot path never re-scans the header list."""
+        lines = head.decode("latin-1").split("\r\n")
+        headers = Headers()
+        items = headers._items
+        content_length = transfer_encoding = None
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise HttpParseError(f"bad header line {line!r}")
+            name = name.strip()
+            value = value.strip()
+            lower = name.lower()
+            items.append((name, value, lower))
+            if lower == "content-length":
+                content_length = value
+            elif lower == "transfer-encoding":
+                transfer_encoding = value
+        return lines[0], headers, content_length, transfer_encoding
+
+    def _content_length(self, raw_length: Optional[str],
+                        transfer_encoding: Optional[str]) -> int:
+        if transfer_encoding:
+            raise HttpParseError("Transfer-Encoding is not supported")
+        if raw_length is None:
+            return 0
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpParseError(f"bad Content-Length {raw_length!r}")
+        if length < 0:
+            raise HttpParseError("negative Content-Length")
+        if length > self.max_body_bytes:
+            raise HttpTooLarge(
+                f"body of {length} bytes exceeds limit of "
+                f"{self.max_body_bytes} bytes")
+        return length
+
+    def _parse_start_line(self, line: str):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _build(self, parsed_start, headers: Headers,
+               body: bytes):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RequestParser(_IncrementalParser):
+    """Incremental request parser (the reactor server's read path)."""
+
+    def _parse_start_line(self, line: str) -> Tuple[str, str, str]:
+        parts = line.split(" ")
+        if len(parts) != 3:
+            raise HttpParseError(f"bad request line {line!r}")
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise HttpParseError(f"unsupported HTTP version {version!r}")
+        return method, target, version
+
+    def _build(self, parsed_start: Tuple[str, str, str], headers: Headers,
+               body: bytes) -> Request:
+        method, target, version = parsed_start
+        return Request(method=method, target=target, headers=headers,
+                       body=body, version=version)
+
+    def next_request(self) -> Optional[Request]:
+        return self.next_message()
+
+
+class ResponseParser(_IncrementalParser):
+    """Incremental response parser (the pipelined client's read path)."""
+
+    def _parse_start_line(self, line: str) -> Tuple[str, int]:
+        parts = line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise HttpParseError(f"bad status line {line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise HttpParseError(f"bad status code in {line!r}")
+        return parts[0], status
+
+    def _build(self, parsed_start: Tuple[str, int], headers: Headers,
+               body: bytes) -> Response:
+        version, status = parsed_start
+        return Response(status=status, headers=headers, body=body,
+                        version=version)
+
+    def next_response(self) -> Optional[Response]:
+        return self.next_message()

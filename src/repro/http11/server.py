@@ -1,35 +1,49 @@
-"""A threaded HTTP/1.1 server with persistent connections.
+"""HTTP/1.1 servers: a shared serving core with two concurrency models.
 
 The server is handler-driven: you give it a callable
 ``handler(Request) -> Response`` and it owns sockets, keep-alive and error
 responses.  The SOAP and SOAP-bin services plug their dispatchers in here.
 
-Overload protection (see ``docs/overload.md``):
+Two concurrency models share one behavioural contract (`_ServerCore`):
 
-* ``max_connections`` caps thread-per-connection growth (connection-level);
+* :class:`ThreadedHttpServer` — the historical thread-per-connection
+  model: simple, but at keep-alive scale every idle client pins a thread;
+* :class:`~repro.http11.reactor.ReactorHttpServer` — an event-driven
+  core: one ``selectors`` reactor thread owns every socket (non-blocking
+  accept/read/write, incremental request parsing, HTTP/1.1 pipelining,
+  write-queue backpressure) and dispatches complete requests to a bounded
+  worker pool, so 10k idle connections cost file descriptors, not threads.
+
+:func:`HttpServer` is the factory both run behind: pass
+``concurrency="threaded"`` or ``"reactor"`` (default: the
+``REPRO_HTTP_CONCURRENCY`` environment variable, else ``"reactor"``).
+
+Overload protection carries over identically in both models (see
+``docs/overload.md`` and ``docs/serving-reactor.md``):
+
+* ``max_connections`` caps live connections (connection-level 503);
 * ``admission`` (an :class:`~repro.serving.admission.AdmissionController`)
-  gates every parsed *request* through a bounded worker pool + bounded
-  queue, sheds with ``503`` + ``Retry-After`` + ``X-Shed-Reason``, and
-  honors the client's propagated ``X-Deadline-Ms`` budget — expired
-  requests are refused before the handler runs;
+  gates every parsed *request*, sheds with ``503`` + ``Retry-After`` +
+  ``X-Shed-Reason``, and honors the client's ``X-Deadline-Ms`` budget;
 * ``load_coupling`` (a :class:`~repro.serving.coupling.LoadQualityCoupling`)
-  takes a load reading after every request so the quality policy can
-  degrade reply payloads under pressure;
-* ``idle_timeout_s`` bounds how long a silent keep-alive client may pin a
-  connection thread;
-* ``max_body_bytes`` / ``max_header_bytes`` override the module-level
-  request size limits per server (413 replies name the limit);
-* ``GET /healthz`` (path configurable via ``health_path``) answers
-  readiness without touching the application handler;
+  takes a load reading after every request;
+* ``idle_timeout_s`` bounds silent keep-alive clients (and, on the
+  reactor, byte-at-a-time slowloris headers — the timer runs from the
+  last message boundary, not the last byte);
+* ``max_body_bytes`` / ``max_header_bytes`` per-server size limits
+  (413 replies name the limit);
+* ``GET /healthz`` answers readiness with a JSON load snapshot without
+  touching the application handler;
 * ``close(drain_s=...)`` drains gracefully: stop accepting, mark
-  not-ready, answer in-flight and already-queued requests with
-  ``Connection: close``, and wait up to ``drain_s`` for the last worker
-  before tearing anything down.
+  not-ready, answer in-flight requests with ``Connection: close``, and
+  bound the wait for the last worker.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import socket
 import threading
 import time
@@ -46,29 +60,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Handler = Callable[[Request], Response]
 
+#: Environment variable selecting the default concurrency model.
+CONCURRENCY_ENV = "REPRO_HTTP_CONCURRENCY"
+_CONCURRENCY_MODES = ("threaded", "reactor")
 
-class HttpServer:
-    """Minimal threaded HTTP server.
 
-    Usage::
+def default_concurrency() -> str:
+    """The concurrency model :func:`HttpServer` uses when not told."""
+    mode = os.environ.get(CONCURRENCY_ENV, "").strip().lower()
+    return mode if mode in _CONCURRENCY_MODES else "reactor"
 
-        def handler(request):
-            return Response(status=200, body=b"hi")
 
-        with HttpServer(handler) as server:
-            ...  # server.address is (host, port)
+class _ServerCore:
+    """Configuration, counters and request-level behaviour shared by the
+    threaded and reactor servers.
 
-    ``max_connections`` bounds the thread-per-connection growth: beyond the
-    cap new connections are answered immediately with ``503 Service
-    Unavailable`` (``Connection: close`` and a ``Retry-After`` of
-    ``retry_after_s`` seconds, so well-behaved clients back off for exactly
-    as long as the server suggests) instead of spawning a thread, so a
-    client stampede degrades loudly rather than exhausting the process.
-    ``None`` (the default) keeps the historical unbounded behaviour.
+    Subclasses own the sockets; everything above the socket — health,
+    admission, deadline shedding, load coupling, the application dispatch
+    boundary — lives here so both models answer identically.
     """
 
-    def __init__(self, handler: Handler, host: str = "127.0.0.1",
-                 port: int = 0, backlog: int = 32,
+    def __init__(self, handler: Handler,
                  max_connections: Optional[int] = None,
                  retry_after_s: float = 1.0,
                  admission: Optional["AdmissionController"] = None,
@@ -88,11 +100,6 @@ class HttpServer:
         self.max_body_bytes = max_body_bytes
         self.max_header_bytes = max_header_bytes
         self.health_path = health_path
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((host, port))
-        self._sock.listen(backlog)
-        self.address: Tuple[str, int] = self._sock.getsockname()
         self._running = True
         self._draining = False
         self.requests_served = 0
@@ -101,12 +108,7 @@ class HttpServer:
         self.connections_rejected = 0
         self._active_connections = 0
         self._lock = threading.Lock()
-        self._idle_cond = threading.Condition(self._lock)
-        #: open connection sockets -> True while a request is mid-dispatch
-        self._connections: Dict[socket.socket, bool] = {}
-        self._thread = threading.Thread(target=self._accept_loop,
-                                        name="http-server", daemon=True)
-        self._thread.start()
+        self.address: Tuple[str, int] = ("", 0)
 
     @property
     def url(self) -> str:
@@ -117,6 +119,170 @@ class HttpServer:
     def ready(self) -> bool:
         """Readiness for new work: accepting and not draining."""
         return self._running and not self._draining
+
+    # ------------------------------------------------------------------
+    # request-level behaviour (identical in both concurrency models)
+    # ------------------------------------------------------------------
+    def _respond(self, request: Request) -> Response:
+        """Health check, admission gate, then the application handler."""
+        if request.target == self.health_path:
+            return self._health_response()
+        if self.admission is None:
+            return self._dispatch(request)
+        headers = {name: value for name, value in request.headers}
+        now = self.admission.clock.now()
+        deadline = deadline_from_headers(
+            headers, now, assume_synced_clock=self.assume_synced_clock)
+        decision = self.admission.acquire(deadline=deadline)
+        if not decision.admitted:
+            with self._lock:
+                self.requests_shed += 1
+            self._observe_load()
+            return self._shed_response(decision.reason or "overloaded")
+        try:
+            return self._dispatch(request)
+        finally:
+            self.admission.release(decision.ticket)
+            self._observe_load()
+
+    def _observe_load(self) -> None:
+        if self.load_coupling is not None:
+            self.load_coupling.observe()
+
+    def _health_payload(self) -> Dict[str, object]:
+        """The load snapshot the health endpoint serves as JSON.
+
+        One probe answers both questions a load balancer (or the bench
+        harness) asks: *may I send traffic here* (``state``) and *how
+        loaded is it* (active/queued counts, utilization, p95 service
+        time from the admission controller when one is installed).
+        """
+        state = ("ready" if self.ready
+                 else "draining" if self._draining else "closed")
+        with self._lock:
+            payload: Dict[str, object] = {
+                "state": state,
+                "connections_active": self._active_connections,
+                "requests_served": self.requests_served,
+                "requests_shed": self.requests_shed,
+            }
+        if self.admission is not None:
+            snap = self.admission.snapshot()
+            payload.update({
+                "active": snap["busy"],
+                "queued": snap["queue_depth"],
+                "utilization": round(float(snap["utilization"]), 6),
+                "p95_service_s": round(float(snap["p95_service_s"]), 6),
+                "shed_total": snap["shed_total"],
+            })
+        else:
+            payload.update({"active": None, "queued": 0,
+                            "utilization": None, "p95_service_s": None,
+                            "shed_total": self.requests_shed})
+        return payload
+
+    def _health_response(self) -> Response:
+        body = json.dumps(self._health_payload(),
+                          sort_keys=True).encode("utf-8")
+        response = Response(status=200 if self.ready else 503, body=body)
+        response.headers.set("Content-Type", "application/json")
+        if not self.ready:
+            response.headers.set("Retry-After",
+                                 str(int(math.ceil(self.retry_after_s))))
+        return response
+
+    def _shed_response(self, reason: str) -> Response:
+        response = Response.text(503, f"overloaded: {reason}")
+        retry_after = max(self.retry_after_s,
+                          self.admission.retry_after_s
+                          if self.admission is not None else 0.0)
+        response.headers.set("Retry-After", str(int(math.ceil(retry_after))))
+        response.headers.set("X-Shed-Reason", reason)
+        return response
+
+    def _reject_response(self) -> Response:
+        """The connection-cap 503 (no handler, no thread, no reactor slot)."""
+        response = Response.text(503, "connection limit reached")
+        response.headers.set("Connection", "close")
+        # RFC 9110 Retry-After is integer delay-seconds; round up so a
+        # client honoring it never comes back while we are still over cap.
+        response.headers.set("Retry-After",
+                             str(int(math.ceil(self.retry_after_s))))
+        return response
+
+    def _dispatch(self, request: Request) -> Response:
+        try:
+            return self.handler(request)
+        except Exception as exc:  # noqa: BLE001 - boundary of the server
+            return Response.text(500, f"internal error: {exc}")
+
+    def __enter__(self) -> "_ServerCore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self, drain_s: Optional[float] = None) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class ThreadedHttpServer(_ServerCore):
+    """The thread-per-connection HTTP server.
+
+    Usage::
+
+        def handler(request):
+            return Response(status=200, body=b"hi")
+
+        with ThreadedHttpServer(handler) as server:
+            ...  # server.address is (host, port)
+
+    ``max_connections`` bounds the thread-per-connection growth: beyond the
+    cap new connections are answered immediately with ``503 Service
+    Unavailable`` (``Connection: close`` and a ``Retry-After`` of
+    ``retry_after_s`` seconds) instead of spawning a thread, so a client
+    stampede degrades loudly rather than exhausting the process.  ``None``
+    (the default) keeps the historical unbounded behaviour.
+
+    The reactor-only tuning knobs (``workers``, ``max_buffered_bytes``,
+    ``max_pipeline``, ``pipeline_execution``) are accepted and ignored so
+    both servers can be constructed with one argument set.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0, backlog: int = 32,
+                 max_connections: Optional[int] = None,
+                 retry_after_s: float = 1.0,
+                 admission: Optional["AdmissionController"] = None,
+                 load_coupling: Optional["LoadQualityCoupling"] = None,
+                 assume_synced_clock: bool = False,
+                 idle_timeout_s: Optional[float] = None,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 health_path: str = "/healthz",
+                 workers: int = 8,
+                 max_buffered_bytes: int = 1 << 20,
+                 max_pipeline: int = 128,
+                 pipeline_execution: str = "serial") -> None:
+        super().__init__(handler, max_connections=max_connections,
+                         retry_after_s=retry_after_s, admission=admission,
+                         load_coupling=load_coupling,
+                         assume_synced_clock=assume_synced_clock,
+                         idle_timeout_s=idle_timeout_s,
+                         max_body_bytes=max_body_bytes,
+                         max_header_bytes=max_header_bytes,
+                         health_path=health_path)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.address = self._sock.getsockname()
+        self._idle_cond = threading.Condition(self._lock)
+        #: open connection sockets -> True while a request is mid-dispatch
+        self._connections: Dict[socket.socket, bool] = {}
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="http-server", daemon=True)
+        self._thread.start()
 
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -151,14 +317,8 @@ class HttpServer:
 
     def _reject_connection(self, conn: socket.socket) -> None:
         """Answer 503 and hang up — no handler thread is spawned."""
-        response = Response.text(503, "connection limit reached")
-        response.headers.set("Connection", "close")
-        # RFC 9110 Retry-After is integer delay-seconds; round up so a
-        # client honoring it never comes back while we are still over cap.
-        response.headers.set("Retry-After",
-                             str(int(math.ceil(self.retry_after_s))))
         with conn:
-            self._safe_send(conn, response)
+            self._safe_send(conn, self._reject_response())
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -220,56 +380,6 @@ class HttpServer:
         with self._lock:
             if conn in self._connections:
                 self._connections[conn] = busy
-
-    def _respond(self, request: Request) -> Response:
-        """Health check, admission gate, then the application handler."""
-        if request.target == self.health_path:
-            return self._health_response()
-        if self.admission is None:
-            return self._dispatch(request)
-        headers = {name: value for name, value in request.headers}
-        now = self.admission.clock.now()
-        deadline = deadline_from_headers(
-            headers, now, assume_synced_clock=self.assume_synced_clock)
-        decision = self.admission.acquire(deadline=deadline)
-        if not decision.admitted:
-            with self._lock:
-                self.requests_shed += 1
-            self._observe_load()
-            return self._shed_response(decision.reason or "overloaded")
-        try:
-            return self._dispatch(request)
-        finally:
-            self.admission.release(decision.ticket)
-            self._observe_load()
-
-    def _observe_load(self) -> None:
-        if self.load_coupling is not None:
-            self.load_coupling.observe()
-
-    def _health_response(self) -> Response:
-        if self.ready:
-            return Response.text(200, "ready")
-        response = Response.text(503,
-                                 "draining" if self._draining else "closed")
-        response.headers.set("Retry-After",
-                             str(int(math.ceil(self.retry_after_s))))
-        return response
-
-    def _shed_response(self, reason: str) -> Response:
-        response = Response.text(503, f"overloaded: {reason}")
-        retry_after = max(self.retry_after_s,
-                          self.admission.retry_after_s
-                          if self.admission is not None else 0.0)
-        response.headers.set("Retry-After", str(int(math.ceil(retry_after))))
-        response.headers.set("X-Shed-Reason", reason)
-        return response
-
-    def _dispatch(self, request: Request) -> Response:
-        try:
-            return self.handler(request)
-        except Exception as exc:  # noqa: BLE001 - boundary of the server
-            return Response.text(500, f"internal error: {exc}")
 
     @staticmethod
     def _safe_send(conn: socket.socket, response: Response) -> bool:
@@ -341,8 +451,49 @@ class HttpServer:
             except OSError:
                 pass
 
-    def __enter__(self) -> "HttpServer":
-        return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
+               backlog: int = 32,
+               max_connections: Optional[int] = None,
+               retry_after_s: float = 1.0,
+               admission: Optional["AdmissionController"] = None,
+               load_coupling: Optional["LoadQualityCoupling"] = None,
+               assume_synced_clock: bool = False,
+               idle_timeout_s: Optional[float] = None,
+               max_body_bytes: int = MAX_BODY_BYTES,
+               max_header_bytes: int = MAX_HEADER_BYTES,
+               health_path: str = "/healthz",
+               concurrency: Optional[str] = None,
+               workers: int = 8,
+               max_buffered_bytes: int = 1 << 20,
+               max_pipeline: int = 128,
+               pipeline_execution: str = "serial") -> _ServerCore:
+    """Build an HTTP server with the selected concurrency model.
+
+    ``concurrency`` is ``"threaded"`` (one thread per connection),
+    ``"reactor"`` (event loop + bounded worker pool), or ``None`` to use
+    :func:`default_concurrency` (the ``REPRO_HTTP_CONCURRENCY``
+    environment variable, falling back to ``"reactor"``).  Both models
+    honour the same protection contract; the reactor additionally
+    supports HTTP/1.1 pipelining and holds idle keep-alive connections
+    for the price of a file descriptor instead of a thread.
+    """
+    mode = (concurrency or default_concurrency()).strip().lower()
+    if mode not in _CONCURRENCY_MODES:
+        raise ValueError(
+            f"concurrency must be one of {_CONCURRENCY_MODES}, "
+            f"not {mode!r}")
+    if mode == "threaded":
+        cls = ThreadedHttpServer
+    else:
+        from .reactor import ReactorHttpServer
+        cls = ReactorHttpServer
+    return cls(handler, host=host, port=port, backlog=backlog,
+               max_connections=max_connections, retry_after_s=retry_after_s,
+               admission=admission, load_coupling=load_coupling,
+               assume_synced_clock=assume_synced_clock,
+               idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
+               max_header_bytes=max_header_bytes, health_path=health_path,
+               workers=workers, max_buffered_bytes=max_buffered_bytes,
+               max_pipeline=max_pipeline,
+               pipeline_execution=pipeline_execution)

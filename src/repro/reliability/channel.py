@@ -96,5 +96,38 @@ class ReliableChannel(Channel):
         self.last_call = meta
         return reply
 
+    def call_many(self, bodies, content_type: str, headers=None):
+        """Batch surface: one policed call per body, results in order.
+
+        Each sub-call runs under the channel's full policy independently
+        (its own attempts, backoff and deadline budget) and yields a
+        :class:`~repro.transport.sockets.BatchResult` — the same contract
+        as :meth:`~repro.transport.sockets.PipelinedHttpChannel.call_many`,
+        minus the wire-level concurrency.  This is the correctness-first
+        fallback that lets ``SoapBinClient.call_many`` run over *any*
+        wrapped transport; put a ``PipelinedHttpChannel`` inside (or use
+        one directly) when you want requests actually in flight together.
+        """
+        from ..transport.sockets import BatchResult
+
+        if headers is None or isinstance(headers, dict):
+            headers_list = [headers] * len(bodies)
+        else:
+            if len(headers) != len(bodies):
+                raise ValueError(
+                    f"got {len(headers)} header dicts for "
+                    f"{len(bodies)} bodies")
+            headers_list = list(headers)
+        results = []
+        for body, sent in zip(bodies, headers_list):
+            try:
+                reply = self.call(body, content_type, sent)
+            except Exception as exc:  # noqa: BLE001 - typed by call()
+                results.append(BatchResult(
+                    error=exc, meta=getattr(exc, "meta", None)))
+            else:
+                results.append(BatchResult(reply=reply, meta=self.last_call))
+        return results
+
     def close(self) -> None:
         self.inner.close()

@@ -2,12 +2,13 @@
 
 from .base import Channel, ChannelReply, DirectChannel, Endpoint
 from .sim import CallRecord, ServerTimeModel, SimChannel
-from .sockets import (HttpChannel, PooledHttpChannel, endpoint_http_handler,
+from .sockets import (BatchResult, HttpChannel, PipelinedHttpChannel,
+                      PooledHttpChannel, endpoint_http_handler,
                       serve_endpoint)
 
 __all__ = [
     "Channel", "ChannelReply", "Endpoint", "DirectChannel",
     "SimChannel", "CallRecord", "ServerTimeModel",
-    "HttpChannel", "PooledHttpChannel", "endpoint_http_handler",
-    "serve_endpoint",
+    "HttpChannel", "PooledHttpChannel", "PipelinedHttpChannel",
+    "BatchResult", "endpoint_http_handler", "serve_endpoint",
 ]

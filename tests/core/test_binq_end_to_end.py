@@ -242,7 +242,10 @@ class TestRttReporting:
                     registry.by_name("EchoRequest"),
                     registry.by_name("EchoResponse"))
         assert client.estimator.estimate is not None
-        assert client.estimator.estimate >= 0.1  # two 50ms latencies
+        # two 50ms simulated latencies, minus the server's *real-clock*
+        # response-prep time (X-BinQ-Server-Time), which can spike a few
+        # ms on a loaded CI box — hence the headroom below 0.1
+        assert client.estimator.estimate >= 0.09
 
     def test_server_time_header_present(self, service, registry):
         channel = DirectChannel(service.endpoint)

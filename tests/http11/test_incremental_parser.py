@@ -1,0 +1,137 @@
+"""Incremental (push) HTTP parsers: partial feeds, pipelining, limits.
+
+The reactor server and the pipelined client both depend on these parsers
+accepting bytes in arbitrary slices; every test here exercises a split
+the pull-mode reader never sees.
+"""
+
+import pytest
+
+from repro.http11 import (HttpParseError, HttpTooLarge, RequestParser,
+                          ResponseParser)
+
+REQUEST = (b"POST /svc HTTP/1.1\r\n"
+           b"Host: h\r\n"
+           b"Content-Length: 5\r\n"
+           b"\r\n"
+           b"hello")
+
+RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Length: 2\r\n"
+            b"\r\n"
+            b"ok")
+
+
+class TestFeedGranularity:
+    def test_whole_message_in_one_feed(self):
+        parser = RequestParser()
+        parser.feed(REQUEST)
+        request = parser.next_request()
+        assert request.method == "POST"
+        assert request.target == "/svc"
+        assert request.body == b"hello"
+        assert parser.next_request() is None
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7])
+    def test_byte_at_a_time_and_odd_chunks(self, chunk):
+        parser = RequestParser()
+        request = None
+        for i in range(0, len(REQUEST), chunk):
+            parser.feed(REQUEST[i:i + chunk])
+            request = parser.next_request() or request
+        assert request is not None
+        assert request.body == b"hello"
+
+    def test_crlf_split_across_feeds(self):
+        # the \r\n\r\n terminator arrives in two pieces; the scan-resume
+        # offset must back up enough to still find it
+        head, tail = REQUEST.split(b"\r\n\r\n")
+        parser = RequestParser()
+        parser.feed(head + b"\r\n")
+        assert parser.next_request() is None
+        parser.feed(b"\r\n" + tail)
+        assert parser.next_request().body == b"hello"
+
+    def test_mid_message_property(self):
+        parser = RequestParser()
+        assert not parser.mid_message
+        parser.feed(REQUEST[:9])        # "POST /svc" — no terminator yet
+        assert parser.mid_message
+        parser.feed(REQUEST[9:])
+        assert parser.next_request() is not None
+        assert not parser.mid_message
+
+
+class TestPipelining:
+    def test_back_to_back_requests_from_one_buffer(self):
+        parser = RequestParser()
+        parser.feed(REQUEST * 3)
+        bodies = []
+        while True:
+            request = parser.next_request()
+            if request is None:
+                break
+            bodies.append(request.body)
+        assert bodies == [b"hello"] * 3
+        assert not parser.mid_message
+
+    def test_responses_pipeline_too(self):
+        parser = ResponseParser()
+        parser.feed(RESPONSE * 4)
+        seen = 0
+        while parser.next_response() is not None:
+            seen += 1
+        assert seen == 4
+
+
+class TestErrors:
+    def test_bad_request_line(self):
+        parser = RequestParser()
+        parser.feed(b"NONSENSE\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+        # a failed parser stays failed: the connection must close
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+
+    def test_bad_version(self):
+        parser = RequestParser()
+        parser.feed(b"GET / SPDY/99\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+
+    def test_header_without_colon(self):
+        parser = RequestParser()
+        parser.feed(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+
+    def test_header_limit_without_terminator(self):
+        parser = RequestParser(max_header_bytes=64)
+        parser.feed(b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 100)
+        with pytest.raises(HttpTooLarge):
+            parser.next_request()
+
+    def test_body_limit_names_the_limit(self):
+        parser = RequestParser(max_body_bytes=8)
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+        with pytest.raises(HttpTooLarge, match="limit of 8 bytes"):
+            parser.next_request()
+
+    def test_negative_content_length(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+
+    def test_transfer_encoding_rejected(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_request()
+
+    def test_bad_status_line(self):
+        parser = ResponseParser()
+        parser.feed(b"NOPE 200 OK\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            parser.next_response()

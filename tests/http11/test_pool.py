@@ -185,6 +185,75 @@ class TestLifecycle:
         fresh.close()
 
 
+class TestPerHostCap:
+    def test_fail_policy_raises_at_the_cap(self, server):
+        pool = HttpConnectionPool(max_per_host=2, overflow="fail")
+        first = pool.acquire(server.address)
+        second = pool.acquire(server.address)
+        with pytest.raises(HttpError, match="max_per_host"):
+            pool.acquire(server.address)
+        pool.discard(first)
+        pool.discard(second)
+        pool.close()
+
+    def test_idle_connections_count_toward_the_cap(self, server):
+        pool = HttpConnectionPool(max_per_host=1, overflow="fail")
+        conn = pool.acquire(server.address)
+        pool.release(conn)
+        # live = 1 (idle): the cap is satisfied by reuse, not a new socket
+        again = pool.acquire(server.address)
+        assert again is conn
+        pool.discard(again)
+        pool.close()
+
+    def test_block_policy_waits_for_a_release(self, server):
+        import threading
+
+        pool = HttpConnectionPool(max_per_host=1, overflow="block",
+                                  acquire_timeout=5.0)
+        conn = pool.acquire(server.address)
+
+        def release_soon():
+            time.sleep(0.1)
+            pool.release(conn)
+
+        threading.Thread(target=release_soon, daemon=True).start()
+        started = time.monotonic()
+        waited = pool.acquire(server.address)
+        assert time.monotonic() - started >= 0.05
+        assert waited is conn               # the released one was handed over
+        pool.discard(waited)
+        pool.close()
+
+    def test_block_policy_times_out(self, server):
+        pool = HttpConnectionPool(max_per_host=1, overflow="block",
+                                  acquire_timeout=0.1)
+        conn = pool.acquire(server.address)
+        with pytest.raises(HttpError, match="timed out"):
+            pool.acquire(server.address)
+        pool.discard(conn)
+        pool.close()
+
+    def test_stats_snapshot(self, server):
+        pool = HttpConnectionPool(max_per_host=4)
+        a = pool.acquire(server.address)
+        b = pool.acquire(server.address)
+        stats = pool.stats()
+        assert stats["created"] == 2
+        assert stats["in_use"] == 2
+        assert stats["idle"] == 0
+        pool.release(a)
+        pool.release(b)
+        reacquired = pool.acquire(server.address)
+        stats = pool.stats()
+        assert stats["reused"] == 1
+        assert stats["in_use"] == 1
+        assert stats["idle"] == 1
+        pool.discard(reacquired)
+        assert pool.stats()["in_use"] == 0
+        pool.close()
+
+
 class TestPooledRequests:
     def test_post_sets_content_type(self, server):
         seen = {}

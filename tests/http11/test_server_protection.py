@@ -1,6 +1,7 @@
 """HttpServer overload protection: admission, health, limits, timeouts,
 graceful drain."""
 
+import json
 import socket
 import threading
 import time
@@ -15,12 +16,27 @@ def ok_handler(request):
 
 
 class TestHealth:
-    def test_healthz_reports_ready(self):
+    def test_healthz_reports_ready_with_load_snapshot(self):
         with HttpServer(ok_handler) as server:
             with HttpConnection(server.address) as conn:
                 response = conn.get("/healthz")
         assert response.status == 200
-        assert response.body == b"ready"
+        assert response.headers.get("Content-Type") == "application/json"
+        payload = json.loads(response.body)
+        assert payload["state"] == "ready"
+        assert payload["connections_active"] == 1
+        assert payload["requests_shed"] == 0
+
+    def test_healthz_reports_admission_load(self):
+        admission = AdmissionController(max_concurrency=2)
+        with HttpServer(ok_handler, admission=admission) as server:
+            with HttpConnection(server.address) as conn:
+                conn.post("/", b"x", "text/plain")
+                payload = json.loads(conn.get("/healthz").body)
+        assert payload["active"] == 0          # nothing mid-handler now
+        assert payload["queued"] == 0
+        assert payload["utilization"] is not None
+        assert payload["p95_service_s"] is not None
 
     def test_health_path_is_configurable(self):
         with HttpServer(ok_handler, health_path="/ready") as server:

@@ -3,29 +3,33 @@
 Runs :func:`repro.bench.regress.write_report` in smoke mode (a couple of
 seconds) so every test run exercises the full measurement path — compiled
 codecs, interpreted slow path, zero-copy wire framing, and a real pooled
-loopback RPC — and refreshes ``BENCH_headline.json`` at the repo root.
+loopback RPC.  The report is written to a pytest temp dir: the committed
+``BENCH_headline.json`` at the repo root is the long-form full-mode
+baseline that CI gates against, and must never be overwritten by a
+smoke run.
 """
 
 import json
-import pathlib
 
 import pytest
 
 from repro.bench import regress
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
-HEADLINE = REPO_ROOT / "BENCH_headline.json"
+
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
 
 
 @pytest.fixture(scope="module")
-def report():
-    return regress.write_report(str(HEADLINE), smoke=True)
+def report(report_path):
+    return regress.write_report(str(report_path), smoke=True)
 
 
 @pytest.mark.bench_smoke
-def test_smoke_writes_headline_json(report):
-    assert HEADLINE.exists()
-    on_disk = json.loads(HEADLINE.read_text())
+def test_smoke_writes_report_json(report, report_path):
+    assert report_path.exists()
+    on_disk = json.loads(report_path.read_text())
     assert on_disk["schema"] == regress.SCHEMA_VERSION
     assert on_disk["mode"] == "smoke"
     assert set(on_disk) >= {"codec", "wire", "rpc"}

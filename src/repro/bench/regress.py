@@ -19,7 +19,12 @@ one JSON file:
 * **concurrency** — the event-driven serving core under load: active-call
   latency while thousands of idle keep-alive connections are held (with
   thread and RSS growth recorded), pipelined vs serial throughput at
-  depths 1/8/32, and a reactor-vs-threaded A/B of plain call latency.
+  depths 1/8/32, and a reactor-vs-threaded A/B of plain call latency;
+* **scaleout** — the prefork reactor fleet: SOAP-bin echo RPC ops/s with
+  one worker vs ``os.cpu_count()`` workers on one port (load generated
+  by forked client processes, so the measurement is not GIL-bound), the
+  scaling efficiency, and fleet-wide pipelined depth-8 throughput
+  against the single-core ceiling.
 
 Run it directly::
 
@@ -28,12 +33,18 @@ Run it directly::
 or in smoke mode (a few seconds, used by the tier-1 test suite)::
 
     PYTHONPATH=src python -m repro.bench.regress --smoke
+
+``--sections scaleout`` (comma/space separable, repeatable) runs only the
+named sections and, when ``--out`` already exists, merges the fresh
+numbers into it — so fleet tuning reruns don't pay the codec/xlate
+suites.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -398,30 +409,219 @@ def _bench_concurrency(smoke: bool) -> Dict[str, Any]:
     return out
 
 
-def run(smoke: bool = False) -> Dict[str, Any]:
-    """Run the whole harness; returns the result document."""
-    min_time = 0.05 if smoke else 0.5
-    calls = 150 if smoke else 1000
+# ----------------------------------------------------------------------
+# scaleout: the prefork reactor fleet vs one worker
+# ----------------------------------------------------------------------
+
+def _fleet_echo_factory(ctx):
+    """Worker factory: a fresh SOAP-bin echo service per forked worker."""
+    from ..transport import endpoint_http_handler
+    _registry, service = _echo_rpc_setup()
+    return endpoint_http_handler(service.endpoint)
+
+
+def _scaleout_rpc_client(address, duration_s, ready_q, start_evt, out_q):
+    """One forked load generator: pooled SOAP-bin echo calls for a fixed
+    window; reports how many completed."""
+    registry = FormatRegistry()
+    registry.register(ECHO_FORMAT)
+    pool = HttpConnectionPool()
+    channel = PooledHttpChannel(address, pool=pool)
+    client = SoapBinClient(channel, registry)
+    value = {"seq": 0, "payload": [float(i) for i in range(256)]}
+    try:
+        for _ in range(3):   # warmup: announcement + pool fill
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+        ready_q.put(os.getpid())
+        start_evt.wait()
+        count = 0
+        deadline = time.perf_counter() + duration_s
+        while time.perf_counter() < deadline:
+            value["seq"] = count
+            client.call("Echo", value, ECHO_FORMAT, ECHO_FORMAT)
+            count += 1
+        out_q.put(count)
+    finally:
+        pool.close()
+
+
+def _scaleout_pipe_client(address, duration_s, ready_q, start_evt, out_q):
+    """One forked pipelined load generator (depth 8, raw HTTP echo)."""
+    body = b"x" * 256
+    requests = [Request(method="POST", target="/", body=body)
+                for _ in range(64)]
+    with PipelinedHttpConnection(address, depth=8) as pipe:
+        pipe.request_many(requests[:16])     # warmup
+        ready_q.put(os.getpid())
+        start_evt.wait()
+        count = 0
+        deadline = time.perf_counter() + duration_s
+        while time.perf_counter() < deadline:
+            responses = pipe.request_many(requests)
+            count += len(responses)
+        out_q.put(count)
+
+
+def _drive_clients(target, address, duration_s, nclients) -> float:
+    """Fork ``nclients`` load generators against ``address``; aggregate
+    ops/s over the common measurement window."""
+    import multiprocessing
+    mp = multiprocessing.get_context("fork")
+    ready_q: Any = mp.SimpleQueue()
+    out_q: Any = mp.SimpleQueue()
+    start_evt = mp.Event()
+    procs = [mp.Process(target=target,
+                        args=(address, duration_s, ready_q, start_evt,
+                              out_q),
+                        daemon=True)
+             for _ in range(nclients)]
+    for proc in procs:
+        proc.start()
+    try:
+        for _ in range(nclients):            # all warmed up before the gun
+            ready_q.get()
+        start_evt.set()
+        total = sum(out_q.get() for _ in range(nclients))
+    finally:
+        for proc in procs:
+            proc.join(timeout=duration_s + 30.0)
+            if proc.is_alive():              # pragma: no cover - hung child
+                proc.terminate()
+    return total / duration_s
+
+
+def _bench_scaleout(smoke: bool) -> Dict[str, Any]:
+    """Fleet RPC throughput at 1 vs N workers (N = cores), plus fleet
+    pipelined depth-8 against the single-core ceiling.
+
+    Load comes from forked client *processes*, so on a multi-core box the
+    measurement exercises real parallelism end to end; on a single-core
+    container the N-worker figures honestly collapse to ~1x.
+    """
+    from ..serving import FleetServer
+    cores = os.cpu_count() or 1
+    workers = cores
+    duration_s = 0.4 if smoke else 2.0
+    nclients = max(2, 2 * workers)
+
+    def measure(n_workers: int) -> Dict[str, float]:
+        fleet = FleetServer(_fleet_echo_factory, workers=n_workers,
+                            control_port=None)
+        try:
+            if not fleet.wait_ready(20.0):
+                raise RuntimeError("fleet workers never became ready")
+            rpc = _drive_clients(_scaleout_rpc_client, fleet.address,
+                                 duration_s, nclients)
+            pipe = _drive_clients(_scaleout_pipe_client, fleet.address,
+                                  duration_s, max(1, n_workers))
+            return {"rpc_ops_s": rpc, "pipelined_depth8_ops_s": pipe,
+                    "mode": fleet.mode}
+        finally:
+            fleet.close()
+
+    single = measure(1)
+    if workers > 1:
+        fleet_n = measure(workers)
+    else:
+        fleet_n = dict(single)   # one core: the fleet IS one worker
+    # the serial baseline for the pipelining speedup: one serial
+    # keep-alive connection against a single worker (the PR-5 ceiling's
+    # own denominator)
+    fleet = FleetServer(_fleet_echo_factory, workers=1, control_port=None)
+    try:
+        if not fleet.wait_ready(20.0):
+            raise RuntimeError("fleet worker never became ready")
+        body = b"x" * 256
+        with HttpConnection(fleet.address) as conn:
+            for _ in range(32):
+                conn.post("/bench", body, "application/octet-stream")
+            count = 0
+            deadline = time.perf_counter() + duration_s
+            while time.perf_counter() < deadline:
+                conn.post("/bench", body, "application/octet-stream")
+                count += 1
+        serial_ops = count / duration_s
+    finally:
+        fleet.close()
     return {
-        "schema": SCHEMA_VERSION,
-        "mode": "smoke" if smoke else "full",
-        "python": platform.python_version(),
-        "codec": _bench_codecs(min_time),
-        "wire": _bench_wire(min_time),
-        "xlate": _bench_xlate(min_time),
-        "rpc": _bench_rpc(calls, payload_elements=256),
-        "concurrency": _bench_concurrency(smoke),
+        "cores": cores,
+        "workers": workers,
+        "mode": fleet_n["mode"],
+        "duration_s": duration_s,
+        "rpc_client_processes": nclients,
+        "single_worker_rpc_ops_s": single["rpc_ops_s"],
+        "fleet_rpc_ops_s": fleet_n["rpc_ops_s"],
+        "scaling_efficiency": (fleet_n["rpc_ops_s"]
+                               / (workers * single["rpc_ops_s"])
+                               if single["rpc_ops_s"] else 0.0),
+        "serial_ops_s": serial_ops,
+        "fleet_pipelined_depth8_ops_s": fleet_n["pipelined_depth8_ops_s"],
+        "fleet_pipelined_depth8_speedup_vs_serial": (
+            fleet_n["pipelined_depth8_ops_s"] / serial_ops
+            if serial_ops else 0.0),
     }
 
 
-def write_report(path: str, smoke: bool = False) -> Dict[str, Any]:
+#: Section name -> builder.  Each builder takes ``smoke`` and returns the
+#: section document.
+SECTIONS: Dict[str, Callable[[bool], Any]] = {
+    "codec": lambda smoke: _bench_codecs(0.05 if smoke else 0.5),
+    "wire": lambda smoke: _bench_wire(0.05 if smoke else 0.5),
+    "xlate": lambda smoke: _bench_xlate(0.05 if smoke else 0.5),
+    "rpc": lambda smoke: _bench_rpc(150 if smoke else 1000,
+                                    payload_elements=256),
+    "concurrency": _bench_concurrency,
+    "scaleout": _bench_scaleout,
+}
+
+
+def run(smoke: bool = False,
+        sections: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the harness; returns the result document.
+
+    ``sections`` restricts the run to the named sections (default: all).
+    """
+    if sections is None:
+        names = list(SECTIONS)
+    else:
+        unknown = [name for name in sections if name not in SECTIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown section(s) {unknown}: choose from "
+                f"{list(SECTIONS)}")
+        names = list(dict.fromkeys(sections))    # dedupe, keep order
+    result: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+    }
+    for name in names:
+        result[name] = SECTIONS[name](smoke)
+    return result
+
+
+def write_report(path: str, smoke: bool = False,
+                 sections: Optional[List[str]] = None) -> Dict[str, Any]:
     """Run the harness and write the JSON document to ``path``.
 
     The file is opened before any measurement runs, so an unwritable path
-    fails immediately instead of after minutes of benchmarking.
+    fails immediately instead of after minutes of benchmarking.  With a
+    ``sections`` subset, sections already present in an existing report at
+    ``path`` are carried over unchanged — only the named ones are
+    re-measured.
     """
+    carried: Dict[str, Any] = {}
+    if sections is not None and os.path.exists(path):
+        try:
+            with open(path) as fh:
+                carried = json.load(fh)
+        except (OSError, ValueError):
+            carried = {}
     with open(path, "w") as fh:
-        result = run(smoke=smoke)
+        result = run(smoke=smoke, sections=sections)
+        for name in SECTIONS:
+            if name not in result and name in carried:
+                result[name] = carried[name]
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return result
@@ -434,28 +634,49 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="output JSON path (default: %(default)s)")
     parser.add_argument("--smoke", action="store_true",
                         help="fast mode (<30 s) for CI smoke runs")
+    parser.add_argument("--sections", nargs="+", metavar="NAME",
+                        choices=sorted(SECTIONS),
+                        help="run only the named sections (e.g. "
+                             "'--sections scaleout'); other sections are "
+                             "carried over from an existing --out file")
     args = parser.parse_args(argv)
     try:
-        result = write_report(args.out, smoke=args.smoke)
+        result = write_report(args.out, smoke=args.smoke,
+                              sections=args.sections)
     except OSError as exc:
         print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
-    speed = result["codec"]["float64_array_10k_list"]
-    print(f"wrote {args.out} ({result['mode']} mode)")
-    print(f"  float64[10k] encode: {speed['encode_ops_s']:,.0f} ops/s "
-          f"({speed['encode_speedup_vs_interp']:.1f}x over field walk)")
-    xl = result["xlate"]["int32_array_10k"]
-    print(f"  int32[10k] to_xml: {xl['to_xml_ops_s']:,.0f} ops/s "
-          f"({xl['to_xml_speedup_vs_tree']:.1f}x over tree)")
-    print(f"  rpc p50: {result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")
-    conc = result["concurrency"]
-    print(f"  pipelined depth-8: {conc['pipelined_depth8_ops_s']:,.0f} "
-          f"ops/s ({conc['pipelined_depth8_speedup_vs_serial']:.1f}x "
-          f"over serial)")
-    hold = conc["idle_hold"]
-    print(f"  {hold['connections_held']} idle conns held: active rpc p50 "
-          f"{hold['active_p50_latency_s'] * 1e3:.3f} ms, "
-          f"+{hold['threads_added']} threads")
+    ran = set(args.sections if args.sections else SECTIONS)
+    print(f"wrote {args.out} ({result['mode']} mode, "
+          f"sections: {' '.join(sorted(ran))})")
+    if "codec" in ran:
+        speed = result["codec"]["float64_array_10k_list"]
+        print(f"  float64[10k] encode: {speed['encode_ops_s']:,.0f} ops/s "
+              f"({speed['encode_speedup_vs_interp']:.1f}x over field walk)")
+    if "xlate" in ran:
+        xl = result["xlate"]["int32_array_10k"]
+        print(f"  int32[10k] to_xml: {xl['to_xml_ops_s']:,.0f} ops/s "
+              f"({xl['to_xml_speedup_vs_tree']:.1f}x over tree)")
+    if "rpc" in ran:
+        print(f"  rpc p50: "
+              f"{result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")
+    if "concurrency" in ran:
+        conc = result["concurrency"]
+        print(f"  pipelined depth-8: {conc['pipelined_depth8_ops_s']:,.0f} "
+              f"ops/s ({conc['pipelined_depth8_speedup_vs_serial']:.1f}x "
+              f"over serial)")
+        hold = conc["idle_hold"]
+        print(f"  {hold['connections_held']} idle conns held: active rpc "
+              f"p50 {hold['active_p50_latency_s'] * 1e3:.3f} ms, "
+              f"+{hold['threads_added']} threads")
+    if "scaleout" in ran:
+        sc = result["scaleout"]
+        print(f"  fleet ({sc['workers']} workers on {sc['cores']} cores, "
+              f"{sc['mode']}): rpc {sc['fleet_rpc_ops_s']:,.0f} ops/s "
+              f"({sc['scaling_efficiency']:.2f} efficiency), "
+              f"pipelined depth-8 "
+              f"{sc['fleet_pipelined_depth8_speedup_vs_serial']:.1f}x "
+              f"over serial")
     return 0
 
 

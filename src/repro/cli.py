@@ -77,6 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exit after N requests (0 = forever)")
     serve_cmd.set_defaults(handler=cmd_serve)
 
+    fleet_cmd = sub.add_parser(
+        "serve-fleet",
+        help="run the echo service on a prefork reactor fleet (one port, "
+             "N worker processes)")
+    fleet_cmd.add_argument("--port", type=int, default=0)
+    fleet_cmd.add_argument("--workers", type=int, default=0,
+                           help="worker processes (0 = os.cpu_count())")
+    fleet_cmd.add_argument("--mode", default="auto",
+                           choices=["auto", "reuseport", "handoff"],
+                           help="accept distribution (default: auto)")
+    fleet_cmd.add_argument("--control-port", type=int, default=0,
+                           help="fleet /healthz control port (0 = any)")
+    fleet_cmd.add_argument("--requests", type=int, default=0,
+                           help="exit after N fleet-wide requests "
+                                "(0 = forever)")
+    fleet_cmd.set_defaults(handler=cmd_serve_fleet)
+
     return parser
 
 
@@ -218,12 +235,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    import time
-
+def _build_echo_service():
+    """The quickstart echo service (fresh registry + dispatcher)."""
     from .core import SoapBinService
     from .pbio import Format, FormatRegistry
-    from .transport import serve_endpoint
 
     registry = FormatRegistry()
     req = Format.from_dict("EchoRequest", {"data": "float64[]",
@@ -238,6 +253,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "Echo", req, res,
         lambda p: {"data": p["data"], "tag": p["tag"],
                    "count": len(p["data"])})
+    return service
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .transport import serve_endpoint
+
+    service = _build_echo_service()
     server = serve_endpoint(service.endpoint, port=args.port)
     print(f"Echo service (binary + XML SOAP) on {server.url}")
     try:
@@ -250,6 +274,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     print(f"served {server.requests_served} requests")
+    return 0
+
+
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from .serving import FleetServer
+    from .transport import endpoint_http_handler
+
+    def handler_factory(ctx):
+        # Runs inside the forked worker: each worker builds a fresh
+        # service (own registry, own sessions) and learns client formats
+        # through the normal announcement handshake.
+        return endpoint_http_handler(_build_echo_service().endpoint)
+
+    fleet = FleetServer(handler_factory,
+                        workers=args.workers or None,
+                        port=args.port, mode=args.mode,
+                        control_port=args.control_port)
+    served = 0
+    try:
+        if not fleet.wait_ready(15.0):
+            print("error: fleet workers never became ready",
+                  file=sys.stderr)
+            return 1
+        host, port = fleet.address
+        chost, cport = fleet.control_address
+        print(f"Echo fleet: {fleet.workers} workers on "
+              f"http://{host}:{port} (mode={fleet.mode})")
+        print(f"Fleet /healthz on http://{chost}:{cport}/healthz")
+        while True:
+            served = fleet.aggregate()["requests_served"]
+            if args.requests and served >= args.requests:
+                break
+            time.sleep(0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        fleet.close()
+    print(f"served {served} requests across {fleet.workers} workers")
     return 0
 
 

@@ -23,6 +23,10 @@ RESOLUTION = "resolution"
 CPU_LOAD = "cpu_load"
 MARSHALLING_COST = "marshalling_cost"
 MEMORY = "memory"
+#: Number of live fleet workers contributing to the server-load signal
+#: (published by :class:`~repro.serving.coupling.LoadQualityCoupling`
+#: when it observes a fleet view; 1 for a standalone server).
+FLEET_WORKERS = "fleet_workers"
 
 Listener = Callable[[str, float], None]
 

@@ -28,7 +28,8 @@ from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Headers, LineReader,
 from .pipeline import PipelinedHttpConnection, PipelineError
 from .reactor import ReactorHttpServer
 from .server import (CONCURRENCY_ENV, HttpServer, ThreadedHttpServer,
-                     default_concurrency)
+                     default_concurrency, set_reuse_port,
+                     supports_reuse_port)
 
 __all__ = [
     "HttpError", "HttpParseError", "HttpConnectionClosed", "HttpTooLarge",
@@ -37,6 +38,7 @@ __all__ = [
     "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
     "HttpServer", "ThreadedHttpServer", "ReactorHttpServer",
     "default_concurrency", "CONCURRENCY_ENV",
+    "set_reuse_port", "supports_reuse_port",
     "HttpConnection", "HttpConnectionPool", "default_pool", "parse_address",
     "PipelinedHttpConnection", "PipelineError",
 ]

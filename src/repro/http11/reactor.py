@@ -43,6 +43,7 @@ ordering.
 from __future__ import annotations
 
 import collections
+import os
 import queue
 import selectors
 import socket
@@ -53,9 +54,10 @@ from typing import Deque, Dict, List, Optional, Set
 from .errors import HttpParseError, HttpTooLarge
 from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Request,
                        RequestParser, Response)
-from .server import Handler, _ServerCore
+from .server import Handler, _ServerCore, set_reuse_port
 
 _LISTENER = "listener"
+_HANDOFF = "handoff"
 _WAKE = "wake"
 #: sendmsg scatter-gather batch bound (IOV_MAX is 1024 on Linux; 64 keeps
 #: each syscall's setup cost trivial while still batching a whole burst).
@@ -143,6 +145,9 @@ class ReactorHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 reuse_port: bool = False,
+                 conn_receiver: Optional[socket.socket] = None,
+                 listen: bool = True,
                  workers: int = 8,
                  max_buffered_bytes: int = 1 << 20,
                  max_pipeline: int = 128,
@@ -152,6 +157,10 @@ class ReactorHttpServer(_ServerCore):
         if pipeline_execution not in ("serial", "concurrent"):
             raise ValueError(
                 "pipeline_execution must be 'serial' or 'concurrent'")
+        if not listen and conn_receiver is None:
+            raise ValueError(
+                "listen=False requires a conn_receiver — a server with "
+                "neither could never see a connection")
         super().__init__(handler, max_connections=max_connections,
                          retry_after_s=retry_after_s, admission=admission,
                          load_coupling=load_coupling,
@@ -165,19 +174,34 @@ class ReactorHttpServer(_ServerCore):
         self.max_pipeline = max_pipeline
         self.pipeline_execution = pipeline_execution
         self._idle_cond = threading.Condition(self._lock)
-        self._listener: Optional[socket.socket] = socket.socket(
-            socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(backlog)
-        self._listener.setblocking(False)
-        self.address = self._listener.getsockname()
+        self._listener: Optional[socket.socket] = None
+        if listen:
+            self._listener = socket.socket(socket.AF_INET,
+                                           socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                set_reuse_port(self._listener)
+            self._listener.bind((host, port))
+            self._listener.listen(backlog)
+            self._listener.setblocking(False)
+            self.address = self._listener.getsockname()
+        #: fd-handoff accept path: connected sockets arrive over this unix
+        #: socket (``socket.send_fds`` on the parent acceptor's side)
+        #: instead of — or in addition to — the listener.
+        self._conn_receiver = conn_receiver
+        if conn_receiver is not None:
+            conn_receiver.setblocking(False)
         self._selector = selectors.DefaultSelector()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
-        self._selector.register(self._listener, selectors.EVENT_READ,
-                                _LISTENER)
+        if self._listener is not None:
+            self._selector.register(self._listener, selectors.EVENT_READ,
+                                    _LISTENER)
+        if self._conn_receiver is not None:
+            self._selector.register(self._conn_receiver,
+                                    selectors.EVENT_READ, _HANDOFF)
         self._selector.register(self._wake_r, selectors.EVENT_READ, _WAKE)
         self._conns: Set[_Conn] = set()
         #: external control requests (drain) — reactor-thread code calls
@@ -278,6 +302,8 @@ class ReactorHttpServer(_ServerCore):
                         self._drain_wake()
                     elif data is _LISTENER:
                         self._accept_ready()
+                    elif data is _HANDOFF:
+                        self._handoff_ready()
                     else:
                         self._socket_ready(data, mask)
                 self._run_commands()
@@ -337,38 +363,75 @@ class ReactorHttpServer(_ServerCore):
                 return
             except OSError:
                 return
+            self._adopt_socket(sock)
+
+    def _handoff_ready(self) -> None:
+        """Adopt connected sockets handed over the fd-handoff channel.
+
+        The parent acceptor sends each connection as one byte of payload
+        plus the fd in ancillary data (``socket.send_fds``); EOF on the
+        channel means the parent is gone — existing connections keep
+        being served, but no new ones can arrive that way.
+        """
+        receiver = self._conn_receiver
+        if receiver is None:
+            return
+        while True:
             try:
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                msg, fds, _flags, _addr = socket.recv_fds(receiver, 64, 8)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close_conn_receiver()
+                return
+            if not msg and not fds:
+                self._close_conn_receiver()
+                return
+            for fd in fds:
+                try:
+                    sock = socket.socket(fileno=fd)
+                except OSError:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                    continue
+                self._adopt_socket(sock)
+
+    def _adopt_socket(self, sock: socket.socket) -> None:
+        """One accepted/handed-off connection enters the reactor."""
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        with self._lock:
+            self.connections_accepted += 1
+            over_cap = (self.max_connections is not None
+                        and self._active_connections
+                        >= self.max_connections)
+            if over_cap:
+                self.connections_rejected += 1
+            else:
+                self._active_connections += 1
+        if over_cap:
+            # The reject is written synchronously: ~120 bytes always
+            # fit a fresh socket's send buffer, and not registering
+            # the connection is the whole point of the cap.
+            try:
+                sock.sendall(self._reject_response().to_bytes())
             except OSError:
                 pass
-            with self._lock:
-                self.connections_accepted += 1
-                over_cap = (self.max_connections is not None
-                            and self._active_connections
-                            >= self.max_connections)
-                if over_cap:
-                    self.connections_rejected += 1
-                else:
-                    self._active_connections += 1
-            if over_cap:
-                # The reject is written synchronously: ~120 bytes always
-                # fit a fresh socket's send buffer, and not registering
-                # the connection is the whole point of the cap.
-                try:
-                    sock.sendall(self._reject_response().to_bytes())
-                except OSError:
-                    pass
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-                continue
-            sock.setblocking(False)
-            conn = _Conn(sock, RequestParser(
-                max_header_bytes=self.max_header_bytes,
-                max_body_bytes=self.max_body_bytes), time.monotonic())
-            self._conns.add(conn)
-            self._set_interest(conn)
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
+        sock.setblocking(False)
+        conn = _Conn(sock, RequestParser(
+            max_header_bytes=self.max_header_bytes,
+            max_body_bytes=self.max_body_bytes), time.monotonic())
+        self._conns.add(conn)
+        self._set_interest(conn)
 
     # ------------------------------------------------------------------
     # read path
@@ -621,6 +684,7 @@ class ReactorHttpServer(_ServerCore):
 
     def _begin_drain(self) -> None:
         self._close_listener()
+        self._close_conn_receiver()
         for conn in [c for c in self._conns
                      if not c.slots and not c.out]:
             self._close_conn(conn)
@@ -638,8 +702,22 @@ class ReactorHttpServer(_ServerCore):
         except OSError:
             pass
 
+    def _close_conn_receiver(self) -> None:
+        receiver, self._conn_receiver = self._conn_receiver, None
+        if receiver is None:
+            return
+        try:
+            self._selector.unregister(receiver)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            receiver.close()
+        except OSError:
+            pass
+
     def _teardown(self) -> None:
         self._close_listener()
+        self._close_conn_receiver()
         for conn in list(self._conns):
             self._close_conn(conn)
         for _ in self._worker_threads:

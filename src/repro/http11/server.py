@@ -65,10 +65,45 @@ CONCURRENCY_ENV = "REPRO_HTTP_CONCURRENCY"
 _CONCURRENCY_MODES = ("threaded", "reactor")
 
 
+def supports_reuse_port() -> bool:
+    """Whether this platform can load-balance accepts via ``SO_REUSEPORT``."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def set_reuse_port(sock: socket.socket) -> None:
+    """Enable ``SO_REUSEPORT`` on ``sock`` (before bind), or raise.
+
+    Every socket sharing the port must set the option before binding —
+    this is how a :class:`~repro.serving.fleet.FleetServer` worker joins
+    the kernel's accept-balancing group.  On platforms without the option
+    (old kernels, some BSDs behind different constants) a clear ``OSError``
+    names the fd-handoff fallback.
+    """
+    if not supports_reuse_port():
+        raise OSError(
+            "SO_REUSEPORT is not available on this platform; use the "
+            "fleet's fd-handoff mode (mode='handoff') instead")
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+
+
 def default_concurrency() -> str:
-    """The concurrency model :func:`HttpServer` uses when not told."""
-    mode = os.environ.get(CONCURRENCY_ENV, "").strip().lower()
-    return mode if mode in _CONCURRENCY_MODES else "reactor"
+    """The concurrency model :func:`HttpServer` uses when not told.
+
+    An unset (or blank) ``REPRO_HTTP_CONCURRENCY`` means ``"reactor"``; a
+    set-but-unrecognized value is a configuration error and raises — a
+    typo like ``REPRO_HTTP_CONCURRENCY=reactr`` silently falling back to
+    the default is exactly how a deployment ends up benchmarking the
+    wrong server.
+    """
+    raw = os.environ.get(CONCURRENCY_ENV)
+    if raw is None or not raw.strip():
+        return "reactor"
+    mode = raw.strip().lower()
+    if mode not in _CONCURRENCY_MODES:
+        raise ValueError(
+            f"{CONCURRENCY_ENV}={raw!r} is not a recognized concurrency "
+            f"model: choose one of {_CONCURRENCY_MODES}")
+    return mode
 
 
 class _ServerCore:
@@ -102,6 +137,13 @@ class _ServerCore:
         self.health_path = health_path
         self._running = True
         self._draining = False
+        #: number of sibling worker processes sharing this server's port —
+        #: 1 for a standalone server; a :class:`~repro.serving.fleet.
+        #: FleetServer` sets the fleet size on each worker so ``/healthz``
+        #: distinguishes fleet from single-process mode.
+        self.fleet_workers = 1
+        #: worker index within the fleet (0 for a standalone server)
+        self.fleet_index = 0
         self.requests_served = 0
         self.requests_shed = 0
         self.connections_accepted = 0
@@ -162,6 +204,8 @@ class _ServerCore:
         with self._lock:
             payload: Dict[str, object] = {
                 "state": state,
+                "pid": os.getpid(),
+                "workers": self.fleet_workers,
                 "connections_active": self._active_connections,
                 "requests_served": self.requests_served,
                 "requests_shed": self.requests_shed,
@@ -260,10 +304,17 @@ class ThreadedHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 reuse_port: bool = False,
+                 conn_receiver: Optional[socket.socket] = None,
+                 listen: bool = True,
                  workers: int = 8,
                  max_buffered_bytes: int = 1 << 20,
                  max_pipeline: int = 128,
                  pipeline_execution: str = "serial") -> None:
+        if conn_receiver is not None or not listen:
+            raise ValueError(
+                "the fd-handoff accept path (conn_receiver/listen=False) "
+                "requires the reactor server; use concurrency='reactor'")
         super().__init__(handler, max_connections=max_connections,
                          retry_after_s=retry_after_s, admission=admission,
                          load_coupling=load_coupling,
@@ -274,6 +325,8 @@ class ThreadedHttpServer(_ServerCore):
                          health_path=health_path)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            set_reuse_port(self._sock)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
         self.address = self._sock.getsockname()
@@ -464,6 +517,9 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                max_header_bytes: int = MAX_HEADER_BYTES,
                health_path: str = "/healthz",
                concurrency: Optional[str] = None,
+               reuse_port: bool = False,
+               conn_receiver: Optional[socket.socket] = None,
+               listen: bool = True,
                workers: int = 8,
                max_buffered_bytes: int = 1 << 20,
                max_pipeline: int = 128,
@@ -477,6 +533,11 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
     honour the same protection contract; the reactor additionally
     supports HTTP/1.1 pipelining and holds idle keep-alive connections
     for the price of a file descriptor instead of a thread.
+
+    ``reuse_port`` binds the listener with ``SO_REUSEPORT`` so several
+    processes can accept on one port (the fleet's scale-out mechanism);
+    ``conn_receiver``/``listen=False`` select the reactor-only fd-handoff
+    accept path — see :mod:`repro.serving.fleet`.
     """
     mode = (concurrency or default_concurrency()).strip().lower()
     if mode not in _CONCURRENCY_MODES:
@@ -494,6 +555,8 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                assume_synced_clock=assume_synced_clock,
                idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
                max_header_bytes=max_header_bytes, health_path=health_path,
+               reuse_port=reuse_port, conn_receiver=conn_receiver,
+               listen=listen,
                workers=workers, max_buffered_bytes=max_buffered_bytes,
                max_pipeline=max_pipeline,
                pipeline_execution=pipeline_execution)

@@ -17,7 +17,13 @@ quality attribute:
   timeout + exception boundary + strike-based quarantine around user
   quality handlers, so a faulty handler degrades quality, not uptime;
 * :mod:`~repro.serving.endpoint` — :class:`ProtectedEndpoint` composes
-  all of the above around any transport endpoint.
+  all of the above around any transport endpoint;
+* :mod:`~repro.serving.fleet` / :mod:`~repro.serving.shm_stats` —
+  :class:`FleetServer` preforks N reactor workers on one
+  ``SO_REUSEPORT`` port (fd-handoff fallback) with a supervising
+  parent, and :class:`FleetStats` publishes per-worker load through a
+  seqlock shared-memory segment so both the control-port ``/healthz``
+  and every worker's :class:`LoadQualityCoupling` see *fleet* load.
 
 Graceful drain and the ``/healthz`` readiness hook live on
 :class:`~repro.http11.HttpServer` itself (``close(drain_s=...)``).
@@ -34,7 +40,10 @@ from .deadline import (HEADER_DEADLINE_MS, HEADER_SHED_REASON,
                        deadline_from_headers, deadline_header_value,
                        with_deadline_header)
 from .endpoint import ProtectedEndpoint, shed_reply
+from .fleet import FleetServer, WorkerContext
 from .sandbox import HandlerSandbox
+from .shm_stats import (STATE_DRAINING, STATE_EMPTY, STATE_READY,
+                        STATE_STOPPED, FleetStats, WorkerStats)
 
 __all__ = [
     "AdmissionController", "AdmissionMetrics", "Decision", "Ticket",
@@ -45,4 +54,7 @@ __all__ = [
     "LoadQualityCoupling", "SERVER_LOAD",
     "HandlerSandbox",
     "ProtectedEndpoint", "shed_reply",
+    "FleetServer", "WorkerContext",
+    "FleetStats", "WorkerStats",
+    "STATE_EMPTY", "STATE_READY", "STATE_DRAINING", "STATE_STOPPED",
 ]

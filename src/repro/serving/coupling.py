@@ -25,13 +25,23 @@ Two modes, chosen by the quality policy's monitored attribute:
 
 In both modes the raw load is also published under ``server_load`` in the
 attribute store, so dproc-style monitors and operators can read it.
+
+When the server is one shard of a prefork fleet
+(:class:`~repro.serving.fleet.FleetServer`), a ``fleet_view`` callable
+folds the *sibling* workers' published load into the composite: the local
+admission snapshot stays authoritative for this worker (it is fresher
+than anything in shared memory), and the view contributes
+capacity-weighted utilization and queue pressure for every other live
+worker.  The composite then reflects the fleet, so quality degrades in
+lock-step across shards rather than each shard reacting only to the
+slice of traffic the kernel happened to hand it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
-from ..core.attributes import RTT
+from ..core.attributes import FLEET_WORKERS, RTT
 from ..core.monitor import worst_interval_rtt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,25 +58,55 @@ class LoadQualityCoupling:
     def __init__(self, quality: "QualityManager",
                  admission: "AdmissionController",
                  high_water: float = 0.8,
-                 penalty_rtt: Optional[float] = None) -> None:
+                 penalty_rtt: Optional[float] = None,
+                 fleet_view: Optional[Callable[[], Optional[Mapping]]]
+                 = None) -> None:
         self.quality = quality
         self.admission = admission
         self.high_water = high_water
         self.penalty_rtt = (penalty_rtt if penalty_rtt is not None
                             else worst_interval_rtt(quality.policy))
+        #: Optional callable returning the sibling workers' partial load
+        #: sums (``util_num``/``util_den``/``queue_depth``/``queue_limit``
+        #: /``workers_live``) — see
+        #: :meth:`repro.serving.shm_stats.FleetStats.partial_view`.
+        self.fleet_view = fleet_view
         self.samples_fed = 0
         self.penalties_fed = 0
         self.last_load = 0.0
+        self.fleet_workers_live = 1
         #: (time, load) series for tests and dashboards
         self.history: List[Tuple[float, float]] = []
 
     # ------------------------------------------------------------------
     def current_load(self) -> float:
-        """Composite load: utilization plus relative queue pressure."""
+        """Composite load: utilization plus relative queue pressure.
+
+        With a ``fleet_view`` wired, both terms are computed over the
+        whole fleet — sibling workers contribute their shared-memory
+        snapshots, capacity-weighted, while this worker contributes its
+        own live admission snapshot.
+        """
         snap = self.admission.snapshot()
-        queue_limit = snap["queue_limit"] or 1
-        return (float(snap["utilization"])
-                + float(snap["queue_depth"]) / float(queue_limit))
+        weight = float(max(1, snap["max_concurrency"]))
+        util_num = float(snap["utilization"]) * weight
+        util_den = weight
+        queue_num = float(snap["queue_depth"])
+        queue_den = float(max(1, snap["queue_limit"]))
+        live = 1
+        if self.fleet_view is not None:
+            try:
+                view = self.fleet_view()
+            except Exception:        # a dying fleet must not break serving
+                view = None
+            if view:
+                util_num += float(view.get("util_num", 0.0))
+                util_den += float(view.get("util_den", 0.0))
+                queue_num += float(view.get("queue_depth", 0))
+                queue_den += float(view.get("queue_limit", 0))
+                live += int(view.get("workers_live", 0))
+        self.fleet_workers_live = live
+        return util_num / util_den + queue_num / queue_den
 
     def observe(self) -> float:
         """Take one load reading and push it into the quality loop.
@@ -79,6 +119,9 @@ class LoadQualityCoupling:
         self.samples_fed += 1
         self.history.append((self.admission.clock.now(), load))
         self.quality.attributes.update_attribute(SERVER_LOAD, load)
+        if self.fleet_view is not None:
+            self.quality.attributes.update_attribute(
+                FLEET_WORKERS, self.fleet_workers_live)
         if self.quality.policy.attribute == RTT:
             if load >= self.high_water:
                 self.quality.observe_rtt(self.penalty_rtt)

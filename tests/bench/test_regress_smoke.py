@@ -63,3 +63,46 @@ def test_smoke_rpc_measured_with_reliability_enabled(report):
     rpc = report["rpc"]
     assert rpc["retry_policy_enabled"] is True
     assert rpc["retries"] == 0
+
+
+@pytest.mark.bench_smoke
+def test_smoke_scaleout_measures_a_real_fleet(report):
+    scale = report["scaleout"]
+    assert scale["workers"] >= 1
+    assert scale["cores"] >= 1
+    assert scale["mode"] in ("reuseport", "handoff")
+    assert scale["single_worker_rpc_ops_s"] > 0.0
+    assert scale["fleet_rpc_ops_s"] > 0.0
+    assert scale["scaling_efficiency"] > 0.0
+    assert scale["fleet_pipelined_depth8_ops_s"] > 0.0
+
+
+@pytest.mark.bench_smoke
+class TestSectionsFlag:
+    def test_unknown_section_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown section"):
+            regress.run(smoke=True, sections=["codec", "bogus"])
+
+    def test_argparse_rejects_unknown_choice(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            regress.main(["--smoke", "--sections", "bogus",
+                          "--out", str(tmp_path / "r.json")])
+        assert excinfo.value.code == 2
+        assert "--sections" in capsys.readouterr().err
+
+    def test_single_section_runs_alone(self):
+        result = regress.run(smoke=True, sections=["wire"])
+        assert "wire" in result
+        # no other benchmark sections sneak in
+        assert set(result) & set(regress.SECTIONS) == {"wire"}
+
+    def test_rerun_merges_into_an_existing_report(self, tmp_path):
+        path = tmp_path / "merge.json"
+        regress.write_report(str(path), smoke=True, sections=["wire"])
+        first = json.loads(path.read_text())
+        assert set(first) & set(regress.SECTIONS) == {"wire"}
+        # a later partial run must carry the earlier sections over
+        regress.write_report(str(path), smoke=True, sections=["codec"])
+        merged = json.loads(path.read_text())
+        assert set(merged) & set(regress.SECTIONS) == {"wire", "codec"}
+        assert merged["wire"] == first["wire"]

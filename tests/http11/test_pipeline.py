@@ -38,8 +38,25 @@ class TestFactory:
         assert default_concurrency() == "threaded"
         monkeypatch.setenv(CONCURRENCY_ENV, "reactor")
         assert default_concurrency() == "reactor"
+        monkeypatch.setenv(CONCURRENCY_ENV, "  Reactor ")
+        assert default_concurrency() == "reactor"   # normalized
+        monkeypatch.setenv(CONCURRENCY_ENV, "")
+        assert default_concurrency() == "reactor"   # unset-equivalent
+
+    def test_unrecognized_env_value_raises_naming_choices(self,
+                                                          monkeypatch):
+        # A typo'd env var must fail loudly, not silently serve on the
+        # default core: name the bad value and the valid choices.
         monkeypatch.setenv(CONCURRENCY_ENV, "bogus")
-        assert default_concurrency() == "reactor"   # falls back
+        with pytest.raises(ValueError) as excinfo:
+            default_concurrency()
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "reactor" in message and "threaded" in message
+        assert CONCURRENCY_ENV in message
+        monkeypatch.setenv(CONCURRENCY_ENV, "bogus")
+        with pytest.raises(ValueError):
+            HttpServer(echo_handler)     # the factory path raises too
 
 
 class TestServerSidePipelining:

@@ -17,6 +17,7 @@ def ok_handler(request):
 
 class TestHealth:
     def test_healthz_reports_ready_with_load_snapshot(self):
+        import os
         with HttpServer(ok_handler) as server:
             with HttpConnection(server.address) as conn:
                 response = conn.get("/healthz")
@@ -26,6 +27,9 @@ class TestHealth:
         assert payload["state"] == "ready"
         assert payload["connections_active"] == 1
         assert payload["requests_shed"] == 0
+        # fleet vs single-process mode is distinguishable from the probe
+        assert payload["pid"] == os.getpid()
+        assert payload["workers"] == 1
 
     def test_healthz_reports_admission_load(self):
         admission = AdmissionController(max_concurrency=2)

@@ -4,11 +4,12 @@ import threading
 
 import pytest
 
+from repro.core.attributes import FLEET_WORKERS
 from repro.core.manager import QualityManager
 from repro.netsim import VirtualClock
 from repro.pbio import Format, FormatRegistry
-from repro.serving import (SERVER_LOAD, AdmissionController,
-                           LoadQualityCoupling)
+from repro.serving import (SERVER_LOAD, AdmissionController, FleetStats,
+                           LoadQualityCoupling, STATE_READY)
 
 LOAD_POLICY = """
 attribute server_load
@@ -81,6 +82,53 @@ class TestServerLoadMode:
         admission.release(holder.ticket)
         thread.join(timeout=5)
         admission.release(queued[0].ticket)
+
+
+class TestFleetView:
+    def test_sibling_load_degrades_local_quality(self, registry):
+        """An idle worker must still shed quality when its siblings are
+        saturated: the composite load is computed over the fleet view."""
+        clock = VirtualClock()
+        admission = AdmissionController(max_concurrency=4, queue_limit=8,
+                                        utilization_window_s=1.0,
+                                        clock=clock)
+        quality = QualityManager.from_text(LOAD_POLICY, registry)
+        stats = FleetStats.create(2)
+        try:
+            coupling = LoadQualityCoupling(
+                quality, admission,
+                fleet_view=lambda: stats.partial_view(exclude_index=0))
+            # alone in the fleet: plain local load
+            assert coupling.observe() == pytest.approx(0.0)
+            assert quality.choose_message_type() == "Full"
+            assert coupling.fleet_workers_live == 1
+            assert quality.attributes.get(FLEET_WORKERS) == 1
+            # a saturated sibling appears in the shared segment
+            stats.writer(1).publish(pid=99, generation=1, state=STATE_READY,
+                                    busy=4, queue_depth=8,
+                                    max_concurrency=4, queue_limit=8,
+                                    utilization=1.0)
+            load = coupling.observe()
+            # fleet utilization (0*4 + 1.0*4)/8 plus queue 8/(8+8)
+            assert load == pytest.approx(1.0)
+            assert quality.choose_message_type() == "Small"
+            assert coupling.fleet_workers_live == 2
+            assert quality.attributes.get(FLEET_WORKERS) == 2
+        finally:
+            stats.close()
+
+    def test_broken_fleet_view_never_breaks_serving(self, registry):
+        admission = AdmissionController(max_concurrency=4, queue_limit=8)
+        quality = QualityManager.from_text(LOAD_POLICY, registry)
+
+        def exploding_view():
+            raise RuntimeError("stats segment went away")
+
+        coupling = LoadQualityCoupling(quality, admission,
+                                       fleet_view=exploding_view)
+        assert coupling.observe() == pytest.approx(0.0)
+        assert coupling.fleet_workers_live == 1
+        assert quality.choose_message_type() == "Full"
 
 
 class TestRttPenaltyMode:

@@ -20,6 +20,11 @@ one JSON file:
   latency while thousands of idle keep-alive connections are held (with
   thread and RSS growth recorded), pipelined vs serial throughput at
   depths 1/8/32, and a reactor-vs-threaded A/B of plain call latency;
+* **cache** — the content-addressed quality/response cache tier: the
+  quality-managed RPC with the cache off (every call re-runs the quality
+  handler + encode) vs on (steady-state hits replay memoized bytes), and
+  a conditional-request A/B where ``If-None-Match`` turns the round-trip
+  into a header-only ``304 Not Modified``;
 * **scaleout** — the prefork reactor fleet: SOAP-bin echo RPC ops/s with
   one worker vs ``os.cpu_count()`` workers on one port (load generated
   by forked client processes, so the measurement is not GIL-bound), the
@@ -562,6 +567,172 @@ def _bench_scaleout(smoke: bool) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# cache: the content-addressed quality/response cache tier
+# ----------------------------------------------------------------------
+
+CACHE_REQUEST_FORMAT = Format.from_dict("RegressCacheRequest",
+                                        {"n": "int32"})
+CACHE_FULL_FORMAT = Format.from_dict("RegressCacheResponse",
+                                     {"seq": "int32", "payload": "float64[]"})
+CACHE_HALF_FORMAT = Format.from_dict("RegressCacheHalf",
+                                     {"seq": "int32", "payload": "float64[]"})
+
+_CACHE_QUALITY_FILE = """
+attribute rtt
+history 1
+handler RegressCacheHalf slow_stride
+0.0 inf - RegressCacheHalf
+"""
+
+
+def _slow_stride_handler(value, app_format, wire_format, registry,
+                         attributes):
+    """A deliberately Python-level quality handler: per-element arithmetic
+    the cache can win back (real deployments put image resizing here)."""
+    payload = value["payload"]
+    halved = [payload[i] * 0.5 + float(i % 7)
+              for i in range(0, len(payload), 2)]
+    return {"seq": value["seq"], "payload": halved}
+
+
+def _cache_service(registry: FormatRegistry, payload_elements: int,
+                   response_cache: bool) -> SoapBinService:
+    from ..core import HandlerRegistry
+    for fmt in (CACHE_REQUEST_FORMAT, CACHE_FULL_FORMAT, CACHE_HALF_FORMAT):
+        registry.register(fmt)
+    handlers = HandlerRegistry()
+    handlers.register("slow_stride", _slow_stride_handler)
+    service = SoapBinService(registry, quality_text=_CACHE_QUALITY_FILE,
+                             handlers=handlers,
+                             response_cache=response_cache)
+    result = {"seq": 7,
+              "payload": [float(i) * 0.25 for i in range(payload_elements)]}
+    service.add_operation("GetData", CACHE_REQUEST_FORMAT, CACHE_FULL_FORMAT,
+                          lambda params: result)
+    return service
+
+
+def _cache_rpc_pass(payload_elements: int, calls: int,
+                    response_cache: bool) -> Dict[str, Any]:
+    """p50/ops_s of the quality-managed RPC, cold path vs cache tier.
+
+    Every call asks for the same value, so with the cache on the steady
+    state is all hits; with it off every response re-runs the quality
+    handler and the encode — the exact work ROADMAP item 3 calls out.
+    """
+    registry = FormatRegistry()
+    service = _cache_service(registry, payload_elements, response_cache)
+    server = serve_endpoint(service.endpoint,
+                            quality_stats=service.quality_stats)
+    pool = HttpConnectionPool()
+    value = {"n": payload_elements}
+    try:
+        channel = PooledHttpChannel(server.address, pool=pool)
+        client = SoapBinClient(channel, registry)
+        for _ in range(min(10, calls)):
+            client.call("GetData", value, CACHE_REQUEST_FORMAT,
+                        CACHE_FULL_FORMAT)
+        latencies: List[float] = []
+        for _ in range(calls):
+            start = time.perf_counter()
+            client.call("GetData", value, CACHE_REQUEST_FORMAT,
+                        CACHE_FULL_FORMAT)
+            latencies.append(time.perf_counter() - start)
+        quality = service.quality_stats() or {}
+    finally:
+        pool.close()
+        server.close()
+    return {
+        "p50_call_latency_s": percentile(latencies, 50),
+        "p95_call_latency_s": percentile(latencies, 95),
+        "ops_s": len(latencies) / sum(latencies),
+        "cache_stats": quality.get("cache"),
+    }
+
+
+def _cache_304_pass(payload_elements: int, calls: int) -> Dict[str, Any]:
+    """Raw-HTTP conditional requests: a cache-hit full response vs a
+    ``304 Not Modified`` round-trip that skips encode and body bytes."""
+    from ..core.modes import HEADER_CLIENT_ID, PBIO_CONTENT_TYPE
+    from ..http11 import Headers
+    from ..pbio import PbioSession
+
+    registry = FormatRegistry()
+    service = _cache_service(registry, payload_elements,
+                             response_cache=True)
+    server = serve_endpoint(service.endpoint,
+                            quality_stats=service.quality_stats)
+    session = PbioSession(registry)
+    value = {"n": payload_elements}
+    # first pack carries the announcement; the second is the steady-state
+    # data-only request every timed round-trip replays
+    first_blob = session.pack_bytes(CACHE_REQUEST_FORMAT, value)
+    steady_blob = session.pack_bytes(CACHE_REQUEST_FORMAT, value)
+    try:
+        with HttpConnection(server.address) as conn:
+            base = Headers([(HEADER_CLIENT_ID, "bench-cache-304")])
+            first = conn.post("/", first_blob, PBIO_CONTENT_TYPE,
+                              headers=Headers(list(base)))
+            assert first.status == 200, first.status
+            etag = first.headers.get("ETag")
+            assert etag, "quality cache did not stamp an ETag"
+            conditional = Headers(list(base))
+            conditional.set("If-None-Match", etag)
+
+            def timed(headers: Headers, expected_status: int,
+                      n: int) -> List[float]:
+                out: List[float] = []
+                for _ in range(n):
+                    start = time.perf_counter()
+                    resp = conn.post("/", steady_blob, PBIO_CONTENT_TYPE,
+                                     headers=Headers(list(headers)))
+                    out.append(time.perf_counter() - start)
+                    assert resp.status == expected_status, resp.status
+                return out
+
+            timed(base, 200, min(10, calls))        # warmup
+            full = timed(base, 200, calls)
+            not_modified = timed(conditional, 304, calls)
+            full_bytes = len(first.body)
+        responses_304 = server.responses_304
+    finally:
+        server.close()
+    return {
+        "full_response_bytes": full_bytes,
+        "full_response_p50_s": percentile(full, 50),
+        "full_response_ops_s": len(full) / sum(full),
+        "not_modified_p50_s": percentile(not_modified, 50),
+        "not_modified_ops_s": (len(not_modified) / sum(not_modified)),
+        "responses_304": responses_304,
+    }
+
+
+def _bench_cache(smoke: bool) -> Dict[str, Any]:
+    payload_elements = 8192
+    calls = 60 if smoke else 400
+    cold = _cache_rpc_pass(payload_elements, calls, response_cache=False)
+    hit = _cache_rpc_pass(payload_elements, calls, response_cache=True)
+    cond = _cache_304_pass(payload_elements, calls)
+    out: Dict[str, Any] = {
+        "payload_elements": payload_elements,
+        "calls": calls,
+        "cold_p50_call_latency_s": cold["p50_call_latency_s"],
+        "cold_ops_s": cold["ops_s"],
+        "hit_p50_call_latency_s": hit["p50_call_latency_s"],
+        "hit_ops_s": hit["ops_s"],
+        "hit_speedup_vs_cold": (cold["p50_call_latency_s"]
+                                / hit["p50_call_latency_s"]
+                                if hit["p50_call_latency_s"] else 0.0),
+        "cache_stats": hit["cache_stats"],
+    }
+    out.update(cond)
+    out["not_modified_speedup_vs_full"] = (
+        cond["full_response_p50_s"] / cond["not_modified_p50_s"]
+        if cond["not_modified_p50_s"] else 0.0)
+    return out
+
+
 #: Section name -> builder.  Each builder takes ``smoke`` and returns the
 #: section document.
 SECTIONS: Dict[str, Callable[[bool], Any]] = {
@@ -572,6 +743,7 @@ SECTIONS: Dict[str, Callable[[bool], Any]] = {
                                     payload_elements=256),
     "concurrency": _bench_concurrency,
     "scaleout": _bench_scaleout,
+    "cache": _bench_cache,
 }
 
 
@@ -669,6 +841,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {hold['connections_held']} idle conns held: active rpc "
               f"p50 {hold['active_p50_latency_s'] * 1e3:.3f} ms, "
               f"+{hold['threads_added']} threads")
+    if "cache" in ran:
+        ca = result["cache"]
+        print(f"  quality cache: cold p50 "
+              f"{ca['cold_p50_call_latency_s'] * 1e3:.3f} ms, hit p50 "
+              f"{ca['hit_p50_call_latency_s'] * 1e3:.3f} ms "
+              f"({ca['hit_speedup_vs_cold']:.1f}x), 304 p50 "
+              f"{ca['not_modified_p50_s'] * 1e3:.3f} ms "
+              f"({ca['not_modified_speedup_vs_full']:.1f}x over full)")
     if "scaleout" in ran:
         sc = result["scaleout"]
         print(f"  fleet ({sc['workers']} workers on {sc['cores']} cores, "

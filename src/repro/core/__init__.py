@@ -46,10 +46,12 @@ from .monitor import (BandwidthMonitor, BreakerRttCoupling,
                       worst_interval_rtt)
 from .errors import (BinProtocolError, BinqError, QualityFileError,
                      QualityHandlerError)
+from .lru import LruTtlCache
 from .manager import QualityManager
 from .modes import (HEADER_CLIENT_ID, HEADER_OPERATION, HEADER_RTT,
                     HEADER_SERVER_TIME, HEADER_TIMESTAMP,
                     HEADER_TIMESTAMP_ECHO, Mode, PBIO_CONTENT_TYPE)
+from .qcache import QualityCache, canonical_digest
 from .quality_file import (QualityPolicy, QualityRule, format_quality_file,
                            parse_quality_file)
 from .quality_handlers import (HandlerRegistry, QualityHandler,
@@ -70,6 +72,7 @@ __all__ = [
     "QualityHandler", "HandlerRegistry", "trivial_handler",
     "downsample_arrays_handler",
     "QualityManager", "ConversionHandler",
+    "LruTtlCache", "QualityCache", "canonical_digest",
     "SoapBinClient", "SoapBinService",
     "compile_quality_handler", "HandlerRepository",
     "ExchangeObservation", "MonitorHub", "NetworkTimeMonitor",

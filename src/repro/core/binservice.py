@@ -22,9 +22,7 @@ transparently restored ("padded with zeroes") before handlers run.
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..pbio import (Format, FormatRegistry, PbioSession,
@@ -33,10 +31,12 @@ from ..soap.errors import SoapFault
 from ..soap.service import Operation, SoapService
 from ..transport import ChannelReply
 from .errors import BinProtocolError
+from .lru import LruTtlCache
 from .manager import QualityManager
 from .modes import (HEADER_CLIENT_ID, HEADER_OPERATION, HEADER_RTT,
                     HEADER_SERVER_TIME, HEADER_TIMESTAMP,
                     HEADER_TIMESTAMP_ECHO, PBIO_CONTENT_TYPE)
+from .qcache import QualityCache
 from .quality_handlers import HandlerRegistry
 
 
@@ -49,21 +49,34 @@ class SoapBinService:
                  prep_time_fn: Optional[Callable[[], float]] = None,
                  max_sessions: int = 4096,
                  session_idle_ttl_s: Optional[float] = None,
-                 sandbox: Optional[object] = None) -> None:
+                 sandbox: Optional[object] = None,
+                 response_cache: bool = True,
+                 cache_entries: int = 1024,
+                 cache_max_payload_bytes: int = 64 << 20,
+                 cache_ttl_s: Optional[float] = None) -> None:
         self.registry = registry if registry is not None else FormatRegistry()
         self.xml_service = SoapService(self.registry)
         self.compiler = self.registry.compiler
         self.handlers = handlers or HandlerRegistry()
+        #: measures server response-preparation time for RTT rectification;
+        #: overridable so simulated deployments report virtual prep time.
+        #: Doubles as the session-idle and cache-TTL time source.
+        self._prep_time_fn = prep_time_fn or time.perf_counter
         #: quality handlers run under this boundary (see
         #: repro.serving.sandbox): a raising/stalling handler falls back to
         #: the trivial projection instead of failing the request.
         self.sandbox = sandbox if sandbox is not None \
             else self._default_sandbox()
+        #: response-cache sizing (per process: the per-worker RSS budget)
+        self.response_cache = response_cache
+        self.cache_entries = cache_entries
+        self.cache_max_payload_bytes = cache_max_payload_bytes
+        self.cache_ttl_s = cache_ttl_s
         self.quality: Optional[QualityManager] = None
         if quality_text is not None:
             self.quality = QualityManager.from_text(
                 quality_text, self.registry, handlers=self.handlers,
-                sandbox=self.sandbox)
+                sandbox=self.sandbox, cache=self._make_quality_cache())
         #: per-client PBIO sessions (format announcements are per client),
         #: LRU-ordered and bounded: beyond ``max_sessions`` (or past
         #: ``session_idle_ttl_s`` of inactivity) the coldest session is
@@ -74,19 +87,23 @@ class SoapBinService:
             raise ValueError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
         self.session_idle_ttl_s = session_idle_ttl_s
-        self.sessions_evicted = 0
-        self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
-        self._sessions_lock = threading.Lock()
+        self._sessions: LruTtlCache = LruTtlCache(
+            capacity=max_sessions, ttl_s=session_idle_ttl_s,
+            time_fn=self._prep_time_fn)
         self._ops_by_format: Dict[str, Operation] = {}
-        #: measures server response-preparation time for RTT rectification;
-        #: overridable so simulated deployments report virtual prep time.
-        #: Doubles as the session-idle time source.
-        self._prep_time_fn = prep_time_fn or time.perf_counter
 
     @staticmethod
     def _default_sandbox():
         from ..serving.sandbox import HandlerSandbox
         return HandlerSandbox()
+
+    def _make_quality_cache(self) -> Optional[QualityCache]:
+        if not self.response_cache:
+            return None
+        return QualityCache(self.registry, capacity=self.cache_entries,
+                            ttl_s=self.cache_ttl_s,
+                            max_payload_bytes=self.cache_max_payload_bytes,
+                            time_fn=self._prep_time_fn)
 
     # ------------------------------------------------------------------
     # registration
@@ -115,9 +132,9 @@ class SoapBinService:
         paper's future-work goal of dynamically re-defining quality
         management (§V).
         """
-        self.quality = QualityManager.from_text(quality_text, self.registry,
-                                                handlers=self.handlers,
-                                                sandbox=self.sandbox)
+        self.quality = QualityManager.from_text(
+            quality_text, self.registry, handlers=self.handlers,
+            sandbox=self.sandbox, cache=self._make_quality_cache())
         return self.quality
 
     def install_handler_source(self, name: str, source: str) -> None:
@@ -155,12 +172,22 @@ class SoapBinService:
             for name, value in parse_attribute_headers(envelope).items():
                 self.quality.attributes.update_attribute(name, value)
             result = self.xml_service.invoke(op, params, headers)
-            wire_format, wire_value = self.quality.outgoing(
-                result, op.output_format)
+            # The XML body depends on the response element name, so the
+            # validator variant is per-operation: two ops sharing an
+            # output format and value must not 304 for each other.
+            wire_format, wire_value, etag, not_modified = \
+                self.quality.outgoing_keyed(
+                    result, op.output_format,
+                    if_none_match=self._if_none_match(headers),
+                    variant=f"xml:{op.response_name}")
+            if not_modified:
+                return ChannelReply(body=b"", content_type=XML_CONTENT_TYPE,
+                                    headers={"ETag": etag}, status=304)
             payload = encode_quality_response(op.response_name, wire_value,
                                               wire_format, self.registry)
-            return ChannelReply(body=payload,
-                                content_type=XML_CONTENT_TYPE)
+            reply_headers = {"ETag": etag} if etag is not None else {}
+            return ChannelReply(body=payload, content_type=XML_CONTENT_TYPE,
+                                headers=reply_headers)
         except SoapFault as fault:
             return self.xml_service._fault_reply(fault, compressed=False)
         except Exception as exc:  # noqa: BLE001 - dispatch boundary
@@ -173,7 +200,7 @@ class SoapBinService:
         prep_started = self._prep_time_fn()
         session = self._session_for(headers.get(HEADER_CLIENT_ID, "anon"))
         try:
-            reply_value, reply_format, session = self._run_binary(
+            reply_value, reply_format, etag, not_modified = self._run_binary(
                 body, headers, session)
         except (BinProtocolError, UnknownFormatError, SoapFault) as exc:
             return ChannelReply(body=str(exc).encode("utf-8"),
@@ -181,8 +208,16 @@ class SoapBinService:
         except Exception as exc:  # noqa: BLE001 - dispatch boundary
             return ChannelReply(body=f"internal error: {exc}".encode(),
                                 content_type="text/plain", status=500)
-        payload = session.pack_bytes(reply_format, reply_value)
         reply_headers = self._reply_headers(headers, prep_started)
+        if not_modified:
+            # Header-only fast path: the client's cached representation is
+            # current, so the quality handler AND the encode are skipped.
+            reply_headers["ETag"] = etag
+            return ChannelReply(body=b"", content_type=PBIO_CONTENT_TYPE,
+                                headers=reply_headers, status=304)
+        payload = self._pack_reply(session, reply_format, reply_value, etag)
+        if etag is not None:
+            reply_headers["ETag"] = etag
         return ChannelReply(body=payload, content_type=PBIO_CONTENT_TYPE,
                             headers=reply_headers)
 
@@ -193,9 +228,40 @@ class SoapBinService:
         params = self._restore_request(wire_value, wire_format, op)
         self._ingest_reported_rtt(headers)
         result = self.xml_service.invoke(op, params, headers)
-        reply_format, reply_value = self._apply_quality(result,
-                                                        op.output_format)
-        return reply_value, reply_format, session
+        reply_format, reply_value, etag, not_modified = self._apply_quality(
+            result, op.output_format, self._if_none_match(headers))
+        return reply_value, reply_format, etag, not_modified
+
+    @staticmethod
+    def _if_none_match(headers: Dict[str, str]) -> Optional[str]:
+        for name, value in headers.items():
+            if name.lower() == "if-none-match":
+                return value
+        return None
+
+    def _pack_reply(self, session: PbioSession, reply_format: Format,
+                    reply_value: Dict[str, Any],
+                    etag: Optional[str]) -> bytes:
+        """Encode the reply, reusing cached data-message bytes when safe.
+
+        Steady-state PBIO data bytes depend only on the registry-wide
+        format id and the value — not on which session sends them — so
+        once a session has announced the reply format, a payload cached
+        under the same content-addressed key can be replayed verbatim.
+        First-contact replies carry the announcement and are never cached.
+        """
+        cache = self.quality.cache if self.quality is not None else None
+        if cache is None or etag is None:
+            return session.pack_bytes(reply_format, reply_value)
+        announced = session.has_announced(reply_format)
+        if announced:
+            blob = cache.payload(etag)
+            if blob is not None:
+                return session.send_cached(blob)
+        payload = session.pack_bytes(reply_format, reply_value)
+        if announced:
+            cache.attach_payload(etag, payload)
+        return payload
 
     def _operation_for(self, wire_format: Format,
                        headers: Dict[str, str]) -> Operation:
@@ -232,11 +298,16 @@ class SoapBinService:
             return
         self.quality.attributes.update_attribute("rtt", value)
 
-    def _apply_quality(self, result: Dict[str, Any],
-                       output_format: Format) -> Tuple[Format, Dict[str, Any]]:
+    def _apply_quality(
+            self, result: Dict[str, Any], output_format: Format,
+            if_none_match: Optional[str] = None,
+    ) -> Tuple[Format, Optional[Dict[str, Any]], Optional[str], bool]:
         if self.quality is None:
-            return output_format, result
-        return self.quality.outgoing(result, output_format)
+            return output_format, result, None, False
+        wire_format, wire_value, etag, not_modified = \
+            self.quality.outgoing_keyed(result, output_format,
+                                        if_none_match=if_none_match)
+        return wire_format, wire_value, etag, not_modified
 
     def _reply_headers(self, request_headers: Dict[str, str],
                        prep_started: float) -> Dict[str, str]:
@@ -249,42 +320,21 @@ class SoapBinService:
         return reply
 
     def _session_for(self, client_id: str) -> PbioSession:
-        with self._sessions_lock:
-            now = self._prep_time_fn()
-            entry = self._sessions.get(client_id)
-            if entry is not None:
-                entry.last_used = now
-                self._sessions.move_to_end(client_id)
-                return entry.session
-            self._evict_idle_sessions(now)
-            session = PbioSession(self.registry, self.compiler)
-            self._sessions[client_id] = _SessionEntry(session, now)
-            while len(self._sessions) > self.max_sessions:
-                self._sessions.popitem(last=False)
-                self.sessions_evicted += 1
-            return session
-
-    def _evict_idle_sessions(self, now: float) -> None:
-        """Drop sessions idle past the TTL (LRU order == idleness order)."""
-        if self.session_idle_ttl_s is None:
-            return
-        horizon = now - self.session_idle_ttl_s
-        while self._sessions:
-            _, entry = next(iter(self._sessions.items()))
-            if entry.last_used > horizon:
-                return
-            self._sessions.popitem(last=False)
-            self.sessions_evicted += 1
+        return self._sessions.get_or_create(
+            client_id, lambda: PbioSession(self.registry, self.compiler))
 
     @property
     def session_count(self) -> int:
-        with self._sessions_lock:
-            return len(self._sessions)
+        return len(self._sessions)
 
+    @property
+    def sessions_evicted(self) -> int:
+        """Sessions dropped by capacity pressure or the idle TTL."""
+        return self._sessions.evicted_total
 
-class _SessionEntry:
-    __slots__ = ("session", "last_used")
-
-    def __init__(self, session: PbioSession, last_used: float) -> None:
-        self.session = session
-        self.last_used = last_used
+    # ------------------------------------------------------------------
+    def quality_stats(self) -> Optional[Dict[str, Any]]:
+        """The quality manager's observability snapshot (handler
+        fallbacks, sandbox state, cache counters), or ``None`` when no
+        policy is installed.  Surfaced in the server ``/healthz``."""
+        return self.quality.stats() if self.quality is not None else None

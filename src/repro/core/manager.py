@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
+from ..http11.messages import etag_matches
 from ..pbio import Format, FormatRegistry
 from .attributes import RTT, AttributeStore
 from .errors import QualityFileError
+from .qcache import QualityCache
 from .quality_file import QualityPolicy, parse_quality_file
 from .quality_handlers import HandlerRegistry, trivial_handler
 from .rtt import HysteresisSelector, RttEstimator
@@ -53,7 +55,8 @@ class QualityManager:
                  handlers: Optional[HandlerRegistry] = None,
                  attributes: Optional[AttributeStore] = None,
                  alpha: float = 0.875,
-                 sandbox: Optional["HandlerSandbox"] = None) -> None:
+                 sandbox: Optional["HandlerSandbox"] = None,
+                 cache: Optional[QualityCache] = None) -> None:
         self.policy = policy
         self.registry = registry
         self.handlers = handlers or HandlerRegistry()
@@ -65,6 +68,16 @@ class QualityManager:
         #: times a named handler failed and the trivial projection (or the
         #: full-fidelity format) was substituted
         self.handler_fallbacks = 0
+        #: content-addressed memoization of handler outputs (server side);
+        #: None keeps the manager zero-cost for cache-less deployments.
+        self.cache = cache
+        if cache is not None:
+            # Handlers may read any attribute, so a change to one the key
+            # does not capture must flush.  Two are exempt: the policy's
+            # monitored attribute (its effect is the chosen message type,
+            # already a key component) and the RTT telemetry attribute
+            # (fed on essentially every request).
+            self.attributes.subscribe(self._on_attribute_update)
         for message_type in policy.message_types():
             if not registry.has_name(message_type):
                 raise QualityFileError(
@@ -76,10 +89,17 @@ class QualityManager:
     def from_text(cls, quality_text: str, registry: FormatRegistry,
                   handlers: Optional[HandlerRegistry] = None,
                   attributes: Optional[AttributeStore] = None,
-                  sandbox: Optional["HandlerSandbox"] = None) -> "QualityManager":
+                  sandbox: Optional["HandlerSandbox"] = None,
+                  cache: Optional[QualityCache] = None) -> "QualityManager":
         """Build a manager straight from quality-file text."""
         return cls(parse_quality_file(quality_text), registry,
-                   handlers=handlers, attributes=attributes, sandbox=sandbox)
+                   handlers=handlers, attributes=attributes, sandbox=sandbox,
+                   cache=cache)
+
+    # ------------------------------------------------------------------
+    def _on_attribute_update(self, name: str, _value: float) -> None:
+        if name != self.policy.attribute and name != RTT:
+            self.cache.invalidate()
 
     # ------------------------------------------------------------------
     # monitoring inputs
@@ -113,11 +133,60 @@ class QualityManager:
         handler (trivial projection unless the quality file names one) and
         returns ``(wire_format, wire_value)``.
         """
+        wire_format, wire_value, _etag, _not_modified = self.outgoing_keyed(
+            value, app_format)
+        return wire_format, wire_value
+
+    def outgoing_keyed(
+            self, value: Dict[str, Any], app_format: Format,
+            if_none_match: Optional[str] = None,
+            variant: str = "pbio",
+    ) -> Tuple[Format, Optional[Dict[str, Any]], Optional[str], bool]:
+        """:meth:`outgoing` with content-addressed memoization.
+
+        Returns ``(wire_format, wire_value, etag, not_modified)``.  With a
+        :class:`~repro.core.qcache.QualityCache` attached, ``etag`` is the
+        strong validator addressing the bytes of this representation
+        (``variant`` distinguishes PBIO from per-operation XML encodings);
+        a matching ``if_none_match`` short-circuits *before* the handler
+        runs — ``wire_value`` comes back ``None`` and ``not_modified``
+        True.  Fallback output (sandboxed handler failed or quarantined)
+        is never cached and carries no validator: the key addresses the
+        healthy handler's output, not the substitute's.
+        """
         chosen_name = self.choose_message_type()
-        if chosen_name == app_format.name:
-            return app_format, value
-        wire_format = self.registry.by_name(chosen_name)
-        handler_name = self.policy.handler_for(chosen_name)
+        identity = chosen_name == app_format.name
+        wire_format = (app_format if identity
+                       else self.registry.by_name(chosen_name))
+        cache = self.cache
+        if cache is None:
+            if identity:
+                return app_format, value, None, False
+            out_format, wire_value, _ok = self._transform(
+                value, app_format, wire_format)
+            return out_format, wire_value, None, False
+        key = cache.key(app_format, wire_format, value, variant)
+        if etag_matches(if_none_match, key):
+            return wire_format, None, key, True
+        if identity:
+            return app_format, value, key, False
+        entry = cache.lookup(key)
+        if entry is not None:
+            return entry.wire_format, entry.wire_value, key, False
+        out_format, wire_value, ok = self._transform(
+            value, app_format, wire_format)
+        if not ok:
+            return out_format, wire_value, None, False
+        cache.store(key, out_format, wire_value)
+        return out_format, wire_value, key, False
+
+    def _transform(self, value: Dict[str, Any], app_format: Format,
+                   wire_format: Format
+                   ) -> Tuple[Format, Dict[str, Any], bool]:
+        """Run the quality handler; the bool is False when a fallback
+        substituted for the named handler (such output must not be cached
+        or validated against the degraded representation's key)."""
+        handler_name = self.policy.handler_for(wire_format.name)
         handler = self.handlers.get(handler_name)
         if self.sandbox is not None and handler_name is not None:
             ok, wire_value = self.sandbox.run(
@@ -130,11 +199,12 @@ class QualityManager:
                                                  wire_format, self.registry,
                                                  self.attributes)
                 except Exception:  # noqa: BLE001 - last-resort fallback
-                    return app_format, value
+                    return app_format, value, False
+                return wire_format, wire_value, False
         else:
             wire_value = handler(value, app_format, wire_format,
                                  self.registry, self.attributes)
-        return wire_format, wire_value
+        return wire_format, wire_value, True
 
     def restore(self, wire_value: Dict[str, Any], wire_format: Format,
                 app_format: Format) -> Dict[str, Any]:
@@ -163,4 +233,6 @@ class QualityManager:
         }
         if self.sandbox is not None:
             stats["sandbox"] = self.sandbox.stats()
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
         return stats

@@ -1,0 +1,219 @@
+"""Content-addressed response cache for quality-managed endpoints.
+
+ROADMAP open item 3: at fleet scale, thousands of clients pinned at the
+same quality interval each pay the full degrade+encode cost for
+byte-identical output.  :class:`QualityCache` memoizes the quality
+pipeline under a content-addressed key combining
+
+* the application format's SHA-1 :attr:`~repro.pbio.Format.fingerprint`,
+* the chosen message type's fingerprint (the quantized quality interval —
+  a :meth:`~repro.pbio.FormatRegistry.redefine` changes it, so stale
+  entries become unreachable even before the explicit flush),
+* a canonical digest of the response value (so the key vouches for the
+  actual payload content, never just the request), and
+* a representation variant (``pbio`` vs per-operation XML: the same value
+  has different bytes in each).
+
+The key *is* the strong ``ETag`` (quoted SHA-1 hex): a client presenting
+it back via ``If-None-Match`` can be answered ``304 Not Modified``
+without consulting the cache at all — content addressing makes the
+validator self-certifying.
+
+Invalidation contract (see ``docs/caching.md``):
+
+* :meth:`FormatRegistry.redefine` flushes the cache — the cache registers
+  itself via ``_attach_compiler`` exactly like the codec and XML-plan
+  caches;
+* ``update_attribute()`` on any attribute other than the policy's
+  monitored one (and the continuously-fed RTT telemetry) flushes, since
+  handlers may read arbitrary attributes; the monitored attribute needs
+  no flush because its effect is the chosen message type, which is part
+  of the key;
+* entries are only ever written from *successful* handler runs — a
+  sandboxed handler that raises, stalls or is quarantined falls back
+  without caching, so quarantine can never leave a poisoned entry.
+
+Two layers of reuse hang off one entry: the transformed value (skips the
+quality handler) and, when attached, the encoded PBIO data message (skips
+the codec too — steady-state data bytes depend only on the registry-wide
+format id and the payload, not on which session sends them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Dict, Optional
+
+from ..pbio import Format, FormatRegistry
+from .lru import LruTtlCache
+
+try:  # numpy is optional for the core; the digest just walks slower without
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+__all__ = ["QualityCache", "canonical_digest"]
+
+#: Lists at least this long try the vectorized (dtype+shape+bytes) path.
+_ARRAY_FAST_PATH_LEN = 64
+
+_F64 = struct.Struct("<d")
+
+
+def _update_digest(h, value: Any) -> None:
+    """Fold ``value`` into hasher ``h`` with type tags so structurally
+    different values can never collide by concatenation."""
+    if isinstance(value, dict):
+        h.update(b"D%d;" % len(value))
+        for key in sorted(value):
+            h.update(str(key).encode("utf-8", "surrogatepass"))
+            h.update(b"=")
+            _update_digest(h, value[key])
+        return
+    if _np is not None:
+        if isinstance(value, _np.ndarray):
+            arr = _np.ascontiguousarray(value)
+            h.update(b"A" + arr.dtype.str.encode("ascii")
+                     + str(arr.shape).encode("ascii") + b";")
+            h.update(arr.tobytes())
+            return
+        if isinstance(value, _np.generic):
+            _update_digest(h, value.item())
+            return
+    if isinstance(value, (list, tuple)):
+        if _np is not None and len(value) >= _ARRAY_FAST_PATH_LEN:
+            try:
+                arr = _np.asarray(value)
+            except Exception:  # noqa: BLE001 - ragged input: walk instead
+                arr = None
+            if arr is not None and arr.dtype != object:
+                h.update(b"A" + arr.dtype.str.encode("ascii")
+                         + str(arr.shape).encode("ascii") + b";")
+                h.update(arr.tobytes())
+                return
+        h.update(b"L%d;" % len(value))
+        for item in value:
+            _update_digest(h, item)
+        return
+    if isinstance(value, bool):  # before int: bool subclasses int
+        h.update(b"b1" if value else b"b0")
+    elif isinstance(value, float):
+        h.update(b"F")
+        h.update(_F64.pack(value))
+    elif isinstance(value, int):
+        h.update(b"I%d;" % value)
+    elif isinstance(value, str):
+        h.update(b"S")
+        h.update(value.encode("utf-8", "surrogatepass"))
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        h.update(b"B")
+        h.update(value)
+    elif value is None:
+        h.update(b"N")
+    else:
+        h.update(b"O")
+        h.update(repr(value).encode("utf-8", "surrogatepass"))
+
+
+def canonical_digest(value: Any) -> str:
+    """SHA-1 hex digest of a message value, canonical across dict order."""
+    h = hashlib.sha1()
+    _update_digest(h, value)
+    return h.hexdigest()
+
+
+class _CacheEntry:
+    """One memoized quality transformation (and optionally its encoding)."""
+
+    __slots__ = ("wire_format", "wire_value", "payload")
+
+    def __init__(self, wire_format: Format, wire_value: Dict[str, Any],
+                 payload: Optional[bytes] = None) -> None:
+        self.wire_format = wire_format
+        self.wire_value = wire_value
+        self.payload = payload
+
+
+class QualityCache:
+    """Bounded content-addressed cache of quality-pipeline outputs.
+
+    ``max_payload_bytes`` bounds the resident size of attached encoded
+    payloads per process (the per-worker RSS budget); ``capacity`` bounds
+    the entry count; ``ttl_s`` ages out entries for values no client asks
+    for any more.
+    """
+
+    def __init__(self, registry: FormatRegistry, capacity: int = 1024,
+                 ttl_s: Optional[float] = None,
+                 max_payload_bytes: int = 64 << 20,
+                 time_fn=None) -> None:
+        self.registry = registry
+        self.max_payload_bytes = max_payload_bytes
+        self._cache = LruTtlCache(capacity=capacity, ttl_s=ttl_s,
+                                  max_bytes=max_payload_bytes,
+                                  time_fn=time_fn)
+        #: whole-cache flushes (redefine / attribute updates)
+        self.flushes = 0
+        # redefine() calls invalidate() on everything attached here — the
+        # registry holds us weakly; the owning QualityManager keeps us
+        # alive.
+        registry._attach_compiler(self)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def key(self, app_format: Format, wire_format: Format,
+            value: Any, variant: str = "pbio") -> str:
+        """The content-addressed cache key, quoted as a strong ETag."""
+        h = hashlib.sha1()
+        h.update(app_format.fingerprint.encode("ascii"))
+        h.update(b":")
+        h.update(wire_format.fingerprint.encode("ascii"))
+        h.update(b":%d:" % self.registry.codec_epoch)
+        h.update(variant.encode("utf-8", "surrogatepass"))
+        h.update(b":")
+        _update_digest(h, value)
+        return f'"{h.hexdigest()}"'
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[_CacheEntry]:
+        """Counted, LRU-touching lookup."""
+        return self._cache.get(key)
+
+    def payload(self, key: str) -> Optional[bytes]:
+        """The attached encoded payload, if any — uncounted peek (the
+        value lookup on the same request already scored the hit)."""
+        entry = self._cache.peek(key)
+        return entry.payload if entry is not None else None
+
+    def store(self, key: str, wire_format: Format,
+              wire_value: Dict[str, Any]) -> None:
+        self._cache.put(key, _CacheEntry(wire_format, wire_value))
+
+    def attach_payload(self, key: str, payload: bytes) -> None:
+        """Attach the encoded data-message bytes to an existing entry so
+        later hits skip the codec entirely.  Oversize payloads (and
+        payloads for entries already evicted) are dropped silently."""
+        entry = self._cache.peek(key)
+        if entry is None or len(payload) > self.max_payload_bytes:
+            return
+        entry = _CacheEntry(entry.wire_format, entry.wire_value,
+                            bytes(payload))
+        self._cache.put(key, entry, weight=len(payload))
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop everything — the ``redefine()`` compiler-cache contract."""
+        self._cache.invalidate()
+        self.flushes += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        out = self._cache.stats()
+        out["flushes"] = self.flushes
+        return out

@@ -24,7 +24,7 @@ from .errors import (HttpConnectionClosed, HttpError, HttpParseError,
                      HttpTooLarge)
 from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Headers, LineReader,
                        Request, RequestParser, Response, ResponseParser,
-                       read_request, read_response)
+                       etag_matches, read_request, read_response)
 from .pipeline import PipelinedHttpConnection, PipelineError
 from .reactor import ReactorHttpServer
 from .server import (CONCURRENCY_ENV, HttpServer, ThreadedHttpServer,
@@ -34,7 +34,7 @@ from .server import (CONCURRENCY_ENV, HttpServer, ThreadedHttpServer,
 __all__ = [
     "HttpError", "HttpParseError", "HttpConnectionClosed", "HttpTooLarge",
     "Headers", "Request", "Response", "LineReader", "read_request",
-    "read_response", "RequestParser", "ResponseParser",
+    "read_response", "RequestParser", "ResponseParser", "etag_matches",
     "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
     "HttpServer", "ThreadedHttpServer", "ReactorHttpServer",
     "default_concurrency", "CONCURRENCY_ENV",

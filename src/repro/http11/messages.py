@@ -29,6 +29,7 @@ MAX_BODY_BYTES = 256 * 1024 * 1024
 REASONS = {
     200: "OK",
     204: "No Content",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -150,6 +151,21 @@ class Response:
         resp = cls(status=status, body=message.encode("utf-8"))
         resp.headers.set("Content-Type", "text/plain; charset=utf-8")
         return resp
+
+
+def etag_matches(if_none_match: Optional[str], etag: Optional[str]) -> bool:
+    """RFC 9110 ``If-None-Match`` evaluation against one strong ETag.
+
+    ``if_none_match`` is the raw header value (may list several quoted
+    tags, or ``*``); comparison is the strong one — quotes included,
+    ``W/`` weak tags never match.
+    """
+    if not if_none_match or not etag:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    return any(candidate.strip() == etag
+               for candidate in if_none_match.split(","))
 
 
 def _serialize(start_line: str, headers: Headers, body: bytes) -> bytes:

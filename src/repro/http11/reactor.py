@@ -145,6 +145,7 @@ class ReactorHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 quality_stats=None,
                  reuse_port: bool = False,
                  conn_receiver: Optional[socket.socket] = None,
                  listen: bool = True,
@@ -168,7 +169,8 @@ class ReactorHttpServer(_ServerCore):
                          idle_timeout_s=idle_timeout_s,
                          max_body_bytes=max_body_bytes,
                          max_header_bytes=max_header_bytes,
-                         health_path=health_path)
+                         health_path=health_path,
+                         quality_stats=quality_stats)
         self.workers = workers
         self.max_buffered_bytes = max_buffered_bytes
         self.max_pipeline = max_pipeline

@@ -52,7 +52,7 @@ from typing import Callable, Dict, Optional, TYPE_CHECKING, Tuple
 from ..serving.deadline import deadline_from_headers
 from .errors import HttpConnectionClosed, HttpParseError, HttpTooLarge
 from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, LineReader, Request,
-                       Response, read_request)
+                       Response, etag_matches, read_request)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..serving.admission import AdmissionController
@@ -124,8 +124,13 @@ class _ServerCore:
                  idle_timeout_s: Optional[float] = None,
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
-                 health_path: str = "/healthz") -> None:
+                 health_path: str = "/healthz",
+                 quality_stats: Optional[
+                     Callable[[], Optional[Dict[str, object]]]] = None) -> None:
         self.handler = handler
+        #: optional callable returning the application's quality snapshot
+        #: (e.g. ``SoapBinService.quality_stats``) surfaced in ``/healthz``
+        self.quality_stats = quality_stats
         self.max_connections = max_connections
         self.retry_after_s = max(0.0, retry_after_s)
         self.admission = admission
@@ -146,6 +151,9 @@ class _ServerCore:
         self.fleet_index = 0
         self.requests_served = 0
         self.requests_shed = 0
+        #: conditional requests answered header-only (endpoint-issued 304s
+        #: and 200s the validator in :meth:`_finalize` converted)
+        self.responses_304 = 0
         self.connections_accepted = 0
         self.connections_rejected = 0
         self._active_connections = 0
@@ -166,6 +174,33 @@ class _ServerCore:
     # request-level behaviour (identical in both concurrency models)
     # ------------------------------------------------------------------
     def _respond(self, request: Request) -> Response:
+        """Health check, admission gate, application handler, validators."""
+        return self._finalize(request, self._respond_inner(request))
+
+    def _finalize(self, request: Request, response: Response) -> Response:
+        """HTTP validator pass shared by both concurrency models.
+
+        A ``200`` carrying an ``ETag`` that the request's ``If-None-Match``
+        already holds is converted to a header-only ``304 Not Modified``
+        (handlers that check the validator themselves — the quality cache
+        fast path — emit 304 directly and just get counted here).  Always
+        emitting ``Content-Length: 0`` keeps framing exact under keep-alive
+        and pipelining.
+        """
+        if response.status == 200:
+            etag = response.headers.get("ETag")
+            if etag is not None and etag_matches(
+                    request.headers.get("If-None-Match"), etag):
+                headers = response.headers
+                headers.remove("Content-Length")
+                response = Response(status=304, headers=headers, body=b"",
+                                    version=response.version)
+        if response.status == 304:
+            with self._lock:
+                self.responses_304 += 1
+        return response
+
+    def _respond_inner(self, request: Request) -> Response:
         """Health check, admission gate, then the application handler."""
         if request.target == self.health_path:
             return self._health_response()
@@ -209,7 +244,13 @@ class _ServerCore:
                 "connections_active": self._active_connections,
                 "requests_served": self.requests_served,
                 "requests_shed": self.requests_shed,
+                "responses_304": self.responses_304,
             }
+        if self.quality_stats is not None:
+            try:
+                payload["quality"] = self.quality_stats()
+            except Exception:  # noqa: BLE001 - health must never 500
+                payload["quality"] = None
         if self.admission is not None:
             snap = self.admission.snapshot()
             payload.update({
@@ -304,6 +345,8 @@ class ThreadedHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 quality_stats: Optional[
+                     Callable[[], Optional[Dict[str, object]]]] = None,
                  reuse_port: bool = False,
                  conn_receiver: Optional[socket.socket] = None,
                  listen: bool = True,
@@ -322,7 +365,8 @@ class ThreadedHttpServer(_ServerCore):
                          idle_timeout_s=idle_timeout_s,
                          max_body_bytes=max_body_bytes,
                          max_header_bytes=max_header_bytes,
-                         health_path=health_path)
+                         health_path=health_path,
+                         quality_stats=quality_stats)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         if reuse_port:
@@ -516,6 +560,8 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                max_body_bytes: int = MAX_BODY_BYTES,
                max_header_bytes: int = MAX_HEADER_BYTES,
                health_path: str = "/healthz",
+               quality_stats: Optional[
+                   Callable[[], Optional[Dict[str, object]]]] = None,
                concurrency: Optional[str] = None,
                reuse_port: bool = False,
                conn_receiver: Optional[socket.socket] = None,
@@ -555,6 +601,7 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                assume_synced_clock=assume_synced_clock,
                idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
                max_header_bytes=max_header_bytes, health_path=health_path,
+               quality_stats=quality_stats,
                reuse_port=reuse_port, conn_receiver=conn_receiver,
                listen=listen,
                workers=workers, max_buffered_bytes=max_buffered_bytes,

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .compiler import BIG, LITTLE, CodecCompiler
-from .errors import DecodeError, UnknownFormatError
+from .errors import DecodeError, FormatError, UnknownFormatError
 from .fmt import Format
 from .registry import FormatRegistry
 
@@ -160,6 +160,19 @@ class PbioSession:
         self.stats = SessionStats()
         self._announced: Set[int] = set()
         self._remote: Dict[int, Format] = {}
+        # Join the redefine() invalidation contract (weakly, like the
+        # codec/xlate caches): a redefined format keeps its wire id, so
+        # without this the peer would keep decoding with stale metadata.
+        attach = getattr(registry, "_attach_compiler", None)
+        if attach is not None:
+            attach(self)
+
+    def invalidate(self) -> None:
+        """Forget which formats the peer has seen (called on
+        :meth:`~repro.pbio.FormatRegistry.redefine`): the next send of
+        each format re-announces it, overwriting the peer's stale id
+        binding with the new metadata."""
+        self._announced.clear()
 
     # ------------------------------------------------------------------
     # sending
@@ -204,6 +217,27 @@ class PbioSession:
         self.stats.bytes_sent += len(blob)
         return blob
 
+    def has_announced(self, fmt: Union[Format, str]) -> bool:
+        """True once this session has announced ``fmt`` to the peer — i.e.
+        the next :meth:`pack_bytes` for it is a data-only message."""
+        if isinstance(fmt, str):
+            if not self.registry.has_name(fmt):
+                return False
+            fmt = self.registry.by_name(fmt)
+        try:
+            fid = self.registry.id_of(fmt)
+        except FormatError:
+            return False
+        return fid in self._announced
+
+    def send_cached(self, blob: bytes) -> bytes:
+        """Account for a pre-encoded data message being replayed on this
+        session (the response-cache byte path), keeping :attr:`stats`
+        consistent with :meth:`pack_bytes`."""
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(blob)
+        return blob
+
     def _announce(self, fmt: Format, fid: int) -> bytes:
         announcement = encode_message(KIND_FORMAT, fid, fmt.to_wire(),
                                       self.endian)
@@ -225,7 +259,14 @@ class PbioSession:
         if msg.kind == KIND_FORMAT:
             fmt = Format.from_wire(msg.payload)
             self._remote[msg.format_id] = fmt
-            self.registry.register(fmt)
+            try:
+                self.registry.register(fmt)
+            except FormatError:
+                # The peer redefined a name this registry already binds
+                # (live quality redefinition): the announcement is
+                # authoritative for the connection, so adopt it — which
+                # also flushes codec plans compiled for the old layout.
+                self.registry.redefine(fmt)
             self.stats.announcements_received += 1
             return None
         if msg.kind != KIND_DATA:

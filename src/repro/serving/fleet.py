@@ -109,8 +109,18 @@ def _worker_main(cfg: _WorkerConfig) -> None:
     stats = FleetStats.attach(cfg.stats_name)
     ctx = WorkerContext(cfg.index, cfg.workers, cfg.generation, stats,
                         cfg.stale_after_s)
-    handler = cfg.handler_factory(ctx)
-    extra = cfg.worker_config(ctx) if cfg.worker_config is not None else {}
+    made = cfg.handler_factory(ctx)
+    # A factory may return (handler, extra_server_kwargs) so the handler's
+    # own plumbing (e.g. a SoapBinService's ``quality_stats`` callable and
+    # per-worker cache budget) rides along; ``worker_config(ctx)`` output
+    # is merged on top and wins on conflicts.
+    if isinstance(made, tuple):
+        handler, extra = made
+        extra = dict(extra)
+    else:
+        handler, extra = made, {}
+    if cfg.worker_config is not None:
+        extra.update(cfg.worker_config(ctx))
     if cfg.mode == "reuseport":
         server = ReactorHttpServer(handler, host=cfg.host, port=cfg.port,
                                    backlog=cfg.backlog, reuse_port=True,
@@ -165,11 +175,15 @@ class FleetServer:
     """Prefork fleet of reactor workers sharing one listen port.
 
     ``handler_factory(ctx)`` is called *inside each forked worker* and
-    returns the request handler; ``worker_config(ctx)``, when given,
-    returns extra :class:`~repro.http11.ReactorHttpServer` keyword
-    arguments (``admission``, ``load_coupling``, ``workers``, …) — build
-    them there, not in the parent, so every worker gets fresh admission
-    state and a coupling wired to ``ctx.fleet_view``.
+    returns the request handler — or a ``(handler, extra_kwargs)`` tuple
+    when the handler wants server plumbing of its own (a
+    :class:`~repro.core.SoapBinService` returns its ``quality_stats``
+    callable this way so per-worker cache counters reach ``/healthz`` and
+    the fleet stats segment).  ``worker_config(ctx)``, when given, returns
+    extra :class:`~repro.http11.ReactorHttpServer` keyword arguments
+    (``admission``, ``load_coupling``, ``workers``, …) merged over the
+    factory's — build them there, not in the parent, so every worker gets
+    fresh admission state and a coupling wired to ``ctx.fleet_view``.
 
     ``mode="reuseport"`` (default where available) gives kernel accept
     balancing; ``mode="handoff"`` keeps a single parent listener and
@@ -490,6 +504,12 @@ class FleetServer:
         if proc is None or proc.pid is None:
             raise RuntimeError(f"worker {index} is not running")
         os.kill(proc.pid, sig)
+        if sig == signal.SIGKILL:
+            # Reap before returning: until the victim is actually gone,
+            # the handoff acceptor's is_alive() check can still route a
+            # connection onto its socketpair, and that fd dies (client
+            # reset) with the process.
+            proc.join(timeout=5.0)
         return proc.pid
 
     def rolling_restart(self, drain_s: Optional[float] = None,

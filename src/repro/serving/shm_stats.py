@@ -2,7 +2,7 @@
 
 A :class:`FleetServer` parent creates one ``FleetStats`` segment sized
 for N workers; each forked worker attaches to it and publishes its own
-admission/shed/pool counters into a private 128-byte slot.  Readers —
+admission/shed/pool/cache counters into a private 192-byte slot.  Readers —
 the parent's control-port ``/healthz`` and every worker's
 ``LoadQualityCoupling`` — aggregate the slots without locks.
 
@@ -14,8 +14,8 @@ Layout
     offset 0    header (64 bytes)
                 magic, version, nworkers, slot size, parent pid,
                 creation timestamp (monotonic clock of the parent)
-    offset 64   slot 0   (128 bytes)
-    offset 192  slot 1
+    offset 64   slot 0   (192 bytes)
+    offset 256  slot 1
     ...
 
 Each slot is written only by its owning worker, so the classic
@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 MAGIC = 0x464C5431            # "FLT1"
-VERSION = 1
+VERSION = 2
 
 STATE_EMPTY = 0               # slot never written (or explicitly cleared)
 STATE_READY = 1
@@ -71,10 +71,12 @@ _SEQ_FMT = "<Q"
 _SEQ_SIZE = struct.calcsize(_SEQ_FMT)
 # pid, generation, state, heartbeat, served, shed, conns_accepted,
 # conns_active, busy, queue_depth, max_concurrency, queue_limit,
-# utilization, p95_service_s, port
-_PAYLOAD_FMT = "<QQQdQQQQQQQQddQ"
+# utilization, p95_service_s, port, then the v2 response-cache block:
+# cache_hits, cache_misses, cache_evictions, cache_invalidations,
+# responses_304
+_PAYLOAD_FMT = "<QQQdQQQQQQQQddQ" + "QQQQQ"
 _PAYLOAD_SIZE = struct.calcsize(_PAYLOAD_FMT)
-_SLOT_SIZE = 128
+_SLOT_SIZE = 192
 assert _SEQ_SIZE + _PAYLOAD_SIZE <= _SLOT_SIZE
 
 
@@ -98,6 +100,11 @@ class WorkerStats:
     utilization: float
     p95_service_s: float
     port: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    responses_304: int = 0
 
     @property
     def state_name(self) -> str:
@@ -129,6 +136,11 @@ class WorkerStats:
             "utilization": round(self.utilization, 4),
             "p95_service_s": round(self.p95_service_s, 6),
             "port": self.port,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "responses_304": self.responses_304,
         }
 
 
@@ -181,6 +193,9 @@ class WorkerStatsWriter:
                 max_concurrency: int = 0, queue_limit: int = 0,
                 utilization: float = 0.0, p95_service_s: float = 0.0,
                 port: int = 0,
+                cache_hits: int = 0, cache_misses: int = 0,
+                cache_evictions: int = 0, cache_invalidations: int = 0,
+                responses_304: int = 0,
                 heartbeat: Optional[float] = None) -> None:
         if heartbeat is None:
             heartbeat = time.monotonic()
@@ -193,7 +208,9 @@ class WorkerStatsWriter:
             requests_served, requests_shed,
             connections_accepted, connections_active,
             busy, queue_depth, max_concurrency, queue_limit,
-            utilization, p95_service_s, port)
+            utilization, p95_service_s, port,
+            cache_hits, cache_misses, cache_evictions,
+            cache_invalidations, responses_304)
         self._seq += 1                                     # even: write done
         struct.pack_into(_SEQ_FMT, buf, off, self._seq)
 
@@ -341,6 +358,11 @@ class FleetStats:
             "queue_depth": 0,
             "max_concurrency": 0,
             "queue_limit": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "cache_invalidations": 0,
+            "responses_304": 0,
         }
         for s in live:
             agg["requests_served"] += s.requests_served
@@ -351,6 +373,11 @@ class FleetStats:
             agg["queue_depth"] += s.queue_depth
             agg["max_concurrency"] += s.max_concurrency
             agg["queue_limit"] += s.queue_limit
+            agg["cache_hits"] += s.cache_hits
+            agg["cache_misses"] += s.cache_misses
+            agg["cache_evictions"] += s.cache_evictions
+            agg["cache_invalidations"] += s.cache_invalidations
+            agg["responses_304"] += s.responses_304
             weight = float(max(1, s.max_concurrency))
             util_num += s.utilization * weight
             util_den += weight
@@ -372,10 +399,25 @@ def publish_server_stats(writer: WorkerStatsWriter, server, *, pid: int,
     ``server`` only needs the counters every repro HTTP server exposes
     (``requests_served``, ``requests_shed``, ``connections_active``,
     ``connections_accepted``); admission detail comes from the
-    controller's ``snapshot()`` when one is wired.
+    controller's ``snapshot()`` when one is wired, and response-cache
+    counters from the server's ``quality_stats`` callable when the
+    application installed one (capacity evictions and TTL expirations are
+    folded into one eviction figure).
     """
     busy = queue_depth = max_concurrency = queue_limit = 0
     utilization = p95 = 0.0
+    hits = misses = evictions = invalidations = 0
+    quality_stats = getattr(server, "quality_stats", None)
+    if quality_stats is not None:
+        try:
+            cache = (quality_stats() or {}).get("cache") or {}
+        except Exception:
+            cache = {}
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        evictions = cache.get("evictions", 0) + cache.get("expirations", 0)
+        invalidations = (cache.get("invalidations", 0)
+                         + cache.get("flushes", 0))
     if admission is not None:
         snap = admission.snapshot()
         busy = snap.get("busy", 0)
@@ -392,4 +434,7 @@ def publish_server_stats(writer: WorkerStatsWriter, server, *, pid: int,
         connections_active=getattr(server, "_active_connections", 0),
         busy=busy, queue_depth=queue_depth,
         max_concurrency=max_concurrency, queue_limit=queue_limit,
-        utilization=utilization, p95_service_s=p95, port=port)
+        utilization=utilization, p95_service_s=p95, port=port,
+        cache_hits=hits, cache_misses=misses, cache_evictions=evictions,
+        cache_invalidations=invalidations,
+        responses_304=getattr(server, "responses_304", 0))

@@ -78,6 +78,22 @@ def test_smoke_scaleout_measures_a_real_fleet(report):
 
 
 @pytest.mark.bench_smoke
+def test_smoke_cache_hit_beats_cold_and_304_beats_full(report):
+    cache = report["cache"]
+    # the PR's acceptance bar: steady-state cache hits strictly faster
+    # than the cold quality pipeline, and a 304 round-trip faster than a
+    # full cache-hit response
+    assert cache["hit_p50_call_latency_s"] < cache["cold_p50_call_latency_s"]
+    assert cache["not_modified_p50_s"] < cache["full_response_p50_s"]
+    assert cache["hit_speedup_vs_cold"] > 1.0
+    assert cache["not_modified_speedup_vs_full"] > 1.0
+    # the hit pass really was served from the cache, not recomputed
+    stats = cache["cache_stats"]
+    assert stats["hits"] >= cache["calls"] - 2
+    assert cache["responses_304"] == cache["calls"]
+
+
+@pytest.mark.bench_smoke
 class TestSectionsFlag:
     def test_unknown_section_name_is_rejected(self):
         with pytest.raises(ValueError, match="unknown section"):

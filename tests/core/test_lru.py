@@ -1,0 +1,164 @@
+"""Unit tests for the reusable LRU+TTL cache module.
+
+The session table in :class:`SoapBinService` and the response cache in
+:mod:`repro.core.qcache` are both built on :class:`LruTtlCache`; these
+tests pin the machinery itself — capacity, TTL under a virtual clock,
+eviction order, byte budget and explicit invalidation.
+"""
+
+import pytest
+
+from repro.core.lru import LruTtlCache
+from repro.netsim.clock import VirtualClock
+
+
+def test_capacity_evicts_coldest_first():
+    cache = LruTtlCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert "a" not in cache
+    assert cache.get("b") == 2
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_get_refreshes_lru_order():
+    cache = LruTtlCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")           # touch: "b" is now the coldest
+    cache.put("c", 3)
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LruTtlCache(capacity=0)
+    with pytest.raises(ValueError):
+        LruTtlCache(max_bytes=0)
+
+
+def test_ttl_expires_idle_entries_under_virtual_clock():
+    clock = VirtualClock()
+    cache = LruTtlCache(ttl_s=10.0, time_fn=clock.now)
+    cache.put("a", 1)
+    clock.advance(5.0)
+    cache.put("b", 2)
+    clock.advance(6.0)       # "a" idle 11 s, "b" idle 6 s
+    cache.put("c", 3)        # insert path sweeps the expired entry
+    assert "a" not in cache
+    assert "b" in cache
+    assert cache.expirations == 1
+
+
+def test_hit_refreshes_idleness():
+    clock = VirtualClock()
+    cache = LruTtlCache(ttl_s=10.0, time_fn=clock.now)
+    cache.put("a", 1)
+    clock.advance(8.0)
+    assert cache.get("a") == 1      # touch resets the idle clock
+    clock.advance(8.0)              # only 8 s idle since the touch
+    cache.put("b", 2)
+    assert "a" in cache
+    assert cache.expirations == 0
+
+
+def test_no_ttl_means_no_expiry():
+    clock = VirtualClock()
+    cache = LruTtlCache(time_fn=clock.now)
+    cache.put("a", 1)
+    clock.advance(1e9)
+    cache.put("b", 2)
+    assert "a" in cache
+    assert cache.expirations == 0
+
+
+def test_explicit_invalidation_single_key_and_full_flush():
+    cache = LruTtlCache()
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.invalidate("a") == 1
+    assert "a" not in cache
+    assert cache.invalidate("missing") == 0
+    cache.put("c", 3)
+    assert cache.invalidate() == 2          # b and c
+    assert len(cache) == 0
+    assert cache.invalidations == 3
+
+
+def test_byte_budget_evicts_down_to_fit():
+    cache = LruTtlCache(max_bytes=100)
+    cache.put("a", "x", weight=60)
+    cache.put("b", "y", weight=60)          # over budget: "a" goes
+    assert "a" not in cache
+    assert cache.total_bytes == 60
+    assert cache.evictions == 1
+
+
+def test_oversize_entry_is_never_admitted():
+    cache = LruTtlCache(max_bytes=100)
+    cache.put("a", "small", weight=10)
+    assert cache.put("big", "huge", weight=101) is False
+    assert "big" not in cache
+    assert "a" in cache
+    assert cache.total_bytes == 10
+
+
+def test_oversize_replacement_drops_the_stale_entry():
+    cache = LruTtlCache(max_bytes=100)
+    cache.put("k", "old", weight=10)
+    assert cache.put("k", "new", weight=500) is False
+    # the old value must not survive under the key the caller just tried
+    # to replace — serving it would be stale
+    assert "k" not in cache
+    assert cache.total_bytes == 0
+
+
+def test_replacement_adjusts_total_bytes():
+    cache = LruTtlCache(max_bytes=100)
+    cache.put("k", "v1", weight=40)
+    cache.put("k", "v2", weight=70)
+    assert cache.total_bytes == 70
+    assert len(cache) == 1
+
+
+def test_peek_does_not_touch_order_or_counters():
+    cache = LruTtlCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1
+    assert cache.hits == 0
+    cache.put("c", 3)
+    assert "a" not in cache      # the peek did not refresh "a"
+
+
+def test_get_or_create_hits_and_creates():
+    cache = LruTtlCache(capacity=2)
+    made = []
+
+    def factory():
+        made.append(1)
+        return object()
+
+    first = cache.get_or_create("k", factory)
+    again = cache.get_or_create("k", factory)
+    assert first is again
+    assert len(made) == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_stats_snapshot_and_evicted_total():
+    clock = VirtualClock()
+    cache = LruTtlCache(capacity=1, ttl_s=5.0, time_fn=clock.now)
+    cache.put("a", 1)
+    cache.put("b", 2)            # capacity eviction
+    clock.advance(6.0)
+    cache.put("c", 3)            # TTL expiration of "b"
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["expirations"] == 1
+    assert cache.evicted_total == 2
+    assert stats["entries"] == 1

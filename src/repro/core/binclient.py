@@ -52,7 +52,12 @@ class SoapBinClient:
         self.clock = clock or WallClock()
         self.quality = quality
         self.compiler = registry.compiler
-        self.session = PbioSession(registry, self.compiler, endian=endian)
+        # The server owns the service's formats: when it live-redefines one
+        # (same name, new layout) and re-announces, this session adopts the
+        # announcement as authoritative.  Server-side sessions keep the
+        # default (reject conflicting announcements per-connection).
+        self.session = PbioSession(registry, self.compiler, endian=endian,
+                                   adopt_redefines=True)
         self.client_id = client_id or uuid.uuid4().hex
         #: used when no quality manager is installed, so RTT reporting to
         #: the server works in plain SOAP-bin deployments too

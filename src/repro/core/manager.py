@@ -49,6 +49,20 @@ class QualityManager:
     trivial projection handler — and to the full-fidelity application
     format if even that fails — instead of letting user handler code fail
     the request.
+
+    .. warning:: **Handler purity under caching.**  With a ``cache``
+       attached, a handler's output must be a pure function of the input
+       value, the format pair, and attributes *other than* the policy's
+       monitored attribute and the RTT telemetry.  Those two are exempt
+       from the attribute-update flush (the monitored attribute's effect
+       is the chosen message type, which is part of the cache key; RTT
+       changes on essentially every exchange), so a handler that reads
+       either one *directly* from the :class:`AttributeStore` would have
+       stale output replayed from the cache — and incorrectly
+       ``304``-validated.  Handlers needing the monitored value must act
+       on it only through the quality file's interval → message-type
+       mapping; handlers that genuinely depend on other per-request state
+       must run cache-less (``cache=None``).  See ``docs/caching.md``.
     """
 
     def __init__(self, policy: QualityPolicy, registry: FormatRegistry,

@@ -53,7 +53,7 @@ try:  # numpy is optional for the core; the digest just walks slower without
 except ImportError:  # pragma: no cover - numpy is present in CI
     _np = None
 
-__all__ = ["QualityCache", "canonical_digest"]
+__all__ = ["QualityCache", "canonical_digest", "estimated_weight"]
 
 #: Lists at least this long try the vectorized (dtype+shape+bytes) path.
 _ARRAY_FAST_PATH_LEN = 64
@@ -123,24 +123,63 @@ def canonical_digest(value: Any) -> str:
     return h.hexdigest()
 
 
+#: flat per-container cost approximating CPython object headers — cached
+#: values are array-dominated, so precision here is unimportant; what
+#: matters is that large buffers are charged their real size.
+_CONTAINER_OVERHEAD = 64
+_SCALAR_WEIGHT = 32
+
+
+def estimated_weight(value: Any) -> int:
+    """Approximate resident bytes of a cached message value.
+
+    NumPy arrays and byte strings (which dominate every evaluation
+    workload) are charged their exact buffer size; containers and scalars
+    get flat per-object estimates.  This is what :meth:`QualityCache.store`
+    charges against ``max_payload_bytes``, so the budget bounds the whole
+    entry — cached ``wire_value`` dicts included — not just the encoded
+    payloads later attached."""
+    if _np is not None:
+        if isinstance(value, _np.ndarray):
+            return int(value.nbytes) + _CONTAINER_OVERHEAD
+        if isinstance(value, _np.generic):
+            return _SCALAR_WEIGHT
+    if isinstance(value, dict):
+        return (_CONTAINER_OVERHEAD
+                + sum(len(str(k)) + _SCALAR_WEIGHT + estimated_weight(v)
+                      for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return (_CONTAINER_OVERHEAD + 8 * len(value)
+                + sum(estimated_weight(item) for item in value))
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value) + _SCALAR_WEIGHT
+    if isinstance(value, str):
+        return len(value) + _SCALAR_WEIGHT
+    return _SCALAR_WEIGHT
+
+
 class _CacheEntry:
     """One memoized quality transformation (and optionally its encoding)."""
 
-    __slots__ = ("wire_format", "wire_value", "payload")
+    __slots__ = ("wire_format", "wire_value", "payload", "value_weight")
 
     def __init__(self, wire_format: Format, wire_value: Dict[str, Any],
-                 payload: Optional[bytes] = None) -> None:
+                 payload: Optional[bytes] = None,
+                 value_weight: int = 0) -> None:
         self.wire_format = wire_format
         self.wire_value = wire_value
         self.payload = payload
+        self.value_weight = value_weight
 
 
 class QualityCache:
     """Bounded content-addressed cache of quality-pipeline outputs.
 
-    ``max_payload_bytes`` bounds the resident size of attached encoded
-    payloads per process (the per-worker RSS budget); ``capacity`` bounds
-    the entry count; ``ttl_s`` ages out entries for values no client asks
+    ``max_payload_bytes`` is the per-worker RSS budget: every entry is
+    charged its :func:`estimated_weight` (array/byte buffers at their
+    real size) plus the attached encoded payload, and the coldest
+    entries are evicted until the total fits; ``capacity`` bounds the
+    entry count; ``ttl_s`` ages out entries for values no client asks
     for any more.
     """
 
@@ -191,18 +230,29 @@ class QualityCache:
 
     def store(self, key: str, wire_format: Format,
               wire_value: Dict[str, Any]) -> None:
-        self._cache.put(key, _CacheEntry(wire_format, wire_value))
+        """Memoize a handler output, charged at its estimated resident
+        size so ``max_payload_bytes`` bounds the cache's RSS even before
+        any encoded payload is attached.  A value alone heavier than the
+        whole budget is never admitted."""
+        weight = estimated_weight(wire_value)
+        self._cache.put(key, _CacheEntry(wire_format, wire_value,
+                                         value_weight=weight),
+                        weight=weight)
 
     def attach_payload(self, key: str, payload: bytes) -> None:
         """Attach the encoded data-message bytes to an existing entry so
-        later hits skip the codec entirely.  Oversize payloads (and
-        payloads for entries already evicted) are dropped silently."""
+        later hits skip the codec entirely.  Payloads that would push the
+        entry (value weight + encoding) past the byte budget — and
+        payloads for entries already evicted — are dropped silently."""
         entry = self._cache.peek(key)
-        if entry is None or len(payload) > self.max_payload_bytes:
+        if entry is None:
+            return
+        weight = entry.value_weight + len(payload)
+        if weight > self.max_payload_bytes:
             return
         entry = _CacheEntry(entry.wire_format, entry.wire_value,
-                            bytes(payload))
-        self._cache.put(key, entry, weight=len(payload))
+                            bytes(payload), entry.value_weight)
+        self._cache.put(key, entry, weight=weight)
 
     # ------------------------------------------------------------------
     # invalidation

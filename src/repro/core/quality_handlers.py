@@ -13,6 +13,15 @@ describes for legacy integration.
 Handlers are registered by name in a :class:`HandlerRegistry`; applications
 register domain handlers (image resizing, timestep batching) and quality
 files reference them with ``handler <message_type> <name>`` lines.
+
+**Purity contract** (enforced by convention, required for response
+caching): a handler must compute its output only from the value, the
+format pair and quality attributes *other than* the policy's monitored
+attribute and the ``rtt`` telemetry attribute.  The response cache
+(``docs/caching.md``) flushes on every other attribute update but exempts
+those two, so a handler reading them directly would be served stale from
+the cache.  React to the monitored attribute through the quality file's
+interval → message-type mapping instead.
 """
 
 from __future__ import annotations

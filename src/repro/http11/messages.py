@@ -158,14 +158,48 @@ def etag_matches(if_none_match: Optional[str], etag: Optional[str]) -> bool:
 
     ``if_none_match`` is the raw header value (may list several quoted
     tags, or ``*``); comparison is the strong one — quotes included,
-    ``W/`` weak tags never match.
+    ``W/`` weak tags never match.  The list is scanned as quoted
+    entity-tags, not split on commas: a comma is a legal ``etagc``, so a
+    foreign tag like ``"a,b"`` is one candidate, not two.
     """
     if not if_none_match or not etag:
         return False
-    if if_none_match.strip() == "*":
+    header = if_none_match.strip()
+    if header == "*":
         return True
-    return any(candidate.strip() == etag
-               for candidate in if_none_match.split(","))
+    return any(candidate == etag for candidate in _iter_entity_tags(header))
+
+
+def _iter_entity_tags(header: str) -> Iterator[str]:
+    """Yield the entity-tags of an ``If-None-Match`` list.
+
+    Quoted strings are scanned (entity-tags contain no escapes — DQUOTE
+    is excluded from ``etagc``), so commas inside a tag never mis-split;
+    weak tags keep their ``W/`` prefix, which makes them fail the strong
+    comparison naturally.  Malformed unquoted segments are yielded up to
+    the next comma, preserving the old lenient behaviour for them.
+    """
+    i, n = 0, len(header)
+    while i < n:
+        if header[i] in " \t,":
+            i += 1
+            continue
+        start = i
+        if header.startswith("W/", i):
+            i += 2
+        if i < n and header[i] == '"':
+            end = header.find('"', i + 1)
+            if end < 0:                 # unterminated quote: take the rest
+                yield header[start:]
+                return
+            i = end + 1
+            yield header[start:i]
+        else:
+            end = header.find(",", i)
+            if end < 0:
+                end = n
+            yield header[start:end].strip()
+            i = end
 
 
 def _serialize(start_line: str, headers: Headers, body: bytes) -> bytes:

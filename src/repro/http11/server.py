@@ -180,14 +180,17 @@ class _ServerCore:
     def _finalize(self, request: Request, response: Response) -> Response:
         """HTTP validator pass shared by both concurrency models.
 
-        A ``200`` carrying an ``ETag`` that the request's ``If-None-Match``
-        already holds is converted to a header-only ``304 Not Modified``
-        (handlers that check the validator themselves — the quality cache
-        fast path — emit 304 directly and just get counted here).  Always
-        emitting ``Content-Length: 0`` keeps framing exact under keep-alive
-        and pipelining.
+        A ``GET``/``HEAD`` ``200`` carrying an ``ETag`` that the request's
+        ``If-None-Match`` already holds is converted to a header-only
+        ``304 Not Modified``; other methods are left alone, since RFC 9110
+        defines ``If-None-Match``/``304`` cache-update semantics for
+        GET/HEAD only.  (The SOAP-bin service's conditional *POST* is its
+        own documented endpoint-level contract between repro endpoints —
+        it emits 304 directly and just gets counted here; see
+        ``docs/caching.md``.)  Always emitting ``Content-Length: 0`` keeps
+        framing exact under keep-alive and pipelining.
         """
-        if response.status == 200:
+        if response.status == 200 and request.method in ("GET", "HEAD"):
             etag = response.headers.get("ETag")
             if etag is not None and etag_matches(
                     request.headers.get("If-None-Match"), etag):

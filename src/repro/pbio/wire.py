@@ -144,12 +144,25 @@ class PbioSession:
     format_fetcher:
         Optional callable ``(format_id) -> Format | None`` consulted for
         unknown ids — typically :meth:`repro.pbio.server.FormatClient.fetch`.
+    adopt_redefines:
+        Trust model for incoming format announcements whose *name* is
+        already bound to a different structure in the local registry.
+        ``True`` treats the peer's announcement as authoritative and
+        rebinds the name via :meth:`FormatRegistry.redefine` — correct
+        only when the peer *owns* the registry's contents, i.e. on the
+        client side of a live quality redefinition (the server re-announces
+        the new layout; see ``docs/caching.md``).  The default ``False``
+        raises :class:`~repro.pbio.errors.FormatError`, failing that one
+        message: a server must never let one client rebind server-owned
+        format names (and flush every codec/response cache) for all
+        connections.
     """
 
     def __init__(self, registry: FormatRegistry,
                  compiler: Optional[CodecCompiler] = None,
                  endian: str = LITTLE,
-                 format_fetcher: Optional[Callable[[int], Optional[Format]]] = None) -> None:
+                 format_fetcher: Optional[Callable[[int], Optional[Format]]] = None,
+                 adopt_redefines: bool = False) -> None:
         self.registry = registry
         if compiler is None:
             compiler = getattr(registry, "compiler", None) \
@@ -157,6 +170,7 @@ class PbioSession:
         self.compiler = compiler
         self.endian = endian
         self.format_fetcher = format_fetcher
+        self.adopt_redefines = adopt_redefines
         self.stats = SessionStats()
         self._announced: Set[int] = set()
         self._remote: Dict[int, Format] = {}
@@ -258,15 +272,21 @@ class PbioSession:
         self.stats.bytes_received += len(blob)
         if msg.kind == KIND_FORMAT:
             fmt = Format.from_wire(msg.payload)
-            self._remote[msg.format_id] = fmt
             try:
                 self.registry.register(fmt)
             except FormatError:
-                # The peer redefined a name this registry already binds
-                # (live quality redefinition): the announcement is
-                # authoritative for the connection, so adopt it — which
-                # also flushes codec plans compiled for the old layout.
+                # The peer announced a name this registry already binds to
+                # a different structure.  Only a session that explicitly
+                # trusts its peer — the client side of a live quality
+                # redefinition — may rebind shared registry state (which
+                # also flushes codec plans compiled for the old layout).
+                # Everywhere else the conflict fails this one message, so
+                # a single peer can never rebind server-owned names or
+                # thrash shared caches for every other connection.
+                if not self.adopt_redefines:
+                    raise
                 self.registry.redefine(fmt)
+            self._remote[msg.format_id] = fmt
             self.stats.announcements_received += 1
             return None
         if msg.kind != KIND_DATA:

@@ -12,6 +12,7 @@ import pytest
 np = pytest.importorskip("numpy")
 
 from repro.core import (QualityCache, QualityManager, canonical_digest)
+from repro.core.qcache import estimated_weight
 from repro.core.attributes import RTT
 from repro.core.quality_handlers import HandlerRegistry
 from repro.pbio import Format, FormatRegistry
@@ -330,22 +331,54 @@ class TestPayloadAttachment:
 
     def test_oversize_payload_is_rejected(self):
         registry, full, half = make_registry()
-        cache = QualityCache(registry, max_payload_bytes=4)
-        key = cache.key(full, half, {"seq": 1, "data": [1.0]})
-        cache.store(key, half, {"seq": 1, "data": [1.0]})
+        value = {"seq": 1, "data": [1.0]}
+        # headroom for the value itself, but not for the payload on top
+        cache = QualityCache(registry,
+                             max_payload_bytes=estimated_weight(value) + 4)
+        key = cache.key(full, half, value)
+        cache.store(key, half, value)
         cache.attach_payload(key, b"too big to cache")
         assert cache.payload(key) is None
         assert cache.lookup(key) is not None      # value entry kept
 
     def test_payload_budget_evicts_coldest(self):
         registry, full, half = make_registry()
-        cache = QualityCache(registry, max_payload_bytes=100)
+        entry_weight = estimated_weight({"seq": 0, "data": []}) + 60
+        cache = QualityCache(registry,
+                             max_payload_bytes=2 * entry_weight + 10)
         keys = []
         for seq in range(3):
             key = cache.key(full, half, {"seq": seq, "data": []})
             cache.store(key, half, {"seq": seq, "data": []})
             cache.attach_payload(key, bytes(60))
             keys.append(key)
-        # 3 × 60 bytes > 100: the two coldest payload-bearing entries went
+        # three full entries exceed the budget: the coldest one went
         assert cache.payload(keys[2]) is not None
         assert cache.lookup(keys[0]) is None
+
+    def test_value_weight_counts_against_budget(self):
+        # REVIEW: the budget must bound resident wire_values, not just
+        # attached payloads — a flood of distinct large values may not
+        # grow RSS past max_payload_bytes.
+        registry, full, half = make_registry()
+        array_bytes = 8 * 1024
+        budget = 3 * (array_bytes + 512)
+        cache = QualityCache(registry, max_payload_bytes=budget)
+        for seq in range(12):
+            value = {"seq": seq, "data": np.arange(1024, dtype=np.float64)
+                     + seq}
+            key = cache.key(full, half, value)
+            cache.store(key, half, value)
+        stats = cache.stats()
+        assert stats["bytes"] <= budget
+        assert stats["entries"] <= 3
+        assert stats["evictions"] >= 9
+
+    def test_value_alone_over_budget_is_never_admitted(self):
+        registry, full, half = make_registry()
+        cache = QualityCache(registry, max_payload_bytes=1024)
+        value = {"seq": 1, "data": np.zeros(4096, dtype=np.float64)}
+        key = cache.key(full, half, value)
+        cache.store(key, half, value)
+        assert cache.lookup(key) is None
+        assert cache.stats()["bytes"] == 0

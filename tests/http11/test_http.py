@@ -6,8 +6,8 @@ import pytest
 
 from repro.http11 import (Headers, HttpConnection, HttpParseError,
                           HttpServer, HttpTooLarge, LineReader, Request,
-                          Response, parse_address, read_request,
-                          read_response)
+                          Response, etag_matches, parse_address,
+                          read_request, read_response)
 from repro.http11.errors import HttpConnectionClosed
 
 
@@ -52,6 +52,42 @@ class TestHeaders:
     def test_iteration_preserves_order(self):
         h = Headers([("A", "1"), ("B", "2")])
         assert list(h) == [("A", "1"), ("B", "2")]
+
+
+class TestEtagMatches:
+    def test_single_strong_match(self):
+        assert etag_matches('"abc"', '"abc"')
+        assert not etag_matches('"abc"', '"def"')
+
+    def test_list_and_whitespace(self):
+        assert etag_matches('"x", "y" , "z"', '"y"')
+        assert not etag_matches('"x", "y"', '"w"')
+
+    def test_wildcard(self):
+        assert etag_matches("*", '"anything"')
+        assert etag_matches("  *  ", '"anything"')
+
+    def test_weak_tags_never_match_strongly(self):
+        assert not etag_matches('W/"abc"', '"abc"')
+        assert etag_matches('W/"abc", "abc"', '"abc"')
+
+    def test_empty_inputs(self):
+        assert not etag_matches(None, '"x"')
+        assert not etag_matches('"x"', None)
+        assert not etag_matches("", '"x"')
+
+    def test_comma_inside_entity_tag(self):
+        # a comma is a legal etagc: a foreign tag containing one is a
+        # single candidate, not a split pair
+        assert etag_matches('"a,b"', '"a,b"')
+        assert etag_matches('"x", "a,b"', '"a,b"')
+        assert not etag_matches('"a,b"', '"a"')
+        assert not etag_matches('"a,b"', '"b"')
+        # and it never shadows a later well-formed candidate
+        assert etag_matches('"a,b", "c"', '"c"')
+
+    def test_unterminated_quote_is_lenient(self):
+        assert not etag_matches('"dangling', '"dangling"')
 
 
 class TestSerialization:

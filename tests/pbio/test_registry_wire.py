@@ -203,6 +203,64 @@ class TestSession:
         assert tx.stats.bytes_sent == sum(len(b) for b in blobs)
 
 
+class TestAnnouncementTrust:
+    """Conflicting peer announcements: rejected by default, adopted only
+    by sessions that explicitly trust their peer (client side of a live
+    quality redefinition)."""
+
+    def setup_method(self):
+        self.peer_reg = FormatRegistry()
+        self.peer_fmt = make_fmt("sample", {"seq": "int64", "data": "int8[]"})
+        self.peer_reg.register(self.peer_fmt)
+        self.local_reg = FormatRegistry()
+        self.local_fmt = make_fmt("sample", {"seq": "int32",
+                                             "data": "float64[]"})
+        self.local_reg.register(self.local_fmt)
+        self.announcement = PbioSession(self.peer_reg).pack(
+            self.peer_fmt, {"seq": 1, "data": []})[0]
+
+    def test_conflicting_announcement_rejected_by_default(self):
+        rx = PbioSession(self.local_reg)
+        with pytest.raises(FormatError):
+            rx.unpack(self.announcement)
+        # the shared registry still holds the server-owned definition,
+        # and no per-connection binding for the rejected id was kept
+        assert (self.local_reg.by_name("sample").fingerprint
+                == self.local_fmt.fingerprint)
+        assert rx._remote == {}
+
+    def test_conflict_does_not_flush_attached_caches(self):
+        class Probe:
+            flushed = 0
+
+            def invalidate(self):
+                self.flushed += 1
+
+        probe = Probe()
+        self.local_reg._attach_compiler(probe)
+        rx = PbioSession(self.local_reg)
+        with pytest.raises(FormatError):
+            rx.unpack(self.announcement)
+        assert probe.flushed == 0
+
+    def test_trusting_session_adopts_redefinition(self):
+        rx = PbioSession(self.local_reg, adopt_redefines=True)
+        assert rx.unpack(self.announcement) is None
+        assert (self.local_reg.by_name("sample").fingerprint
+                == self.peer_fmt.fingerprint)
+
+    def test_matching_announcement_fine_without_trust(self):
+        tx = PbioSession(self.peer_reg)
+        rx_reg = FormatRegistry()
+        rx_reg.register(make_fmt("sample", {"seq": "int64",
+                                            "data": "int8[]"}))
+        rx = PbioSession(rx_reg)          # same structure: no conflict
+        for blob in tx.pack(self.peer_fmt, {"seq": 4, "data": [1, 2]}):
+            result = rx.unpack(blob)
+        _fmt, decoded = result
+        assert decoded["seq"] == 4
+
+
 class TestInMemoryFormatServer:
     def test_register_and_fetch(self):
         server = InMemoryFormatServer()

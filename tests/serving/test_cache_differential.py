@@ -295,6 +295,46 @@ class TestMidSessionInvalidation:
         assert service.quality.cache.flushes >= 1
 
 
+class TestAnnouncementTrustServerSide:
+    def test_client_announcement_cannot_rebind_server_formats(self):
+        """A client announcing a format whose name conflicts with a
+        server-owned one gets a per-connection error: the shared registry
+        keeps the server's definition and no cache is flushed, so other
+        clients are untouched (REVIEW: server-side sessions must not adopt
+        peer announcements via redefine)."""
+        scenario = _mdbond_scenario()
+        service = build_service(scenario, response_cache=True)
+        service.quality.update_attribute(LEVEL_ATTR, 0.3)
+        client_registry = FormatRegistry()
+        for fmt in scenario["formats"].values():
+            client_registry.register(fmt)
+        good = SoapBinClient(DirectChannel(service.endpoint),
+                             client_registry, client_id="good")
+        req = scenario["formats"]["GetBondsRequest"]
+        out = scenario["formats"]["BondBatch4"]
+        for _ in range(2):                          # miss then hit
+            assert good.call("GetBonds", {"start": 3}, req, out)["count"] == 2
+        original = service.registry.by_name("GetBondsRequest").fingerprint
+        hits_before = service.quality.cache.stats()["hits"]
+
+        hostile_registry = FormatRegistry()
+        hostile_req = Format.from_dict(
+            "GetBondsRequest", {"start": "float64", "extra": "int8[]"})
+        hostile_registry.register(hostile_req)
+        hostile = PbioSession(hostile_registry)
+        blob = hostile.pack_bytes(hostile_req, {"start": 1.0, "extra": []})
+        reply = service.endpoint(blob, PBIO_CONTENT_TYPE,
+                                 {HEADER_CLIENT_ID: "hostile",
+                                  HEADER_OPERATION: "GetBonds"})
+        assert reply.status == 500                  # that client alone fails
+        assert (service.registry.by_name("GetBondsRequest").fingerprint
+                == original)
+        assert service.quality.cache.flushes == 0   # shared state untouched
+        # the well-behaved client still gets warm-cache answers
+        assert good.call("GetBonds", {"start": 3}, req, out)["count"] == 2
+        assert service.quality.cache.stats()["hits"] == hits_before + 1
+
+
 class TestQuarantineNoPoison:
     def test_quarantined_handler_output_is_never_cached(self):
         scenario = _imaging_scenario()
@@ -456,6 +496,14 @@ class TestHttpValidators:
                     method="GET", target="/data",
                     headers=Headers([("If-None-Match", "*")])))
                 assert wildcard.status == 304
+                # RFC 9110 scopes If-None-Match/304 semantics to GET/HEAD:
+                # the core never converts other methods (the SOAP-bin
+                # endpoint's conditional POST emits its 304s itself)
+                post = conn.request(Request(
+                    method="POST", target="/data", body=b"x",
+                    headers=Headers([("If-None-Match", '"v1"')])))
+                assert post.status == 200
+                assert post.body == b"payload-bytes"
             assert server.responses_304 == 2
 
 

@@ -1,12 +1,23 @@
 """Benchmark harness: workload generators, timers, tables and the
-figure/table computations behind ``benchmarks/``."""
+figure/table computations behind ``benchmarks/``.
+
+Heavier machinery lives in submodules imported on demand (they pull in
+transport/serving):
+
+* :mod:`~repro.bench.regress` — the BENCH_headline.json regression run;
+* :mod:`~repro.bench.gates` — the CI gate logic judging those reports;
+* :mod:`~repro.bench.loadgen` — the multi-process load generator
+  (``python -m repro.cli loadgen``) and its JSON/HTML reports.
+"""
 
 from . import datagen, figures
 from .tables import human_bytes, human_time, print_table, render_table
-from .timers import jitter_stats, mean, measure, percentile, stdev
+from .timers import (LogHistogram, jitter_stats, mean, measure, percentile,
+                     stdev)
 
 __all__ = [
     "datagen", "figures",
     "measure", "mean", "stdev", "percentile", "jitter_stats",
+    "LogHistogram",
     "render_table", "print_table", "human_bytes", "human_time",
 ]

@@ -1,0 +1,289 @@
+"""Rendering and validation for ``LOADGEN_report.json``.
+
+:func:`render_html` turns a loadgen report into a single self-contained
+HTML file — inline SVG polyline charts, no JavaScript, no external assets
+— so the CI artifact opens anywhere.  :func:`validate_report` is the
+hand-rolled schema check the ``loadgen-smoke`` gate runs (no jsonschema
+dependency): it returns a list of human-readable problems, empty when the
+document conforms.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: the report schema this module understands
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+def _check(problems: List[str], doc: Dict[str, Any], path: str, key: str,
+           types: Tuple[type, ...], required: bool = True) -> Any:
+    if key not in doc:
+        if required:
+            problems.append(f"{path}.{key}: missing")
+        return None
+    value = doc[key]
+    if not isinstance(value, types):
+        names = "/".join(t.__name__ for t in types)
+        problems.append(f"{path}.{key}: expected {names}, "
+                        f"got {type(value).__name__}")
+        return None
+    return value
+
+
+def validate_report(doc: Any) -> List[str]:
+    """All the ways ``doc`` fails to be a valid loadgen report."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report: expected object, got {type(doc).__name__}"]
+    schema = _check(problems, doc, "report", "schema", (int,))
+    if schema is not None and schema != SCHEMA_VERSION:
+        problems.append(f"report.schema: expected {SCHEMA_VERSION}, "
+                        f"got {schema}")
+    kind = _check(problems, doc, "report", "kind", (str,))
+    if kind is not None and kind != "loadgen":
+        problems.append(f"report.kind: expected 'loadgen', got {kind!r}")
+    _check(problems, doc, "report", "config", (dict,))
+    _check(problems, doc, "report", "duration_s", (int, float))
+    _check(problems, doc, "report", "generators", (list,))
+    _check(problems, doc, "report", "server", (dict,))
+
+    totals = _check(problems, doc, "report", "totals", (dict,))
+    if totals is not None:
+        for key in ("requests", "errors", "shed"):
+            value = _check(problems, totals, "totals", key, (int,))
+            if value is not None and value < 0:
+                problems.append(f"totals.{key}: negative ({value})")
+        _check(problems, totals, "totals", "rps", (int, float))
+        by_kind = _check(problems, totals, "totals", "by_kind", (dict,))
+        if by_kind is not None:
+            for kind_name, entry in by_kind.items():
+                if not isinstance(entry, dict):
+                    problems.append(f"totals.by_kind.{kind_name}: "
+                                    "expected object")
+                    continue
+                for key in ("requests", "errors", "shed"):
+                    _check(problems, entry,
+                           f"totals.by_kind.{kind_name}", key, (int,))
+
+    latency = _check(problems, doc, "report", "latency", (dict,))
+    if latency is not None:
+        overall = _check(problems, latency, "latency", "overall", (dict,))
+        if overall is not None:
+            for key in ("count", "p50_s", "p95_s", "p99_s", "max_s"):
+                _check(problems, overall, "latency.overall", key,
+                       (int, float))
+            if not problems:
+                if not (overall["p50_s"] <= overall["p95_s"]
+                        <= overall["p99_s"]):
+                    problems.append(
+                        "latency.overall: percentiles not monotonic "
+                        f"(p50={overall['p50_s']}, p95={overall['p95_s']},"
+                        f" p99={overall['p99_s']})")
+        _check(problems, latency, "latency", "by_kind", (dict,))
+
+    series = _check(problems, doc, "report", "per_second", (list,))
+    if series is not None:
+        for index, row in enumerate(series):
+            if not isinstance(row, dict):
+                problems.append(f"per_second[{index}]: expected object")
+                continue
+            for key in ("t", "requests", "errors", "shed",
+                        "p50_s", "p95_s", "p99_s"):
+                _check(problems, row, f"per_second[{index}]", key,
+                       (int, float))
+    if totals is not None and series and not problems:
+        summed = sum(row["requests"] for row in series)
+        if summed != totals["requests"]:
+            problems.append(
+                f"per_second: requests sum {summed} != totals.requests "
+                f"{totals['requests']}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# HTML rendering (inline SVG, zero dependencies)
+# ----------------------------------------------------------------------
+
+_WIDTH, _HEIGHT, _PAD = 640, 180, 36
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+th { background: #f2f2f2; } td:first-child, th:first-child
+{ text-align: left; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.legend span { margin-right: 1.2em; font-size: 0.85em; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em;
+          margin-right: 0.3em; vertical-align: -0.05em; }
+"""
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd")
+
+
+def _polyline(points: Sequence[Tuple[float, float]], xmax: float,
+              ymax: float, color: str) -> str:
+    if not points or xmax <= 0 or ymax <= 0:
+        return ""
+    inner_w = _WIDTH - 2 * _PAD
+    inner_h = _HEIGHT - 2 * _PAD
+    coords = " ".join(
+        f"{_PAD + x / xmax * inner_w:.1f},"
+        f"{_HEIGHT - _PAD - min(y, ymax) / ymax * inner_h:.1f}"
+        for x, y in points)
+    return (f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{coords}"/>')
+
+
+def _fmt_tick(value: float) -> str:
+    if value >= 1000:
+        return f"{value / 1000:.3g}k"
+    if value >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def _chart(title: str, series: Dict[str, List[Tuple[float, float]]],
+           unit: str = "") -> str:
+    """One SVG line chart; ``series`` maps legend label -> (x, y) points."""
+    xmax = max((x for pts in series.values() for x, _ in pts), default=0.0)
+    ymax = max((y for pts in series.values() for _, y in pts), default=0.0)
+    xmax = max(xmax, 1e-9)
+    ymax = max(ymax * 1.05, 1e-9)
+    lines = [f"<h2>{html.escape(title)}</h2>"]
+    legend = []
+    body = []
+    for (label, points), color in zip(series.items(), _COLORS):
+        body.append(_polyline(points, xmax, ymax, color))
+        legend.append(f'<span><span class="swatch" '
+                      f'style="background:{color}"></span>'
+                      f'{html.escape(label)}</span>')
+    axes = (
+        f'<line x1="{_PAD}" y1="{_HEIGHT - _PAD}" x2="{_WIDTH - _PAD}" '
+        f'y2="{_HEIGHT - _PAD}" stroke="#999"/>'
+        f'<line x1="{_PAD}" y1="{_PAD}" x2="{_PAD}" '
+        f'y2="{_HEIGHT - _PAD}" stroke="#999"/>'
+        f'<text x="{_PAD}" y="{_HEIGHT - _PAD + 14}" font-size="10" '
+        f'fill="#666">0</text>'
+        f'<text x="{_WIDTH - _PAD}" y="{_HEIGHT - _PAD + 14}" '
+        f'font-size="10" fill="#666" text-anchor="end">'
+        f'{_fmt_tick(xmax)}s</text>'
+        f'<text x="{_PAD - 4}" y="{_PAD + 4}" font-size="10" fill="#666" '
+        f'text-anchor="end">{_fmt_tick(ymax)}{html.escape(unit)}</text>')
+    lines.append(f'<div class="legend">{"".join(legend)}</div>')
+    lines.append(f'<svg width="{_WIDTH}" height="{_HEIGHT}" '
+                 f'viewBox="0 0 {_WIDTH} {_HEIGHT}">{axes}'
+                 f'{"".join(body)}</svg>')
+    return "\n".join(lines)
+
+
+def _summary_table(report: Dict[str, Any]) -> str:
+    totals = report["totals"]
+    rows = [
+        "<table><tr><th>kind</th><th>requests</th><th>errors</th>"
+        "<th>shed</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>"
+        "<th>max ms</th></tr>"]
+    by_kind_latency = report["latency"].get("by_kind", {})
+    for kind, entry in sorted(totals.get("by_kind", {}).items()):
+        if not entry["requests"] and not entry["errors"] \
+                and not entry["shed"]:
+            continue
+        lat = by_kind_latency.get(kind)
+        cells = [html.escape(kind), str(entry["requests"]),
+                 str(entry["errors"]), str(entry["shed"])]
+        if lat:
+            cells.extend(f"{lat[key] * 1e3:.2f}"
+                         for key in ("p50_s", "p95_s", "p99_s", "max_s"))
+        else:
+            cells.extend("-" for _ in range(4))
+        rows.append("<tr><td>" + "</td><td>".join(cells) + "</td></tr>")
+    overall = report["latency"]["overall"]
+    rows.append(
+        "<tr><th>total</th><th>{requests}</th><th>{errors}</th>"
+        "<th>{shed}</th><th>{p50:.2f}</th><th>{p95:.2f}</th>"
+        "<th>{p99:.2f}</th><th>{mx:.2f}</th></tr>".format(
+            requests=totals["requests"], errors=totals["errors"],
+            shed=totals["shed"], p50=overall["p50_s"] * 1e3,
+            p95=overall["p95_s"] * 1e3, p99=overall["p99_s"] * 1e3,
+            mx=overall["max_s"] * 1e3))
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _delta_table(delta: Optional[Dict[str, float]]) -> str:
+    if not delta:
+        return "<p>(no /metrics scrape available)</p>"
+    rows = ["<table><tr><th>metric</th><th>delta over run</th></tr>"]
+    for name, value in sorted(delta.items()):
+        rows.append(f"<tr><td><code>{html.escape(name)}</code></td>"
+                    f"<td>{value:g}</td></tr>")
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def render_html(report: Dict[str, Any]) -> str:
+    """The self-contained HTML report for one loadgen run."""
+    config = report.get("config", {})
+    server = report.get("server", {})
+    series = report.get("per_second", [])
+    rps_pts = [(row["t"], float(row["requests"])) for row in series]
+    err_pts = [(row["t"], float(row["errors"] + row["shed"]))
+               for row in series]
+    lat = {
+        "p50": [(row["t"], row["p50_s"] * 1e3) for row in series],
+        "p95": [(row["t"], row["p95_s"] * 1e3) for row in series],
+        "p99": [(row["t"], row["p99_s"] * 1e3) for row in series],
+    }
+    charts = [
+        _chart("Throughput (requests per second)",
+               {"requests/s": rps_pts, "errors+shed/s": err_pts}),
+        _chart("Latency percentiles (ms)", lat, unit="ms"),
+    ]
+    rss_pts = [(row["t"], row["rss_kb"] / 1024.0)
+               for row in series if "rss_kb" in row]
+    cpu_pts = [(row["t"], row["cpu_pct"])
+               for row in series if "cpu_pct" in row]
+    if rss_pts:
+        charts.append(_chart("Server RSS (MiB)", {"rss": rss_pts},
+                             unit="MiB"))
+    if cpu_pts:
+        charts.append(_chart("Server CPU (%)", {"cpu": cpu_pts},
+                             unit="%"))
+    shape = server.get("shape", "?")
+    title = (f"loadgen: {config.get('profile', '?')} profile vs "
+             f"{shape} server")
+    induced = server.get("induced_requests")
+    induced_line = ""
+    if induced is not None:
+        induced_line = (
+            f"<p>Server-side <code>"
+            f"{html.escape(str(server.get('induced_counter')))}</code> "
+            f"delta over the run: <b>{induced:g}</b> (report counted "
+            f"{report['totals']['requests']} completed requests).</p>")
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>{config.get('generators', '?')} generator processes × "
+        f"{config.get('concurrency', '?')} threads, "
+        f"{html.escape(str(config.get('mode', '?')))}-loop, "
+        f"{report.get('duration_s', '?')}s window"
+        + (f", {server.get('workers')} fleet workers"
+           if shape == "fleet" else "") + ".</p>",
+        _summary_table(report),
+        induced_line,
+        *charts,
+        "<h2>Server /metrics delta</h2>",
+        _delta_table(server.get("metrics_delta")),
+        "</body></html>",
+    ]
+    return "\n".join(parts)

@@ -7,6 +7,7 @@ Mirrors the workflow of the original system's command-line WSDL compiler::
     python -m repro.cli quality-check policy.q
     python -m repro.cli figures table1 headline
     python -m repro.cli serve --port 8080
+    python -m repro.cli loadgen --profile mixed --duration 10 --workers 2
 
 ``compile`` writes the generated client + skeleton stub source to a real
 Python file (the paper's stub files); ``figures`` regenerates evaluation
@@ -93,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exit after N fleet-wide requests "
                                 "(0 = forever)")
     fleet_cmd.set_defaults(handler=cmd_serve_fleet)
+
+    loadgen_cmd = sub.add_parser(
+        "loadgen",
+        help="drive multi-process load at a server and write a "
+             "LOADGEN_report.json + HTML report")
+    from .bench.loadgen import add_arguments as _loadgen_arguments
+    _loadgen_arguments(loadgen_cmd)
+    loadgen_cmd.set_defaults(handler=cmd_loadgen)
 
     return parser
 
@@ -315,6 +324,18 @@ def cmd_serve_fleet(args: argparse.Namespace) -> int:
         fleet.close()
     print(f"served {served} requests across {fleet.workers} workers")
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .bench.loadgen import (config_from_args, print_failures,
+                                print_summary, serve_echo, write_report)
+
+    cfg = config_from_args(args)
+    if args.serve_only:
+        return serve_echo(cfg, port=args.port)
+    report = write_report(cfg, args.out)
+    print_summary(report)
+    return 1 if print_failures(report) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

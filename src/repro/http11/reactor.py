@@ -145,6 +145,7 @@ class ReactorHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 metrics_path: str = "/metrics",
                  quality_stats=None,
                  reuse_port: bool = False,
                  conn_receiver: Optional[socket.socket] = None,
@@ -170,6 +171,7 @@ class ReactorHttpServer(_ServerCore):
                          max_body_bytes=max_body_bytes,
                          max_header_bytes=max_header_bytes,
                          health_path=health_path,
+                         metrics_path=metrics_path,
                          quality_stats=quality_stats)
         self.workers = workers
         self.max_buffered_bytes = max_buffered_bytes

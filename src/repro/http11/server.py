@@ -34,6 +34,10 @@ Overload protection carries over identically in both models (see
   (413 replies name the limit);
 * ``GET /healthz`` answers readiness with a JSON load snapshot without
   touching the application handler;
+* ``GET /metrics`` answers the same counters in Prometheus text
+  exposition format (see :mod:`repro.serving.metrics` and
+  ``docs/observability.md``) — also ahead of admission, so scrapes keep
+  working while the server sheds;
 * ``close(drain_s=...)`` drains gracefully: stop accepting, mark
   not-ready, answer in-flight requests with ``Connection: close``, and
   bound the wait for the last worker.
@@ -125,6 +129,7 @@ class _ServerCore:
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 metrics_path: str = "/metrics",
                  quality_stats: Optional[
                      Callable[[], Optional[Dict[str, object]]]] = None) -> None:
         self.handler = handler
@@ -140,6 +145,7 @@ class _ServerCore:
         self.max_body_bytes = max_body_bytes
         self.max_header_bytes = max_header_bytes
         self.health_path = health_path
+        self.metrics_path = metrics_path
         self._running = True
         self._draining = False
         #: number of sibling worker processes sharing this server's port —
@@ -207,6 +213,8 @@ class _ServerCore:
         """Health check, admission gate, then the application handler."""
         if request.target == self.health_path:
             return self._health_response()
+        if self.metrics_path is not None and request.target == self.metrics_path:
+            return self._metrics_response()
         if self.admission is None:
             return self._dispatch(request)
         headers = {name: value for name, value in request.headers}
@@ -279,6 +287,28 @@ class _ServerCore:
                                  str(int(math.ceil(self.retry_after_s))))
         return response
 
+    def _metrics_response(self) -> Response:
+        """Prometheus text exposition of the server's counters.
+
+        Served from the shared request path — before admission, like
+        ``/healthz`` — because a scrape must keep answering precisely
+        while the server sheds.  Never 500s: a collection failure
+        degrades to an empty exposition with an ``X-Metrics-Error``
+        header rather than failing the probe.
+        """
+        from ..serving.metrics import CONTENT_TYPE, render_server_metrics
+        error = None
+        try:
+            body = render_server_metrics(self)
+        except Exception as exc:  # noqa: BLE001 - scrape must never 500
+            body, error = b"", exc
+        response = Response(status=200, body=body)
+        response.headers.set("Content-Type", CONTENT_TYPE)
+        if error is not None:
+            response.headers.set("X-Metrics-Error",
+                                 f"{type(error).__name__}: {error}")
+        return response
+
     def _shed_response(self, reason: str) -> Response:
         response = Response.text(503, f"overloaded: {reason}")
         retry_after = max(self.retry_after_s,
@@ -348,6 +378,7 @@ class ThreadedHttpServer(_ServerCore):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  health_path: str = "/healthz",
+                 metrics_path: str = "/metrics",
                  quality_stats: Optional[
                      Callable[[], Optional[Dict[str, object]]]] = None,
                  reuse_port: bool = False,
@@ -369,6 +400,7 @@ class ThreadedHttpServer(_ServerCore):
                          max_body_bytes=max_body_bytes,
                          max_header_bytes=max_header_bytes,
                          health_path=health_path,
+                         metrics_path=metrics_path,
                          quality_stats=quality_stats)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -563,6 +595,7 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                max_body_bytes: int = MAX_BODY_BYTES,
                max_header_bytes: int = MAX_HEADER_BYTES,
                health_path: str = "/healthz",
+               metrics_path: str = "/metrics",
                quality_stats: Optional[
                    Callable[[], Optional[Dict[str, object]]]] = None,
                concurrency: Optional[str] = None,
@@ -604,7 +637,7 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                assume_synced_clock=assume_synced_clock,
                idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
                max_header_bytes=max_header_bytes, health_path=health_path,
-               quality_stats=quality_stats,
+               metrics_path=metrics_path, quality_stats=quality_stats,
                reuse_port=reuse_port, conn_receiver=conn_receiver,
                listen=listen,
                workers=workers, max_buffered_bytes=max_buffered_bytes,

@@ -23,7 +23,10 @@ quality attribute:
   ``SO_REUSEPORT`` port (fd-handoff fallback) with a supervising
   parent, and :class:`FleetStats` publishes per-worker load through a
   seqlock shared-memory segment so both the control-port ``/healthz``
-  and every worker's :class:`LoadQualityCoupling` see *fleet* load.
+  and every worker's :class:`LoadQualityCoupling` see *fleet* load;
+* :mod:`~repro.serving.metrics` — Prometheus text exposition for all of
+  the above: every server answers ``GET /metrics`` and the fleet
+  control port aggregates per-worker series (``docs/observability.md``).
 
 Graceful drain and the ``/healthz`` readiness hook live on
 :class:`~repro.http11.HttpServer` itself (``close(drain_s=...)``).
@@ -41,6 +44,11 @@ from .deadline import (HEADER_DEADLINE_MS, HEADER_SHED_REASON,
                        with_deadline_header)
 from .endpoint import ProtectedEndpoint, shed_reply
 from .fleet import FleetServer, WorkerContext
+from .metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from .metrics import render as render_metrics
+from .metrics import (Metric, fleet_families, parse_exposition,
+                      render_fleet_metrics, render_server_metrics,
+                      server_families)
 from .sandbox import HandlerSandbox
 from .shm_stats import (STATE_DRAINING, STATE_EMPTY, STATE_READY,
                         STATE_STOPPED, FleetStats, WorkerStats)
@@ -57,4 +65,7 @@ __all__ = [
     "FleetServer", "WorkerContext",
     "FleetStats", "WorkerStats",
     "STATE_EMPTY", "STATE_READY", "STATE_DRAINING", "STATE_STOPPED",
+    "METRICS_CONTENT_TYPE", "Metric", "parse_exposition", "render_metrics",
+    "server_families", "fleet_families",
+    "render_server_metrics", "render_fleet_metrics",
 ]

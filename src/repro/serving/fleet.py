@@ -290,9 +290,12 @@ class FleetServer:
         # the fleet handler below.
         self._control: Optional[ThreadedHttpServer] = None
         if control_port is not None:
+            # Park the control server's own built-in paths so /healthz and
+            # /metrics both reach the fleet handler below.
             self._control = ThreadedHttpServer(
                 self._control_handler, host=control_host, port=control_port,
-                health_path="/__control_self")
+                health_path="/__control_self",
+                metrics_path="/__control_self_metrics")
         self.control_address = (self._control.address
                                 if self._control is not None else None)
 
@@ -487,11 +490,34 @@ class FleetServer:
     def _control_handler(self, request: Request) -> Response:
         if request.method != "GET":
             return Response.text(405, "GET only")
+        if request.target == "/metrics":
+            return self._metrics_control_response()
         payload = self.describe()
         response = Response(
             status=200 if payload["workers_live"] else 503,
             body=json.dumps(payload, sort_keys=True).encode("utf-8"))
         response.headers.set("Content-Type", "application/json")
+        return response
+
+    def _metrics_control_response(self) -> Response:
+        """Fleet-wide Prometheus exposition on the control port.
+
+        Per-worker series and fleet aggregates come from one shared-memory
+        read (see :func:`repro.serving.metrics.fleet_families`), so a
+        single scrape is internally consistent.  Like the workers' own
+        ``/metrics``, it never 500s.
+        """
+        from .metrics import CONTENT_TYPE, render_fleet_metrics
+        error = None
+        try:
+            body = render_fleet_metrics(self)
+        except Exception as exc:  # noqa: BLE001 - scrape must never 500
+            body, error = b"", exc
+        response = Response(status=200, body=body)
+        response.headers.set("Content-Type", CONTENT_TYPE)
+        if error is not None:
+            response.headers.set("X-Metrics-Error",
+                                 f"{type(error).__name__}: {error}")
         return response
 
     # ------------------------------------------------------------------

@@ -331,8 +331,9 @@ class FleetStats:
             out["workers_live"] += 1
         return out
 
-    def aggregate(self, stale_after_s: float = DEFAULT_STALE_AFTER_S
-                  ) -> dict:
+    def aggregate(self, stale_after_s: float = DEFAULT_STALE_AFTER_S,
+                  slots: Optional[List[Optional[WorkerStats]]] = None,
+                  now: Optional[float] = None) -> dict:
         """Fleet-level view over all live slots.
 
         ``load`` follows the composite formula of
@@ -340,9 +341,15 @@ class FleetStats:
         pool utilization plus queue pressure, with per-worker terms
         weighted by their pool/queue capacity so a big worker counts
         proportionally more than a small one.
+
+        ``slots``/``now`` let a caller that already read the segment
+        (the fleet ``/metrics`` renderer) aggregate the *same* snapshot
+        it reports per worker, so one scrape is internally consistent.
         """
-        now = time.monotonic()
-        slots = self.read_all()
+        if now is None:
+            now = time.monotonic()
+        if slots is None:
+            slots = self.read_all()
         live = [s for s in slots if s is not None
                 and s.is_live(now, stale_after_s)]
         util_num = util_den = 0.0

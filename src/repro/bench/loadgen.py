@@ -51,7 +51,7 @@ from .timers import LogHistogram
 
 SCHEMA_VERSION = 1
 
-KINDS = ("binary", "xml", "pipelined")
+KINDS = ("binary", "xml", "pipelined", "extract")
 SERVER_SHAPES = ("threaded", "reactor", "fleet", "external")
 ARRIVALS = ("poisson", "uniform")
 MODES = ("closed", "open")
@@ -112,6 +112,12 @@ class LoadgenConfig:
     #: admission sizing for the in-process server
     admission_concurrency: int = 8
     admission_queue: int = 32
+    #: per-call retry budget (1 = never retry); >1 wraps the binary/xml/
+    #: extract kinds in call_with_policy so CallMeta retry counts land
+    #: in the report
+    retry_attempts: int = 1
+    #: dataset records served by the extract kind's server
+    extract_records: int = 20_000
     seed: int = 1
 
     def validate(self) -> None:
@@ -130,9 +136,15 @@ class LoadgenConfig:
         if not any(w > 0 for w in self.mix.values()):
             raise ValueError("mix needs at least one positive weight")
         for name in ("duration_s", "generators", "concurrency", "depth",
-                     "batch", "value_pool", "payload_elements", "workers"):
+                     "batch", "value_pool", "payload_elements", "workers",
+                     "retry_attempts", "extract_records"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.mix.get("extract", 0) > 0 and any(
+                w > 0 for k, w in self.mix.items() if k != "extract"):
+            raise ValueError(
+                "the extract kind hosts a different service than the "
+                "echo kinds and cannot be mixed with them")
 
 
 #: Built-in traffic profiles (overridable field by field via the CLI).
@@ -151,6 +163,11 @@ PROFILES: Dict[str, Dict[str, Any]] = {
     "saturate": {"mix": {"binary": 1.0}, "concurrency": 16,
                  "admission_concurrency": 2, "admission_queue": 4,
                  "payload_elements": 2048},
+    # the resumable-extraction workload: every thread runs a paginated
+    # ETL job against an ExtractService; retries are on so shed pages
+    # exercise the dedup window and CallMeta retry counts flow into the
+    # report
+    "extract": {"mix": {"extract": 1.0}, "retry_attempts": 3},
 }
 
 
@@ -189,6 +206,21 @@ def _build_echo_service():
     return service
 
 
+def _build_app_service(cfg: LoadgenConfig):
+    """The service under test plus its ``quality_stats`` hook.
+
+    Echo by default; the extraction app when the mix drives the
+    ``extract`` kind (which is why ``validate`` keeps the two exclusive —
+    they speak different format sets).
+    """
+    if cfg.mix.get("extract", 0) > 0:
+        from ..apps.extract import ExtractService
+        app = ExtractService(total=cfg.extract_records)
+        return app.service, app.quality_stats
+    service = _build_echo_service()
+    return service, service.quality_stats
+
+
 def _protection(cfg: LoadgenConfig, quality, fleet_view=None):
     from ..serving import AdmissionController, LoadQualityCoupling
     admission = AdmissionController(
@@ -224,12 +256,12 @@ class _ServerUnderTest:
 
             def factory(ctx):
                 # runs in the forked worker: fresh service per process
-                service = _build_echo_service()
+                service, quality_stats = _build_app_service(cfg)
                 admission, coupling = _protection(
                     cfg, service.quality, fleet_view=ctx.fleet_view)
                 return (endpoint_http_handler(service.endpoint),
                         {"admission": admission, "load_coupling": coupling,
-                         "quality_stats": service.quality_stats})
+                         "quality_stats": quality_stats})
 
             self._fleet = FleetServer(factory, workers=cfg.workers,
                                       port=port)
@@ -240,12 +272,12 @@ class _ServerUnderTest:
             self.scrape_address = self._fleet.control_address
             return
         from ..transport import serve_endpoint
-        service = _build_echo_service()
+        service, quality_stats = _build_app_service(cfg)
         admission, coupling = _protection(cfg, service.quality)
         self._server = serve_endpoint(
             service.endpoint, concurrency=self.shape, port=port,
             admission=admission, load_coupling=coupling,
-            quality_stats=service.quality_stats, backlog=512)
+            quality_stats=quality_stats, backlog=512)
         self.address = self._server.address
         self.scrape_address = self.address
 
@@ -356,6 +388,10 @@ class _ProcSampler(threading.Thread):
 class SheddedError(Exception):
     """Raised by the XML status channel when the server answers 503."""
 
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"shed: {reason}")
+        self.reason = reason
+
 
 class _XmlStatusChannel:
     """HttpChannel wrapper turning 503 replies into typed shed errors.
@@ -372,19 +408,52 @@ class _XmlStatusChannel:
     def call(self, body, content_type, headers=None):
         reply = self._channel.call(body, content_type, headers)
         if reply.status == 503:
-            reason = reply.headers.get("X-Shed-Reason", "overloaded")
-            raise SheddedError(f"shed: {reason}")
+            raise SheddedError(
+                reply.headers.get("X-Shed-Reason", "overloaded"))
         return reply
 
     def close(self) -> None:
         self._channel.close()
 
 
+def _exc_chain(exc: BaseException):
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        yield current
+        current = current.__cause__
+
+
 def _is_shed(exc: BaseException) -> bool:
-    if isinstance(exc, SheddedError):
-        return True
-    text = str(exc)
-    return "status 503" in text or "overloaded" in text
+    for err in _exc_chain(exc):
+        if isinstance(err, SheddedError):
+            return True
+        text = str(err)
+        if "status 503" in text or "overloaded" in text \
+                or "shed:" in text:
+            return True
+    return False
+
+
+def _shed_reason(exc: BaseException) -> str:
+    """The server's ``X-Shed-Reason``, recovered from the error shape.
+
+    The XML channel carries it verbatim on :class:`SheddedError`; the
+    binary kinds see the 503 *body* (``overloaded: <reason>``) quoted
+    inside the protocol error text, so the reason is parsed back out of
+    it.  Anything else — e.g. an injected 503 with a different body —
+    classifies as ``unknown`` rather than being dropped.
+    """
+    for err in _exc_chain(exc):
+        if isinstance(err, SheddedError):
+            return err.reason
+        text = str(err)
+        if "overloaded:" in text:
+            tail = text.split("overloaded:", 1)[1].strip()
+            if tail:
+                return tail.split()[0].strip(",.;")
+    return "unknown"
 
 
 class _Recorder:
@@ -392,8 +461,9 @@ class _Recorder:
 
     def __init__(self) -> None:
         self.by_kind: Dict[str, Dict[str, Any]] = {
-            kind: {"requests": 0, "errors": 0, "shed": 0,
-                   "hist": LogHistogram(), "max_s": 0.0}
+            kind: {"requests": 0, "errors": 0, "shed": 0, "retries": 0,
+                   "shed_by_reason": {}, "hist": LogHistogram(),
+                   "max_s": 0.0}
             for kind in KINDS}
         self.seconds: Dict[int, Dict[str, Any]] = {}
 
@@ -407,9 +477,10 @@ class _Recorder:
         return bucket
 
     def ok(self, kind: str, t_rel: float, latency_s: float,
-           count: int = 1) -> None:
+           count: int = 1, retries: int = 0) -> None:
         entry = self.by_kind[kind]
         entry["requests"] += count
+        entry["retries"] += retries
         entry["max_s"] = max(entry["max_s"], latency_s)
         bucket = self._second(t_rel)
         bucket["requests"] += count
@@ -418,9 +489,16 @@ class _Recorder:
             bucket["hist"].record(latency_s)
 
     def failed(self, kind: str, t_rel: float, shed: bool,
-               count: int = 1) -> None:
+               count: int = 1, reason: Optional[str] = None,
+               retries: int = 0) -> None:
         key = "shed" if shed else "errors"
-        self.by_kind[kind][key] += count
+        entry = self.by_kind[kind]
+        entry[key] += count
+        entry["retries"] += retries
+        if shed:
+            reason = reason or "unknown"
+            by_reason = entry["shed_by_reason"]
+            by_reason[reason] = by_reason.get(reason, 0) + count
         self._second(t_rel)[key] += count
 
     def merge(self, other: "_Recorder") -> None:
@@ -429,6 +507,10 @@ class _Recorder:
             mine["requests"] += entry["requests"]
             mine["errors"] += entry["errors"]
             mine["shed"] += entry["shed"]
+            mine["retries"] += entry["retries"]
+            for reason, count in entry["shed_by_reason"].items():
+                mine["shed_by_reason"][reason] = \
+                    mine["shed_by_reason"].get(reason, 0) + count
             mine["max_s"] = max(mine["max_s"], entry["max_s"])
             mine["hist"].merge(entry["hist"])
         for key, bucket in other.seconds.items():
@@ -445,7 +527,9 @@ class _Recorder:
         return {
             "by_kind": {
                 kind: {"requests": e["requests"], "errors": e["errors"],
-                       "shed": e["shed"], "max_s": e["max_s"],
+                       "shed": e["shed"], "retries": e["retries"],
+                       "shed_by_reason": dict(e["shed_by_reason"]),
+                       "max_s": e["max_s"],
                        "hist": e["hist"].to_dict()}
                 for kind, e in self.by_kind.items()},
             "seconds": {
@@ -459,11 +543,23 @@ class _Recorder:
 class _ClientSet:
     """One thread's clients, one per traffic kind actually in the mix."""
 
-    def __init__(self, cfg: LoadgenConfig, address) -> None:
+    def __init__(self, cfg: LoadgenConfig, address,
+                 ident: str = "0-0") -> None:
         from ..core import SoapBinClient, XmlQualityClient
         from ..transport import HttpChannel, PipelinedHttpChannel
         self._channels: List[Any] = []
-        self.binary = self.xml = self.pipelined = None
+        self.binary = self.xml = self.pipelined = self.extract = None
+        if cfg.mix.get("extract", 0) > 0:
+            from ..apps.extract import extract_formats
+            from ..apps.extract_client import client_registry
+            channel = HttpChannel(address)
+            self._channels.append(channel)
+            self.extract = SoapBinClient(channel, client_registry())
+            self._extract_formats = extract_formats()
+            self._extract_ident = ident
+            self._extract_lap = 0
+            self._extract_job = f"loadgen-{ident}-lap0"
+            self._extract_cursor = self._extract_cursor0 = None
         if cfg.mix.get("binary", 0) > 0:
             channel = HttpChannel(address)
             self._channels.append(channel)
@@ -499,6 +595,44 @@ class _ClientSet:
         if self.pipelined is not None:
             self.pipelined.call_many("Echo", [value, value],
                                      ECHO_REQUEST, ECHO_REPLY)
+        if self.extract is not None:
+            from ..apps.extract import DESCRIBE_OPERATION
+            fmts = self._extract_formats
+            described = self.extract.call(
+                DESCRIBE_OPERATION,
+                {"job_id": self._extract_job, "page_records": 0},
+                fmts["ExtractDescribeRequest"],
+                fmts["ExtractDescribeReply"])
+            self._extract_cursor0 = described["cursor"]
+            self._extract_cursor = described["cursor"]
+
+    def extract_fetch(self) -> Dict[str, Any]:
+        """One page of the thread's standing extraction job.
+
+        The cursor only advances on success, so a retried attempt
+        re-fetches the same page and exercises the server's dedup
+        window; at EOF the job wraps back to the first cursor so a
+        long run keeps offering load.
+        """
+        from ..apps.extract import FETCH_OPERATION, PAGE_FORMAT
+        fmts = self._extract_formats
+        page = self.extract.call(
+            FETCH_OPERATION,
+            {"job_id": self._extract_job, "cursor": self._extract_cursor,
+             "max_records": 0},
+            fmts["ExtractFetchRequest"], fmts[PAGE_FORMAT])
+        next_cursor = page["next_cursor"]
+        if next_cursor:
+            self._extract_cursor = next_cursor
+        else:
+            # EOF: wrap into a *fresh* job so laps recompute pages
+            # instead of replaying the whole previous lap out of the
+            # dedup window (retries within a lap still replay)
+            self._extract_lap += 1
+            self._extract_job = (f"loadgen-{self._extract_ident}"
+                                 f"-lap{self._extract_lap}")
+            self._extract_cursor = self._extract_cursor0
+        return page
 
     def close(self) -> None:
         for channel in self._channels:
@@ -532,9 +666,17 @@ def _generator_thread(cfg: LoadgenConfig, address, gen_index: int,
     values = _make_values(cfg)
     kinds = [k for k in KINDS if cfg.mix.get(k, 0) > 0]
     weights = [cfg.mix[k] for k in kinds]
+    policy = None
+    if cfg.retry_attempts > 1:
+        from ..reliability import RetryPolicy
+        policy = RetryPolicy(max_attempts=cfg.retry_attempts,
+                             deadline_s=30.0,
+                             backoff_initial_s=0.01,
+                             backoff_max_s=0.25)
     clients = None
     try:
-        clients = _ClientSet(cfg, address)
+        clients = _ClientSet(cfg, address,
+                             ident=f"{gen_index}-{thread_index}")
         clients.warmup(values)
     except Exception as exc:  # noqa: BLE001 - reported to coordinator
         failures.append(f"generator {gen_index} thread {thread_index} "
@@ -582,34 +724,59 @@ def _generator_thread(cfg: LoadgenConfig, address, gen_index: int,
                     "Echo", batch, ECHO_REQUEST, ECHO_REPLY,
                     return_exceptions=True)
                 per_call = (time.perf_counter() - begun) / len(batch)
-                ok = shed = err = 0
+                ok = err = 0
+                shed_reasons: Dict[str, int] = {}
                 for result in results:
                     if isinstance(result, BaseException):
                         if _is_shed(result):
-                            shed += 1
+                            reason = _shed_reason(result)
+                            shed_reasons[reason] = \
+                                shed_reasons.get(reason, 0) + 1
                         else:
                             err += 1
                     else:
                         ok += 1
                 if ok:
                     recorder.ok(kind, t_rel, per_call, count=ok)
-                if shed:
-                    recorder.failed(kind, t_rel, shed=True, count=shed)
+                for reason, count in shed_reasons.items():
+                    recorder.failed(kind, t_rel, shed=True, count=count,
+                                    reason=reason)
                 if err:
                     recorder.failed(kind, t_rel, shed=False, count=err)
                 consecutive_failures = 0 if ok else consecutive_failures + 1
             else:
-                value = values[rng.randrange(len(values))]
-                client = clients.binary if kind == "binary" else clients.xml
+                if kind == "extract":
+                    attempt: Callable[[], Any] = clients.extract_fetch
+                else:
+                    value = values[rng.randrange(len(values))]
+                    client = (clients.binary if kind == "binary"
+                              else clients.xml)
+                    attempt = (lambda c=client, v=value:
+                               c.call("Echo", v, ECHO_REQUEST, ECHO_REPLY))
                 begun = time.perf_counter()
+                retries = 0
                 try:
-                    client.call("Echo", value, ECHO_REQUEST, ECHO_REPLY)
+                    if policy is None:
+                        attempt()
+                    else:
+                        from ..reliability import call_with_policy
+                        _, meta = call_with_policy(attempt, policy,
+                                                   idempotent=True)
+                        retries = meta.attempts - 1
                 except Exception as exc:  # noqa: BLE001 - classified
-                    recorder.failed(kind, t_rel, shed=_is_shed(exc))
+                    meta = getattr(exc, "meta", None)
+                    if meta is not None:
+                        retries = meta.attempts - 1
+                    shed = _is_shed(exc)
+                    recorder.failed(
+                        kind, t_rel, shed=shed,
+                        reason=_shed_reason(exc) if shed else None,
+                        retries=retries)
                     consecutive_failures += 1
                 else:
                     recorder.ok(kind, t_rel,
-                                time.perf_counter() - begun)
+                                time.perf_counter() - begun,
+                                retries=retries)
                     consecutive_failures = 0
             if consecutive_failures >= 50:
                 # server gone or breaker-grade failure: back off so a
@@ -668,8 +835,8 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
                           duration_s: float) -> Dict[str, Any]:
     """Fold the per-generator ledgers into report totals + time series."""
     by_kind: Dict[str, Dict[str, Any]] = {
-        kind: {"requests": 0, "errors": 0, "shed": 0,
-               "hist": LogHistogram(), "max_s": 0.0}
+        kind: {"requests": 0, "errors": 0, "shed": 0, "retries": 0,
+               "shed_by_reason": {}, "hist": LogHistogram(), "max_s": 0.0}
         for kind in KINDS}
     seconds: Dict[int, Dict[str, Any]] = {}
     for doc in docs:
@@ -678,6 +845,10 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
             mine["requests"] += entry["requests"]
             mine["errors"] += entry["errors"]
             mine["shed"] += entry["shed"]
+            mine["retries"] += entry.get("retries", 0)
+            for reason, count in entry.get("shed_by_reason", {}).items():
+                mine["shed_by_reason"][reason] = \
+                    mine["shed_by_reason"].get(reason, 0) + count
             mine["max_s"] = max(mine["max_s"], entry["max_s"])
             mine["hist"].merge(LogHistogram.from_dict(entry["hist"]))
         for key_s, bucket in doc["seconds"].items():
@@ -691,17 +862,24 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
             mine["hist"].merge(LogHistogram.from_dict(bucket["hist"]))
     overall = LogHistogram()
     overall_max = 0.0
-    totals = {"requests": 0, "errors": 0, "shed": 0}
+    totals: Dict[str, Any] = {"requests": 0, "errors": 0, "shed": 0,
+                              "retries": 0}
+    shed_by_reason: Dict[str, int] = {}
     for entry in by_kind.values():
         totals["requests"] += entry["requests"]
         totals["errors"] += entry["errors"]
         totals["shed"] += entry["shed"]
+        totals["retries"] += entry["retries"]
+        for reason, count in entry["shed_by_reason"].items():
+            shed_by_reason[reason] = shed_by_reason.get(reason, 0) + count
         overall.merge(entry["hist"])
         overall_max = max(overall_max, entry["max_s"])
     totals["rps"] = totals["requests"] / duration_s if duration_s else 0.0
+    totals["shed_by_reason"] = shed_by_reason
     totals["by_kind"] = {
         kind: {"requests": e["requests"], "errors": e["errors"],
-               "shed": e["shed"]}
+               "shed": e["shed"], "retries": e["retries"],
+               "shed_by_reason": dict(e["shed_by_reason"])}
         for kind, e in by_kind.items()}
     per_second = [
         {"t": key,
@@ -854,6 +1032,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", default=None, metavar="HOST:PORT",
                         help="external server address (implies "
                              "--server external)")
+    parser.add_argument("--retry-attempts", type=int, default=None,
+                        dest="retry_attempts",
+                        help="per-call attempts for binary/xml/extract "
+                             "kinds (1 = never retry)")
+    parser.add_argument("--extract-records", type=int, default=None,
+                        dest="extract_records",
+                        help="dataset records for the extract profile")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--out", default="LOADGEN_report",
                         help="output base path; writes <out>.json and "
@@ -882,6 +1067,8 @@ def config_from_args(args: argparse.Namespace) -> LoadgenConfig:
         "payload_elements": args.payload_elements,
         "server": args.server,
         "target": args.target,
+        "retry_attempts": args.retry_attempts,
+        "extract_records": args.extract_records,
         "seed": args.seed,
     }
     if args.target and args.server is None:
@@ -903,7 +1090,13 @@ def print_summary(report: Dict[str, Any],
              if server["shape"] == "fleet" else ""), file=out)
     print(f"  {totals['requests']} requests in "
           f"{report['duration_s']:g}s ({totals['rps']:,.0f} rps), "
-          f"{totals['errors']} errors, {totals['shed']} shed", file=out)
+          f"{totals['errors']} errors, {totals['shed']} shed, "
+          f"{totals.get('retries', 0)} retries", file=out)
+    if totals.get("shed_by_reason"):
+        breakdown = ", ".join(
+            f"{reason}={count}" for reason, count in
+            sorted(totals["shed_by_reason"].items()))
+        print(f"  shed by reason: {breakdown}", file=out)
     print(f"  latency p50 {latency['p50_s'] * 1e3:.2f} ms, "
           f"p95 {latency['p95_s'] * 1e3:.2f} ms, "
           f"p99 {latency['p99_s'] * 1e3:.2f} ms", file=out)

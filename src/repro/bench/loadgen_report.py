@@ -60,6 +60,26 @@ def validate_report(doc: Any) -> List[str]:
             if value is not None and value < 0:
                 problems.append(f"totals.{key}: negative ({value})")
         _check(problems, totals, "totals", "rps", (int, float))
+        retries = _check(problems, totals, "totals", "retries", (int,),
+                         required=False)
+        if retries is not None and retries < 0:
+            problems.append(f"totals.retries: negative ({retries})")
+        by_reason = _check(problems, totals, "totals", "shed_by_reason",
+                           (dict,), required=False)
+        if by_reason is not None:
+            for reason, count in by_reason.items():
+                if not isinstance(count, int) or count < 0:
+                    problems.append(
+                        f"totals.shed_by_reason[{reason!r}]: expected "
+                        f"non-negative int, got {count!r}")
+            if "shed" in totals and isinstance(totals["shed"], int) \
+                    and all(isinstance(c, int)
+                            for c in by_reason.values()) \
+                    and sum(by_reason.values()) != totals["shed"]:
+                problems.append(
+                    f"totals.shed_by_reason: reasons sum "
+                    f"{sum(by_reason.values())} != totals.shed "
+                    f"{totals['shed']}")
         by_kind = _check(problems, totals, "totals", "by_kind", (dict,))
         if by_kind is not None:
             for kind_name, entry in by_kind.items():
@@ -70,6 +90,10 @@ def validate_report(doc: Any) -> List[str]:
                 for key in ("requests", "errors", "shed"):
                     _check(problems, entry,
                            f"totals.by_kind.{kind_name}", key, (int,))
+                _check(problems, entry, f"totals.by_kind.{kind_name}",
+                       "retries", (int,), required=False)
+                _check(problems, entry, f"totals.by_kind.{kind_name}",
+                       "shed_by_reason", (dict,), required=False)
 
     latency = _check(problems, doc, "report", "latency", (dict,))
     if latency is not None:
@@ -189,8 +213,8 @@ def _summary_table(report: Dict[str, Any]) -> str:
     totals = report["totals"]
     rows = [
         "<table><tr><th>kind</th><th>requests</th><th>errors</th>"
-        "<th>shed</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>"
-        "<th>max ms</th></tr>"]
+        "<th>shed</th><th>retries</th><th>p50 ms</th><th>p95 ms</th>"
+        "<th>p99 ms</th><th>max ms</th></tr>"]
     by_kind_latency = report["latency"].get("by_kind", {})
     for kind, entry in sorted(totals.get("by_kind", {}).items()):
         if not entry["requests"] and not entry["errors"] \
@@ -198,7 +222,8 @@ def _summary_table(report: Dict[str, Any]) -> str:
             continue
         lat = by_kind_latency.get(kind)
         cells = [html.escape(kind), str(entry["requests"]),
-                 str(entry["errors"]), str(entry["shed"])]
+                 str(entry["errors"]), str(entry["shed"]),
+                 str(entry.get("retries", 0))]
         if lat:
             cells.extend(f"{lat[key] * 1e3:.2f}"
                          for key in ("p50_s", "p95_s", "p99_s", "max_s"))
@@ -208,12 +233,27 @@ def _summary_table(report: Dict[str, Any]) -> str:
     overall = report["latency"]["overall"]
     rows.append(
         "<tr><th>total</th><th>{requests}</th><th>{errors}</th>"
-        "<th>{shed}</th><th>{p50:.2f}</th><th>{p95:.2f}</th>"
-        "<th>{p99:.2f}</th><th>{mx:.2f}</th></tr>".format(
+        "<th>{shed}</th><th>{retries}</th><th>{p50:.2f}</th>"
+        "<th>{p95:.2f}</th><th>{p99:.2f}</th><th>{mx:.2f}</th></tr>".format(
             requests=totals["requests"], errors=totals["errors"],
-            shed=totals["shed"], p50=overall["p50_s"] * 1e3,
+            shed=totals["shed"], retries=totals.get("retries", 0),
+            p50=overall["p50_s"] * 1e3,
             p95=overall["p95_s"] * 1e3, p99=overall["p99_s"] * 1e3,
             mx=overall["max_s"] * 1e3))
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _shed_reason_table(totals: Dict[str, Any]) -> str:
+    """503 breakdown by the server's ``X-Shed-Reason`` header."""
+    by_reason = totals.get("shed_by_reason") or {}
+    if not by_reason:
+        return ""
+    rows = ["<h2>Shed breakdown (X-Shed-Reason)</h2>",
+            "<table><tr><th>reason</th><th>count</th></tr>"]
+    for reason, count in sorted(by_reason.items()):
+        rows.append(f"<tr><td>{html.escape(str(reason))}</td>"
+                    f"<td>{count}</td></tr>")
     rows.append("</table>")
     return "".join(rows)
 
@@ -280,6 +320,7 @@ def render_html(report: Dict[str, Any]) -> str:
         + (f", {server.get('workers')} fleet workers"
            if shape == "fleet" else "") + ".</p>",
         _summary_table(report),
+        _shed_reason_table(report.get("totals", {})),
         induced_line,
         *charts,
         "<h2>Server /metrics delta</h2>",

@@ -31,8 +31,10 @@ monitoring and deadline budgets observe injected faults just like real ones.
 from __future__ import annotations
 
 import enum
+import json
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..netsim.clock import Clock, VirtualClock
 from ..transport.base import Channel, ChannelReply
@@ -84,6 +86,81 @@ class FaultSchedule:
               end_s: float) -> "FaultSchedule":
         """A single contiguous burst of one fault kind."""
         return cls([FaultWindow(kind, start_s=start_s, end_s=end_s)])
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultSchedule":
+        """Build a schedule from its declarative form.
+
+        The document is ``{"windows": [window, ...]}`` where each window
+        is ``{"kind": "<FaultKind value>", "start_s": float|null,
+        "end_s": float|null, "calls": [int, ...]|null}``; only ``kind``
+        is required.  Unknown keys and unknown kinds are rejected so a
+        typo in a committed fixture fails loudly instead of silently
+        matching nothing.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("fault schedule document must be a dict")
+        unknown = set(doc) - {"windows"}
+        if unknown:
+            raise ValueError(
+                f"fault schedule: unknown keys {sorted(unknown)}")
+        windows_doc = doc.get("windows")
+        if not isinstance(windows_doc, list):
+            raise ValueError("fault schedule: 'windows' must be a list")
+        windows: List[FaultWindow] = []
+        for i, wdoc in enumerate(windows_doc):
+            if not isinstance(wdoc, dict):
+                raise ValueError(f"fault schedule: window {i} not a dict")
+            extra = set(wdoc) - {"kind", "start_s", "end_s", "calls"}
+            if extra:
+                raise ValueError(
+                    f"fault schedule: window {i} unknown keys "
+                    f"{sorted(extra)}")
+            try:
+                kind = FaultKind(wdoc["kind"])
+            except KeyError:
+                raise ValueError(
+                    f"fault schedule: window {i} missing 'kind'") from None
+            except ValueError:
+                valid = sorted(k.value for k in FaultKind)
+                raise ValueError(
+                    f"fault schedule: window {i} unknown kind "
+                    f"{wdoc['kind']!r} (valid: {valid})") from None
+            calls = wdoc.get("calls")
+            if calls is not None:
+                if (not isinstance(calls, list)
+                        or not all(isinstance(c, int) and not
+                                   isinstance(c, bool) for c in calls)):
+                    raise ValueError(
+                        f"fault schedule: window {i} 'calls' must be a "
+                        f"list of ints")
+            for bound in ("start_s", "end_s"):
+                value = wdoc.get(bound)
+                if value is not None and not isinstance(value,
+                                                        (int, float)):
+                    raise ValueError(
+                        f"fault schedule: window {i} {bound!r} must be "
+                        f"a number")
+            windows.append(FaultWindow(
+                kind,
+                start_s=wdoc.get("start_s"),
+                end_s=wdoc.get("end_s"),
+                calls=tuple(calls) if calls is not None else None))
+        return cls(windows)
+
+    @classmethod
+    def from_file(cls, path: Union[str, "os.PathLike[str]"]
+                  ) -> "FaultSchedule":
+        """Load a committed JSON fixture (see ``tests/fixtures/faults/``)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The declarative form accepted by :meth:`from_dict`."""
+        return {"windows": [
+            {"kind": w.kind.value, "start_s": w.start_s, "end_s": w.end_s,
+             "calls": list(w.calls) if w.calls is not None else None}
+            for w in self.windows]}
 
     def fault_at(self, call_index: int, now: float) -> Optional[FaultKind]:
         for window in self.windows:
@@ -159,6 +236,63 @@ class FaultInjectingChannel(Channel):
         kind = self.injector.next_fault()
         if kind is None:
             return self.inner.call(body, content_type, headers)
+        return self._fire(kind)
+
+    def call_many(self, bodies: Sequence[bytes], content_type: str,
+                  headers: Optional[Union[Dict[str, str],
+                                          Sequence[Optional[Dict[str, str]]]]]
+                  = None) -> List[Any]:
+        """Batch counterpart of :meth:`call`: each slot consults the
+        schedule independently, faulted slots become per-slot
+        :class:`~repro.transport.sockets.BatchResult` failures (an
+        injected 503 stays a *reply*, everything else an *error*), and
+        the surviving slots ride ``inner.call_many`` as one sub-batch —
+        merged back in input order so the caller's suffix-retry logic
+        sees exactly what a flaky pipelined link would produce.
+        """
+        from ..transport.sockets import BatchResult
+
+        total = len(bodies)
+        if headers is None or isinstance(headers, dict):
+            headers_list: List[Optional[Dict[str, str]]] = [headers] * total
+        else:
+            if len(headers) != total:
+                raise ValueError("headers sequence length != bodies length")
+            headers_list = list(headers)
+
+        results: List[Optional[BatchResult]] = [None] * total
+        clean_idx: List[int] = []
+        for i in range(total):
+            kind = self.injector.next_fault()
+            if kind is None:
+                clean_idx.append(i)
+                continue
+            try:
+                reply = self._fire(kind)
+            except Exception as exc:  # scripted shapes only
+                results[i] = BatchResult(error=exc)
+            else:
+                results[i] = BatchResult(reply=reply)
+        if clean_idx:
+            inner_many = getattr(self.inner, "call_many", None)
+            if inner_many is not None:
+                sub = inner_many([bodies[i] for i in clean_idx],
+                                 content_type,
+                                 [headers_list[i] for i in clean_idx])
+                for i, res in zip(clean_idx, sub):
+                    results[i] = res
+            else:
+                for i in clean_idx:
+                    try:
+                        reply = self.inner.call(bodies[i], content_type,
+                                                headers_list[i])
+                    except Exception as exc:
+                        results[i] = BatchResult(error=exc)
+                    else:
+                        results[i] = BatchResult(reply=reply)
+        return results  # type: ignore[return-value]
+
+    def _fire(self, kind: FaultKind) -> ChannelReply:
         if kind is FaultKind.CONNECT_REFUSED:
             self.clock.sleep(self.connect_cost_s)
             raise mark_bytes_written(

@@ -364,6 +364,31 @@ def _quality_families(quality: Mapping[str, Any]) -> List[Metric]:
                    "Estimated resident bytes charged to the cache "
                    "budget.", cache.get("bytes", 0)),
         ])
+    extract = quality.get("extract")
+    if extract:
+        families.extend([
+            _counter("repro_extract_pages_served_total",
+                     "Extraction pages served (computed + replayed).",
+                     extract.get("pages_served", 0)),
+            _counter("repro_extract_pages_degraded_total",
+                     "Extraction pages served at reduced size or "
+                     "projection while under load.",
+                     extract.get("pages_degraded", 0)),
+            _counter("repro_extract_pages_replayed_total",
+                     "Retried pages re-served from the dedup window "
+                     "instead of recomputed.",
+                     extract.get("pages_replayed", 0)),
+            _counter("repro_extract_records_served_total",
+                     "Records materialized into computed pages.",
+                     extract.get("records_served", 0)),
+            _gauge("repro_extract_jobs_active",
+                   "Extraction jobs with recent activity.",
+                   extract.get("jobs_active", 0)),
+            _gauge("repro_extract_watermark_lag_records",
+                   "Records still ahead of the watermark, summed over "
+                   "active jobs.",
+                   extract.get("watermark_lag_records", 0)),
+        ])
     return families
 
 
@@ -461,6 +486,24 @@ def fleet_families(fleet) -> List[Metric]:
         _counter("repro_fleet_cache_invalidations_total",
                  "Response-cache invalidations across live workers.",
                  agg["cache_invalidations"]),
+        _counter("repro_fleet_extract_pages_served_total",
+                 "Extraction pages served across live workers.",
+                 agg["extract_pages_served"]),
+        _counter("repro_fleet_extract_pages_degraded_total",
+                 "Degraded extraction pages across live workers.",
+                 agg["extract_pages_degraded"]),
+        _counter("repro_fleet_extract_pages_replayed_total",
+                 "Dedup-window page replays across live workers.",
+                 agg["extract_pages_replayed"]),
+        _counter("repro_fleet_extract_records_served_total",
+                 "Extraction records materialized across live workers.",
+                 agg["extract_records_served"]),
+        _gauge("repro_fleet_extract_jobs_active",
+               "Active extraction jobs across live workers.",
+               agg["extract_jobs_active"]),
+        _gauge("repro_fleet_extract_watermark_lag_records",
+               "Extraction watermark lag summed across live workers.",
+               agg["extract_watermark_lag"]),
     ]
     per_worker: Dict[str, Metric] = {}
 
@@ -514,6 +557,29 @@ def fleet_families(fleet) -> List[Metric]:
         worker_metric("repro_fleet_worker_cache_misses_total", "counter",
                       "Response-cache misses on this worker."
                       ).sample(snap.cache_misses, labels)
+        worker_metric("repro_fleet_worker_extract_pages_served_total",
+                      "counter",
+                      "Extraction pages served by this worker."
+                      ).sample(snap.extract_pages_served, labels)
+        worker_metric("repro_fleet_worker_extract_pages_degraded_total",
+                      "counter",
+                      "Degraded extraction pages from this worker."
+                      ).sample(snap.extract_pages_degraded, labels)
+        worker_metric("repro_fleet_worker_extract_pages_replayed_total",
+                      "counter",
+                      "Dedup-window page replays on this worker."
+                      ).sample(snap.extract_pages_replayed, labels)
+        worker_metric("repro_fleet_worker_extract_records_served_total",
+                      "counter",
+                      "Extraction records materialized by this worker."
+                      ).sample(snap.extract_records_served, labels)
+        worker_metric("repro_fleet_worker_extract_jobs_active", "gauge",
+                      "Active extraction jobs on this worker."
+                      ).sample(snap.extract_jobs_active, labels)
+        worker_metric("repro_fleet_worker_extract_watermark_lag_records",
+                      "gauge",
+                      "Extraction watermark lag on this worker."
+                      ).sample(snap.extract_watermark_lag, labels)
     families.extend(per_worker.values())
     return families
 

@@ -2,7 +2,8 @@
 
 A :class:`FleetServer` parent creates one ``FleetStats`` segment sized
 for N workers; each forked worker attaches to it and publishes its own
-admission/shed/pool/cache counters into a private 192-byte slot.  Readers —
+admission/shed/pool/cache/extract counters into a private 256-byte
+slot.  Readers —
 the parent's control-port ``/healthz`` and every worker's
 ``LoadQualityCoupling`` — aggregate the slots without locks.
 
@@ -14,8 +15,8 @@ Layout
     offset 0    header (64 bytes)
                 magic, version, nworkers, slot size, parent pid,
                 creation timestamp (monotonic clock of the parent)
-    offset 64   slot 0   (192 bytes)
-    offset 256  slot 1
+    offset 64   slot 0   (256 bytes)
+    offset 320  slot 1
     ...
 
 Each slot is written only by its owning worker, so the classic
@@ -48,7 +49,7 @@ __all__ = [
 ]
 
 MAGIC = 0x464C5431            # "FLT1"
-VERSION = 2
+VERSION = 3
 
 STATE_EMPTY = 0               # slot never written (or explicitly cleared)
 STATE_READY = 1
@@ -73,10 +74,12 @@ _SEQ_SIZE = struct.calcsize(_SEQ_FMT)
 # conns_active, busy, queue_depth, max_concurrency, queue_limit,
 # utilization, p95_service_s, port, then the v2 response-cache block:
 # cache_hits, cache_misses, cache_evictions, cache_invalidations,
-# responses_304
-_PAYLOAD_FMT = "<QQQdQQQQQQQQddQ" + "QQQQQ"
+# responses_304, then the v3 extraction block: extract_pages_served,
+# extract_pages_degraded, extract_pages_replayed, extract_records_served,
+# extract_jobs_active, extract_watermark_lag
+_PAYLOAD_FMT = "<QQQdQQQQQQQQddQ" + "QQQQQ" + "QQQQQQ"
 _PAYLOAD_SIZE = struct.calcsize(_PAYLOAD_FMT)
-_SLOT_SIZE = 192
+_SLOT_SIZE = 256
 assert _SEQ_SIZE + _PAYLOAD_SIZE <= _SLOT_SIZE
 
 
@@ -105,6 +108,12 @@ class WorkerStats:
     cache_evictions: int = 0
     cache_invalidations: int = 0
     responses_304: int = 0
+    extract_pages_served: int = 0
+    extract_pages_degraded: int = 0
+    extract_pages_replayed: int = 0
+    extract_records_served: int = 0
+    extract_jobs_active: int = 0
+    extract_watermark_lag: int = 0
 
     @property
     def state_name(self) -> str:
@@ -141,6 +150,12 @@ class WorkerStats:
             "cache_evictions": self.cache_evictions,
             "cache_invalidations": self.cache_invalidations,
             "responses_304": self.responses_304,
+            "extract_pages_served": self.extract_pages_served,
+            "extract_pages_degraded": self.extract_pages_degraded,
+            "extract_pages_replayed": self.extract_pages_replayed,
+            "extract_records_served": self.extract_records_served,
+            "extract_jobs_active": self.extract_jobs_active,
+            "extract_watermark_lag": self.extract_watermark_lag,
         }
 
 
@@ -196,6 +211,12 @@ class WorkerStatsWriter:
                 cache_hits: int = 0, cache_misses: int = 0,
                 cache_evictions: int = 0, cache_invalidations: int = 0,
                 responses_304: int = 0,
+                extract_pages_served: int = 0,
+                extract_pages_degraded: int = 0,
+                extract_pages_replayed: int = 0,
+                extract_records_served: int = 0,
+                extract_jobs_active: int = 0,
+                extract_watermark_lag: int = 0,
                 heartbeat: Optional[float] = None) -> None:
         if heartbeat is None:
             heartbeat = time.monotonic()
@@ -210,7 +231,10 @@ class WorkerStatsWriter:
             busy, queue_depth, max_concurrency, queue_limit,
             utilization, p95_service_s, port,
             cache_hits, cache_misses, cache_evictions,
-            cache_invalidations, responses_304)
+            cache_invalidations, responses_304,
+            extract_pages_served, extract_pages_degraded,
+            extract_pages_replayed, extract_records_served,
+            extract_jobs_active, extract_watermark_lag)
         self._seq += 1                                     # even: write done
         struct.pack_into(_SEQ_FMT, buf, off, self._seq)
 
@@ -370,6 +394,12 @@ class FleetStats:
             "cache_evictions": 0,
             "cache_invalidations": 0,
             "responses_304": 0,
+            "extract_pages_served": 0,
+            "extract_pages_degraded": 0,
+            "extract_pages_replayed": 0,
+            "extract_records_served": 0,
+            "extract_jobs_active": 0,
+            "extract_watermark_lag": 0,
         }
         for s in live:
             agg["requests_served"] += s.requests_served
@@ -385,6 +415,12 @@ class FleetStats:
             agg["cache_evictions"] += s.cache_evictions
             agg["cache_invalidations"] += s.cache_invalidations
             agg["responses_304"] += s.responses_304
+            agg["extract_pages_served"] += s.extract_pages_served
+            agg["extract_pages_degraded"] += s.extract_pages_degraded
+            agg["extract_pages_replayed"] += s.extract_pages_replayed
+            agg["extract_records_served"] += s.extract_records_served
+            agg["extract_jobs_active"] += s.extract_jobs_active
+            agg["extract_watermark_lag"] += s.extract_watermark_lag
             weight = float(max(1, s.max_concurrency))
             util_num += s.utilization * weight
             util_den += weight
@@ -414,12 +450,15 @@ def publish_server_stats(writer: WorkerStatsWriter, server, *, pid: int,
     busy = queue_depth = max_concurrency = queue_limit = 0
     utilization = p95 = 0.0
     hits = misses = evictions = invalidations = 0
+    extract = {}
     quality_stats = getattr(server, "quality_stats", None)
     if quality_stats is not None:
         try:
-            cache = (quality_stats() or {}).get("cache") or {}
+            quality = quality_stats() or {}
         except Exception:
-            cache = {}
+            quality = {}
+        cache = quality.get("cache") or {}
+        extract = quality.get("extract") or {}
         hits = cache.get("hits", 0)
         misses = cache.get("misses", 0)
         evictions = cache.get("evictions", 0) + cache.get("expirations", 0)
@@ -444,4 +483,10 @@ def publish_server_stats(writer: WorkerStatsWriter, server, *, pid: int,
         utilization=utilization, p95_service_s=p95, port=port,
         cache_hits=hits, cache_misses=misses, cache_evictions=evictions,
         cache_invalidations=invalidations,
-        responses_304=getattr(server, "responses_304", 0))
+        responses_304=getattr(server, "responses_304", 0),
+        extract_pages_served=extract.get("pages_served", 0),
+        extract_pages_degraded=extract.get("pages_degraded", 0),
+        extract_pages_replayed=extract.get("pages_replayed", 0),
+        extract_records_served=extract.get("records_served", 0),
+        extract_jobs_active=extract.get("jobs_active", 0),
+        extract_watermark_lag=extract.get("watermark_lag_records", 0))

@@ -1,0 +1,283 @@
+"""Server side of the resumable-extraction workload.
+
+Covers the cursor contract (opaque, checksummed, dataset-bound), the
+paginated fetch chain, the load-coupled degradation axis (pages slim —
+smaller and payload-free — instead of shedding), the ``(job_id, cursor)``
+dedup window that replays retried pages identically, and the stats hook
+the serving stack scrapes.
+"""
+
+import pytest
+
+from repro.apps.extract import (DESCRIBE_OPERATION, FETCH_OPERATION,
+                                PAGE_FORMAT, PAGE_LITE_FORMAT, CursorError,
+                                Dataset, ExtractService, decode_cursor,
+                                encode_cursor, extract_formats)
+from repro.apps.extract_client import client_registry
+from repro.core import SoapBinClient
+from repro.transport import DirectChannel
+
+
+def make_client(service):
+    return SoapBinClient(DirectChannel(service.endpoint), client_registry())
+
+
+def describe(client, fmts, job_id="job", page_records=0):
+    return client.call(DESCRIBE_OPERATION,
+                       {"job_id": job_id, "page_records": page_records},
+                       fmts["ExtractDescribeRequest"],
+                       fmts["ExtractDescribeReply"])
+
+
+def fetch(client, fmts, cursor, job_id="job", max_records=0):
+    return client.call(FETCH_OPERATION,
+                       {"job_id": job_id, "cursor": cursor,
+                        "max_records": max_records},
+                       fmts["ExtractFetchRequest"], fmts[PAGE_FORMAT])
+
+
+class TestFormats:
+    def test_five_formats_by_name(self):
+        fmts = extract_formats()
+        assert set(fmts) == {"ExtractDescribeRequest",
+                             "ExtractDescribeReply", "ExtractFetchRequest",
+                             PAGE_FORMAT, PAGE_LITE_FORMAT}
+
+    def test_lite_is_page_minus_payload(self):
+        fmts = extract_formats()
+        page = {f.name for f in fmts[PAGE_FORMAT].fields}
+        lite = {f.name for f in fmts[PAGE_LITE_FORMAT].fields}
+        assert page - lite == {"payload"}
+
+
+class TestCursors:
+    def test_round_trip(self):
+        cursor = encode_cursor(1234, "deadbeef")
+        assert decode_cursor(cursor, "deadbeef", 10_000) == 1234
+
+    def test_empty_rejected(self):
+        with pytest.raises(CursorError):
+            decode_cursor("", "deadbeef", 10)
+
+    def test_tampered_rejected(self):
+        cursor = encode_cursor(5, "deadbeef")
+        flipped = ("A" if cursor[0] != "A" else "B") + cursor[1:]
+        with pytest.raises(CursorError):
+            decode_cursor(flipped, "deadbeef", 10)
+
+    def test_truncated_rejected(self):
+        cursor = encode_cursor(5, "deadbeef")
+        with pytest.raises(CursorError):
+            decode_cursor(cursor[: len(cursor) // 2], "deadbeef", 10)
+
+    def test_wrong_dataset_rejected(self):
+        cursor = encode_cursor(5, "deadbeef")
+        with pytest.raises(CursorError, match="different dataset"):
+            decode_cursor(cursor, "cafebabe", 10)
+
+    def test_out_of_range_rejected(self):
+        cursor = encode_cursor(50, "deadbeef")
+        with pytest.raises(CursorError, match="out of range"):
+            decode_cursor(cursor, "deadbeef", 10)
+
+    def test_not_base64_rejected(self):
+        with pytest.raises(CursorError):
+            decode_cursor("!!!not-base64!!!", "deadbeef", 10)
+
+
+class TestDataset:
+    def test_deterministic_across_instances(self):
+        a, b = Dataset(total=100, seed=7), Dataset(total=100, seed=7)
+        assert a.fingerprint == b.fingerprint
+        assert a.page(10, 5) == b.page(10, 5)
+        assert a.digest() == b.digest()
+
+    def test_digest_is_order_free_page_sum(self):
+        ds = Dataset(total=60, seed=3)
+        acc = 0
+        for offset in (40, 0, 20):       # deliberately out of order
+            ids, values, _ = ds.page(offset, 20)
+            for i, v in zip(ids, values):
+                acc = (acc + Dataset.record_digest(i, v)) \
+                    & 0xFFFFFFFFFFFFFFFF
+        assert acc == ds.digest()
+
+    def test_seed_changes_fingerprint(self):
+        assert Dataset(total=100, seed=1).fingerprint \
+            != Dataset(total=100, seed=2).fingerprint
+
+
+class TestDescribeFetch:
+    def test_describe_shape(self):
+        service = ExtractService(total=1000, page_records=100)
+        reply = describe(make_client(service), extract_formats())
+        assert int(reply["total"]) == 1000
+        assert reply["fingerprint"] == service.dataset.fingerprint
+        assert reply["digest"] == f"{service.dataset.digest():016x}"
+        assert int(reply["page_records"]) == 100
+        assert int(reply["prefetch_depth"]) == service.prefetch_depth
+        assert decode_cursor(str(reply["cursor"]),
+                             service.dataset.fingerprint, 1000) == 0
+
+    def test_describe_not_degraded_by_quality(self):
+        # quality maps load to *page* formats; describe replies must pass
+        # through untouched even at panic load
+        service = ExtractService(total=100, page_records=10)
+        service.service.quality.attributes.update_attribute(
+            "server_load", 0.95)
+        reply = describe(make_client(service), extract_formats())
+        assert str(reply["digest"])    # full-fidelity describe fields
+        assert str(reply["fingerprint"]) == service.dataset.fingerprint
+
+    def test_fetch_chain_covers_dataset_exactly_once(self):
+        service = ExtractService(total=250, page_records=64)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        seen, digest = [], 0
+        while cursor:
+            page = fetch(client, fmts, cursor)
+            ids = [int(i) for i in page["ids"]]
+            seen.extend(ids)
+            for i, v in zip(ids, page["values"]):
+                digest = (digest + Dataset.record_digest(i, float(v))) \
+                    & 0xFFFFFFFFFFFFFFFF
+            cursor = str(page["next_cursor"])
+            if int(page["eof"]):
+                assert cursor == ""
+        assert seen == list(range(250))
+        assert digest == service.dataset.digest()
+
+    def test_bad_cursor_is_application_error(self):
+        from repro.core.errors import BinProtocolError
+        service = ExtractService(total=100)
+        client, fmts = make_client(service), extract_formats()
+        with pytest.raises(BinProtocolError):
+            fetch(client, fmts, "bogus-cursor")
+
+    def test_watermark_monotonic_per_job(self):
+        service = ExtractService(total=200, page_records=50)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        page1 = fetch(client, fmts, cursor)
+        assert int(page1["watermark"]) == 50
+        # a retry of the same cursor must not move the watermark back
+        replay = fetch(client, fmts, cursor)
+        assert int(replay["watermark"]) == 50
+        page2 = fetch(client, fmts, str(page1["next_cursor"]))
+        assert int(page2["watermark"]) == 100
+
+
+class TestDegradation:
+    def test_page_shrinks_under_load(self):
+        service = ExtractService(total=10_000, page_records=100,
+                                 min_page_records=8)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        calm = fetch(client, fmts, cursor)
+        assert int(calm["count"]) == 100 and not int(calm["degraded"])
+
+        service.service.quality.attributes.update_attribute(
+            "server_load", 0.95)
+        hot = fetch(client, fmts, str(calm["next_cursor"]))
+        assert int(hot["count"]) == 25            # requested // 4
+        assert int(hot["degraded"]) == 1
+        assert service.counters["pages_degraded"] >= 1
+
+    def test_lite_projection_drops_payload_but_verifies(self):
+        service = ExtractService(total=1000, page_records=50)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        service.service.quality.attributes.update_attribute(
+            "server_load", 0.95)
+        page = fetch(client, fmts, cursor)
+        assert not page.get("payload")            # projected away
+        digest = 0
+        for i, v in zip(page["ids"], page["values"]):
+            digest = (digest + Dataset.record_digest(int(i), float(v))) \
+                & 0xFFFFFFFFFFFFFFFF
+        # digests cover only projection-stable fields: still verifiable
+        ids = [int(i) for i in page["ids"]]
+        assert ids == list(range(len(ids)))
+        assert digest  # non-trivial sum over real records
+
+    def test_tight_deadline_shrinks_page(self):
+        service = ExtractService(total=1000, page_records=100,
+                                 deadline_floor_ms=50.0)
+        effective, degraded = service._effective_page(
+            100, {"X-Deadline-Ms": "10"})
+        assert effective == 25 and degraded == 1
+
+    def test_never_sheds_always_serves(self):
+        # even at load 1.0 a fetch returns records, never a 503
+        service = ExtractService(total=100, page_records=20,
+                                 min_page_records=4)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        service.service.quality.attributes.update_attribute(
+            "server_load", 1.0)
+        page = fetch(client, fmts, cursor)
+        assert int(page["count"]) >= service.min_page_records
+
+
+class TestDedupWindow:
+    def test_retried_page_is_replayed_identically(self):
+        service = ExtractService(total=500, page_records=50)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        first = fetch(client, fmts, cursor)
+        assert service.counters["pages_replayed"] == 0
+
+        # degrade the server between the two requests: the replay must
+        # come from the dedup window, NOT be recomputed under new load
+        service.service.quality.attributes.update_attribute(
+            "server_load", 0.95)
+        again = fetch(client, fmts, cursor)
+        assert service.counters["pages_replayed"] == 1
+        assert [int(i) for i in again["ids"]] \
+            == [int(i) for i in first["ids"]]
+        assert int(again["count"]) == int(first["count"])
+        assert again["payload"] == first["payload"]
+
+    def test_distinct_jobs_do_not_share_entries(self):
+        service = ExtractService(total=100, page_records=10)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        fetch(client, fmts, cursor, job_id="a")
+        fetch(client, fmts, cursor, job_id="b")
+        assert service.counters["pages_replayed"] == 0
+        fetch(client, fmts, cursor, job_id="a")
+        assert service.counters["pages_replayed"] == 1
+
+
+class TestStats:
+    def test_extract_stats_shape(self):
+        service = ExtractService(total=100, page_records=25)
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        page = fetch(client, fmts, cursor)
+        fetch(client, fmts, cursor)               # replay
+        stats = service.extract_stats()
+        assert stats["pages_served"] == 2
+        assert stats["pages_replayed"] == 1
+        assert stats["records_served"] == 25
+        assert stats["jobs_active"] == 1
+        # one job 25 records in on a 100-record dataset: 75 behind
+        assert stats["watermark_lag_records"] == 100 - int(page["watermark"])
+
+    def test_quality_stats_folds_extract_block(self):
+        service = ExtractService(total=100)
+        stats = service.quality_stats()
+        assert "extract" in stats
+        assert set(stats["extract"]) >= {
+            "pages_served", "pages_degraded", "pages_replayed",
+            "records_served", "jobs_active", "watermark_lag_records"}
+
+    def test_idle_jobs_pruned(self):
+        now = [0.0]
+        service = ExtractService(total=100, job_idle_s=10.0,
+                                 time_fn=lambda: now[0])
+        client, fmts = make_client(service), extract_formats()
+        cursor = str(describe(client, fmts)["cursor"])
+        fetch(client, fmts, cursor, job_id="old")
+        now[0] = 100.0
+        assert service.extract_stats()["jobs_active"] == 0

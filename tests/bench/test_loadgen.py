@@ -126,3 +126,75 @@ class TestEndToEnd:
         assert "<script" not in html and "http://" not in html \
             and "https://" not in html
         assert render_html(run) == html
+
+
+class TestErrorBreakdownSchema:
+    """The report's retry/shed-breakdown fields: optional (old reports
+    stay valid) but type- and invariant-checked when present."""
+
+    def base_report(self):
+        return {
+            "schema": 1, "kind": "loadgen", "config": {},
+            "duration_s": 1.0, "generators": [], "server": {},
+            "per_second": [],
+            "latency": {"overall": {"count": 0, "p50_s": 0.0,
+                                    "p95_s": 0.0, "p99_s": 0.0,
+                                    "max_s": 0.0}, "by_kind": {}},
+            "totals": {"requests": 0, "errors": 0, "shed": 0,
+                       "rps": 0.0, "by_kind": {}},
+        }
+
+    def test_retries_must_be_non_negative(self):
+        doc = self.base_report()
+        doc["totals"]["retries"] = -1
+        assert any("retries" in e for e in validate_report(doc))
+
+    def test_shed_by_reason_must_sum_to_shed(self):
+        doc = self.base_report()
+        doc["totals"]["shed"] = 3
+        doc["totals"]["shed_by_reason"] = {"queue_full": 1}
+        assert any("shed_by_reason" in e for e in validate_report(doc))
+        doc["totals"]["shed_by_reason"] = {"queue_full": 2, "deadline": 1}
+        assert not any("shed_by_reason" in e for e in validate_report(doc))
+
+    def test_by_kind_breakdown_fields_checked(self):
+        doc = self.base_report()
+        doc["totals"]["by_kind"]["binary"] = {
+            "requests": 1, "errors": 0, "shed": 0, "bytes_out": 8,
+            "bytes_in": 8, "retries": "many", "shed_by_reason": []}
+        errors = validate_report(doc)
+        assert any("retries" in e for e in errors)
+        assert any("shed_by_reason" in e for e in errors)
+
+
+@pytest.fixture(scope="module")
+def extract_run(tmp_path_factory):
+    cfg = config_for_profile(
+        "extract", duration_s=2.0, generators=1, concurrency=2,
+        server="reactor", extract_records=5_000)
+    out = tmp_path_factory.mktemp("loadgen") / "EXTRACT_report"
+    return write_report(cfg, str(out))
+
+
+@pytest.mark.bench_smoke
+class TestExtractProfile:
+    def test_report_is_schema_valid_and_gated(self, extract_run):
+        from repro.bench.gates import gate_loadgen
+        assert validate_report(extract_run) == []
+        gate_loadgen(extract_run)      # raises GateFailure on a bad run
+
+    def test_extract_kind_flowed_with_retry_accounting(self, extract_run):
+        totals = extract_run["totals"]
+        by_kind = totals["by_kind"]
+        assert by_kind["extract"]["requests"] > 0
+        assert totals["errors"] == 0
+        # the breakdown fields are present even when nothing was shed
+        assert "retries" in totals
+        assert isinstance(totals["shed_by_reason"], dict)
+        assert "retries" in by_kind["extract"]
+
+    def test_server_saw_extract_pages(self, extract_run):
+        scrape = extract_run["server"].get("metrics_after", {})
+        # loadgen brackets the run with /metrics scrapes; the extract
+        # families must be visible on the server under test
+        assert scrape.get("repro_extract_pages_served_total", 0) > 0

@@ -33,6 +33,10 @@ PIPELINED_FLOOR_DIVISOR = 1.25
 #: default p99 ceiling for the loadgen smoke gate — deliberately
 #: generous: it catches pathologies (stalls, retry storms), not noise
 LOADGEN_P99_MAX_S = 5.0
+#: compact encoding must shrink the small-int-heavy shape at least 2x
+WIRE_COMPACT_MIN_SHRINK = 2.0
+#: streaming a large payload may grow RSS by at most 25% of the payload
+STREAM_RSS_MAX_RATIO = 0.25
 
 
 class GateFailure(Exception):
@@ -106,13 +110,45 @@ def gate_cache_baseline(baseline: Dict[str, Any]) -> None:
         raise GateFailure("cache baseline does not show a 304 win")
 
 
+def gate_wire_baseline(baseline: Dict[str, Any]) -> None:
+    """The committed baseline must show both wire-format wins.
+
+    * compact varint encoding shrinks the small-int-heavy shape by at
+      least :data:`WIRE_COMPACT_MIN_SHRINK` — the negotiation exists to
+      buy this, so a baseline without the win means the codec regressed;
+    * the full-mode streaming pass (64 MiB through the reactor's chunked
+      route) grew RSS by under :data:`STREAM_RSS_MAX_RATIO` of the
+      payload — the constant-memory contract of the large-message path.
+    """
+    wire = require_section(baseline, "wire")
+    small = wire["shapes"]["small_int_heavy"]
+    stream = wire["streaming"]
+    print(f"wire baseline: small-int compact shrink "
+          f"{small['compact_shrink']:.2f}x "
+          f"({small['native_bytes']:,} -> {small['compact_bytes']:,} "
+          f"bytes); streamed {stream['payload_bytes'] >> 20} MiB with "
+          f"+{stream['rss_growth_kb']} KiB RSS "
+          f"({stream['rss_growth_ratio']:.3f} of payload)")
+    if small["compact_shrink"] < WIRE_COMPACT_MIN_SHRINK:
+        raise GateFailure(
+            f"compact encoding shrinks the small-int shape only "
+            f"{small['compact_shrink']:.2f}x "
+            f"(< {WIRE_COMPACT_MIN_SHRINK}x)")
+    if stream["rss_growth_ratio"] >= STREAM_RSS_MAX_RATIO:
+        raise GateFailure(
+            f"streaming RSS growth {stream['rss_growth_ratio']:.3f} of "
+            f"payload breaches the {STREAM_RSS_MAX_RATIO} constant-memory "
+            f"bound")
+
+
 def run_bench_gates(baseline: Dict[str, Any],
                     fresh: Dict[str, Any]) -> None:
-    """All four regression gates, in the order ci.yml ran them."""
+    """All regression gates, in the order ci.yml ran them."""
     gate_rpc_p50(baseline, fresh)
     gate_pipelined_depth8(baseline, fresh)
     gate_scaleout_baseline(baseline)
     gate_cache_baseline(baseline)
+    gate_wire_baseline(baseline)
 
 
 def gate_loadgen(report: Dict[str, Any],

@@ -10,8 +10,10 @@ standing judgment instrument the ROADMAP calls for:
   never GIL-bound against the server under test), each running
   ``concurrency`` client threads;
 * every thread drives a configurable **traffic mix**: binary SOAP-bin
-  calls over keep-alive, XML SOAP calls, and depth-k pipelined
-  ``call_many()`` batches, with a **cache-hit-ratio knob** (``value_pool``
+  calls over keep-alive, XML SOAP calls, depth-k pipelined
+  ``call_many()`` batches, and multi-megabyte ``largemsg`` record
+  streams over the reactor's chunked stream routes, with a
+  **cache-hit-ratio knob** (``value_pool``
   — how many distinct request values circulate; 1 means every request is
   identical and the server's content-addressed cache converges to all
   hits);
@@ -46,12 +48,12 @@ import time
 from dataclasses import dataclass, field, asdict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..pbio import Format, FormatRegistry
+from ..pbio import WIRE_MODES, Format, FormatRegistry
 from .timers import LogHistogram
 
 SCHEMA_VERSION = 1
 
-KINDS = ("binary", "xml", "pipelined", "extract")
+KINDS = ("binary", "xml", "pipelined", "extract", "largemsg")
 SERVER_SHAPES = ("threaded", "reactor", "fleet", "external")
 ARRIVALS = ("poisson", "uniform")
 MODES = ("closed", "open")
@@ -71,6 +73,19 @@ history 2
 0.0 0.85 - LoadEcho
 0.85 inf - LoadEchoLite
 """
+
+#: The large-message workload: PBIO record streams pushed through the
+#: reactor's chunked stream route and echoed back record by record, so
+#: multi-megabyte requests never materialize whole on the server.
+STREAM_ROUTE = "/stream"
+STREAM_RECORD = Format.from_dict(
+    "LoadStreamRecord", {"seq": "int32", "data": "float64[]"})
+
+
+def _stream_registry() -> FormatRegistry:
+    registry = FormatRegistry()
+    registry.register(STREAM_RECORD)
+    return registry
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +133,13 @@ class LoadgenConfig:
     retry_attempts: int = 1
     #: dataset records served by the extract kind's server
     extract_records: int = 20_000
+    #: wire representation for both sides: auto (negotiate), native,
+    #: or compact
+    wire: str = "auto"
+    #: bytes streamed per largemsg request (before framing overhead)
+    largemsg_bytes: int = 4 << 20
+    #: float64 elements per streamed record (~8 bytes each)
+    largemsg_record_elements: int = 16_384
     seed: int = 1
 
     def validate(self) -> None:
@@ -127,6 +149,8 @@ class LoadgenConfig:
             raise ValueError(f"mode must be one of {MODES}")
         if self.arrivals not in ARRIVALS:
             raise ValueError(f"arrivals must be one of {ARRIVALS}")
+        if self.wire not in WIRE_MODES:
+            raise ValueError(f"wire must be one of {WIRE_MODES}")
         if self.server == "external" and not self.target:
             raise ValueError("server='external' requires target='host:port'")
         unknown = set(self.mix) - set(KINDS)
@@ -137,7 +161,8 @@ class LoadgenConfig:
             raise ValueError("mix needs at least one positive weight")
         for name in ("duration_s", "generators", "concurrency", "depth",
                      "batch", "value_pool", "payload_elements", "workers",
-                     "retry_attempts", "extract_records"):
+                     "retry_attempts", "extract_records", "largemsg_bytes",
+                     "largemsg_record_elements"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.mix.get("extract", 0) > 0 and any(
@@ -145,6 +170,17 @@ class LoadgenConfig:
             raise ValueError(
                 "the extract kind hosts a different service than the "
                 "echo kinds and cannot be mixed with them")
+        if self.mix.get("largemsg", 0) > 0:
+            if any(w > 0 for k, w in self.mix.items() if k != "largemsg"):
+                raise ValueError(
+                    "the largemsg kind drives a chunked stream route, "
+                    "not the echo endpoint, and cannot be mixed with "
+                    "other kinds")
+            if self.server not in ("reactor", "external"):
+                raise ValueError(
+                    "the largemsg kind needs incremental stream routes; "
+                    "only the reactor shape (or an external reactor) "
+                    "serves them")
 
 
 #: Built-in traffic profiles (overridable field by field via the CLI).
@@ -168,6 +204,12 @@ PROFILES: Dict[str, Dict[str, Any]] = {
     # exercise the dedup window and CallMeta retry counts flow into the
     # report
     "extract": {"mix": {"extract": 1.0}, "retry_attempts": 3},
+    # the constant-memory large-message path: every request streams a
+    # multi-megabyte PBIO record stream through the reactor's chunked
+    # stream route and reads the echo back frame by frame, so the
+    # report's RSS series stays flat while streamed-bytes counters climb
+    "largemsg": {"mix": {"largemsg": 1.0}, "server": "reactor",
+                 "concurrency": 2},
 }
 
 
@@ -188,7 +230,7 @@ def config_for_profile(profile: str, **overrides: Any) -> LoadgenConfig:
 # the server under test
 # ----------------------------------------------------------------------
 
-def _build_echo_service():
+def _build_echo_service(wire: str = "auto"):
     """A quality-managed SOAP-bin echo service for the harness.
 
     The echo handler returns the request value unchanged, so requests
@@ -200,7 +242,8 @@ def _build_echo_service():
     registry = FormatRegistry()
     registry.register(ECHO_REQUEST)
     registry.register(ECHO_REPLY_LITE)
-    service = SoapBinService(registry, quality_text=QUALITY_FILE)
+    service = SoapBinService(registry, quality_text=QUALITY_FILE,
+                             wire=wire)
     service.add_operation("Echo", ECHO_REQUEST, ECHO_REPLY,
                           lambda params: params)
     return service
@@ -215,9 +258,9 @@ def _build_app_service(cfg: LoadgenConfig):
     """
     if cfg.mix.get("extract", 0) > 0:
         from ..apps.extract import ExtractService
-        app = ExtractService(total=cfg.extract_records)
+        app = ExtractService(total=cfg.extract_records, wire=cfg.wire)
         return app.service, app.quality_stats
-    service = _build_echo_service()
+    service = _build_echo_service(cfg.wire)
     return service, service.quality_stats
 
 
@@ -274,10 +317,16 @@ class _ServerUnderTest:
         from ..transport import serve_endpoint
         service, quality_stats = _build_app_service(cfg)
         admission, coupling = _protection(cfg, service.quality)
+        server_kwargs: Dict[str, Any] = {}
+        if cfg.mix.get("largemsg", 0) > 0:
+            from ..pbio import pbio_stream_route
+            server_kwargs["stream_routes"] = {
+                STREAM_ROUTE: pbio_stream_route(_stream_registry(),
+                                                wire=cfg.wire)}
         self._server = serve_endpoint(
             service.endpoint, concurrency=self.shape, port=port,
             admission=admission, load_coupling=coupling,
-            quality_stats=quality_stats, backlog=512)
+            quality_stats=quality_stats, backlog=512, **server_kwargs)
         self.address = self._server.address
         self.scrape_address = self.address
 
@@ -295,6 +344,9 @@ class _ServerUnderTest:
     def induced_counter(self) -> str:
         if self._fleet is not None:
             return "repro_fleet_requests_served_total"
+        if self.cfg.mix.get("largemsg", 0) > 0:
+            # stream routes run on the reactor thread, outside admission
+            return "repro_http_chunked_requests_total"
         return "repro_admission_admitted_total"
 
     def scrape(self) -> Optional[Dict[str, float]]:
@@ -462,8 +514,8 @@ class _Recorder:
     def __init__(self) -> None:
         self.by_kind: Dict[str, Dict[str, Any]] = {
             kind: {"requests": 0, "errors": 0, "shed": 0, "retries": 0,
-                   "shed_by_reason": {}, "hist": LogHistogram(),
-                   "max_s": 0.0}
+                   "streamed_bytes": 0, "shed_by_reason": {},
+                   "hist": LogHistogram(), "max_s": 0.0}
             for kind in KINDS}
         self.seconds: Dict[int, Dict[str, Any]] = {}
 
@@ -477,10 +529,12 @@ class _Recorder:
         return bucket
 
     def ok(self, kind: str, t_rel: float, latency_s: float,
-           count: int = 1, retries: int = 0) -> None:
+           count: int = 1, retries: int = 0,
+           streamed_bytes: int = 0) -> None:
         entry = self.by_kind[kind]
         entry["requests"] += count
         entry["retries"] += retries
+        entry["streamed_bytes"] += streamed_bytes
         entry["max_s"] = max(entry["max_s"], latency_s)
         bucket = self._second(t_rel)
         bucket["requests"] += count
@@ -508,6 +562,7 @@ class _Recorder:
             mine["errors"] += entry["errors"]
             mine["shed"] += entry["shed"]
             mine["retries"] += entry["retries"]
+            mine["streamed_bytes"] += entry["streamed_bytes"]
             for reason, count in entry["shed_by_reason"].items():
                 mine["shed_by_reason"][reason] = \
                     mine["shed_by_reason"].get(reason, 0) + count
@@ -528,6 +583,7 @@ class _Recorder:
             "by_kind": {
                 kind: {"requests": e["requests"], "errors": e["errors"],
                        "shed": e["shed"], "retries": e["retries"],
+                       "streamed_bytes": e["streamed_bytes"],
                        "shed_by_reason": dict(e["shed_by_reason"]),
                        "max_s": e["max_s"],
                        "hist": e["hist"].to_dict()}
@@ -549,12 +605,28 @@ class _ClientSet:
         from ..transport import HttpChannel, PipelinedHttpChannel
         self._channels: List[Any] = []
         self.binary = self.xml = self.pipelined = self.extract = None
+        self.largemsg = None
+        if cfg.mix.get("largemsg", 0) > 0:
+            from ..http11 import HttpConnection
+            from ..pbio import PbioSession
+            self.largemsg = HttpConnection(address)
+            self._channels.append(self.largemsg)
+            registry = _stream_registry()
+            # one send session and one sink session per thread: format
+            # announcements prime on the first request and stay cached
+            self._lm_session = PbioSession(registry, wire=cfg.wire)
+            self._lm_sink_session = PbioSession(registry, wire=cfg.wire)
+            record_bytes = cfg.largemsg_record_elements * 8
+            self._lm_records = max(1, cfg.largemsg_bytes // record_bytes)
+            self._lm_data = [float(i) % 97.0
+                             for i in range(cfg.largemsg_record_elements)]
         if cfg.mix.get("extract", 0) > 0:
             from ..apps.extract import extract_formats
             from ..apps.extract_client import client_registry
             channel = HttpChannel(address)
             self._channels.append(channel)
-            self.extract = SoapBinClient(channel, client_registry())
+            self.extract = SoapBinClient(channel, client_registry(),
+                                         wire=cfg.wire)
             self._extract_formats = extract_formats()
             self._extract_ident = ident
             self._extract_lap = 0
@@ -563,7 +635,8 @@ class _ClientSet:
         if cfg.mix.get("binary", 0) > 0:
             channel = HttpChannel(address)
             self._channels.append(channel)
-            self.binary = SoapBinClient(channel, self._client_registry())
+            self.binary = SoapBinClient(channel, self._client_registry(),
+                                        wire=cfg.wire)
         if cfg.mix.get("xml", 0) > 0:
             # XmlQualityClient understands the message-type header, so it
             # keeps decoding when a saturating run degrades the reply
@@ -576,7 +649,8 @@ class _ClientSet:
             channel = PipelinedHttpChannel(address, depth=cfg.depth)
             self._channels.append(channel)
             self.pipelined = SoapBinClient(channel,
-                                           self._client_registry())
+                                           self._client_registry(),
+                                           wire=cfg.wire)
 
     @staticmethod
     def _client_registry() -> FormatRegistry:
@@ -595,6 +669,8 @@ class _ClientSet:
         if self.pipelined is not None:
             self.pipelined.call_many("Echo", [value, value],
                                      ECHO_REQUEST, ECHO_REPLY)
+        if self.largemsg is not None:
+            self.largemsg_stream(records=1)
         if self.extract is not None:
             from ..apps.extract import DESCRIBE_OPERATION
             fmts = self._extract_formats
@@ -633,6 +709,46 @@ class _ClientSet:
                                  f"-lap{self._extract_lap}")
             self._extract_cursor = self._extract_cursor0
         return page
+
+    def largemsg_stream(self, records: Optional[int] = None) -> int:
+        """One large-message request: push a PBIO record stream up the
+        chunked route and drain the echoed stream frame by frame.
+
+        Neither side ever holds the payload whole — the sender yields
+        one frame at a time, the reader decodes per reply chunk.
+        Returns the framed bytes sent, which is exactly what the
+        server's ``streamed_bytes_in`` counter accounts.
+        """
+        from ..pbio import RecordStreamReader, iter_frames
+        nrecords = self._lm_records if records is None else records
+        sent = 0
+
+        def produce():
+            for seq in range(nrecords):
+                yield STREAM_RECORD, {"seq": seq, "data": self._lm_data}
+
+        def frames():
+            nonlocal sent
+            for frame in iter_frames(self._lm_session, produce()):
+                sent += len(frame)
+                yield frame
+
+        response = self.largemsg.stream(
+            STREAM_ROUTE, frames(),
+            content_type="application/x-pbio-stream")
+        if response.status != 200:
+            body = response.read()
+            raise RuntimeError(f"largemsg stream: status "
+                               f"{response.status} {body[:80]!r}")
+        sink = RecordStreamReader(self._lm_sink_session)
+        echoed = 0
+        for chunk in response.iter_chunks():
+            echoed += len(sink.feed(chunk))
+        sink.finish()
+        if echoed != nrecords:
+            raise RuntimeError(f"largemsg stream: {echoed}/{nrecords} "
+                               "records echoed")
+        return sent
 
     def close(self) -> None:
         for channel in self._channels:
@@ -747,6 +863,8 @@ def _generator_thread(cfg: LoadgenConfig, address, gen_index: int,
             else:
                 if kind == "extract":
                     attempt: Callable[[], Any] = clients.extract_fetch
+                elif kind == "largemsg":
+                    attempt = clients.largemsg_stream
                 else:
                     value = values[rng.randrange(len(values))]
                     client = (clients.binary if kind == "binary"
@@ -755,13 +873,14 @@ def _generator_thread(cfg: LoadgenConfig, address, gen_index: int,
                                c.call("Echo", v, ECHO_REQUEST, ECHO_REPLY))
                 begun = time.perf_counter()
                 retries = 0
+                result: Any = None
                 try:
                     if policy is None:
-                        attempt()
+                        result = attempt()
                     else:
                         from ..reliability import call_with_policy
-                        _, meta = call_with_policy(attempt, policy,
-                                                   idempotent=True)
+                        result, meta = call_with_policy(attempt, policy,
+                                                        idempotent=True)
                         retries = meta.attempts - 1
                 except Exception as exc:  # noqa: BLE001 - classified
                     meta = getattr(exc, "meta", None)
@@ -776,7 +895,9 @@ def _generator_thread(cfg: LoadgenConfig, address, gen_index: int,
                 else:
                     recorder.ok(kind, t_rel,
                                 time.perf_counter() - begun,
-                                retries=retries)
+                                retries=retries,
+                                streamed_bytes=(result if kind == "largemsg"
+                                                else 0))
                     consecutive_failures = 0
             if consecutive_failures >= 50:
                 # server gone or breaker-grade failure: back off so a
@@ -836,7 +957,8 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
     """Fold the per-generator ledgers into report totals + time series."""
     by_kind: Dict[str, Dict[str, Any]] = {
         kind: {"requests": 0, "errors": 0, "shed": 0, "retries": 0,
-               "shed_by_reason": {}, "hist": LogHistogram(), "max_s": 0.0}
+               "streamed_bytes": 0, "shed_by_reason": {},
+               "hist": LogHistogram(), "max_s": 0.0}
         for kind in KINDS}
     seconds: Dict[int, Dict[str, Any]] = {}
     for doc in docs:
@@ -846,6 +968,7 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
             mine["errors"] += entry["errors"]
             mine["shed"] += entry["shed"]
             mine["retries"] += entry.get("retries", 0)
+            mine["streamed_bytes"] += entry.get("streamed_bytes", 0)
             for reason, count in entry.get("shed_by_reason", {}).items():
                 mine["shed_by_reason"][reason] = \
                     mine["shed_by_reason"].get(reason, 0) + count
@@ -863,13 +986,14 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
     overall = LogHistogram()
     overall_max = 0.0
     totals: Dict[str, Any] = {"requests": 0, "errors": 0, "shed": 0,
-                              "retries": 0}
+                              "retries": 0, "streamed_bytes": 0}
     shed_by_reason: Dict[str, int] = {}
     for entry in by_kind.values():
         totals["requests"] += entry["requests"]
         totals["errors"] += entry["errors"]
         totals["shed"] += entry["shed"]
         totals["retries"] += entry["retries"]
+        totals["streamed_bytes"] += entry["streamed_bytes"]
         for reason, count in entry["shed_by_reason"].items():
             shed_by_reason[reason] = shed_by_reason.get(reason, 0) + count
         overall.merge(entry["hist"])
@@ -879,6 +1003,7 @@ def _merge_generator_docs(docs: List[Dict[str, Any]],
     totals["by_kind"] = {
         kind: {"requests": e["requests"], "errors": e["errors"],
                "shed": e["shed"], "retries": e["retries"],
+               "streamed_bytes": e["streamed_bytes"],
                "shed_by_reason": dict(e["shed_by_reason"])}
         for kind, e in by_kind.items()}
     per_second = [
@@ -1039,6 +1164,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--extract-records", type=int, default=None,
                         dest="extract_records",
                         help="dataset records for the extract profile")
+    parser.add_argument("--largemsg-bytes", type=int, default=None,
+                        dest="largemsg_bytes",
+                        help="payload bytes streamed per largemsg request")
+    parser.add_argument("--wire", choices=WIRE_MODES, default=None,
+                        help="PBIO wire representation for both the "
+                             "server and the generators (default: auto)")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--out", default="LOADGEN_report",
                         help="output base path; writes <out>.json and "
@@ -1069,6 +1200,8 @@ def config_from_args(args: argparse.Namespace) -> LoadgenConfig:
         "target": args.target,
         "retry_attempts": args.retry_attempts,
         "extract_records": args.extract_records,
+        "largemsg_bytes": args.largemsg_bytes,
+        "wire": args.wire,
         "seed": args.seed,
     }
     if args.target and args.server is None:
@@ -1092,6 +1225,9 @@ def print_summary(report: Dict[str, Any],
           f"{report['duration_s']:g}s ({totals['rps']:,.0f} rps), "
           f"{totals['errors']} errors, {totals['shed']} shed, "
           f"{totals.get('retries', 0)} retries", file=out)
+    if totals.get("streamed_bytes"):
+        print(f"  {totals['streamed_bytes'] / (1 << 20):,.1f} MiB "
+              "streamed through chunked routes", file=out)
     if totals.get("shed_by_reason"):
         breakdown = ", ".join(
             f"{reason}={count}" for reason, count in

@@ -9,7 +9,12 @@ one JSON file:
   struct), each with the interpreted field-walk ("slow path") alongside so
   the compiled-codec speedup is explicit;
 * **wire** — steady-state session ``pack_bytes``/``unpack_stream``
-  round-trips per second (framing + codec + zero-copy parse);
+  round-trips per second (framing + codec + zero-copy parse), the
+  native-layout vs compact-varint size/throughput trade on three payload
+  shapes (small-int-heavy, float-array, nested-struct), and the
+  constant-memory streaming evidence: a multi-MB PBIO record stream
+  pushed through the reactor's chunked route in a forked child while
+  VmRSS growth is sampled;
 * **xlate** — XML translation ops/s for the Fig. 5b/Fig. 7 array payloads
   (``to_xml``/``from_xml`` on 10k- and 1k-element int arrays), with the
   tree/pull reference paths alongside so the compiled-XML-plan speedup is
@@ -136,19 +141,170 @@ def _bench_codecs(min_time: float) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def _bench_wire(min_time: float) -> Dict[str, float]:
+WIRE_SMALL_INT_FORMAT = Format.from_dict(
+    "RegressWireSmallInt",
+    {"seq": "int32", "ids": "int64[]", "counts": "int32[]"})
+
+#: one stream record = 128 KiB of float64 payload
+STREAM_RECORD_ELEMENTS = 16_384
+
+
+def _wire_shape_entry(registry: FormatRegistry, fmt: Format,
+                      value: Dict[str, Any],
+                      min_time: float) -> Dict[str, float]:
+    """Native-layout vs compact-varint bytes and codec throughput for one
+    payload shape — the size/CPU trade the wire negotiation picks between
+    (docs/wire-compact.md)."""
+    compiler = registry.compiler
+    native_enc = compiler.encoder(fmt)
+    native_dec = compiler.decoder(fmt)
+    compact_enc = compiler.compact_encoder(fmt)
+    compact_dec = compiler.compact_decoder(fmt)
+    native_payload = native_enc(value)
+    compact_payload = compact_enc(value)
+    return {
+        "native_bytes": len(native_payload),
+        "compact_bytes": len(compact_payload),
+        "compact_shrink": len(native_payload) / len(compact_payload),
+        "native_encode_ops_s": _rate(lambda: native_enc(value), min_time),
+        "compact_encode_ops_s": _rate(lambda: compact_enc(value), min_time),
+        "native_decode_ops_s": _rate(
+            lambda: native_dec(native_payload, 0), min_time),
+        "compact_decode_ops_s": _rate(
+            lambda: compact_dec(compact_payload, 0), min_time),
+    }
+
+
+def _stream_rss_child(payload_bytes: int, out_q) -> None:
+    """Forked child: push ``payload_bytes`` of PBIO records through the
+    reactor's streaming route and read the echo back, sampling VmRSS.
+
+    Forked so the baseline is a fresh heap — the parent's accumulated
+    allocations would mask (or fake) growth.  Client and server share the
+    process, so the growth figure covers *both* ends of the stream: the
+    constant-memory claim holds only if neither side buffers the payload.
+    """
+    import threading
+    from ..pbio import (PbioSession, RecordStreamReader, iter_frames,
+                        pbio_stream_route)
+
+    registry = FormatRegistry()
+    fmt = Format.from_dict("RegressStreamRecord",
+                           {"seq": "int32", "data": "float64[]"})
+    registry.register(fmt)
+    data = [float(i) * 0.5 for i in range(STREAM_RECORD_ELEMENTS)]
+    record_bytes = STREAM_RECORD_ELEMENTS * 8
+    nrecords = max(4, payload_bytes // record_bytes)
+
+    def records():
+        for seq in range(nrecords):
+            yield fmt, {"seq": seq, "data": data}
+
+    server = HttpServer(lambda request: Response(status=404),
+                        concurrency="reactor",
+                        stream_routes={"/stream":
+                                       pbio_stream_route(registry)})
+    stop = threading.Event()
+    peak = [0]
+
+    def sample() -> None:
+        while not stop.is_set():
+            peak[0] = max(peak[0], _rss_kb())
+            stop.wait(0.01)
+
+    conn = HttpConnection(server.address)
+    session = PbioSession(registry)
+    sink = RecordStreamReader(PbioSession(registry))
+    try:
+        baseline_kb = _rss_kb()
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        resp = conn.stream("/stream", iter_frames(session, records()),
+                           content_type="application/x-pbio-stream")
+        frames_back = 0
+        bytes_back = 0
+        for chunk in resp.iter_chunks():
+            bytes_back += len(chunk)
+            frames_back += len(sink.feed(chunk))
+        sink.finish()
+        stop.set()
+        sampler.join()
+        peak_kb = max(peak[0], _rss_kb())
+    finally:
+        stop.set()
+        conn.close()
+        server.close()
+    assert resp.status == 200, resp.status
+    assert frames_back == nrecords, (frames_back, nrecords)
+    out_q.put({
+        "payload_bytes": nrecords * record_bytes,
+        "records": nrecords,
+        "echoed_bytes": bytes_back,
+        "rss_baseline_kb": baseline_kb,
+        "rss_peak_kb": peak_kb,
+        "rss_growth_kb": max(0, peak_kb - baseline_kb),
+    })
+
+
+def _bench_wire_streaming(smoke: bool) -> Dict[str, Any]:
+    """The constant-memory evidence: a multi-MB record stream crosses the
+    reactor and comes back while RSS stays frame-sized.  Full mode pushes
+    64 MiB (the gate bound lives in :mod:`.gates`); smoke keeps CI fast
+    with 8 MiB but still proves the roundtrip."""
+    import multiprocessing
+    mp = multiprocessing.get_context("fork")
+    payload_bytes = (8 << 20) if smoke else (64 << 20)
+    out_q: Any = mp.SimpleQueue()
+    proc = mp.Process(target=_stream_rss_child,
+                      args=(payload_bytes, out_q), daemon=True)
+    proc.start()
+    try:
+        result: Dict[str, Any] = out_q.get()
+    finally:
+        proc.join(timeout=120.0)
+        if proc.is_alive():             # pragma: no cover - hung child
+            proc.terminate()
+    result["rss_growth_ratio"] = (result["rss_growth_kb"] * 1024
+                                  / result["payload_bytes"])
+    return result
+
+
+def _bench_wire(min_time: float, smoke: bool) -> Dict[str, Any]:
     from ..pbio import PbioSession
     registry = FormatRegistry()
-    fmt = register_nested_formats(registry, 8)
-    value = nested_struct_value(8)
+    nested_fmt = register_nested_formats(registry, 8)
+    nested_value = nested_struct_value(8)
     sender = PbioSession(registry)
     receiver = PbioSession(registry)
 
     def roundtrip() -> None:
-        receiver.unpack_stream(sender.pack_bytes(fmt, value))
+        receiver.unpack_stream(sender.pack_bytes(nested_fmt, nested_value))
 
     roundtrip()  # burn the one-time announcement
-    return {"nested_struct_d8_roundtrip_ops_s": _rate(roundtrip, min_time)}
+    roundtrip()  # ... and let wire="auto" settle on its steady-state rep
+    out: Dict[str, Any] = {
+        "nested_struct_d8_roundtrip_ops_s": _rate(roundtrip, min_time),
+        "roundtrip_rep": sender.wire_rep(),
+    }
+
+    registry.register(FLOAT_ARRAY_FORMAT)
+    registry.register(WIRE_SMALL_INT_FORMAT)
+    small_value = {"seq": 7,
+                   "ids": [i % 100 for i in range(5000)],
+                   "counts": [i % 50 for i in range(5000)]}
+    float_value = {"data": [float(i) * 0.5 for i in range(10_000)]}
+    out["shapes"] = {
+        # ids/counts under one varint byte each: compact's best case
+        "small_int_heavy": _wire_shape_entry(
+            registry, WIRE_SMALL_INT_FORMAT, small_value, min_time),
+        # float64 stays 8 bytes either way: the no-win crossover case
+        "float64_array_10k": _wire_shape_entry(
+            registry, FLOAT_ARRAY_FORMAT, float_value, min_time),
+        "nested_struct_d8": _wire_shape_entry(
+            registry, nested_fmt, nested_value, min_time),
+    }
+    out["streaming"] = _bench_wire_streaming(smoke)
+    return out
 
 
 def _bench_xlate(min_time: float) -> Dict[str, Dict[str, float]]:
@@ -737,7 +893,7 @@ def _bench_cache(smoke: bool) -> Dict[str, Any]:
 #: section document.
 SECTIONS: Dict[str, Callable[[bool], Any]] = {
     "codec": lambda smoke: _bench_codecs(0.05 if smoke else 0.5),
-    "wire": lambda smoke: _bench_wire(0.05 if smoke else 0.5),
+    "wire": lambda smoke: _bench_wire(0.05 if smoke else 0.5, smoke),
     "xlate": lambda smoke: _bench_xlate(0.05 if smoke else 0.5),
     "rpc": lambda smoke: _bench_rpc(150 if smoke else 1000,
                                     payload_elements=256),
@@ -829,6 +985,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         xl = result["xlate"]["int32_array_10k"]
         print(f"  int32[10k] to_xml: {xl['to_xml_ops_s']:,.0f} ops/s "
               f"({xl['to_xml_speedup_vs_tree']:.1f}x over tree)")
+    if "wire" in ran:
+        small = result["wire"]["shapes"]["small_int_heavy"]
+        stream = result["wire"]["streaming"]
+        print(f"  wire compact: small-int {small['native_bytes']:,} -> "
+              f"{small['compact_bytes']:,} bytes "
+              f"({small['compact_shrink']:.1f}x smaller)")
+        print(f"  wire streaming: {stream['payload_bytes'] >> 20} MiB "
+              f"echoed, RSS +{stream['rss_growth_kb']} KiB "
+              f"({stream['rss_growth_ratio']:.3f} of payload)")
     if "rpc" in ran:
         print(f"  rpc p50: "
               f"{result['rpc']['p50_call_latency_s'] * 1e3:.3f} ms")

@@ -98,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--port", type=int, default=0)
     serve_cmd.add_argument("--requests", type=int, default=0,
                            help="exit after N requests (0 = forever)")
+    serve_cmd.add_argument("--wire", default="auto",
+                           choices=["auto", "native", "compact"],
+                           help="PBIO wire representation policy "
+                                "(default: %(default)s)")
     serve_cmd.set_defaults(handler=cmd_serve)
 
     fleet_cmd = sub.add_parser(
@@ -143,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="default page size in records")
     xserve_cmd.add_argument("--pages", type=int, default=0,
                             help="exit after N pages served (0 = forever)")
+    xserve_cmd.add_argument("--wire", default="auto",
+                            choices=["auto", "native", "compact"],
+                            help="PBIO wire representation policy "
+                                 "(default: %(default)s)")
     xserve_cmd.set_defaults(handler=cmd_extract_serve)
 
     extract_cmd = sub.add_parser(
@@ -306,7 +314,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_echo_service():
+def _build_echo_service(wire: str = "auto"):
     """The quickstart echo service (fresh registry + dispatcher)."""
     from .core import SoapBinService
     from .pbio import Format, FormatRegistry
@@ -319,7 +327,7 @@ def _build_echo_service():
                                             "count": "int32"})
     registry.register(req)
     registry.register(res)
-    service = SoapBinService(registry)
+    service = SoapBinService(registry, wire=wire)
     service.add_operation(
         "Echo", req, res,
         lambda p: {"data": p["data"], "tag": p["tag"],
@@ -332,9 +340,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .transport import serve_endpoint
 
-    service = _build_echo_service()
+    service = _build_echo_service(args.wire)
     server = serve_endpoint(service.endpoint, port=args.port)
-    print(f"Echo service (binary + XML SOAP) on {server.url}")
+    print(f"Echo service (binary + XML SOAP, wire={args.wire}) "
+          f"on {server.url}")
     try:
         while True:
             if args.requests and server.requests_served >= args.requests:
@@ -396,7 +405,8 @@ def cmd_extract_serve(args: argparse.Namespace) -> int:
 
     def build_app():
         return ExtractService(total=args.records, seed=args.seed,
-                              page_records=args.page_records)
+                              page_records=args.page_records,
+                              wire=args.wire)
 
     if args.workers > 1:
         from .serving import FleetServer

@@ -46,7 +46,8 @@ class SoapBinClient:
                  quality: Optional[QualityManager] = None,
                  endian: str = LITTLE,
                  client_id: Optional[str] = None,
-                 monitor_hub: Optional[MonitorHub] = None) -> None:
+                 monitor_hub: Optional[MonitorHub] = None,
+                 wire: str = "auto") -> None:
         self.channel = channel
         self.registry = registry
         self.clock = clock or WallClock()
@@ -57,7 +58,7 @@ class SoapBinClient:
         # announcement as authoritative.  Server-side sessions keep the
         # default (reject conflicting announcements per-connection).
         self.session = PbioSession(registry, self.compiler, endian=endian,
-                                   adopt_redefines=True)
+                                   adopt_redefines=True, wire=wire)
         self.client_id = client_id or uuid.uuid4().hex
         #: used when no quality manager is installed, so RTT reporting to
         #: the server works in plain SOAP-bin deployments too

@@ -26,7 +26,7 @@ import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..pbio import (Format, FormatRegistry, PbioSession,
-                    UnknownFormatError)
+                    UnknownFormatError, WIRE_MODES)
 from ..soap.errors import SoapFault
 from ..soap.service import Operation, SoapService
 from ..transport import ChannelReply
@@ -53,7 +53,12 @@ class SoapBinService:
                  response_cache: bool = True,
                  cache_entries: int = 1024,
                  cache_max_payload_bytes: int = 64 << 20,
-                 cache_ttl_s: Optional[float] = None) -> None:
+                 cache_ttl_s: Optional[float] = None,
+                 wire: str = "auto") -> None:
+        if wire not in WIRE_MODES:
+            raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
+        #: compact-encoding policy handed to every per-client session
+        self.wire = wire
         self.registry = registry if registry is not None else FormatRegistry()
         self.xml_service = SoapService(self.registry)
         self.compiler = self.registry.compiler
@@ -228,8 +233,14 @@ class SoapBinService:
         params = self._restore_request(wire_value, wire_format, op)
         self._ingest_reported_rtt(headers)
         result = self.xml_service.invoke(op, params, headers)
+        # The cache/ETag variant must reflect the representation this reply
+        # will be *encoded* in, and the session may have just learned the
+        # peer's compact capability from announcements in this very body —
+        # so it is computed after unpack_stream, never before.
+        variant = f"pbio:{session.wire_rep()}"
         reply_format, reply_value, etag, not_modified = self._apply_quality(
-            result, op.output_format, self._if_none_match(headers))
+            result, op.output_format, self._if_none_match(headers),
+            variant=variant)
         return reply_value, reply_format, etag, not_modified
 
     @staticmethod
@@ -301,12 +312,14 @@ class SoapBinService:
     def _apply_quality(
             self, result: Dict[str, Any], output_format: Format,
             if_none_match: Optional[str] = None,
+            variant: str = "pbio:native",
     ) -> Tuple[Format, Optional[Dict[str, Any]], Optional[str], bool]:
         if self.quality is None:
             return output_format, result, None, False
         wire_format, wire_value, etag, not_modified = \
             self.quality.outgoing_keyed(result, output_format,
-                                        if_none_match=if_none_match)
+                                        if_none_match=if_none_match,
+                                        variant=variant)
         return wire_format, wire_value, etag, not_modified
 
     def _reply_headers(self, request_headers: Dict[str, str],
@@ -321,7 +334,8 @@ class SoapBinService:
 
     def _session_for(self, client_id: str) -> PbioSession:
         return self._sessions.get_or_create(
-            client_id, lambda: PbioSession(self.registry, self.compiler))
+            client_id, lambda: PbioSession(self.registry, self.compiler,
+                                           wire=self.wire))
 
     @property
     def session_count(self) -> int:
@@ -335,6 +349,30 @@ class SoapBinService:
     # ------------------------------------------------------------------
     def quality_stats(self) -> Optional[Dict[str, Any]]:
         """The quality manager's observability snapshot (handler
-        fallbacks, sandbox state, cache counters), or ``None`` when no
-        policy is installed.  Surfaced in the server ``/healthz``."""
-        return self.quality.stats() if self.quality is not None else None
+        fallbacks, sandbox state, cache counters) plus the ``wire``
+        negotiation block, or ``None`` when no policy is installed.
+        Surfaced in the server ``/healthz`` and ``/metrics``."""
+        if self.quality is None:
+            return None
+        stats = self.quality.stats()
+        stats["wire"] = self.wire_stats()
+        return stats
+
+    def wire_stats(self) -> Dict[str, Any]:
+        """Compact-wire negotiation counters aggregated over the live
+        per-client sessions — surfaced as ``/metrics`` families."""
+        sessions = self._sessions.values()
+        compact_sessions = 0
+        compact_sent = compact_received = 0
+        for session in sessions:
+            if session.wire_rep() == "compact":
+                compact_sessions += 1
+            compact_sent += session.stats.compact_sent
+            compact_received += session.stats.compact_received
+        return {
+            "mode": self.wire,
+            "sessions": len(sessions),
+            "compact_sessions": compact_sessions,
+            "compact_messages_sent": compact_sent,
+            "compact_messages_received": compact_received,
+        }

@@ -85,6 +85,12 @@ class LruTtlCache:
             entry = self._entries.get(key)
             return default if entry is None else entry.value
 
+    def values(self) -> list:
+        """Snapshot of the live values, without touching LRU order or
+        counters — for stats aggregation over cached sessions."""
+        with self._lock:
+            return [entry.value for entry in self._entries.values()]
+
     def put(self, key: Any, value: Any, weight: int = 0) -> bool:
         """Insert or replace; returns False if ``weight`` alone exceeds the
         byte budget (the entry is not admitted, and a stale entry under

@@ -15,8 +15,10 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
-from .errors import HttpConnectionClosed, HttpError
-from .messages import Headers, LineReader, Request, Response, read_response
+from .errors import HttpConnectionClosed, HttpError, HttpParseError
+from .messages import (Headers, LAST_CHUNK, LineReader, MAX_HEADER_BYTES,
+                       Request, Response, _MAX_CHUNK_LINE, _parse_chunk_size,
+                       _read_headers, encode_chunk, read_response)
 
 
 class HttpConnection:
@@ -37,6 +39,8 @@ class HttpConnection:
         self._sock: Optional[socket.socket] = None
         self._reader: Optional[LineReader] = None
         self.requests_sent = 0
+        #: request-body bytes written through :meth:`stream` (pre-framing)
+        self.bytes_streamed = 0
 
     # ------------------------------------------------------------------
     def _connect(self) -> None:
@@ -103,6 +107,78 @@ class HttpConnection:
     def get(self, target: str) -> Response:
         return self.request(Request(method="GET", target=target))
 
+    def stream(self, target: str, chunks,
+               content_type: str = "application/octet-stream",
+               headers: Optional[Headers] = None) -> "StreamResponse":
+        """Full-duplex chunked POST: send the body from the ``chunks``
+        iterable while the response streams back.
+
+        The request body is written by a sender thread so a server that
+        responds incrementally (the reactor's streaming routes) can apply
+        backpressure without deadlocking the exchange: when the server
+        pauses reads because *our* receive window is full, the sender
+        blocks in ``send`` while this thread keeps draining the response.
+        Neither side ever holds the full payload.
+
+        Returns a :class:`StreamResponse`; iterate
+        :meth:`StreamResponse.iter_chunks` to completion (or call
+        :meth:`StreamResponse.read`) before reusing this connection.
+        """
+        self._ensure_connected()
+        sock, reader = self._sock, self._reader
+        request = Request(method="POST", target=target,
+                          headers=headers or Headers(), body=b"")
+        request.headers.set("Host",
+                            f"{self.address[0]}:{self.address[1]}")
+        request.headers.set("Content-Type", content_type)
+        request.headers.set("Transfer-Encoding", "chunked")
+        head = request.to_bytes()
+        try:
+            view = memoryview(head)
+            sent = 0
+            while sent < len(view):
+                sent += sock.send(view[sent:])
+        except OSError:
+            self.close()
+            raise
+        sender_error: List[BaseException] = []
+
+        def _send_body() -> None:
+            try:
+                for chunk in chunks:
+                    framed = encode_chunk(chunk)
+                    if not framed:
+                        continue
+                    fview = memoryview(framed)
+                    done = 0
+                    while done < len(fview):
+                        done += sock.send(fview[done:])
+                    self.bytes_streamed += len(chunk)
+                tail = memoryview(LAST_CHUNK)
+                done = 0
+                while done < len(tail):
+                    done += sock.send(tail[done:])
+            except BaseException as exc:  # noqa: BLE001 - joined by reader
+                sender_error.append(exc)
+
+        sender = threading.Thread(target=_send_body, daemon=True,
+                                  name="http-stream-sender")
+        sender.start()
+        try:
+            status_line = reader.read_line().decode("latin-1")
+            parts = status_line.split(" ", 2)
+            if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+                raise HttpParseError(f"bad status line {status_line!r}")
+            status = int(parts[1])
+            response_headers = _read_headers(reader)
+        except (HttpError, OSError, ValueError) as exc:
+            self.close()
+            sender.join(timeout=5.0)
+            raise
+        self.requests_sent += 1
+        return StreamResponse(status, response_headers, self, reader,
+                              sender, sender_error)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         if self._sock is not None:
@@ -118,6 +194,73 @@ class HttpConnection:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class StreamResponse:
+    """The incrementally-read half of :meth:`HttpConnection.stream`.
+
+    ``status``/``headers`` are available immediately; the body arrives
+    through :meth:`iter_chunks` (or all at once via :meth:`read`).  A
+    non-chunked response — an error reply from a non-streaming endpoint —
+    is read whole and yielded as a single chunk, so error handling needs
+    no second code path.
+    """
+
+    def __init__(self, status: int, headers: Headers,
+                 conn: HttpConnection, reader: LineReader,
+                 sender: threading.Thread,
+                 sender_error: List[BaseException]) -> None:
+        self.status = status
+        self.headers = headers
+        self._conn = conn
+        self._reader = reader
+        self._sender = sender
+        self._sender_error = sender_error
+        self._finished = False
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def iter_chunks(self):
+        """Yield decoded response-body chunks as they arrive; finishes the
+        exchange (joins the sender thread, re-raising its error)."""
+        reader = self._reader
+        te = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" not in te:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                yield reader.read_exact(length)
+            self._finish()
+            return
+        while True:
+            size = _parse_chunk_size(reader.read_line(limit=_MAX_CHUNK_LINE))
+            if size == 0:
+                while reader.read_line(limit=MAX_HEADER_BYTES):
+                    pass  # drain trailers
+                break
+            data = reader.read_exact(size)
+            if reader.read_exact(2) != b"\r\n":
+                raise HttpParseError("chunk data not terminated by CRLF")
+            yield data
+        self._finish()
+
+    def read(self) -> bytes:
+        """The whole body, buffered (small responses / tests)."""
+        return b"".join(self.iter_chunks())
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._sender.join()
+        if (self.headers.get("Connection") or "").lower() == "close":
+            self._conn.close()
+        if self._sender_error and self.ok:
+            # On an error response the server may legitimately have hung
+            # up mid-body (stream setup failed); the status already tells
+            # the story and the broken-pipe noise would only mask it.
+            raise self._sender_error[0]
 
 
 class HttpConnectionPool:

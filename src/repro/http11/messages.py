@@ -6,9 +6,12 @@ SOAP-bin's use of HTTP for its transactions", §IV-A), so the reproduction
 needs a real HTTP implementation rather than a function call in disguise —
 header bytes, request lines and parsing all cost what they cost.
 
-Scope: HTTP/1.1 with ``Content-Length`` framing and persistent connections.
-``Transfer-Encoding: chunked`` is not implemented (both endpoints are ours
-and always know their body sizes); messages carrying it are rejected.
+Scope: HTTP/1.1 with ``Content-Length`` framing, persistent connections,
+and ``Transfer-Encoding: chunked`` for the large-message streaming path
+(docs/wire-compact.md): both the pull (:class:`LineReader`) and push
+(:class:`_IncrementalParser`) parsers decode chunked bodies, and
+:func:`encode_chunk` / :data:`LAST_CHUNK` frame outgoing streams.  Other
+transfer codings are rejected.
 """
 
 from __future__ import annotations
@@ -105,6 +108,9 @@ class Request:
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    #: True when the body is NOT in :attr:`body` but drains incrementally
+    #: through ``RequestParser.drain_body`` (reactor streaming routes).
+    streaming: bool = False
 
     @property
     def content_type(self) -> str:
@@ -202,11 +208,59 @@ def _iter_entity_tags(header: str) -> Iterator[str]:
             i = end
 
 
+#: Terminal frame of a chunked body: zero-size chunk, no trailers.
+LAST_CHUNK = b"0\r\n\r\n"
+
+#: Cap on one chunk-size line (hex digits + optional extensions).
+_MAX_CHUNK_LINE = 1024
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame one non-empty chunk for ``Transfer-Encoding: chunked``.
+
+    Empty input returns ``b""`` (an empty chunk would read as the body
+    terminator); send :data:`LAST_CHUNK` explicitly to finish a stream.
+    """
+    if not data:
+        return b""
+    return b"%x\r\n" % len(data) + bytes(data) + b"\r\n"
+
+
+def _parse_transfer_encoding(value: Optional[str],
+                             raw_length: Optional[str]) -> bool:
+    """True when ``value`` declares a chunked body.
+
+    Only the single ``chunked`` coding is supported; anything else — and
+    the illegal combination with ``Content-Length`` — fails the message
+    (framing would be ambiguous, RFC 9112 §6.3).
+    """
+    if not value:
+        return False
+    codings = [t.strip().lower() for t in value.split(",") if t.strip()]
+    if codings != ["chunked"]:
+        raise HttpParseError(f"unsupported Transfer-Encoding {value!r}")
+    if raw_length is not None:
+        raise HttpParseError(
+            "message has both Content-Length and Transfer-Encoding: chunked")
+    return True
+
+
+def _parse_chunk_size(line: bytes) -> int:
+    token = line.split(b";", 1)[0].strip()
+    try:
+        size = int(token, 16)
+    except ValueError:
+        raise HttpParseError(f"bad chunk size line {line!r}")
+    if size < 0 or token.startswith((b"+", b"-")):
+        raise HttpParseError(f"bad chunk size line {line!r}")
+    return size
+
+
 def _serialize(start_line: str, headers: Headers, body: bytes) -> bytes:
     parts = [start_line, "\r\n"]
     has_length = False
     for name, value, lower in headers._items:
-        if lower == "content-length":
+        if lower in ("content-length", "transfer-encoding"):
             has_length = True
         parts += (name, ": ", value, "\r\n")
     if not has_length:
@@ -281,11 +335,43 @@ def _read_headers(reader: LineReader,
                     value.decode("latin-1").strip())
 
 
+def _read_chunked_body(reader: LineReader, headers: Headers,
+                       max_body_bytes: int) -> bytes:
+    """Drain a chunked body (pull path), appending trailers to ``headers``.
+
+    The cumulative size limit applies to the *decoded* body, mirroring the
+    Content-Length check — a peer cannot smuggle an oversized payload by
+    slicing it into small chunks.
+    """
+    parts: List[bytes] = []
+    total = 0
+    while True:
+        size = _parse_chunk_size(reader.read_line(limit=_MAX_CHUNK_LINE))
+        if size == 0:
+            break
+        total += size
+        if total > max_body_bytes:
+            raise HttpTooLarge(
+                f"chunked body exceeds limit of {max_body_bytes} bytes")
+        parts.append(reader.read_exact(size))
+        if reader.read_exact(2) != b"\r\n":
+            raise HttpParseError("chunk data not terminated by CRLF")
+    while True:  # trailer section, ended by an empty line
+        line = reader.read_line(limit=MAX_HEADER_BYTES)
+        if not line:
+            return b"".join(parts)
+        if b":" not in line:
+            raise HttpParseError(f"bad trailer line {line!r}")
+        name, _, value = line.partition(b":")
+        headers.add(name.decode("latin-1").strip(),
+                    value.decode("latin-1").strip())
+
+
 def _read_body(reader: LineReader, headers: Headers,
                max_body_bytes: int = MAX_BODY_BYTES) -> bytes:
-    if headers.get("Transfer-Encoding"):
-        raise HttpParseError("Transfer-Encoding is not supported")
     raw_length = headers.get("Content-Length")
+    if _parse_transfer_encoding(headers.get("Transfer-Encoding"), raw_length):
+        return _read_chunked_body(reader, headers, max_body_bytes)
     if raw_length is None:
         return b""
     try:
@@ -362,6 +448,9 @@ class _IncrementalParser:
     message framing is lost.
     """
 
+    # chunked-parse states
+    _CHUNK_SIZE, _CHUNK_DATA, _CHUNK_DATA_END, _CHUNK_TRAILERS = range(4)
+
     def __init__(self, max_header_bytes: int = MAX_HEADER_BYTES,
                  max_body_bytes: int = MAX_BODY_BYTES) -> None:
         self.max_header_bytes = max_header_bytes
@@ -376,6 +465,15 @@ class _IncrementalParser:
         self._head: Optional[Tuple] = None   # parsed head awaiting its body
         self._body_length = 0
         self._failed = False
+        # chunked-body state machine (Transfer-Encoding: chunked)
+        self._chunked = False
+        self._chunk_state = self._CHUNK_SIZE
+        self._chunk_remaining = 0
+        self._chunk_total = 0
+        self._chunk_body = bytearray()
+        #: streaming drain mode: the head was handed out already and body
+        #: bytes leave through :meth:`drain_body` instead of accumulating
+        self._streaming = False
 
     def feed(self, data: bytes) -> None:
         """Append freshly received bytes."""
@@ -385,7 +483,8 @@ class _IncrementalParser:
     def mid_message(self) -> bool:
         """True while a partially received message is pending (the
         distinction between a quiet keep-alive hang-up and a 408)."""
-        return len(self._buf) > self._pos or self._head is not None
+        return (len(self._buf) > self._pos or self._head is not None
+                or self._streaming)
 
     @property
     def buffered_bytes(self) -> int:
@@ -409,6 +508,9 @@ class _IncrementalParser:
             raise
 
     def _next(self):
+        if self._streaming:
+            # The head is already out; body bytes leave via drain_body().
+            return None
         if self._head is None:
             end = self._buf.find(b"\r\n\r\n",
                                  max(self._pos, self._scan - 3))
@@ -432,6 +534,12 @@ class _IncrementalParser:
             self._body_length = self._content_length(raw_length,
                                                      transfer_encoding)
             self._head = (parsed_start, headers)
+            if self._chunked and self._should_stream(parsed_start, headers):
+                self._head = None
+                self._streaming = True
+                return self._build_streaming(parsed_start, headers)
+        if self._chunked:
+            return self._next_chunked()
         if len(self._buf) - self._pos < self._body_length:
             self._compact()  # keep the wait-for-body footprint small
             return None
@@ -446,6 +554,124 @@ class _IncrementalParser:
         self._head = None
         self._body_length = 0
         return self._build(parsed_start, headers, body)
+
+    # -- chunked bodies ------------------------------------------------
+    def _next_chunked(self):
+        if not self._pump_chunks(self._chunk_body):
+            self._compact()
+            return None
+        body = bytes(self._chunk_body)
+        parsed_start, headers = self._head
+        self._head = None
+        self._reset_chunk_state()
+        self._finish_message_boundary()
+        return self._build(parsed_start, headers, body)
+
+    def drain_body(self) -> Tuple[bytes, bool]:
+        """Streaming mode: decode whatever chunk data is buffered.
+
+        Returns ``(data, done)``.  ``data`` may be empty while a chunk
+        header straddles a read boundary; after ``done`` the parser is
+        back at a message boundary, so pipelined bytes (if any) parse
+        normally.  The decoded-body size limit is *not* applied here —
+        constant memory is the whole point; the consumer sees every byte
+        as it arrives and applies its own budget.
+        """
+        if not self._streaming:
+            raise HttpParseError("parser is not draining a streamed body")
+        if self._failed:
+            raise HttpParseError("parser already failed; framing lost")
+        sink = bytearray()
+        try:
+            done = self._pump_chunks(sink)
+        except (HttpParseError, HttpTooLarge):
+            self._failed = True
+            raise
+        if done:
+            self._streaming = False
+            self._reset_chunk_state()
+            self._finish_message_boundary()
+        else:
+            self._compact()
+        return bytes(sink), done
+
+    def _pump_chunks(self, sink: bytearray) -> bool:
+        """Advance the chunk state machine over the buffered bytes,
+        appending decoded data to ``sink``.  True once the terminal chunk
+        and trailer section are fully consumed."""
+        buf = self._buf
+        while True:
+            n = len(buf)
+            if self._chunk_state == self._CHUNK_SIZE:
+                idx = buf.find(b"\r\n", self._pos)
+                if idx < 0:
+                    if n - self._pos > _MAX_CHUNK_LINE:
+                        raise HttpParseError("chunk size line too long")
+                    return False
+                size = _parse_chunk_size(bytes(buf[self._pos:idx]))
+                self._pos = idx + 2
+                if size == 0:
+                    self._chunk_state = self._CHUNK_TRAILERS
+                    continue
+                self._chunk_total += size
+                if not self._streaming \
+                        and self._chunk_total > self.max_body_bytes:
+                    raise HttpTooLarge(
+                        f"chunked body exceeds limit of "
+                        f"{self.max_body_bytes} bytes")
+                self._chunk_remaining = size
+                self._chunk_state = self._CHUNK_DATA
+            elif self._chunk_state == self._CHUNK_DATA:
+                take = min(n - self._pos, self._chunk_remaining)
+                if take <= 0:
+                    return False
+                sink += buf[self._pos:self._pos + take]
+                self._pos += take
+                self._chunk_remaining -= take
+                if self._chunk_remaining == 0:
+                    self._chunk_state = self._CHUNK_DATA_END
+            elif self._chunk_state == self._CHUNK_DATA_END:
+                if n - self._pos < 2:
+                    return False
+                if bytes(buf[self._pos:self._pos + 2]) != b"\r\n":
+                    raise HttpParseError("chunk data not terminated by CRLF")
+                self._pos += 2
+                self._chunk_state = self._CHUNK_SIZE
+            else:  # _CHUNK_TRAILERS — validated and discarded (push path)
+                idx = buf.find(b"\r\n", self._pos)
+                if idx < 0:
+                    if n - self._pos > self.max_header_bytes:
+                        raise HttpTooLarge("trailer section too large")
+                    return False
+                line = bytes(buf[self._pos:idx])
+                self._pos = idx + 2
+                if not line:
+                    return True
+                if b":" not in line:
+                    raise HttpParseError(f"bad trailer line {line!r}")
+
+    def _reset_chunk_state(self) -> None:
+        self._chunked = False
+        self._chunk_state = self._CHUNK_SIZE
+        self._chunk_remaining = 0
+        self._chunk_total = 0
+        self._chunk_body = bytearray()
+
+    def _finish_message_boundary(self) -> None:
+        if self._pos >= len(self._buf):
+            del self._buf[:]
+            self._pos = self._scan = 0
+        else:
+            self._compact()
+
+    def _should_stream(self, parsed_start, headers: Headers) -> bool:
+        """Hook: hand the head out before the body finishes arriving.
+        Only consulted for chunked messages; requests only."""
+        return False
+
+    def _build_streaming(self, parsed_start,
+                         headers: Headers):  # pragma: no cover - abstract
+        raise NotImplementedError
 
     # -- helpers -------------------------------------------------------
     @staticmethod
@@ -474,8 +700,9 @@ class _IncrementalParser:
 
     def _content_length(self, raw_length: Optional[str],
                         transfer_encoding: Optional[str]) -> int:
-        if transfer_encoding:
-            raise HttpParseError("Transfer-Encoding is not supported")
+        if _parse_transfer_encoding(transfer_encoding, raw_length):
+            self._chunked = True
+            return 0
         if raw_length is None:
             return 0
         try:
@@ -499,7 +726,29 @@ class _IncrementalParser:
 
 
 class RequestParser(_IncrementalParser):
-    """Incremental request parser (the reactor server's read path)."""
+    """Incremental request parser (the reactor server's read path).
+
+    Set :attr:`stream_decider` — ``(method, target, headers) -> bool`` —
+    to opt chunked requests into streaming mode: the :class:`Request` is
+    handed out as soon as its head parses (``streaming=True``, empty
+    ``body``) and the body drains incrementally through
+    :meth:`drain_body` instead of buffering.
+    """
+
+    stream_decider = None
+
+    def _should_stream(self, parsed_start, headers: Headers) -> bool:
+        decider = self.stream_decider
+        if decider is None:
+            return False
+        method, target, _version = parsed_start
+        return bool(decider(method, target, headers))
+
+    def _build_streaming(self, parsed_start: Tuple[str, str, str],
+                         headers: Headers) -> Request:
+        method, target, version = parsed_start
+        return Request(method=method, target=target, headers=headers,
+                       body=b"", version=version, streaming=True)
 
     def _parse_start_line(self, line: str) -> Tuple[str, str, str]:
         parts = line.split(" ")

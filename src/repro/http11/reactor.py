@@ -52,8 +52,8 @@ import time
 from typing import Deque, Dict, List, Optional, Set
 
 from .errors import HttpParseError, HttpTooLarge
-from .messages import (MAX_BODY_BYTES, MAX_HEADER_BYTES, Request,
-                       RequestParser, Response)
+from .messages import (LAST_CHUNK, MAX_BODY_BYTES, MAX_HEADER_BYTES, Request,
+                       RequestParser, Response, encode_chunk)
 from .server import Handler, _ServerCore, set_reuse_port
 
 _LISTENER = "listener"
@@ -84,13 +84,26 @@ class _Slot:
         self.counted = not error
 
 
+class _ActiveStream:
+    """One in-flight streaming request (chunked body draining through the
+    reactor to a handler instead of buffering)."""
+
+    __slots__ = ("request", "handler", "started", "keep_alive")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.handler = None          # instantiated when the stream starts
+        self.started = False         # response head written, body draining
+        self.keep_alive = True
+
+
 class _Conn:
     """Reactor-side connection state (touched only on the reactor thread)."""
 
     __slots__ = ("sock", "parser", "slots", "out", "out_bytes",
                  "boundary_at", "registered_mask", "closed", "read_eof",
                  "stop_parsing", "close_when_flushed", "paused",
-                 "run", "run_lock", "run_active")
+                 "run", "run_lock", "run_active", "stream")
 
     def __init__(self, sock: socket.socket, parser: RequestParser,
                  now: float) -> None:
@@ -115,6 +128,9 @@ class _Conn:
         self.stop_parsing = False
         self.close_when_flushed = False
         self.paused = False
+        #: active streaming request, or None (at most one per connection;
+        #: it owns the wire until its terminal chunk goes out)
+        self.stream: Optional[_ActiveStream] = None
 
 
 class ReactorHttpServer(_ServerCore):
@@ -153,7 +169,8 @@ class ReactorHttpServer(_ServerCore):
                  workers: int = 8,
                  max_buffered_bytes: int = 1 << 20,
                  max_pipeline: int = 128,
-                 pipeline_execution: str = "serial") -> None:
+                 pipeline_execution: str = "serial",
+                 stream_routes: Optional[Dict[str, object]] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if pipeline_execution not in ("serial", "concurrent"):
@@ -177,6 +194,15 @@ class ReactorHttpServer(_ServerCore):
         self.max_buffered_bytes = max_buffered_bytes
         self.max_pipeline = max_pipeline
         self.pipeline_execution = pipeline_execution
+        #: ``{target: factory}`` — requests to these paths arriving with
+        #: ``Transfer-Encoding: chunked`` stream through the reactor
+        #: instead of buffering: ``factory(request)`` returns a handler
+        #: with ``on_chunk(data) -> Optional[bytes]`` and ``finish() ->
+        #: Optional[bytes]``; returned bytes go out as response chunks.
+        #: Backpressure is the ordinary write-queue bound: when
+        #: ``max_buffered_bytes`` of response chunks are queued, reads
+        #: pause and TCP flow control holds the sender.
+        self.stream_routes: Dict[str, object] = dict(stream_routes or {})
         self._idle_cond = threading.Condition(self._lock)
         self._listener: Optional[socket.socket] = None
         if listen:
@@ -431,11 +457,17 @@ class ReactorHttpServer(_ServerCore):
                 pass
             return
         sock.setblocking(False)
-        conn = _Conn(sock, RequestParser(
+        parser = RequestParser(
             max_header_bytes=self.max_header_bytes,
-            max_body_bytes=self.max_body_bytes), time.monotonic())
+            max_body_bytes=self.max_body_bytes)
+        if self.stream_routes:
+            parser.stream_decider = self._stream_decider
+        conn = _Conn(sock, parser, time.monotonic())
         self._conns.add(conn)
         self._set_interest(conn)
+
+    def _stream_decider(self, method: str, target: str, headers) -> bool:
+        return target in self.stream_routes
 
     # ------------------------------------------------------------------
     # read path
@@ -468,6 +500,11 @@ class ReactorHttpServer(_ServerCore):
         if conn.stop_parsing:
             return  # bytes after Connection: close / an error are ignored
         conn.parser.feed(data)
+        if conn.stream is not None and conn.stream.started:
+            self._pump_stream(conn)
+            if not conn.closed:
+                self._flush(conn)
+            return
         self._parse_available(conn)
         self._advance(conn)
 
@@ -484,6 +521,13 @@ class ReactorHttpServer(_ServerCore):
                                 Response.text(400, f"bad request: {exc}"))
                 return
             if request is None:
+                return
+            if request.streaming:
+                # The head is out of the parser but the body is still in
+                # flight: the stream may only own the wire once every
+                # earlier pipelined response has flushed.
+                conn.stream = _ActiveStream(request)
+                self._set_interest(conn)
                 return
             slot = _Slot(request, keep_alive=request.wants_keep_alive())
             conn.slots.append(slot)
@@ -505,6 +549,99 @@ class ReactorHttpServer(_ServerCore):
         slot.dispatched = True
         conn.slots.append(slot)
         conn.stop_parsing = True
+
+    # ------------------------------------------------------------------
+    # streaming routes (chunked bodies drained through the reactor)
+    # ------------------------------------------------------------------
+    def _start_stream(self, conn: _Conn) -> None:
+        """Write the chunked response head and begin draining the body.
+
+        Runs on the reactor thread; the stream handler itself also runs
+        inline here (its per-chunk work is expected to be cheap — the
+        heavy lifting is exactly what streaming avoids: buffering).
+        """
+        stream = conn.stream
+        factory = self.stream_routes.get(stream.request.target)
+        try:
+            stream.handler = factory(stream.request)
+        except Exception as exc:  # noqa: BLE001 - handler boundary
+            # Head not sent yet: a normal error response is still possible.
+            conn.stream = None
+            self._fail_conn(conn,
+                            Response.text(500, f"stream setup failed: {exc}"))
+            # the caller (_advance) has already run its flush loop, and
+            # _fail_conn set stop_parsing so no later read re-runs it —
+            # advance again to serialize the error slot
+            self._advance(conn)
+            return
+        stream.started = True
+        stream.keep_alive = (stream.request.wants_keep_alive()
+                             and not self._draining)
+        with self._lock:
+            self.chunked_requests += 1
+        content_type = getattr(stream.handler, "content_type",
+                               "application/octet-stream")
+        head = (f"HTTP/1.1 200 OK\r\n"
+                f"Transfer-Encoding: chunked\r\n"
+                f"Content-Type: {content_type}\r\n")
+        if not stream.keep_alive:
+            head += "Connection: close\r\n"
+        self._queue_bytes(conn, (head + "\r\n").encode("latin-1"))
+        self._pump_stream(conn)
+
+    def _pump_stream(self, conn: _Conn) -> None:
+        """Drain buffered body bytes into the handler and its output onto
+        the wire.  Called on every read while a started stream owns the
+        connection; completion restores normal pipelined parsing."""
+        stream = conn.stream
+        try:
+            data, done = conn.parser.drain_body()
+        except (HttpParseError, HttpTooLarge):
+            # Framing lost mid-stream and the 200 head is already out —
+            # the truncated chunked body tells the client the response
+            # is bad; all we can do is hang up.
+            self._close_conn(conn)
+            return
+        try:
+            out = stream.handler.on_chunk(data) if data else None
+            tail = stream.handler.finish() if done else None
+        except Exception:  # noqa: BLE001 - handler boundary, head is out
+            self._close_conn(conn)
+            return
+        if data:
+            conn.boundary_at = time.monotonic()  # body progress != idle
+            with self._lock:
+                self.streamed_bytes_in += len(data)
+        produced = 0
+        if out:
+            produced += len(out)
+            self._queue_bytes(conn, encode_chunk(out))
+        if done:
+            if tail:
+                produced += len(tail)
+                self._queue_bytes(conn, encode_chunk(tail) + LAST_CHUNK)
+            else:
+                self._queue_bytes(conn, LAST_CHUNK)
+            conn.stream = None
+            conn.boundary_at = time.monotonic()
+            if not stream.keep_alive:
+                conn.close_when_flushed = True
+        if produced:
+            with self._lock:
+                self.streamed_bytes_out += produced
+        if done:
+            with self._lock:
+                self.requests_served += 1
+            # Back to normal framing: pipelined bytes (if any) parse now.
+            if not conn.close_when_flushed:
+                self._parse_available(conn)
+            self._advance(conn)
+
+    def _queue_bytes(self, conn: _Conn, payload: bytes) -> None:
+        if not payload:
+            return
+        conn.out.append(memoryview(payload))
+        conn.out_bytes += len(payload)
 
     # ------------------------------------------------------------------
     # dispatch / completion / ordered flush
@@ -571,13 +708,16 @@ class ReactorHttpServer(_ServerCore):
         if served:
             with self._lock:
                 self.requests_served += served
-        if self._draining and not conn.slots:
+        if self._draining and not conn.slots and conn.stream is None:
             conn.close_when_flushed = True
         if not conn.close_when_flushed:
             # slots freed: resume parsing any already-buffered pipeline
             if conn.parser.buffered_bytes and not conn.stop_parsing:
                 self._parse_available(conn)
             self._pump_dispatch(conn)
+            if (conn.stream is not None and not conn.stream.started
+                    and not conn.slots):
+                self._start_stream(conn)
         self._flush(conn)
 
     # ------------------------------------------------------------------
@@ -623,7 +763,11 @@ class ReactorHttpServer(_ServerCore):
         if conn.closed:
             return
         conn.paused = (conn.out_bytes > self.max_buffered_bytes
-                       or len(conn.slots) >= self.max_pipeline)
+                       or len(conn.slots) >= self.max_pipeline
+                       # a stream waiting behind earlier pipelined
+                       # responses must not keep buffering body bytes
+                       or (conn.stream is not None
+                           and not conn.stream.started))
         mask = 0
         if (not conn.read_eof and not conn.stop_parsing
                 and not conn.paused):
@@ -654,7 +798,10 @@ class ReactorHttpServer(_ServerCore):
                    if not conn.closed and not conn.slots and not conn.out
                    and now - conn.boundary_at >= self.idle_timeout_s]
         for conn in expired:
-            if conn.parser.mid_message:
+            if conn.stream is not None and conn.stream.started:
+                # The 200 head is already out; a 408 is impossible.
+                self._close_conn(conn)
+            elif conn.parser.mid_message:
                 # A timeout mid-request earns a 408; silence between
                 # requests is just a quiet hang-up.  The boundary-based
                 # timer means byte-at-a-time header trickling (slowloris)
@@ -690,7 +837,7 @@ class ReactorHttpServer(_ServerCore):
         self._close_listener()
         self._close_conn_receiver()
         for conn in [c for c in self._conns
-                     if not c.slots and not c.out]:
+                     if not c.slots and not c.out and c.stream is None]:
             self._close_conn(conn)
 
     def _close_listener(self) -> None:

@@ -162,6 +162,13 @@ class _ServerCore:
         self.responses_304 = 0
         self.connections_accepted = 0
         self.connections_rejected = 0
+        #: requests whose body arrived as Transfer-Encoding: chunked
+        #: (buffered or streamed)
+        self.chunked_requests = 0
+        #: decoded body bytes drained through reactor streaming routes
+        self.streamed_bytes_in = 0
+        #: response-chunk bytes produced by reactor streaming handlers
+        self.streamed_bytes_out = 0
         self._active_connections = 0
         self._lock = threading.Lock()
         self.address: Tuple[str, int] = ("", 0)
@@ -181,6 +188,9 @@ class _ServerCore:
     # ------------------------------------------------------------------
     def _respond(self, request: Request) -> Response:
         """Health check, admission gate, application handler, validators."""
+        if "Transfer-Encoding" in request.headers:
+            with self._lock:
+                self.chunked_requests += 1
         return self._finalize(request, self._respond_inner(request))
 
     def _finalize(self, request: Request, response: Response) -> Response:
@@ -363,8 +373,11 @@ class ThreadedHttpServer(_ServerCore):
     (the default) keeps the historical unbounded behaviour.
 
     The reactor-only tuning knobs (``workers``, ``max_buffered_bytes``,
-    ``max_pipeline``, ``pipeline_execution``) are accepted and ignored so
-    both servers can be constructed with one argument set.
+    ``max_pipeline``, ``pipeline_execution``, ``stream_routes``) are
+    accepted and ignored so both servers can be constructed with one
+    argument set.  Chunked request bodies are still decoded here — they
+    are just buffered whole and dispatched normally; incremental
+    streaming is the reactor's feature.
     """
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
@@ -387,7 +400,8 @@ class ThreadedHttpServer(_ServerCore):
                  workers: int = 8,
                  max_buffered_bytes: int = 1 << 20,
                  max_pipeline: int = 128,
-                 pipeline_execution: str = "serial") -> None:
+                 pipeline_execution: str = "serial",
+                 stream_routes: Optional[Dict[str, object]] = None) -> None:
         if conn_receiver is not None or not listen:
             raise ValueError(
                 "the fd-handoff accept path (conn_receiver/listen=False) "
@@ -605,7 +619,8 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                workers: int = 8,
                max_buffered_bytes: int = 1 << 20,
                max_pipeline: int = 128,
-               pipeline_execution: str = "serial") -> _ServerCore:
+               pipeline_execution: str = "serial",
+               stream_routes: Optional[Dict[str, object]] = None) -> _ServerCore:
     """Build an HTTP server with the selected concurrency model.
 
     ``concurrency`` is ``"threaded"`` (one thread per connection),
@@ -642,4 +657,5 @@ def HttpServer(handler: Handler, host: str = "127.0.0.1", port: int = 0,
                listen=listen,
                workers=workers, max_buffered_bytes=max_buffered_bytes,
                max_pipeline=max_pipeline,
-               pipeline_execution=pipeline_execution)
+               pipeline_execution=pipeline_execution,
+               stream_routes=stream_routes)

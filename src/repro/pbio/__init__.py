@@ -25,17 +25,23 @@ Typical use::
 
 from .compiler import BIG, LITTLE, CodecCompiler, flatten_fixed_format
 from .convert import compile_converter, project, zero_value
-from .interp import interp_decode, interp_encode
+from .interp import (decode_uvarint, encode_uvarint, interp_decode,
+                     interp_decode_compact, interp_encode,
+                     interp_encode_compact, unzigzag, zigzag)
 from .errors import (ConversionError, DecodeError, EncodeError, FormatError,
                      PbioError, UnknownFormatError)
 from .fmt import Field, Format
 from .registry import FormatRegistry, default_registry
 from .server import FormatClient, FormatServer, InMemoryFormatServer
+from .stream import (FRAME_HEADER_SIZE, PbioStreamHandler,
+                     RecordStreamReader, RecordStreamWriter, encode_frame,
+                     iter_frames, pbio_stream_route)
 from .types import (CHAR, FLOAT32, FLOAT64, INT8, INT16, INT32, INT64,
                     STRING, UINT8, UINT16, UINT32, UINT64, Array, FieldType,
                     Primitive, StructRef, parse_type, schema_type)
-from .wire import (HEADER_SIZE, KIND_DATA, KIND_FORMAT, Message, PbioSession,
-                   SessionStats, encode_message, parse_message)
+from .wire import (FLAG_COMPACT, HEADER_SIZE, KIND_DATA, KIND_FORMAT,
+                   Message, PbioSession, SessionStats, WIRE_MODES,
+                   encode_message, parse_message)
 
 __all__ = [
     "PbioError", "FormatError", "UnknownFormatError", "EncodeError",
@@ -48,8 +54,13 @@ __all__ = [
     "FormatRegistry", "default_registry",
     "CodecCompiler", "LITTLE", "BIG", "flatten_fixed_format",
     "interp_encode", "interp_decode",
+    "interp_encode_compact", "interp_decode_compact",
+    "encode_uvarint", "decode_uvarint", "zigzag", "unzigzag",
     "compile_converter", "project", "zero_value",
     "InMemoryFormatServer", "FormatServer", "FormatClient",
     "PbioSession", "SessionStats", "Message", "encode_message",
     "parse_message", "KIND_DATA", "KIND_FORMAT", "HEADER_SIZE",
+    "FLAG_COMPACT", "WIRE_MODES",
+    "RecordStreamReader", "RecordStreamWriter", "PbioStreamHandler",
+    "pbio_stream_route", "iter_frames", "encode_frame", "FRAME_HEADER_SIZE",
 ]

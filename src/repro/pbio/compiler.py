@@ -62,7 +62,9 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
 
 from .errors import DecodeError, EncodeError, FormatError
 from .fmt import Format
-from .interp import interp_decode, interp_encode
+from .interp import (_INT_RANGES, decode_uvarint, encode_uvarint,
+                     interp_decode, interp_decode_compact, interp_encode,
+                     interp_encode_compact)
 from .registry import FormatRegistry
 from .types import Array, FieldType, Primitive, StructRef
 
@@ -156,6 +158,122 @@ def _check_len(values: Any, expected: int, field: str) -> Any:
             f"field {field!r}: expected {expected} elements, "
             f"got {len(values)}")
     return values
+
+
+# ----------------------------------------------------------------------
+# runtime helpers for the compact (varint/zigzag) plan
+# ----------------------------------------------------------------------
+
+def _pack_compact_string(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return encode_uvarint(len(raw)) + raw
+
+
+def _unpack_compact_string(buf: Any, off: int) -> Tuple[str, int]:
+    n, off = decode_uvarint(buf, off)
+    if off + n > len(buf):
+        raise DecodeError("truncated string body")
+    return bytes(buf[off:off + n]).decode("utf-8"), off + n
+
+
+@lru_cache(maxsize=64)
+def _compact_int_encoder(kind: str) -> Callable[[Any], bytes]:
+    """A specialized scalar varint encoder for one integer kind."""
+    lo, hi = _INT_RANGES[kind]
+    signed = kind[0] == "i"
+
+    def enc(value: Any) -> bytes:
+        try:
+            n = value.__index__()
+        except (AttributeError, TypeError):
+            raise EncodeError(
+                f"required an integer for {kind}, got "
+                f"{type(value).__name__}")
+        if not lo <= n <= hi:
+            raise EncodeError(f"{n} out of range for {kind}")
+        if signed:
+            n = (n << 1) ^ (n >> 63)
+        out = bytearray()
+        while n > 0x7F:
+            out.append((n & 0x7F) | 0x80)
+            n >>= 7
+        out.append(n)
+        return bytes(out)
+
+    return enc
+
+
+@lru_cache(maxsize=64)
+def _compact_int_decoder(kind: str) -> Callable[[Any, int], Tuple[int, int]]:
+    """A specialized scalar varint decoder for one integer kind."""
+    lo, hi = _INT_RANGES[kind]
+    signed = kind[0] == "i"
+
+    def dec(buf: Any, off: int) -> Tuple[int, int]:
+        u, off = decode_uvarint(buf, off)
+        n = ((u >> 1) ^ -(u & 1)) if signed else u
+        if not lo <= n <= hi:
+            raise DecodeError(f"{n} out of range for {kind}")
+        return n, off
+
+    return dec
+
+
+def _pack_compact_int_array(values: Any, kind: str) -> bytes:
+    """Bulk varint-encode an array of one integer kind."""
+    lo, hi = _INT_RANGES[kind]
+    signed = kind[0] == "i"
+    if _np is not None and isinstance(values, _np.ndarray):
+        values = values.tolist()
+    out = bytearray()
+    append = out.append
+    for value in values:
+        try:
+            n = value.__index__()
+        except (AttributeError, TypeError):
+            raise EncodeError(
+                f"required an integer for {kind}, got "
+                f"{type(value).__name__}")
+        if not lo <= n <= hi:
+            raise EncodeError(f"{n} out of range for {kind}")
+        if signed:
+            n = (n << 1) ^ (n >> 63)
+        while n > 0x7F:
+            append((n & 0x7F) | 0x80)
+            n >>= 7
+        append(n)
+    return bytes(out)
+
+
+def _unpack_compact_int_array(buf: Any, off: int, kind: str,
+                              count: int) -> Tuple[List[int], int]:
+    """Bulk varint-decode ``count`` integers of one kind."""
+    lo, hi = _INT_RANGES[kind]
+    signed = kind[0] == "i"
+    values: List[int] = []
+    append = values.append
+    end = len(buf)
+    for _ in range(count):
+        result = 0
+        shift = 0
+        while True:
+            if off >= end:
+                raise DecodeError("truncated varint")
+            byte = buf[off]
+            off += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift >= 70:
+                raise DecodeError("varint longer than 10 bytes")
+        if result >> 64:
+            raise DecodeError("varint exceeds 64 bits")
+        n = ((result >> 1) ^ -(result & 1)) if signed else result
+        if not lo <= n <= hi:
+            raise DecodeError(f"{n} out of range for {kind}")
+        append(n)
+    return values, off
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +468,10 @@ class CodecCompiler:
         self._encoders: Dict[Tuple[str, str], EncodeFn] = {}
         self._encoder_parts: Dict[Tuple[str, str], EncodePartsFn] = {}
         self._decoders: Dict[Tuple[str, str], DecodeFn] = {}
+        # compact plans are endianness-independent: keyed by fingerprint only
+        self._compact_encoders: Dict[str, EncodeFn] = {}
+        self._compact_encoder_parts: Dict[str, EncodePartsFn] = {}
+        self._compact_decoders: Dict[str, DecodeFn] = {}
         attach = getattr(registry, "_attach_compiler", None)
         if attach is not None:
             attach(self)
@@ -384,6 +506,35 @@ class CodecCompiler:
             self._decoders[key] = fn
         return fn
 
+    def compact_encoder(self, fmt: Format, endian: str = LITTLE) -> EncodeFn:
+        """The compact (varint/zigzag) encode function for ``fmt``.
+
+        The compact representation is endianness-independent; ``endian``
+        is accepted for interface symmetry and ignored.
+        """
+        fn = self._compact_encoders.get(fmt.fingerprint)
+        if fn is None:
+            self._build_compact_encoders(fmt)
+            fn = self._compact_encoders[fmt.fingerprint]
+        return fn
+
+    def compact_encoder_parts(self, fmt: Format,
+                              endian: str = LITTLE) -> EncodePartsFn:
+        """Like :meth:`compact_encoder` but returning un-joined buffers."""
+        fn = self._compact_encoder_parts.get(fmt.fingerprint)
+        if fn is None:
+            self._build_compact_encoders(fmt)
+            fn = self._compact_encoder_parts[fmt.fingerprint]
+        return fn
+
+    def compact_decoder(self, fmt: Format, endian: str = LITTLE) -> DecodeFn:
+        """The compact (varint/zigzag) decode function for ``fmt``."""
+        fn = self._compact_decoders.get(fmt.fingerprint)
+        if fn is None:
+            fn = self._compile_compact_decoder(fmt)
+            self._compact_decoders[fmt.fingerprint] = fn
+        return fn
+
     def invalidate(self) -> None:
         """Drop every cached codec (a registry format was redefined).
 
@@ -394,6 +545,9 @@ class CodecCompiler:
         self._encoders.clear()
         self._encoder_parts.clear()
         self._decoders.clear()
+        self._compact_encoders.clear()
+        self._compact_encoder_parts.clear()
+        self._compact_decoders.clear()
 
     # ------------------------------------------------------------------
     # encoder generation
@@ -649,6 +803,197 @@ class CodecCompiler:
             batch.flush(depth)
             sub = sb.add_const("sub", _LazyCodec(self, ftype.format_name,
                                                  sb.endian, "decoder"))
+            sb.emit(f"{target}, _off = {sub}(_buf, _off)", depth)
+            return
+        raise FormatError(f"cannot decode type {ftype!r}")
+
+    # ------------------------------------------------------------------
+    # compact (varint/zigzag) plan generation
+    # ------------------------------------------------------------------
+    def _compact_source_builder(self) -> _SourceBuilder:
+        """A source builder whose struct batches (floats, chars) are
+        little-endian — the compact plan's one fixed-layout byte order."""
+        sb = _SourceBuilder(LITTLE)
+        sb.namespace.update({
+            "_uv": encode_uvarint,
+            "_duv": decode_uvarint,
+            "_pack_compact_string": _pack_compact_string,
+            "_unpack_compact_string": _unpack_compact_string,
+            "_pack_compact_int_array": _pack_compact_int_array,
+            "_unpack_compact_int_array": _unpack_compact_int_array,
+        })
+        return sb
+
+    def _build_compact_encoders(self, fmt: Format) -> None:
+        key = fmt.fingerprint
+        if not self.use_codegen:
+            registry = self.registry
+
+            def encode(value: Dict[str, Any]) -> bytes:
+                return interp_encode_compact(fmt, value, registry)
+
+            encode.__pbio_plan__ = "interp"
+            self._compact_encoders[key] = encode
+            self._compact_encoder_parts[key] = lambda value: [encode(value)]
+            return
+        sb = self._compact_source_builder()
+        sb.emit("def _encode_parts(_v):", 0)
+        sb.emit("_out = []")
+        sb.emit("_a = _out.append")
+        sb.emit("try:")
+        sb.emit("pass", 2)
+        batch = _EncodeBatch(sb)
+        for f in fmt.fields:
+            self._gen_compact_encode_field(sb, f.name, f"_v[{f.name!r}]",
+                                           f.ftype, batch, depth=2)
+        batch.flush(2)
+        sb.emit("except KeyError as _e:")
+        sb.emit("raise _EncodeError(" +
+                repr(f"format {fmt.name!r}: missing field ") +
+                " + str(_e))", 2)
+        sb.emit("except (_struct.error, TypeError, AttributeError) as _e:")
+        sb.emit("raise _EncodeError(" +
+                repr(f"format {fmt.name!r}: ") + " + str(_e))", 2)
+        body = sb.lines[1:]
+        sb.emit("return _out")
+        sb.emit("def _encode(_v):", 0)
+        sb.lines.extend(body)
+        sb.emit("return b''.join(_out)")
+        fn = sb.compile("_encode", f"<pbio-compact-encode:{fmt.name}>")
+        parts_fn = sb.namespace["_encode_parts"]
+        parts_fn.__pbio_source__ = fn.__pbio_source__
+        fn.__pbio_plan__ = parts_fn.__pbio_plan__ = "compact"
+        self._compact_encoders[key] = fn
+        self._compact_encoder_parts[key] = parts_fn
+
+    def _gen_compact_encode_field(self, sb: _SourceBuilder, fname: str,
+                                  src: str, ftype: FieldType,
+                                  batch: _EncodeBatch, depth: int) -> None:
+        if isinstance(ftype, Primitive):
+            kind = ftype.kind
+            if kind in _INT_RANGES:
+                batch.flush(depth)
+                enc = sb.add_const("ci", _compact_int_encoder(kind))
+                sb.emit(f"_a({enc}({src}))", depth)
+            elif kind == "string":
+                batch.flush(depth)
+                sb.emit(f"_a(_pack_compact_string({src}))", depth)
+            elif kind == "char":
+                batch.add("c", f"{src}.encode('latin-1')")
+            else:
+                batch.add(ftype.struct_char, src)
+            return
+        if isinstance(ftype, Array):
+            batch.flush(depth)
+            var = sb.fresh("arr")
+            sb.emit(f"{var} = {src}", depth)
+            if ftype.length is not None:
+                sb.emit(f"_check_len({var}, {ftype.length}, {fname!r})",
+                        depth)
+            else:
+                sb.emit(f"_a(_uv(len({var})))", depth)
+            el = ftype.element
+            if isinstance(el, Primitive) and el.kind in _INT_RANGES:
+                sb.emit(f"_a(_pack_compact_int_array({var}, {el.kind!r}))",
+                        depth)
+            elif isinstance(el, Primitive) and el.is_fixed:
+                sb.emit(f"_a(_pack_prim_array({var}, {el.struct_char!r}, "
+                        f"'<'))", depth)
+            else:
+                item = sb.fresh("it")
+                sb.emit(f"for {item} in {var}:", depth)
+                inner = _EncodeBatch(sb)
+                self._gen_compact_encode_field(sb, fname, item, el, inner,
+                                               depth + 1)
+                inner.flush(depth + 1)
+            return
+        if isinstance(ftype, StructRef):
+            batch.flush(depth)
+            sub = sb.add_const("sub", _LazyCodec(self, ftype.format_name,
+                                                 LITTLE, "compact_encoder"))
+            sb.emit(f"_a({sub}({src}))", depth)
+            return
+        raise FormatError(f"cannot encode type {ftype!r}")
+
+    def _compile_compact_decoder(self, fmt: Format) -> DecodeFn:
+        if not self.use_codegen:
+            registry = self.registry
+
+            def decode(buf: Any, off: int) -> Tuple[Dict[str, Any], int]:
+                return interp_decode_compact(fmt, buf, off, registry)
+
+            decode.__pbio_plan__ = "interp"
+            return decode
+        sb = self._compact_source_builder()
+        sb.emit("def _decode(_buf, _off):", 0)
+        sb.emit("_v = {}")
+        sb.emit("try:")
+        sb.emit("pass", 2)
+        batch = _DecodeBatch(sb)
+        tmp_targets: Dict[str, str] = {}
+        for f in fmt.fields:
+            target = sb.fresh("f")
+            tmp_targets[f.name] = target
+            self._gen_compact_decode_field(sb, f.name, target, f.ftype,
+                                           batch, depth=2)
+        batch.flush(2)
+        for fname, target in tmp_targets.items():
+            sb.emit(f"_v[{fname!r}] = {target}", 2)
+        sb.emit("except _struct.error as _e:")
+        sb.emit("raise _DecodeError(" +
+                repr(f"format {fmt.name!r}: truncated message: ") +
+                " + str(_e))", 2)
+        sb.emit("return _v, _off")
+        fn = sb.compile("_decode", f"<pbio-compact-decode:{fmt.name}>")
+        fn.__pbio_plan__ = "compact"
+        return fn
+
+    def _gen_compact_decode_field(self, sb: _SourceBuilder, fname: str,
+                                  target: str, ftype: FieldType,
+                                  batch: _DecodeBatch, depth: int) -> None:
+        if isinstance(ftype, Primitive):
+            kind = ftype.kind
+            if kind in _INT_RANGES:
+                batch.flush(depth)
+                dec = sb.add_const("cd", _compact_int_decoder(kind))
+                sb.emit(f"{target}, _off = {dec}(_buf, _off)", depth)
+            elif kind == "string":
+                batch.flush(depth)
+                sb.emit(f"{target}, _off = _unpack_compact_string(_buf, "
+                        f"_off)", depth)
+            else:
+                batch.add(ftype.struct_char, target)
+            return
+        if isinstance(ftype, Array):
+            batch.flush(depth)
+            if ftype.length is not None:
+                count_expr = str(ftype.length)
+            else:
+                cnt = sb.fresh("n")
+                sb.emit(f"{cnt}, _off = _duv(_buf, _off)", depth)
+                count_expr = cnt
+            el = ftype.element
+            if isinstance(el, Primitive) and el.kind in _INT_RANGES:
+                sb.emit(f"{target}, _off = _unpack_compact_int_array(_buf, "
+                        f"_off, {el.kind!r}, {count_expr})", depth)
+            elif isinstance(el, Primitive) and el.is_fixed:
+                sb.emit(f"{target}, _off = _unpack_prim_array(_buf, _off, "
+                        f"{el.struct_char!r}, {count_expr}, '<')", depth)
+            else:
+                sb.emit(f"{target} = []", depth)
+                idx = sb.fresh("i")
+                sb.emit(f"for {idx} in range({count_expr}):", depth)
+                item = sb.fresh("e")
+                inner = _DecodeBatch(sb)
+                self._gen_compact_decode_field(sb, fname, item, el, inner,
+                                               depth + 1)
+                inner.flush(depth + 1)
+                sb.emit(f"{target}.append({item})", depth + 1)
+            return
+        if isinstance(ftype, StructRef):
+            batch.flush(depth)
+            sub = sb.add_const("sub", _LazyCodec(self, ftype.format_name,
+                                                 LITTLE, "compact_decoder"))
             sb.emit(f"{target}, _off = {sub}(_buf, _off)", depth)
             return
         raise FormatError(f"cannot decode type {ftype!r}")

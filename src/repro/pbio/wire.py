@@ -40,9 +40,20 @@ _HEADER = struct.Struct("<2sBBI")  # magic, flags, kind, format id
 HEADER_SIZE = _HEADER.size
 
 FLAG_LITTLE_ENDIAN = 0x01
+#: Dual-purpose negotiation flag (docs/wire-compact.md).  On a DATA
+#: message it marks the payload as compact-encoded (varint/zigzag).  On a
+#: FORMAT announcement it advertises that the *sender* can decode compact
+#: payloads — the capability half of the per-link handshake.
+FLAG_COMPACT = 0x02
 
 KIND_DATA = 0
 KIND_FORMAT = 1
+
+#: Valid ``PbioSession(wire=...)`` policies: ``"native"`` never sends
+#: compact and never advertises; ``"auto"`` advertises and switches to
+#: compact once the peer advertises too; ``"compact"`` forces compact
+#: data unconditionally (both ends known-capable).
+WIRE_MODES = ("auto", "native", "compact")
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -60,6 +71,8 @@ class Message:
     endian: str
     format_id: int
     payload: Buffer
+    #: DATA: payload is compact-encoded.  FORMAT: sender decodes compact.
+    compact: bool = False
 
     @property
     def is_data(self) -> bool:
@@ -74,15 +87,18 @@ class Message:
 
 def encode_message(kind: int, format_id: int,
                    payload: Union[Buffer, Sequence[Buffer]],
-                   endian: str = LITTLE) -> bytes:
+                   endian: str = LITTLE, compact: bool = False) -> bytes:
     """Frame a payload as a PBIO wire message.
 
     ``payload`` may be a single buffer or a sequence of buffers (the
     output of ``CodecCompiler.encoder_parts``); a sequence is joined
     together with the header in one pass, so the payload bytes are copied
-    exactly once.
+    exactly once.  ``compact`` sets :data:`FLAG_COMPACT` (compact payload
+    on DATA, capability advertisement on FORMAT).
     """
     flags = FLAG_LITTLE_ENDIAN if endian == LITTLE else 0
+    if compact:
+        flags |= FLAG_COMPACT
     header = _HEADER.pack(MAGIC, flags, kind, format_id)
     if isinstance(payload, (list, tuple)):
         return b"".join([header, *payload])
@@ -104,7 +120,8 @@ def parse_message(blob: Buffer) -> Message:
     endian = LITTLE if flags & FLAG_LITTLE_ENDIAN else BIG
     view = blob if isinstance(blob, memoryview) else memoryview(blob)
     return Message(kind=kind, endian=endian, format_id=format_id,
-                   payload=view[HEADER_SIZE:])
+                   payload=view[HEADER_SIZE:],
+                   compact=bool(flags & FLAG_COMPACT))
 
 
 @dataclass
@@ -118,6 +135,8 @@ class SessionStats:
     announcements_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    compact_sent: int = 0
+    compact_received: int = 0
 
 
 class PbioSession:
@@ -156,13 +175,24 @@ class PbioSession:
         message: a server must never let one client rebind server-owned
         format names (and flush every codec/response cache) for all
         connections.
+    wire:
+        Compact-encoding policy for *sent* data (one of
+        :data:`WIRE_MODES`).  ``"auto"`` (default) advertises the compact
+        capability on announcements and switches to compact payloads once
+        the peer has advertised too; ``"native"`` never advertises or
+        sends compact; ``"compact"`` forces compact unconditionally.
+        Decoding is universal — every session accepts compact data
+        regardless of its own policy, so a compact speaker facing a
+        native-only listener still interoperates (and an ``"auto"``
+        speaker facing one simply stays native).
     """
 
     def __init__(self, registry: FormatRegistry,
                  compiler: Optional[CodecCompiler] = None,
                  endian: str = LITTLE,
                  format_fetcher: Optional[Callable[[int], Optional[Format]]] = None,
-                 adopt_redefines: bool = False) -> None:
+                 adopt_redefines: bool = False,
+                 wire: str = "auto") -> None:
         self.registry = registry
         if compiler is None:
             compiler = getattr(registry, "compiler", None) \
@@ -171,6 +201,10 @@ class PbioSession:
         self.endian = endian
         self.format_fetcher = format_fetcher
         self.adopt_redefines = adopt_redefines
+        if wire not in WIRE_MODES:
+            raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
+        self.wire = wire
+        self._peer_compact_capable = False
         self.stats = SessionStats()
         self._announced: Set[int] = set()
         self._remote: Dict[int, Format] = {}
@@ -186,7 +220,30 @@ class PbioSession:
         :meth:`~repro.pbio.FormatRegistry.redefine`): the next send of
         each format re-announces it, overwriting the peer's stale id
         binding with the new metadata."""
+        # The peer's decode capability is a property of the peer, not of
+        # any format — redefinition does not forget it.
         self._announced.clear()
+
+    @property
+    def peer_compact_capable(self) -> bool:
+        """True once the peer has proved it decodes compact payloads."""
+        return self._peer_compact_capable
+
+    def mark_peer_compact_capable(self) -> None:
+        """Record out-of-band knowledge that the peer decodes compact —
+        e.g. a paired receive session on the same link saw the peer's
+        capability advert (the record-stream reply path)."""
+        self._peer_compact_capable = True
+
+    def _use_compact(self) -> bool:
+        return self.wire == "compact" or (
+            self.wire == "auto" and self._peer_compact_capable)
+
+    def wire_rep(self) -> str:
+        """The representation the *next* data message will use —
+        ``"compact"`` or ``"native"``.  Cache layers key response variants
+        on this so compact and native payloads never alias."""
+        return "compact" if self._use_compact() else "native"
 
     # ------------------------------------------------------------------
     # sending
@@ -203,8 +260,14 @@ class PbioSession:
         blobs = []
         if fid not in self._announced:
             blobs.append(self._announce(fmt, fid))
-        parts = self.compiler.encoder_parts(fmt, self.endian)(value)
-        blobs.append(encode_message(KIND_DATA, fid, parts, self.endian))
+        compact = self._use_compact()
+        if compact:
+            parts = self.compiler.compact_encoder_parts(fmt)(value)
+            self.stats.compact_sent += 1
+        else:
+            parts = self.compiler.encoder_parts(fmt, self.endian)(value)
+        blobs.append(encode_message(KIND_DATA, fid, parts, self.endian,
+                                    compact=compact))
         self.stats.messages_sent += 1
         self.stats.bytes_sent += sum(len(b) for b in blobs)
         return blobs
@@ -223,9 +286,16 @@ class PbioSession:
         parts: List[bytes] = []
         if fid not in self._announced:
             parts.append(self._announce(fmt, fid))
+        compact = self._use_compact()
         flags = FLAG_LITTLE_ENDIAN if self.endian == LITTLE else 0
+        if compact:
+            flags |= FLAG_COMPACT
         parts.append(_HEADER.pack(MAGIC, flags, KIND_DATA, fid))
-        parts.extend(self.compiler.encoder_parts(fmt, self.endian)(value))
+        if compact:
+            parts.extend(self.compiler.compact_encoder_parts(fmt)(value))
+            self.stats.compact_sent += 1
+        else:
+            parts.extend(self.compiler.encoder_parts(fmt, self.endian)(value))
         blob = b"".join(parts)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(blob)
@@ -253,8 +323,11 @@ class PbioSession:
         return blob
 
     def _announce(self, fmt: Format, fid: int) -> bytes:
+        # Announcements double as the capability advert: any session not
+        # pinned to native tells the peer it can decode compact payloads.
         announcement = encode_message(KIND_FORMAT, fid, fmt.to_wire(),
-                                      self.endian)
+                                      self.endian,
+                                      compact=(self.wire != "native"))
         self._announced.add(fid)
         self.stats.announcements_sent += 1
         return announcement
@@ -288,11 +361,22 @@ class PbioSession:
                 self.registry.redefine(fmt)
             self._remote[msg.format_id] = fmt
             self.stats.announcements_received += 1
+            if msg.compact:
+                self._peer_compact_capable = True
             return None
         if msg.kind != KIND_DATA:
             raise DecodeError(f"unknown message kind {msg.kind}")
         fmt = self._resolve(msg.format_id)
-        value, consumed = self.compiler.decoder(fmt, msg.endian)(msg.payload, 0)
+        if msg.compact:
+            # Universal decode: compact data is accepted regardless of this
+            # session's own wire policy.  A peer that *sends* compact can
+            # obviously decode it, so this also learns the capability.
+            self._peer_compact_capable = True
+            self.stats.compact_received += 1
+            decode = self.compiler.compact_decoder(fmt)
+        else:
+            decode = self.compiler.decoder(fmt, msg.endian)
+        value, consumed = decode(msg.payload, 0)
         if consumed != len(msg.payload):
             raise DecodeError(
                 f"format {fmt.name!r}: {len(msg.payload) - consumed} "

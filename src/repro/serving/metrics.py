@@ -220,6 +220,20 @@ def server_families(server) -> List[Metric]:
                "Currently open connections.",
                getattr(server, "_active_connections", 0)),
     ]
+    if hasattr(server, "chunked_requests"):
+        families.extend([
+            _counter("repro_http_chunked_requests_total",
+                     "Requests that arrived with a chunked "
+                     "transfer-encoding (streamed or buffered).",
+                     server.chunked_requests),
+            _counter("repro_http_streamed_bytes_in_total",
+                     "Decoded chunk payload bytes received on "
+                     "incremental stream routes.",
+                     getattr(server, "streamed_bytes_in", 0)),
+            _counter("repro_http_streamed_bytes_out_total",
+                     "Chunk payload bytes produced by stream handlers.",
+                     getattr(server, "streamed_bytes_out", 0)),
+        ])
     admission = getattr(server, "admission", None)
     if admission is not None:
         snap = admission.snapshot()
@@ -363,6 +377,30 @@ def _quality_families(quality: Mapping[str, Any]) -> List[Metric]:
             _gauge("repro_cache_bytes",
                    "Estimated resident bytes charged to the cache "
                    "budget.", cache.get("bytes", 0)),
+        ])
+    wire = quality.get("wire")
+    if wire:
+        # gauges, not counters: the message totals aggregate over *live*
+        # sessions, so values may drop when an idle session is evicted
+        families.extend([
+            _gauge("repro_wire_mode",
+                   "Constant 1; the mode label names the service's "
+                   "configured wire policy.",
+                   1, {"mode": str(wire.get("mode", ""))}),
+            _gauge("repro_wire_sessions",
+                   "Live per-client PBIO sessions.",
+                   wire.get("sessions", 0)),
+            _gauge("repro_wire_compact_sessions",
+                   "Live sessions whose send path negotiated the "
+                   "compact varint representation.",
+                   wire.get("compact_sessions", 0)),
+            _gauge("repro_wire_compact_messages_sent",
+                   "Compact-encoded messages sent, summed over live "
+                   "sessions.", wire.get("compact_messages_sent", 0)),
+            _gauge("repro_wire_compact_messages_received",
+                   "Compact-encoded messages received, summed over "
+                   "live sessions.",
+                   wire.get("compact_messages_received", 0)),
         ])
     extract = quality.get("extract")
     if extract:

@@ -25,6 +25,20 @@ BASELINE = {
         "full_response_p50_s": 0.45e-3,
         "not_modified_speedup_vs_full": 1.1,
     },
+    "wire": {
+        "shapes": {
+            "small_int_heavy": {
+                "native_bytes": 60000,
+                "compact_bytes": 12000,
+                "compact_shrink": 5.0,
+            },
+        },
+        "streaming": {
+            "payload_bytes": 64 << 20,
+            "rss_growth_kb": 4700,
+            "rss_growth_ratio": 0.07,
+        },
+    },
 }
 
 LOADGEN_REPORT = {
@@ -102,6 +116,27 @@ class TestBaselineGates:
         broken["cache"]["not_modified_p50_s"] = 0.5e-3
         with pytest.raises(GateFailure, match="304 win"):
             gates.gate_cache_baseline(broken)
+
+    def test_wire_ok(self):
+        gates.gate_wire_baseline(BASELINE)
+
+    def test_wire_shrink_below_floor(self):
+        broken = copy.deepcopy(BASELINE)
+        shape = broken["wire"]["shapes"]["small_int_heavy"]
+        shape["compact_shrink"] = 1.9
+        with pytest.raises(GateFailure, match="small-int shape"):
+            gates.gate_wire_baseline(broken)
+
+    def test_wire_rss_over_bound(self):
+        broken = copy.deepcopy(BASELINE)
+        broken["wire"]["streaming"]["rss_growth_ratio"] = 0.25
+        with pytest.raises(GateFailure, match="constant-memory"):
+            gates.gate_wire_baseline(broken)
+
+    def test_wire_section_missing(self):
+        broken = {k: v for k, v in BASELINE.items() if k != "wire"}
+        with pytest.raises(GateFailure, match="--sections wire"):
+            gates.gate_wire_baseline(broken)
 
 
 class TestLoadgenGate:

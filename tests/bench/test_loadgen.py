@@ -68,6 +68,16 @@ class TestConfig:
         with pytest.raises(ValueError):
             cfg.validate()
 
+    def test_largemsg_cannot_mix_with_other_kinds(self):
+        cfg = LoadgenConfig(mix={"largemsg": 0.5, "binary": 0.5})
+        with pytest.raises(ValueError, match="largemsg"):
+            cfg.validate()
+
+    def test_largemsg_requires_stream_capable_server(self):
+        cfg = LoadgenConfig(mix={"largemsg": 1.0}, server="threaded")
+        with pytest.raises(ValueError, match="stream routes"):
+            cfg.validate()
+
 
 class TestValidateReport:
     def test_rejects_non_dict(self):
@@ -198,3 +208,43 @@ class TestExtractProfile:
         # loadgen brackets the run with /metrics scrapes; the extract
         # families must be visible on the server under test
         assert scrape.get("repro_extract_pages_served_total", 0) > 0
+
+
+@pytest.fixture(scope="module")
+def largemsg_run(tmp_path_factory):
+    cfg = config_for_profile(
+        "largemsg", duration_s=1.5, generators=1, concurrency=2,
+        largemsg_bytes=256 * 1024)
+    out = tmp_path_factory.mktemp("loadgen") / "LARGEMSG_report"
+    return write_report(cfg, str(out))
+
+
+@pytest.mark.bench_smoke
+class TestLargemsgProfile:
+    def test_report_is_schema_valid(self, largemsg_run):
+        assert validate_report(largemsg_run) == []
+
+    def test_streamed_bytes_accounted(self, largemsg_run):
+        totals = largemsg_run["totals"]
+        entry = totals["by_kind"]["largemsg"]
+        assert entry["requests"] > 0
+        assert entry["errors"] == 0
+        assert not any(g["failures"] for g in largemsg_run["generators"])
+        # framed bytes >= payload bytes per request
+        assert totals["streamed_bytes"] >= entry["requests"] * 256 * 1024
+
+    def test_induced_counter_is_chunked_requests(self, largemsg_run):
+        # stream routes bypass admission, so the bracketed delta the
+        # report asserts against is the server's chunked-request counter
+        server = largemsg_run["server"]
+        assert server["induced_counter"] == \
+            "repro_http_chunked_requests_total"
+        assert server["induced_requests"] == \
+            largemsg_run["totals"]["requests"]
+
+    def test_server_streaming_counters_visible(self, largemsg_run):
+        scrape = largemsg_run["server"].get("metrics_after", {})
+        streamed = largemsg_run["totals"]["streamed_bytes"]
+        assert scrape.get("repro_http_streamed_bytes_in_total", 0) \
+            >= streamed
+        assert scrape.get("repro_http_streamed_bytes_out_total", 0) > 0

@@ -1,0 +1,138 @@
+"""Response-cache keys are wire-representation aware.
+
+The response cache memoizes *encoded reply bytes*.  Since PR 10 a reply
+can be encoded in two representations — native layout or compact varint,
+negotiated per client link — so one logical response now has up to two
+valid byte forms.  These tests pin the no-aliasing contract: a native
+client and a compact client asking for the same thing get different
+ETags and each gets bytes in its own representation, and a conditional
+request can never ride the other representation's validator.
+"""
+
+import pytest
+
+from repro.core import QualityCache, SoapBinService
+from repro.core.modes import HEADER_CLIENT_ID, PBIO_CONTENT_TYPE
+from repro.core.quality_handlers import HandlerRegistry
+from repro.http11 import Headers, HttpConnection
+from repro.pbio import Format, FormatRegistry, PbioSession
+from repro.transport import serve_endpoint
+
+REQUEST_FORMAT = Format.from_dict("VariantRequest", {"n": "int32"})
+FULL_FORMAT = Format.from_dict("VariantFull",
+                               {"seq": "int32", "data": "float64[]"})
+HALF_FORMAT = Format.from_dict("VariantHalf",
+                               {"seq": "int32", "data": "float64[]"})
+
+QUALITY_TEXT = """
+attribute rtt
+history 1
+handler VariantHalf halve
+0.0 inf - VariantHalf
+"""
+
+
+def make_registry():
+    registry = FormatRegistry()
+    for fmt in (REQUEST_FORMAT, FULL_FORMAT, HALF_FORMAT):
+        registry.register(fmt)
+    return registry
+
+
+def make_service(registry):
+    handlers = HandlerRegistry()
+
+    @handlers.handler("halve")
+    def halve(value, src, dst, reg, attributes):
+        return {"seq": value["seq"], "data": value["data"][::2]}
+
+    service = SoapBinService(registry, quality_text=QUALITY_TEXT,
+                             handlers=handlers, response_cache=True)
+    result = {"seq": 3, "data": [float(i) for i in range(64)]}
+    service.add_operation("GetData", REQUEST_FORMAT, FULL_FORMAT,
+                          lambda params: result)
+    return service
+
+
+class TestQualityCacheVariantKey:
+    def test_variant_is_a_key_component(self):
+        registry = make_registry()
+        cache = QualityCache(registry)
+        value = {"seq": 1, "data": [1.0, 2.0]}
+        native = cache.key(FULL_FORMAT, HALF_FORMAT, value,
+                           variant="pbio:native")
+        compact = cache.key(FULL_FORMAT, HALF_FORMAT, value,
+                            variant="pbio:compact")
+        xml = cache.key(FULL_FORMAT, HALF_FORMAT, value, variant="xml:Half")
+        assert len({native, compact, xml}) == 3
+
+
+class TestEndToEndNoAliasing:
+    def setup_method(self):
+        self.registry = make_registry()
+        self.service = make_service(self.registry)
+        self.server = serve_endpoint(self.service.endpoint)
+
+    def teardown_method(self):
+        self.server.close()
+
+    def call(self, session, client_id, if_none_match=None):
+        blob = session.pack_bytes(REQUEST_FORMAT, {"n": 1})
+        headers = Headers([(HEADER_CLIENT_ID, client_id)])
+        if if_none_match:
+            headers.set("If-None-Match", if_none_match)
+        with HttpConnection(self.server.address) as conn:
+            resp = conn.post("/", blob, PBIO_CONTENT_TYPE, headers=headers)
+        if resp.status == 200 and resp.body:
+            session.unpack_stream(resp.body)
+        return resp
+
+    def test_native_and_compact_clients_do_not_alias(self):
+        native = PbioSession(self.registry, wire="native")
+        compact = PbioSession(self.registry, wire="compact")
+
+        first_native = self.call(native, "client-native")
+        first_compact = self.call(compact, "client-compact")
+        etag_native = first_native.headers.get("ETag")
+        etag_compact = first_compact.headers.get("ETag")
+        assert etag_native and etag_compact
+        assert etag_native != etag_compact
+
+        # each client got bytes in its own representation
+        assert native.stats.compact_received == 0
+        assert compact.stats.compact_received == 1
+
+        # steady state: the validator is stable per representation
+        again = self.call(native, "client-native")
+        assert again.headers.get("ETag") == etag_native
+        again = self.call(compact, "client-compact")
+        assert again.headers.get("ETag") == etag_compact
+
+    def test_conditional_request_cannot_cross_representations(self):
+        native = PbioSession(self.registry, wire="native")
+        compact = PbioSession(self.registry, wire="compact")
+        etag_native = self.call(native, "cond-native").headers.get("ETag")
+        self.call(compact, "cond-compact")
+
+        # the compact client presenting the *native* validator must get a
+        # full (compact) response, not a bogus 304
+        crossed = self.call(compact, "cond-compact",
+                            if_none_match=etag_native)
+        assert crossed.status == 200
+        # ... while its own validator legitimately earns the 304
+        own = crossed.headers.get("ETag")
+        hit = self.call(compact, "cond-compact", if_none_match=own)
+        assert hit.status == 304
+        assert hit.body == b""
+
+    def test_wire_stats_surface_compact_sessions(self):
+        native = PbioSession(self.registry, wire="native")
+        compact = PbioSession(self.registry, wire="compact")
+        self.call(native, "stats-native")
+        self.call(compact, "stats-compact")
+        stats = self.service.wire_stats()
+        assert stats["mode"] == "auto"
+        assert stats["sessions"] == 2
+        assert stats["compact_sessions"] == 1
+        assert stats["compact_messages_received"] >= 1
+        assert stats["compact_messages_sent"] >= 1

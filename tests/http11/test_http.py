@@ -152,10 +152,35 @@ class TestParsing:
         with pytest.raises(HttpParseError):
             read_request(reader_for(raw))
 
-    def test_chunked_rejected(self):
-        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    def test_chunked_body_decoded(self):
+        raw = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n")
+        request = read_request(reader_for(raw))
+        assert request.body == b"hello world"
+
+    def test_chunked_trailers_land_in_headers(self):
+        raw = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               b"2\r\nhi\r\n0\r\nX-Trailer: 7\r\n\r\n")
+        request = read_request(reader_for(raw))
+        assert request.body == b"hi"
+        assert request.headers.get("X-Trailer") == "7"
+
+    def test_non_chunked_transfer_encoding_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"
         with pytest.raises(HttpParseError):
             read_request(reader_for(raw))
+
+    def test_chunked_with_content_length_rejected(self):
+        raw = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+               b"Content-Length: 5\r\n\r\n")
+        with pytest.raises(HttpParseError):
+            read_request(reader_for(raw))
+
+    def test_chunked_body_over_limit_rejected(self):
+        raw = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               b"b\r\nhello world\r\n0\r\n\r\n")
+        with pytest.raises(HttpTooLarge):
+            read_request(reader_for(raw), max_body_bytes=10)
 
     def test_huge_body_rejected(self):
         raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"

@@ -124,9 +124,29 @@ class TestErrors:
         with pytest.raises(HttpParseError):
             parser.next_request()
 
-    def test_transfer_encoding_rejected(self):
+    def test_chunked_transfer_encoding_decoded(self):
         parser = RequestParser()
-        parser.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        parser.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    b"5\r\nhello\r\n0\r\n\r\n")
+        request = parser.next_request()
+        assert request.body == b"hello"
+        assert not parser.mid_message
+
+    def test_chunked_survives_fragmentation(self):
+        raw = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               b"3\r\nabc\r\n4\r\ndefg\r\n0\r\nX-T: 1\r\n\r\n")
+        parser = RequestParser()
+        request = None
+        for i, byte in enumerate(raw):
+            parser.feed(raw[i:i + 1])
+            request = parser.next_request()
+            if request is not None:
+                assert i == len(raw) - 1
+        assert request.body == b"abcdefg"
+
+    def test_non_chunked_transfer_encoding_rejected(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n")
         with pytest.raises(HttpParseError):
             parser.next_request()
 

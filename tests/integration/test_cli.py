@@ -175,6 +175,62 @@ class TestServe:
         thread.join(timeout=5)
         assert result.get("code") == 0
 
+    def test_wire_compact_round_trip(self, capsys):
+        """`serve --wire compact` answers a compact-capable client in
+        the compact representation end to end."""
+        import re
+        import time
+
+        from repro.core import SoapBinClient
+        from repro.pbio import Format, FormatRegistry
+        from repro.transport import HttpChannel
+
+        result = {}
+
+        def run():
+            result["code"] = main(["serve", "--requests", "2",
+                                   "--wire", "compact"])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.time() + 5
+        url = None
+        while time.time() < deadline and url is None:
+            out = capsys.readouterr().out
+            match = re.search(r"http://[\d.]+:\d+", out)
+            if match:
+                url = match.group()
+                assert "wire=compact" in out
+            else:
+                time.sleep(0.02)
+        assert url is not None, "server banner never appeared"
+
+        registry = FormatRegistry()
+        req = Format.from_dict("EchoRequest", {"data": "float64[]",
+                                               "tag": "string"})
+        res = Format.from_dict("EchoResponse", {"data": "float64[]",
+                                                "tag": "string",
+                                                "count": "int32"})
+        registry.register(req)
+        registry.register(res)
+        with HttpChannel(url) as channel:
+            client = SoapBinClient(channel, registry, wire="compact")
+            for _ in range(2):
+                out = client.call("Echo", {"data": [1.0, 2.0],
+                                           "tag": "wire"}, req, res)
+                assert out["count"] == 2
+        # both directions carried compact payloads
+        assert client.session.stats.compact_sent >= 1
+        assert client.session.stats.compact_received >= 1
+        thread.join(timeout=5)
+        assert result.get("code") == 0
+
+    def test_serve_rejects_unknown_wire_mode(self, capsys):
+        assert main(["serve", "--wire", "gzip"]) == 2
+        err = capsys.readouterr().err
+        assert "wire" in err
+        assert "Traceback" not in err
+
 
 class TestTopLevel:
     def test_no_command_shows_help(self, capsys):

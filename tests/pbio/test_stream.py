@@ -1,0 +1,166 @@
+"""PBIO record streams: framing, incremental decode, the transform hook.
+
+These tests exercise :mod:`repro.pbio.stream` off the network — the
+HTTP-attached end-to-end path lives in ``tests/http11/test_streaming.py``.
+"""
+
+import pytest
+
+from repro.pbio import (DecodeError, Format, FormatRegistry,
+                        FRAME_HEADER_SIZE, PbioSession, PbioStreamHandler,
+                        RecordStreamReader, RecordStreamWriter, encode_frame,
+                        iter_frames, pbio_stream_route)
+
+RECORD_FORMAT = Format.from_dict("StreamRecord",
+                                 {"seq": "int32", "data": "float64[]"})
+
+
+def make_registry():
+    registry = FormatRegistry()
+    registry.register(RECORD_FORMAT)
+    return registry
+
+
+def records(n, elements=4):
+    data = [float(i) * 0.5 for i in range(elements)]
+    return [(RECORD_FORMAT, {"seq": seq, "data": data}) for seq in range(n)]
+
+
+class TestFraming:
+    def test_writer_reader_roundtrip(self):
+        registry = make_registry()
+        writer = RecordStreamWriter(PbioSession(registry))
+        reader = RecordStreamReader(PbioSession(registry))
+        stream = b"".join(writer.pack(fmt, value)
+                          for fmt, value in records(5))
+        decoded = reader.feed(stream)
+        reader.finish()
+        assert [value["seq"] for _fmt, value in decoded] == list(range(5))
+        assert reader.frames_in == writer.frames_out == 5
+        assert reader.bytes_in == writer.bytes_out == len(stream)
+
+    def test_byte_at_a_time_feed(self):
+        registry = make_registry()
+        writer = RecordStreamWriter(PbioSession(registry))
+        reader = RecordStreamReader(PbioSession(registry))
+        stream = b"".join(writer.pack(fmt, value)
+                          for fmt, value in records(3))
+        seqs = []
+        for i in range(len(stream)):
+            for _fmt, value in reader.feed(stream[i:i + 1]):
+                seqs.append(value["seq"])
+        reader.finish()
+        assert seqs == [0, 1, 2]
+        assert reader.pending_bytes == 0
+
+    def test_encode_frame_matches_writer_framing(self):
+        registry = make_registry()
+        session = PbioSession(registry)
+        blob = session.pack_bytes(RECORD_FORMAT, {"seq": 0, "data": []})
+        frame = encode_frame(blob)
+        assert frame[:FRAME_HEADER_SIZE] != b""
+        assert frame[FRAME_HEADER_SIZE:] == blob
+        assert len(frame) == FRAME_HEADER_SIZE + len(blob)
+
+    def test_iter_frames_is_lazy_and_compatible(self):
+        registry = make_registry()
+        reader = RecordStreamReader(PbioSession(registry))
+        frames = iter_frames(PbioSession(registry), iter(records(4)))
+        seqs = []
+        for frame in frames:           # one frame at a time, never joined
+            for _fmt, value in reader.feed(frame):
+                seqs.append(value["seq"])
+        reader.finish()
+        assert seqs == [0, 1, 2, 3]
+
+    def test_truncated_stream_detected(self):
+        registry = make_registry()
+        writer = RecordStreamWriter(PbioSession(registry))
+        frame = writer.pack(*records(1)[0])
+        reader = RecordStreamReader(PbioSession(registry))
+        reader.feed(frame[:-2])
+        with pytest.raises(DecodeError, match="truncated"):
+            reader.finish()
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        registry = make_registry()
+        reader = RecordStreamReader(PbioSession(registry),
+                                    max_frame_bytes=64)
+        header = encode_frame(b"x" * 100)[:FRAME_HEADER_SIZE]
+        with pytest.raises(DecodeError, match="frame limit"):
+            reader.feed(header)        # the prefix alone is enough
+        assert reader.pending_bytes <= FRAME_HEADER_SIZE
+
+
+class TestHandler:
+    def test_echo_handler_roundtrip(self):
+        registry = make_registry()
+        handler = PbioStreamHandler(registry)
+        client = PbioSession(registry)
+        sink = RecordStreamReader(PbioSession(registry))
+        out = bytearray()
+        for fmt, value in records(3):
+            reply = handler.on_chunk(encode_frame(
+                client.pack_bytes(fmt, value)))
+            if reply:
+                out += reply
+        assert handler.finish() is None
+        echoed = sink.feed(bytes(out))
+        sink.finish()
+        assert [v["seq"] for _f, v in echoed] == [0, 1, 2]
+        assert handler.records == 3
+
+    def test_transform_reduces_and_drops(self):
+        def halve_or_drop(fmt, value):
+            if value["seq"] % 2:
+                return None                         # drop odd records
+            return fmt, {"seq": value["seq"],
+                         "data": value["data"][::2]}
+
+        registry = make_registry()
+        handler = PbioStreamHandler(registry, transform=halve_or_drop)
+        client = PbioSession(registry)
+        sink = RecordStreamReader(PbioSession(registry))
+        out = bytearray()
+        for fmt, value in records(4, elements=6):
+            reply = handler.on_chunk(encode_frame(
+                client.pack_bytes(fmt, value)))
+            if reply:
+                out += reply
+        echoed = sink.feed(bytes(out))
+        assert [v["seq"] for _f, v in echoed] == [0, 2]
+        assert all(len(v["data"]) == 3 for _f, v in echoed)
+        assert handler.records == 4                 # transform saw them all
+
+    def test_capability_bridges_to_reply_stream(self):
+        """A compact-capable client must get a compact reply: the inbound
+        session's learned capability is forwarded to the outbound one."""
+        registry = make_registry()
+        handler = PbioStreamHandler(registry, wire="auto")
+        client = PbioSession(registry, wire="auto")   # advertises compact
+        out = bytearray()
+        for fmt, value in records(3):
+            reply = handler.on_chunk(encode_frame(
+                client.pack_bytes(fmt, value)))
+            if reply:
+                out += reply
+        assert handler.writer.session.stats.compact_sent >= 1
+        sink = RecordStreamReader(PbioSession(registry))
+        echoed = sink.feed(bytes(out))
+        assert sink.session.stats.compact_received >= 1
+        assert [v["seq"] for _f, v in echoed] == [0, 1, 2]
+
+    def test_native_client_gets_native_reply(self):
+        registry = make_registry()
+        handler = PbioStreamHandler(registry, wire="auto")
+        client = PbioSession(registry, wire="native")
+        for fmt, value in records(2):
+            handler.on_chunk(encode_frame(client.pack_bytes(fmt, value)))
+        assert handler.writer.session.stats.compact_sent == 0
+
+    def test_route_factory_builds_fresh_handlers(self):
+        registry = make_registry()
+        factory = pbio_stream_route(registry)
+        first, second = factory(None), factory(None)
+        assert first is not second
+        assert first.reader.session is not second.reader.session

@@ -1,0 +1,329 @@
+"""Compact varint wire representation: codec, negotiation, hard cases.
+
+Three layers under test:
+
+* the compact codec itself — compiled plans must be byte-identical to
+  the interpreted oracle, and decode back to exactly what the native
+  layout decodes to, across every application format the repo ships;
+* the per-link handshake — ``wire="auto"`` peers converge on compact
+  only after seeing the capability flag, ``"native"`` never sends it,
+  and compact *decode* is universal so a forced-compact sender is never
+  stranded;
+* the failure surface — tampered, truncated and overlong varints must
+  die with typed :class:`DecodeError`, never a struct.error or a wrong
+  value.
+"""
+
+import pytest
+
+from repro.pbio import (DecodeError, EncodeError, Format, FormatRegistry,
+                        PbioSession, decode_uvarint, encode_uvarint,
+                        interp_decode_compact, interp_encode_compact,
+                        unzigzag, zigzag)
+from repro.pbio.types import Array, Primitive, StructRef
+
+
+def make_fmt(name="sample", spec=None):
+    return Format.from_dict(name, spec or {"seq": "int32",
+                                           "data": "float64[]"})
+
+
+def exchange(tx, rx, fmt, value):
+    """One application message tx -> rx (announcement rides along)."""
+    result = None
+    for blob in tx.pack(fmt, value):
+        out = rx.unpack(blob)
+        if out is not None:
+            result = out
+    return result
+
+
+class TestVarintPrimitives:
+    def test_zigzag_roundtrip_edges(self):
+        for n in (0, -1, 1, 63, -64, 2**63 - 1, -2**63):
+            assert unzigzag(zigzag(n)) == n
+
+    def test_uvarint_roundtrip(self):
+        for n in (0, 1, 127, 128, 300, 2**32, 2**64 - 1):
+            blob = encode_uvarint(n)
+            value, offset = decode_uvarint(blob, 0)
+            assert (value, offset) == (n, len(blob))
+
+    def test_single_byte_for_small_values(self):
+        assert len(encode_uvarint(0)) == 1
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_uvarint(-1)
+
+    def test_truncated_varint(self):
+        with pytest.raises(DecodeError):
+            decode_uvarint(b"\x80\x80", 0)
+
+    def test_overlong_varint(self):
+        # eleven continuation bytes: more than any 64-bit value needs
+        with pytest.raises(DecodeError):
+            decode_uvarint(b"\x80" * 11 + b"\x01", 0)
+
+    def test_bits_beyond_64_rejected(self):
+        # ten bytes whose top byte pushes past 2**64
+        with pytest.raises(DecodeError):
+            decode_uvarint(b"\xff" * 9 + b"\x7f", 0)
+
+
+class TestNegotiation:
+    def setup_method(self):
+        self.reg = FormatRegistry()
+        self.fmt = make_fmt()
+        self.reg.register(self.fmt)
+        self.value = {"seq": 1, "data": [1.5, 2.5]}
+
+    def test_bad_wire_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PbioSession(self.reg, wire="gzip")
+
+    def test_auto_peers_converge_on_compact(self):
+        a = PbioSession(self.reg, wire="auto")
+        b = PbioSession(self.reg, wire="auto")
+        # round 1: a has not heard from b yet, so its first send is
+        # native — but the announcement it carries advertises capability
+        exchange(a, b, self.fmt, self.value)
+        assert a.stats.compact_sent == 0
+        assert b.peer_compact_capable
+        # b replies: it has seen a's advert, so it sends compact
+        exchange(b, a, self.fmt, self.value)
+        assert b.stats.compact_sent == 1
+        # round 2: a has now seen b's advert too — steady state is
+        # compact in both directions
+        exchange(a, b, self.fmt, self.value)
+        assert a.stats.compact_sent == 1
+        assert a.wire_rep() == "compact"
+        assert b.wire_rep() == "compact"
+
+    def test_native_mode_never_sends_compact(self):
+        native = PbioSession(self.reg, wire="native")
+        auto = PbioSession(self.reg, wire="auto")
+        for _ in range(3):
+            exchange(auto, native, self.fmt, self.value)
+            exchange(native, auto, self.fmt, self.value)
+        assert native.stats.compact_sent == 0
+        assert native.wire_rep() == "native"
+        # ... and because native never advertised, auto stayed native too
+        assert auto.stats.compact_sent == 0
+
+    def test_compact_decode_is_universal(self):
+        forced = PbioSession(self.reg, wire="compact")
+        plain = PbioSession(self.reg, wire="native")
+        _, decoded = exchange(forced, plain, self.fmt, self.value)
+        assert forced.stats.compact_sent == 1
+        assert plain.stats.compact_received == 1
+        assert decoded["seq"] == 1
+        assert list(decoded["data"]) == [1.5, 2.5]
+
+    def test_capability_learned_from_compact_data(self):
+        """Receiving compact *data* proves the peer speaks compact even
+        if its announcement was consumed elsewhere."""
+        forced = PbioSession(self.reg, wire="compact")
+        forced.pack(self.fmt, self.value)           # burn announcement
+        data_only = forced.pack(self.fmt, self.value)
+        assert len(data_only) == 1
+        rx = PbioSession(self.reg, wire="auto")
+        assert not rx.peer_compact_capable
+        rx.unpack(data_only[0])
+        assert rx.peer_compact_capable
+        assert rx.wire_rep() == "compact"
+
+    def test_mark_peer_bridges_paired_sessions(self):
+        """The request/reply bridge the stream handler uses: one peer,
+        two sessions."""
+        out = PbioSession(self.reg, wire="auto")
+        assert out.wire_rep() == "native"
+        out.mark_peer_compact_capable()
+        assert out.wire_rep() == "compact"
+
+    def test_pack_bytes_counts_compact(self):
+        tx = PbioSession(self.reg, wire="compact")
+        rx = PbioSession(self.reg)
+        blob = tx.pack_bytes(self.fmt, self.value)
+        _, decoded = rx.unpack_stream(blob)
+        assert tx.stats.compact_sent == 1
+        assert rx.stats.compact_received == 1
+        assert decoded["seq"] == 1
+
+
+class TestMidSessionRedefine:
+    def test_redefine_of_compact_announced_format(self):
+        reg = FormatRegistry()
+        fmt = make_fmt("evolving", {"seq": "int32", "data": "int32[]"})
+        reg.register(fmt)
+        tx = PbioSession(reg, wire="compact")
+        rx = PbioSession(reg, wire="auto")
+        _, decoded = exchange(tx, rx, fmt, {"seq": 1, "data": [7, -7]})
+        assert decoded["data"] == [7, -7]
+
+        new_fmt = make_fmt("evolving", {"seq": "int32", "data": "int32[]",
+                                        "tag": "string"})
+        reg.redefine(new_fmt)
+        tx.invalidate()
+        rx.invalidate()
+        # capability survives invalidation: it belongs to the peer, not
+        # to any format
+        assert rx.peer_compact_capable
+        blobs = tx.pack(new_fmt, {"seq": 2, "data": [1], "tag": "v2"})
+        assert len(blobs) == 2                      # re-announced
+        result = None
+        for blob in blobs:
+            out = rx.unpack(blob)
+            result = out or result
+        _, decoded = result
+        assert decoded["tag"] == "v2"
+        assert tx.stats.compact_sent == 2
+
+
+class TestTamperedPayloads:
+    def setup_method(self):
+        self.reg = FormatRegistry()
+        self.fmt = make_fmt("t", {"n": "int64", "s": "string"})
+        self.reg.register(self.fmt)
+        self.compiler = self.reg.compiler
+
+    def test_truncated_compact_payload(self):
+        blob = self.compiler.compact_encoder(self.fmt)(
+            {"n": 123456789, "s": "hello"})
+        decode = self.compiler.compact_decoder(self.fmt)
+        for cut in range(len(blob)):
+            with pytest.raises(DecodeError):
+                decode(blob[:cut], 0)
+
+    def test_overlong_varint_in_field(self):
+        # a varint padded with continuation bytes decodes to the same
+        # value but MUST be rejected: one value, one encoding
+        blob = b"\x80" * 10 + b"\x01" + b"\x00"
+        with pytest.raises(DecodeError):
+            self.compiler.compact_decoder(self.fmt)(blob, 0)
+
+    def test_string_length_overrun(self):
+        # claims a 100-byte string but provides 3
+        blob = encode_uvarint(zigzag(1)) + encode_uvarint(100) + b"abc"
+        with pytest.raises(DecodeError):
+            self.compiler.compact_decoder(self.fmt)(blob, 0)
+
+    def test_session_rejects_truncated_compact_data(self):
+        tx = PbioSession(self.reg, wire="compact")
+        rx = PbioSession(self.reg)
+        tx.pack_bytes(self.fmt, {"n": 1, "s": "x"})  # announcement
+        blob = tx.pack_bytes(self.fmt, {"n": 99999, "s": "payload"})
+        with pytest.raises(DecodeError):
+            rx.unpack_stream(blob[:-3])
+
+    def test_out_of_range_int_rejected_on_encode(self):
+        small = Format.from_dict("small", {"v": "int8"})
+        self.reg.register(small)
+        with pytest.raises(EncodeError):
+            self.compiler.compact_encoder(small)({"v": 1000})
+
+    def test_decoded_int_range_checked(self):
+        # zigzag(1000) fits in a varint but not in int8
+        small = Format.from_dict("small2", {"v": "int8"})
+        self.reg.register(small)
+        blob = encode_uvarint(zigzag(1000))
+        with pytest.raises(DecodeError):
+            self.compiler.compact_decoder(small)(blob, 0)
+
+
+# ----------------------------------------------------------------------
+# differential: every application format the repo ships
+# ----------------------------------------------------------------------
+
+_INT_BOUNDS = {
+    "int8": (-2**7, 2**7 - 1), "int16": (-2**15, 2**15 - 1),
+    "int32": (-2**31, 2**31 - 1), "int64": (-2**63, 2**63 - 1),
+    "uint8": (0, 2**8 - 1), "uint16": (0, 2**16 - 1),
+    "uint32": (0, 2**32 - 1), "uint64": (0, 2**64 - 1),
+}
+
+
+def value_for(ftype, registry, salt=0):
+    """A deterministic, boundary-heavy value for any field type."""
+    if isinstance(ftype, Primitive):
+        kind = ftype.kind
+        if kind == "string":
+            return ["", "plain", "café ☃"][salt % 3]
+        if kind == "char":
+            return chr(65 + salt % 26)
+        if kind.startswith("float"):
+            return [0.0, -1.5, 1048576.25][salt % 3]
+        lo, hi = _INT_BOUNDS[kind]
+        choices = [0, 1, salt % 100, hi, lo, hi // 3]
+        return choices[salt % len(choices)]
+    if isinstance(ftype, Array):
+        count = ftype.length if ftype.length is not None else 3 + salt % 3
+        return [value_for(ftype.element, registry, salt + i)
+                for i in range(count)]
+    assert isinstance(ftype, StructRef)
+    sub = registry.by_name(ftype.format_name)
+    return {f.name: value_for(f.ftype, registry, salt + j)
+            for j, f in enumerate(sub.fields)}
+
+
+def app_format_sets():
+    from repro.apps.airline import airline_formats
+    from repro.apps.extract import extract_formats
+    from repro.apps.imaging import image_formats
+    from repro.apps.mdbond import bond_formats
+    from repro.apps.remoteviz import viz_formats
+    return {"airline": airline_formats(), "extract": extract_formats(),
+            "imaging": image_formats(), "mdbond": bond_formats(),
+            "remoteviz": viz_formats()}
+
+
+@pytest.mark.parametrize("app", sorted(app_format_sets()))
+def test_compact_differential_across_app_formats(app):
+    """For every format of every shipped application:
+
+    * compiled compact encode is byte-identical to the interpreted
+      oracle;
+    * the compact representation decodes back to exactly the value the
+      native layout decodes to;
+    * a compact-wire session round-trips the value end to end.
+    """
+    formats = app_format_sets()[app]
+    registry = FormatRegistry()
+    for fmt in formats.values():
+        registry.register(fmt)
+    compiler = registry.compiler
+    checked = 0
+    for salt, fmt in enumerate(formats.values()):
+        value = {f.name: value_for(f.ftype, registry, salt + i)
+                 for i, f in enumerate(fmt.fields)}
+
+        compact = compiler.compact_encoder(fmt)(value)
+        assert compact == interp_encode_compact(fmt, value, registry)
+
+        native = compiler.encoder(fmt)(value)
+        native_decoded, native_off = compiler.decoder(fmt)(native, 0)
+        compact_decoded, compact_off = compiler.compact_decoder(fmt)(
+            compact, 0)
+        assert compact_off == len(compact)
+        assert native_off == len(native)
+        assert compact_decoded == native_decoded
+
+        oracle_decoded, oracle_off = interp_decode_compact(
+            fmt, compact, 0, registry)
+        assert oracle_off == len(compact)
+
+        # shared registry: announcements carry only the outer format, so
+        # nested StructRefs resolve the way the apps themselves run
+        tx = PbioSession(registry, wire="compact")
+        rx = PbioSession(registry)
+        result = None
+        for blob in tx.pack(fmt, value):
+            out = rx.unpack(blob)
+            result = out or result
+        got_fmt, session_decoded = result
+        assert got_fmt.fingerprint == fmt.fingerprint
+        assert session_decoded == native_decoded
+        checked += 1
+    assert checked == len(formats)

@@ -139,6 +139,57 @@ class TestExpositionFormat:
 
 
 # ----------------------------------------------------------------------
+# wire-negotiation and HTTP streaming families
+# ----------------------------------------------------------------------
+
+class TestWireAndStreamingFamilies:
+    def test_quality_scrape_carries_wire_block(self):
+        service = _echo_service()
+        server = serve_endpoint(service.endpoint,
+                                quality_stats=service.quality_stats)
+        try:
+            client = _client(server.address)
+            for i in range(3):
+                client.call("Echo", {"seq": i, "payload": [1.0]},
+                            ECHO_FMT, ECHO_FMT)
+            client.channel.close()
+            parsed = parse_exposition(_scrape(server.address))
+        finally:
+            server.close()
+        assert parsed['repro_wire_mode{mode="auto"}'] == 1.0
+        assert parsed["repro_wire_sessions"] >= 1.0
+        # the default auto client advertises compact capability, so the
+        # service's reply path negotiates compact for this session
+        assert parsed["repro_wire_compact_sessions"] >= 1.0
+        assert parsed["repro_wire_compact_messages_sent"] >= 1.0
+        # streaming counters are always present, zero without traffic
+        assert parsed["repro_http_chunked_requests_total"] == 0.0
+        assert parsed["repro_http_streamed_bytes_in_total"] == 0.0
+
+    def test_stream_route_traffic_flows_into_counters(self):
+        from repro.http11 import HttpServer, Response
+
+        class Echo:
+            content_type = "text/plain"
+
+            def on_chunk(self, data):
+                return data
+
+            def finish(self):
+                return None
+
+        with HttpServer(lambda request: Response(body=b"ok"),
+                        concurrency="reactor",
+                        stream_routes={"/s": lambda r: Echo()}) as server:
+            with HttpConnection(server.address) as conn:
+                assert conn.stream("/s", [b"abcd"]).read() == b"abcd"
+            parsed = parse_exposition(_scrape(server.address))
+        assert parsed["repro_http_chunked_requests_total"] == 1.0
+        assert parsed["repro_http_streamed_bytes_in_total"] == 4.0
+        assert parsed["repro_http_streamed_bytes_out_total"] >= 4.0
+
+
+# ----------------------------------------------------------------------
 # counters under load, both concurrency models
 # ----------------------------------------------------------------------
 
